@@ -1,0 +1,247 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§V). Each Benchmark* maps to one artefact; the cmd/ tools
+// produce the full-resolution versions with the paper's parameters.
+//
+//	go test -bench=. -benchmem
+package twine_test
+
+import (
+	"fmt"
+	"testing"
+
+	"twine/internal/bench"
+	"twine/internal/core"
+	"twine/internal/ipfs"
+	"twine/internal/litedb"
+	"twine/internal/polybench"
+	"twine/internal/sgx"
+	"twine/internal/wasm"
+)
+
+// benchSGX is a scaled-down enclave so benchmarks finish quickly while
+// preserving the cost model (EPC pressure still occurs in the Fig5 sweep).
+func benchSGX() sgx.Config {
+	cfg := sgx.DefaultConfig()
+	cfg.EPCSize = 24 << 20
+	cfg.EPCUsable = 16 << 20
+	cfg.HeapSize = 192 << 20
+	cfg.ReservedSize = 16 << 20
+	cfg.TransitionCost = 1700 // ns
+	return cfg
+}
+
+// --- Figure 3: PolyBench/C, native vs WAMR vs TWINE ---
+
+var fig3Kernels = []string{"gemm", "2mm", "atax", "jacobi-2d", "cholesky", "floyd-warshall"}
+
+func BenchmarkFig3PolyBench(b *testing.B) {
+	const n = 32
+	for _, name := range fig3Kernels {
+		k, ok := polybench.ByName(name)
+		if !ok {
+			b.Fatalf("kernel %s missing", name)
+		}
+		b.Run(name+"/native", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				polybench.RunNative(k, n)
+			}
+		})
+		b.Run(name+"/wamr", func(b *testing.B) {
+			bin := k.Build(n)
+			mod, err := wasm.Decode(bin)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c, err := wasm.Compile(mod)
+			if err != nil {
+				b.Fatal(err)
+			}
+			imp := wasm.NewImportObject()
+			polybench.MathImports(imp)
+			in, err := wasm.Instantiate(c, imp, wasm.Config{Engine: wasm.EngineAOT})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := in.Invoke("run"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(name+"/twine", func(b *testing.B) {
+			cfg := core.Config{PlatformSeed: "fig3", SGX: benchSGX()}
+			rt, err := core.NewRuntime(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mod, err := rt.LoadModule(k.Build(n))
+			if err != nil {
+				b.Fatal(err)
+			}
+			inst, err := rt.NewInstance(mod)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := inst.Invoke("run"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Figure 4: Speedtest1 across the variant matrix ---
+
+func BenchmarkFig4Speedtest(b *testing.B) {
+	opt := bench.Options{CachePages: 256, SGX: benchSGX(), ImageBlocks: 6 << 10}
+	for _, v := range []bench.Variant{bench.Native, bench.WAMR, bench.Twine, bench.SGXLKL} {
+		for _, s := range []bench.Storage{bench.Mem, bench.File} {
+			b.Run(fmt.Sprintf("%v/%v", v, s), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := bench.RunSpeedtest(v, s, 12, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- Figure 5 + Table II: micro-benchmarks vs database size ---
+
+func BenchmarkFig5Micro(b *testing.B) {
+	cfg := bench.MicroConfig{MaxRecords: 2000, Step: 1000, RandReads: 100}
+	cfg.Options = bench.Options{CachePages: 256, SGX: benchSGX(), ImageBlocks: 4 << 10}
+	for _, v := range []bench.Variant{bench.Native, bench.WAMR, bench.Twine, bench.SGXLKL} {
+		for _, s := range []bench.Storage{bench.Mem, bench.File} {
+			b.Run(fmt.Sprintf("%v/%v", v, s), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := bench.RunMicro(v, s, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- Table III: cost factors ---
+
+func BenchmarkTable3Costs(b *testing.B) {
+	opt := bench.Options{CachePages: 128, SGX: benchSGX(), ImageBlocks: 2 << 10}
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Costs(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 6: HW vs SW SGX mode ---
+
+func BenchmarkFig6Modes(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		mode sgx.Mode
+	}{{"hw", sgx.ModeHardware}, {"sw", sgx.ModeSimulation}} {
+		b.Run("twine-file/"+tc.name, func(b *testing.B) {
+			cfg := bench.MicroConfig{MaxRecords: 1000, Step: 1000, RandReads: 100}
+			cfg.Options = bench.Options{CachePages: 256, SGX: benchSGX(), SGXMode: tc.mode}
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.RunMicro(bench.Twine, bench.File, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Figure 7: IPFS profiling, standard vs optimised ---
+
+func BenchmarkFig7Breakdown(b *testing.B) {
+	opt := bench.Options{CachePages: 128, SGX: benchSGX()}
+	for _, tc := range []struct {
+		name      string
+		optimised bool
+	}{{"standard", false}, {"optimized", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				bd, err := bench.RunBreakdown(600, 400, tc.optimised, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(bd.Memset.Nanoseconds()), "memset-ns")
+					b.ReportMetric(float64(bd.OCall.Nanoseconds()), "ocall-ns")
+				}
+			}
+		})
+	}
+}
+
+// --- supporting micro-benchmarks (ablations from DESIGN.md) ---
+
+// BenchmarkWasmEngines isolates the interpreter/AoT gap (Table I context).
+func BenchmarkWasmEngines(b *testing.B) {
+	k, _ := polybench.ByName("gemm")
+	bin := k.Build(24)
+	mod, _ := wasm.Decode(bin)
+	c, _ := wasm.Compile(mod)
+	for _, eng := range []wasm.Engine{wasm.EngineInterp, wasm.EngineAOT} {
+		b.Run(eng.String(), func(b *testing.B) {
+			imp := wasm.NewImportObject()
+			polybench.MathImports(imp)
+			in, err := wasm.Instantiate(c, imp, wasm.Config{Engine: eng})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := in.Invoke("run"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIPFSModes isolates the protected-FS optimisation (§V-F ablation)
+// without the database on top.
+func BenchmarkIPFSModes(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		mode ipfs.Mode
+	}{{"standard", ipfs.ModeStandard}, {"optimized", ipfs.ModeOptimized}} {
+		b.Run(tc.name, func(b *testing.B) {
+			opt := bench.Options{CachePages: 128, SGX: benchSGX(), IPFSMode: tc.mode}
+			db, err := bench.Open(bench.Twine, bench.File, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			if _, err := db.Exec(`CREATE TABLE t (id INTEGER PRIMARY KEY, d BLOB)`); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := db.Exec(`BEGIN`); err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 400; i++ {
+				if _, err := db.Exec(`INSERT INTO t (d) VALUES (zeroblob(1024))`); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := db.Exec(`COMMIT`); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query(`SELECT length(d) FROM t WHERE id = ?`,
+					litedb.IntVal(int64(i%400+1))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

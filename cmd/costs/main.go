@@ -1,0 +1,32 @@
+// Command costs regenerates the paper's Table III: per-variant build and
+// launch times plus on-disk / in-enclave footprints.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"twine/internal/bench"
+	"twine/internal/sgx"
+)
+
+func main() {
+	imageBlocks := flag.Int("image-blocks", 16<<10, "SGX-LKL image size in 4 KiB blocks")
+	flag.Parse()
+
+	opt := bench.Options{SGX: sgx.DefaultConfig(), ImageBlocks: *imageBlocks}
+	opt.SGX.HeapSize = 256 << 20
+	reports, err := bench.Costs(opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "costs:", err)
+		os.Exit(1)
+	}
+	fmt.Println("Table III — cost factors")
+	fmt.Printf("%-10s %16s %12s %14s %16s\n",
+		"variant", "compile/image", "launch", "host bytes", "enclave bytes")
+	for _, r := range reports {
+		fmt.Printf("%-10s %16s %12s %14d %16d\n",
+			r.Variant, r.CompileOrLoad, r.Launch, r.HostBytes, r.EnclaveBytes)
+	}
+}

@@ -1,0 +1,76 @@
+// Command sgxmode regenerates the paper's Figure 6: the SGX variants with
+// an on-file database compared between hardware mode (memory protection
+// enabled) and software/simulation mode, normalised to Twine hardware.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"twine/internal/bench"
+	"twine/internal/sgx"
+)
+
+func main() {
+	max := flag.Int("max", 8000, "records")
+	step := flag.Int("step", 2000, "batch size")
+	reads := flag.Int("reads", 300, "random reads per point")
+	flag.Parse()
+
+	run := func(v bench.Variant, mode sgx.Mode) (bench.Series, error) {
+		cfg := bench.MicroConfig{MaxRecords: *max, Step: *step, RandReads: *reads}
+		cfg.Options.SGX = sgx.DefaultConfig()
+		cfg.Options.SGX.HeapSize = int64(*max)*bench.RecordBytes*3 + (128 << 20)
+		cfg.Options.SGXMode = mode
+		cfg.Options.ImageBlocks = (*max*bench.RecordBytes*2)/4096 + 8192
+		return bench.RunMicro(v, bench.File, cfg)
+	}
+
+	type res struct {
+		insert, seq, rand time.Duration
+	}
+	totals := func(s bench.Series) res {
+		var r res
+		for _, p := range s.Points {
+			r.insert += p.Insert
+			r.seq += p.SeqRead
+			r.rand += p.RandRead
+		}
+		return r
+	}
+
+	var twineHW res
+	fmt.Println("Figure 6 — in-file database, HW vs SW SGX mode (normalised to Twine HW)")
+	fmt.Printf("%-14s %10s %10s %10s\n", "variant", "insert", "seq-read", "rand-read")
+	for _, tc := range []struct {
+		name string
+		v    bench.Variant
+		m    sgx.Mode
+	}{
+		{"twine-hw", bench.Twine, sgx.ModeHardware},
+		{"twine-sw", bench.Twine, sgx.ModeSimulation},
+		{"sgx-lkl-hw", bench.SGXLKL, sgx.ModeHardware},
+		{"sgx-lkl-sw", bench.SGXLKL, sgx.ModeSimulation},
+	} {
+		fmt.Fprintf(os.Stderr, "running %s...\n", tc.name)
+		s, err := run(tc.v, tc.m)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sgxmode: %s: %v\n", tc.name, err)
+			os.Exit(1)
+		}
+		r := totals(s)
+		if tc.name == "twine-hw" {
+			twineHW = r
+		}
+		norm := func(x, base time.Duration) float64 {
+			if base == 0 {
+				return 0
+			}
+			return float64(x) / float64(base)
+		}
+		fmt.Printf("%-14s %9.2fx %9.2fx %9.2fx\n", tc.name,
+			norm(r.insert, twineHW.insert), norm(r.seq, twineHW.seq), norm(r.rand, twineHW.rand))
+	}
+}

@@ -1,0 +1,101 @@
+// Command speedtest regenerates the paper's Figure 4: SQLite's Speedtest1
+// suite across the Native / WAMR / Twine / SGX-LKL variants, in-memory and
+// on-file, normalised to native in-memory.
+//
+// Usage:
+//
+//	speedtest [-scale n] [-variants native,wamr,twine,sgx-lkl]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"twine/internal/bench"
+	"twine/internal/sgx"
+)
+
+func main() {
+	scale := flag.Int("scale", 60, "workload scale (100 = ~250-row base tests)")
+	variants := flag.String("variants", "native,wamr,twine,sgx-lkl", "variants to run")
+	flag.Parse()
+
+	want := map[string]bench.Variant{
+		"native": bench.Native, "wamr": bench.WAMR,
+		"twine": bench.Twine, "sgx-lkl": bench.SGXLKL,
+	}
+	var run []bench.Variant
+	for _, name := range strings.Split(*variants, ",") {
+		v, ok := want[strings.TrimSpace(name)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "speedtest: unknown variant %q\n", name)
+			os.Exit(1)
+		}
+		run = append(run, v)
+	}
+
+	opt := bench.Options{SGX: sgx.DefaultConfig(), ImageBlocks: 24 << 10}
+	opt.SGX.HeapSize = 512 << 20
+
+	// Warm the Go runtime (allocator, code paths) so the first variant is
+	// not penalised relative to later ones.
+	fmt.Fprintln(os.Stderr, "warmup...")
+	if _, err := bench.RunSpeedtest(bench.Native, bench.Mem, *scale, opt); err != nil {
+		fmt.Fprintln(os.Stderr, "speedtest: warmup:", err)
+		os.Exit(1)
+	}
+
+	type key struct {
+		v bench.Variant
+		s bench.Storage
+	}
+	results := map[key][]bench.SpeedtestResult{}
+	for _, v := range run {
+		for _, s := range []bench.Storage{bench.Mem, bench.File} {
+			fmt.Fprintf(os.Stderr, "running %v/%v...\n", v, s)
+			res, err := bench.RunSpeedtest(v, s, *scale, opt)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "speedtest: %v/%v: %v\n", v, s, err)
+				os.Exit(1)
+			}
+			results[key{v, s}] = res
+		}
+	}
+
+	base := map[int]time.Duration{}
+	for _, r := range results[key{bench.Native, bench.Mem}] {
+		base[r.TestID] = r.Elapsed
+	}
+
+	fmt.Printf("Figure 4 — Speedtest1, normalised to native in-memory (scale=%d)\n", *scale)
+	header := fmt.Sprintf("%-5s", "test")
+	for _, v := range run {
+		header += fmt.Sprintf(" %9s-m %9s-f", v, v)
+	}
+	fmt.Println(header)
+	for _, r0 := range results[key{run[0], bench.Mem}] {
+		if r0.Setup {
+			continue
+		}
+		line := fmt.Sprintf("%-5d", r0.TestID)
+		for _, v := range run {
+			for _, s := range []bench.Storage{bench.Mem, bench.File} {
+				var elapsed time.Duration
+				for _, r := range results[key{v, s}] {
+					if r.TestID == r0.TestID {
+						elapsed = r.Elapsed
+					}
+				}
+				b := base[r0.TestID]
+				if b == 0 {
+					b = 1
+				}
+				line += fmt.Sprintf(" %10.2fx", float64(elapsed)/float64(b))
+			}
+		}
+		fmt.Println(line)
+	}
+}

@@ -1,0 +1,83 @@
+// Command twine-run executes a WebAssembly (WASI) module inside a TWINE
+// enclave, the reproduction's equivalent of the paper's runtime binary:
+// stdout/stderr leave the enclave through OCALLs, file operations are
+// served by the Intel protected file system under -dir, and -strict
+// applies the DisableUntrustedPOSIX build flag (§IV-C).
+//
+// Usage:
+//
+//	twine-run [-dir data] [-strict] [-host-posix] module.wasm [args...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"twine/internal/core"
+	"twine/internal/hostfs"
+	"twine/internal/sgx"
+)
+
+func main() {
+	dir := flag.String("dir", "", "host directory preopened for the guest as '/' (default: in-memory)")
+	strict := flag.Bool("strict", false, "disable the untrusted POSIX layer (§IV-C)")
+	hostPosix := flag.Bool("host-posix", false, "route files to untrusted POSIX instead of the protected FS")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: twine-run [flags] module.wasm [args...]")
+		os.Exit(2)
+	}
+	wasmBytes, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "twine-run:", err)
+		os.Exit(1)
+	}
+
+	var host hostfs.FS = hostfs.NewMemFS()
+	if *dir != "" {
+		host, err = hostfs.NewDirFS(*dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "twine-run:", err)
+			os.Exit(1)
+		}
+	}
+	fsKind := core.FSIPFS
+	if *hostPosix {
+		fsKind = core.FSHost
+	}
+	rt, err := core.NewRuntime(core.Config{
+		PlatformSeed:          "twine-run",
+		SGX:                   sgx.DefaultConfig(),
+		FS:                    fsKind,
+		DisableUntrustedPOSIX: *strict,
+		HostFS:                host,
+		Args:                  flag.Args(),
+		Stdin:                 os.Stdin,
+		Stdout:                os.Stdout,
+		Stderr:                os.Stderr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "twine-run:", err)
+		os.Exit(1)
+	}
+	mod, err := rt.LoadModule(wasmBytes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "twine-run:", err)
+		os.Exit(1)
+	}
+	inst, err := rt.NewInstance(mod)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "twine-run:", err)
+		os.Exit(1)
+	}
+	code, err := inst.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "twine-run:", err)
+		os.Exit(1)
+	}
+	st := rt.Enclave.Stats()
+	fmt.Fprintf(os.Stderr, "twine-run: exit %d (ecalls %d, ocalls %d, page faults %d)\n",
+		code, st.ECalls, st.OCalls, st.PageFaults)
+	os.Exit(int(code))
+}

@@ -1,0 +1,99 @@
+// Attestation & provisioning: the paper's Figure 1 workflow. An
+// application provider keeps its Wasm module on its own premises and
+// releases it only to an enclave that proves — via remote attestation —
+// that it runs the expected TWINE runtime. The module travels encrypted
+// under an ECDH session key bound to the attested enclave, so neither the
+// host nor the network ever sees the code in plaintext.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"twine"
+	"twine/wasmgen"
+)
+
+// buildSecretApp is the provider's confidential application.
+func buildSecretApp() []byte {
+	m := wasmgen.NewModule()
+	fdWrite := m.ImportFunc("wasi_snapshot_preview1", "fd_write",
+		wasmgen.Sig(wasmgen.I32, wasmgen.I32, wasmgen.I32, wasmgen.I32).Returns(wasmgen.I32))
+	procExit := m.ImportFunc("wasi_snapshot_preview1", "proc_exit", wasmgen.Sig(wasmgen.I32))
+	m.Memory(1, 1)
+	msg := "proprietary algorithm executed confidentially\n"
+	m.Data(64, []byte(msg))
+	f := m.Func(wasmgen.Sig())
+	f.I32Const(0).I32Const(64).I32Store(0)
+	f.I32Const(4).I32Const(int32(len(msg))).I32Store(0)
+	f.I32Const(1).I32Const(0).I32Const(1).I32Const(16).Call(fdWrite).Drop()
+	f.I32Const(0).Call(procExit)
+	f.End()
+	m.Export("_start", f)
+	return m.Bytes()
+}
+
+func main() {
+	// The enclave-side runtime (the "untrusted host" in Figure 1).
+	rt, err := twine.NewRuntime(twine.Config{Stdout: os.Stdout})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The attestation authority knows which platforms are genuine.
+	svc := twine.NewAttestationService()
+	svc.Register(rt.Platform)
+
+	// The provider ships the module only to the expected measurement.
+	provider := twine.NewProvider(svc, rt.Enclave.Measurement(), buildSecretApp())
+
+	// Provisioning over an in-process connection (TLS-equivalent channel
+	// is established by the protocol itself: quote + ECDH).
+	client, server := net.Pipe()
+	errCh := make(chan error, 1)
+	go func() {
+		err := provider.Serve(server)
+		server.Close()
+		errCh <- err
+	}()
+	mod, err := rt.FetchModule(client)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := <-errCh; err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("module provisioned after attestation (%d bytes)\n", mod.WasmBytes)
+
+	inst, err := rt.NewInstance(mod)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := inst.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	// A rogue enclave (different code → different measurement) is refused.
+	rogue, err := twine.NewRuntime(twine.Config{
+		PlatformSeed: "rogue-machine",
+		Stdout:       twine.Discard,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc.Register(rogue.Platform) // genuine hardware, but...
+	var wrong [32]byte           // ...the provider expects a different build
+	rogueProvider := twine.NewProvider(svc, wrong, buildSecretApp())
+	c2, s2 := net.Pipe()
+	go func() {
+		rogueProvider.Serve(s2)
+		s2.Close()
+	}()
+	if _, err := rogue.FetchModule(c2); err != nil {
+		fmt.Printf("rogue enclave correctly refused: %v\n", err)
+	} else {
+		log.Fatal("rogue enclave was provisioned!")
+	}
+}

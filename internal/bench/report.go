@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"twine/internal/hostfs"
+	"twine/internal/sgx"
+	"twine/internal/sgxlkl"
+	"twine/internal/speedtest"
+)
+
+// SpeedtestResult is one Figure 4 bar: elapsed time for one test under
+// one variant/storage pair.
+type SpeedtestResult struct {
+	TestID  int
+	Name    string
+	Setup   bool // not plotted in Figure 4 (index creation)
+	Variant Variant
+	Storage Storage
+	Elapsed time.Duration
+	Err     error
+}
+
+// RunSpeedtest executes the full Speedtest1 suite on one database,
+// returning per-test timings. Scale follows speedtest.NewState.
+func RunSpeedtest(v Variant, s Storage, scale int, opt Options) ([]SpeedtestResult, error) {
+	db, err := Open(v, s, opt)
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	st := speedtest.NewState(scale)
+	var out []SpeedtestResult
+	for _, t := range speedtest.All() {
+		start := time.Now()
+		err := t.Run(db, st)
+		out = append(out, SpeedtestResult{
+			TestID: t.ID, Name: t.Name, Setup: t.Setup, Variant: v, Storage: s,
+			Elapsed: time.Since(start), Err: err,
+		})
+		if err != nil {
+			return out, fmt.Errorf("bench: speedtest %d on %v/%v: %w", t.ID, v, s, err)
+		}
+	}
+	return out, nil
+}
+
+// CostReport is the Table III data for one variant.
+type CostReport struct {
+	Variant Variant
+	// Times (Table IIIa).
+	CompileOrLoad time.Duration // AoT translate / image generation
+	Launch        time.Duration // stack construction until first query
+	// Sizes (Table IIIb).
+	HostBytes    int64 // artifacts on untrusted storage
+	EnclaveBytes int64 // enclave memory reserved
+}
+
+// Costs measures the Table III factors by standing each stack up and
+// running a canary query.
+func Costs(opt Options) ([]CostReport, error) {
+	var out []CostReport
+	for _, v := range []Variant{Native, WAMR, Twine, SGXLKL} {
+		var r CostReport
+		r.Variant = v
+
+		if v == SGXLKL {
+			// Image generation is the SGX-LKL "compile" analogue.
+			fs := hostfs.NewMemFS()
+			var key [16]byte
+			start := time.Now()
+			if err := sgxlkl.BuildImage(fs, "img", sgxlkl.ImageConfig{Blocks: 4096, Key: key}); err != nil {
+				return nil, err
+			}
+			r.CompileOrLoad = time.Since(start)
+		}
+
+		start := time.Now()
+		db, err := Open(v, File, opt)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := db.Exec(`CREATE TABLE c (x INTEGER); INSERT INTO c VALUES (1)`); err != nil {
+			db.Close()
+			return nil, err
+		}
+		r.Launch = time.Since(start)
+		r.HostBytes = db.HostBytes()
+		if enc := db.Enclave(); enc != nil {
+			r.EnclaveBytes = enc.Memory().Size()
+		}
+		db.Close()
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// WriteSeries renders a Figure 5 style table.
+func WriteSeries(w io.Writer, all []Series) {
+	fmt.Fprintf(w, "%-10s %-5s %9s %12s %12s %12s\n",
+		"variant", "store", "records", "insert", "seq-read", "rand-read")
+	for _, s := range all {
+		for _, p := range s.Points {
+			fmt.Fprintf(w, "%-10s %-5s %9d %12s %12s %12s\n",
+				s.Variant, s.Storage, p.Records, p.Insert, p.SeqRead, p.RandRead)
+		}
+	}
+}
+
+// EPCRecordEstimate estimates the database size (records) at which the
+// enclave working set crosses the usable EPC, for annotating Figure 5.
+func EPCRecordEstimate(cfg sgx.Config) int {
+	if cfg.EPCUsable == 0 {
+		cfg = sgx.DefaultConfig()
+	}
+	return int(cfg.EPCUsable / RecordBytes)
+}

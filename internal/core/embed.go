@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+
+	"twine/internal/litedb"
+	"twine/internal/wasm"
+	"twine/wasmgen"
+)
+
+// Embedded database support: TWINE's showcase application is SQLite run as
+// a Wasm module (§V). The reproduction's database engine executes against
+// the runtime's sandboxed linear memory and WASI layer (DESIGN.md §1): the
+// page cache lives inside guest memory, and all file I/O passes through
+// the registered wasi_snapshot_preview1 host functions.
+
+// EmbeddedDB bundles the shim instance and the database handle.
+type EmbeddedDB struct {
+	rt  *Runtime
+	In  *wasm.Instance
+	DB  *litedb.DB
+	mod *Module
+}
+
+// DBConfig sizes an embedded database.
+type DBConfig struct {
+	// Name is the database file name (litedb.MemoryDBName for in-memory).
+	Name string
+	// CachePages is the page-cache size (default 2,048 = 8 MiB).
+	CachePages int
+	// GuestMemPages sizes the guest linear memory in 64 KiB pages;
+	// it must hold the marshal window plus the page cache
+	// (default: enough for the cache + 128 KiB scratch).
+	GuestMemPages uint32
+	// Sync/Journal mirror the litedb options.
+	Sync    litedb.SyncMode
+	Journal litedb.JournalMode
+	// MemVFS forces a purely in-memory database whose backing store is
+	// still charged against the enclave (Figure 5's in-memory variants).
+	MemVFS bool
+}
+
+// shimModule builds the guest module whose linear memory hosts the
+// database buffers.
+func shimModule(pages uint32) []byte {
+	m := wasmgen.NewModule()
+	m.Memory(pages, pages)
+	f := m.Func(wasmgen.Sig())
+	f.End()
+	m.Export("_start", f)
+	m.ExportMemory("memory")
+	return m.Bytes()
+}
+
+// scratchBytes is the WASI marshal window size.
+const scratchBytes = 128 << 10
+
+// OpenDB opens a database inside the runtime: guest memory is allocated
+// in the enclave, the page cache is placed in it, and I/O flows through
+// WASI to the configured backend (IPFS or host POSIX).
+func (rt *Runtime) OpenDB(cfg DBConfig) (*EmbeddedDB, error) {
+	if cfg.CachePages <= 0 {
+		cfg.CachePages = litedb.DefaultCachePages
+	}
+	if cfg.GuestMemPages == 0 {
+		need := uint32((cfg.CachePages*litedb.PageSize + scratchBytes + wasm.PageSize - 1) / wasm.PageSize)
+		cfg.GuestMemPages = need + 2
+	}
+	mod, err := rt.LoadModule(shimModule(cfg.GuestMemPages))
+	if err != nil {
+		return nil, fmt.Errorf("twine: shim module: %w", err)
+	}
+	inst, err := rt.NewInstance(mod)
+	if err != nil {
+		return nil, err
+	}
+
+	store, err := litedb.NewSandboxStore(inst.In.Memory(), scratchBytes, cfg.CachePages)
+	if err != nil {
+		return nil, err
+	}
+
+	var vfs litedb.VFS
+	if cfg.MemVFS || cfg.Name == litedb.MemoryDBName {
+		// In-memory database: backing bytes are charged against the
+		// enclave through the touch hook (they live in guest address
+		// space conceptually).
+		mv := litedb.NewMemVFS()
+		if inst.arenaOK {
+			base := inst.arena
+			mem := rt.Enclave.Memory()
+			limit := mem.Size() - base
+			mv.Touch = func(off, n int64) {
+				if off < 0 {
+					return
+				}
+				if off+n > limit {
+					off = (off + n) % limit
+					n = 1
+				}
+				_ = mem.Touch(base+off, n)
+			}
+		}
+		vfs = mv
+		if cfg.Journal == litedb.JournalDelete {
+			cfg.Journal = litedb.JournalMemory
+		}
+	} else {
+		wvfs, err := litedb.NewWASIVFS(rt.Imports, inst.In, 0, scratchBytes)
+		if err != nil {
+			return nil, err
+		}
+		vfs = wvfs
+	}
+
+	var db *litedb.DB
+	err = rt.Enclave.ECall("twine_db_open", func() error {
+		var oerr error
+		db, oerr = litedb.Open(vfs, cfg.Name, litedb.Options{
+			CachePages: cfg.CachePages,
+			Store:      store,
+			Sync:       cfg.Sync,
+			Journal:    cfg.Journal,
+			Prof:       rt.prof,
+		})
+		return oerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &EmbeddedDB{rt: rt, In: inst.In, DB: db, mod: mod}, nil
+}
+
+// Exec runs SQL inside the enclave.
+func (e *EmbeddedDB) Exec(sql string, args ...litedb.Value) (int64, error) {
+	var n int64
+	err := e.rt.Enclave.ECall("twine_db_exec", func() error {
+		var xerr error
+		n, xerr = e.DB.Exec(sql, args...)
+		return xerr
+	})
+	return n, err
+}
+
+// Query runs a SELECT inside the enclave.
+func (e *EmbeddedDB) Query(sql string, args ...litedb.Value) (*litedb.Rows, error) {
+	var rows *litedb.Rows
+	err := e.rt.Enclave.ECall("twine_db_query", func() error {
+		var qerr error
+		rows, qerr = e.DB.Query(sql, args...)
+		return qerr
+	})
+	return rows, err
+}
+
+// Close closes the database inside the enclave.
+func (e *EmbeddedDB) Close() error {
+	return e.rt.Enclave.ECall("twine_db_close", func() error { return e.DB.Close() })
+}

@@ -1,0 +1,10 @@
+package core
+
+import "math"
+
+// Bit-pattern helpers for host math intrinsics.
+func f64(v uint64) float64  { return math.Float64frombits(v) }
+func pf64(f float64) uint64 { return math.Float64bits(f) }
+
+func mexp(x float64) float64    { return math.Exp(x) }
+func mpow(x, y float64) float64 { return math.Pow(x, y) }

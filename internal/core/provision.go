@@ -1,0 +1,198 @@
+package core
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"twine/internal/sgx"
+)
+
+// Provisioning implements the paper's Figure 1 workflow: the application
+// provider keeps the Wasm module on its premises and releases it only to
+// an attested TWINE enclave, over a channel the host cannot eavesdrop:
+//
+//  1. the enclave generates an X25519 key pair inside the enclave and
+//     obtains a quote whose report data binds the public key;
+//  2. the provider verifies the quote with the attestation service,
+//     checks the enclave measurement, derives the shared secret and
+//     sends the module encrypted with AES-256-GCM;
+//  3. the enclave derives the same secret and decrypts the module into
+//     reserved memory. Code confidentiality holds end to end (§IV-B).
+
+// ErrAttestation reports a failed verification during provisioning.
+var ErrAttestation = errors.New("twine: attestation failed")
+
+type provisionHello struct {
+	Quote     sgx.Quote `json:"quote"`
+	ClientPub []byte    `json:"client_pub"`
+}
+
+type provisionReply struct {
+	ServerPub []byte `json:"server_pub"`
+	Nonce     []byte `json:"nonce"`
+	Module    []byte `json:"module"` // AES-256-GCM ciphertext
+}
+
+// Provider is the application provider side of provisioning.
+type Provider struct {
+	svc      *sgx.AttestationService
+	expected [32]byte
+	module   []byte
+}
+
+// NewProvider serves wasmModule to enclaves whose measurement matches
+// expected, verified through svc.
+func NewProvider(svc *sgx.AttestationService, expected [32]byte, wasmModule []byte) *Provider {
+	return &Provider{svc: svc, expected: expected, module: wasmModule}
+}
+
+// Serve performs one provisioning exchange over conn.
+func (p *Provider) Serve(conn io.ReadWriter) error {
+	var hello provisionHello
+	if err := readMsg(conn, &hello); err != nil {
+		return err
+	}
+	if err := p.svc.Verify(hello.Quote); err != nil {
+		return fmt.Errorf("%w: %v", ErrAttestation, err)
+	}
+	if err := sgx.ExpectedMeasurement(hello.Quote.Report, p.expected); err != nil {
+		return fmt.Errorf("%w: %v", ErrAttestation, err)
+	}
+	// The report data must bind the client public key to the quote.
+	bind := sha256.Sum256(hello.ClientPub)
+	if [32]byte(hello.Quote.Report.Data[:32]) != bind {
+		return fmt.Errorf("%w: report does not bind the session key", ErrAttestation)
+	}
+
+	curve := ecdh.X25519()
+	serverKey, err := curve.GenerateKey(rand.Reader)
+	if err != nil {
+		return err
+	}
+	clientPub, err := curve.NewPublicKey(hello.ClientPub)
+	if err != nil {
+		return fmt.Errorf("%w: bad client key: %v", ErrAttestation, err)
+	}
+	shared, err := serverKey.ECDH(clientPub)
+	if err != nil {
+		return err
+	}
+	aead, err := sessionAEAD(shared)
+	if err != nil {
+		return err
+	}
+	nonce := make([]byte, aead.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return err
+	}
+	reply := provisionReply{
+		ServerPub: serverKey.PublicKey().Bytes(),
+		Nonce:     nonce,
+		Module:    aead.Seal(nil, nonce, p.module, []byte("twine-module")),
+	}
+	return writeMsg(conn, &reply)
+}
+
+// FetchModule runs the enclave side of provisioning and loads the
+// received module.
+func (rt *Runtime) FetchModule(conn io.ReadWriter) (*Module, error) {
+	curve := ecdh.X25519()
+	var clientKey *ecdh.PrivateKey
+	// Key generation happens inside the enclave: the private key never
+	// exists outside.
+	err := rt.Enclave.ECall("twine_keygen", func() error {
+		var kerr error
+		clientKey, kerr = curve.GenerateKey(rand.Reader)
+		return kerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	pub := clientKey.PublicKey().Bytes()
+	bind := sha256.Sum256(pub)
+	quote, err := rt.Platform.Quote(rt.Enclave, bind[:])
+	if err != nil {
+		return nil, err
+	}
+	if err := writeMsg(conn, &provisionHello{Quote: quote, ClientPub: pub}); err != nil {
+		return nil, err
+	}
+	var reply provisionReply
+	if err := readMsg(conn, &reply); err != nil {
+		return nil, err
+	}
+	serverPub, err := curve.NewPublicKey(reply.ServerPub)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad server key: %v", ErrAttestation, err)
+	}
+	var wasmBytes []byte
+	err = rt.Enclave.ECall("twine_unwrap_module", func() error {
+		shared, derr := clientKey.ECDH(serverPub)
+		if derr != nil {
+			return derr
+		}
+		aead, derr := sessionAEAD(shared)
+		if derr != nil {
+			return derr
+		}
+		pt, derr := aead.Open(nil, reply.Nonce, reply.Module, []byte("twine-module"))
+		if derr != nil {
+			return fmt.Errorf("%w: module decryption: %v", ErrAttestation, derr)
+		}
+		wasmBytes = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rt.LoadModule(wasmBytes)
+}
+
+// sessionAEAD derives the channel cipher from the ECDH shared secret.
+func sessionAEAD(shared []byte) (cipher.AEAD, error) {
+	key := sha256.Sum256(append([]byte("twine-session-v1:"), shared...))
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(block)
+}
+
+// Length-prefixed JSON framing.
+func writeMsg(w io.Writer, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+func readMsg(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > 64<<20 {
+		return fmt.Errorf("twine: oversized provisioning message (%d bytes)", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	return json.Unmarshal(buf, v)
+}

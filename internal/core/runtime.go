@@ -1,0 +1,308 @@
+// Package core implements TWINE itself (paper §IV): a WebAssembly runtime
+// embedded in an SGX enclave behind a WASI system interface. The Wasm
+// runtime executes entirely inside the enclave; WASI is the bridge between
+// trusted and untrusted worlds, routing each call either to a trusted
+// implementation (Intel protected file system, in-enclave entropy,
+// monotonic-guarded clock) or to a guarded POSIX layer outside the
+// enclave.
+//
+// Modules are supplied through a single ECALL and copied into the
+// enclave's reserved memory, so application code never exists in plaintext
+// outside the enclave once provisioning (see provision.go) is used.
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"twine/internal/hostfs"
+	"twine/internal/ipfs"
+	"twine/internal/prof"
+	"twine/internal/sgx"
+	"twine/internal/wasi"
+	"twine/internal/wasm"
+)
+
+// FSKind selects the file-system routing of the WASI layer.
+type FSKind int
+
+const (
+	// FSIPFS routes file operations to the Intel protected file system
+	// (TWINE's configuration: data encrypted and integrity-checked).
+	FSIPFS FSKind = iota
+	// FSHost forwards file operations to untrusted POSIX via OCALLs
+	// (WAMR's original WASI implementation, the paper's baseline).
+	FSHost
+)
+
+func (k FSKind) String() string {
+	if k == FSHost {
+		return "host-posix"
+	}
+	return "ipfs"
+}
+
+// RuntimeVersion is the enclave code identity string; it determines the
+// measurement (MRENCLAVE) of every TWINE enclave of this build.
+const RuntimeVersion = "twine-runtime-go-1.0"
+
+// Config assembles a TWINE runtime.
+type Config struct {
+	// PlatformSeed selects the simulated CPU (sealing identity).
+	PlatformSeed string
+	// SGX configures the enclave; zero value = sgx.DefaultConfig().
+	SGX sgx.Config
+	// Engine is the Wasm execution engine (default AoT, like TWINE).
+	Engine wasm.Engine
+	// FS selects trusted (IPFS) or untrusted (host POSIX) file routing.
+	FS FSKind
+	// IPFSMode selects the standard or optimised protected FS (§V-F).
+	IPFSMode ipfs.Mode
+	// IPFSCacheNodes overrides the protected-FS node cache size.
+	IPFSCacheNodes int
+	// DisableUntrustedPOSIX applies the strict-mode compile flag (§IV-C).
+	DisableUntrustedPOSIX bool
+	// HostFS is the untrusted world (default: fresh in-memory FS).
+	HostFS hostfs.FS
+	// Preopens maps guest paths to host directories (default "/" -> "").
+	Preopens map[string]string
+	// Args/Env/stdio for the WASI program.
+	Args   []string
+	Env    []string
+	Stdin  io.Reader
+	Stdout io.Writer
+	Stderr io.Writer
+	// MaxMemoryPages caps guest linear memory (0 = module limit).
+	MaxMemoryPages uint32
+	// Prof collects counters and timers.
+	Prof *prof.Registry
+}
+
+// Runtime is a live TWINE enclave ready to load modules.
+type Runtime struct {
+	cfg      Config
+	Platform *sgx.Platform
+	Enclave  *sgx.Enclave
+	Host     hostfs.FS
+	PFS      *ipfs.FS
+	Sys      *wasi.System
+	Imports  *wasm.ImportObject
+
+	prof *prof.Registry
+
+	// LaunchTime is the wall time spent creating the enclave and wiring
+	// the runtime (Table IIIa "Launch").
+	LaunchTime time.Duration
+}
+
+// NewRuntime builds the enclave and the WASI plumbing.
+func NewRuntime(cfg Config) (*Runtime, error) {
+	start := time.Now()
+	if cfg.SGX.EPCSize == 0 {
+		cfg.SGX = sgx.DefaultConfig()
+	}
+	cfg.SGX.Prof = cfg.Prof
+	if cfg.HostFS == nil {
+		cfg.HostFS = hostfs.NewMemFS()
+	}
+	if cfg.Preopens == nil {
+		cfg.Preopens = map[string]string{"/": ""}
+	}
+	if cfg.Engine != wasm.EngineInterp {
+		cfg.Engine = wasm.EngineAOT
+	}
+
+	rt := &Runtime{cfg: cfg, Host: cfg.HostFS, prof: cfg.Prof}
+	rt.Platform = sgx.NewPlatform(cfg.PlatformSeed)
+	enclave, err := rt.Platform.NewEnclave(cfg.SGX, []byte(RuntimeVersion))
+	if err != nil {
+		return nil, fmt.Errorf("twine: enclave creation: %w", err)
+	}
+	rt.Enclave = enclave
+
+	hostBE := wasi.NewHostBackend(cfg.HostFS, enclave)
+	var backend wasi.Backend
+	if cfg.FS == FSIPFS {
+		rt.PFS = ipfs.New(enclave, cfg.HostFS, ipfs.Options{
+			Mode:       cfg.IPFSMode,
+			CacheNodes: cfg.IPFSCacheNodes,
+			Prof:       cfg.Prof,
+		})
+		backend = wasi.NewIPFSBackend(rt.PFS, hostBE)
+	} else {
+		backend = hostBE
+	}
+
+	sys, err := wasi.NewSystem(wasi.Config{
+		Args:                  cfg.Args,
+		Env:                   cfg.Env,
+		Stdin:                 cfg.Stdin,
+		Stdout:                cfg.Stdout,
+		Stderr:                cfg.Stderr,
+		FS:                    backend,
+		Preopens:              cfg.Preopens,
+		Enclave:               enclave,
+		DisableUntrustedPOSIX: cfg.DisableUntrustedPOSIX,
+		Prof:                  cfg.Prof,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rt.Sys = sys
+	imp := wasm.NewImportObject()
+	sys.Register(imp)
+	registerMathImports(imp)
+	rt.Imports = imp
+	rt.LaunchTime = time.Since(start)
+	return rt, nil
+}
+
+// registerMathImports provides the libm-equivalent host functions LLVM
+// would otherwise inline; PolyBench kernels import exp and pow. They are
+// trusted (in-enclave) intrinsics: no OCALL.
+func registerMathImports(imp *wasm.ImportObject) {
+	f64f64 := wasm.FuncType{Params: []wasm.ValueType{wasm.F64}, Results: []wasm.ValueType{wasm.F64}}
+	f64x2 := wasm.FuncType{Params: []wasm.ValueType{wasm.F64, wasm.F64}, Results: []wasm.ValueType{wasm.F64}}
+	imp.AddFunc(wasm.HostFunc{Module: "math", Name: "exp", Type: f64f64,
+		Fn: func(in *wasm.Instance, a []uint64) ([]uint64, error) {
+			return []uint64{pf64(mexp(f64(a[0])))}, nil
+		}})
+	imp.AddFunc(wasm.HostFunc{Module: "math", Name: "pow", Type: f64x2,
+		Fn: func(in *wasm.Instance, a []uint64) ([]uint64, error) {
+			return []uint64{pf64(mpow(f64(a[0]), f64(a[1])))}, nil
+		}})
+}
+
+// Module is a loaded, AoT-prepared application.
+type Module struct {
+	Compiled *wasm.Compiled
+	// WasmBytes is the size of the delivered binary; AotIns counts the
+	// translated instructions (Table IIIb artefact sizes).
+	WasmBytes int64
+	AotIns    int64
+	// LoadTime is the in-enclave decode+translate time.
+	LoadTime time.Duration
+}
+
+// LoadModule supplies a Wasm binary to the enclave through the single
+// ECALL TWINE exposes (§IV-C): the code is copied into reserved memory,
+// decoded, validated and AoT-translated, then the region is sealed
+// execute-only.
+func (rt *Runtime) LoadModule(wasmBytes []byte) (*Module, error) {
+	start := time.Now()
+	var mod *Module
+	err := rt.Enclave.ECall("twine_load_module", func() error {
+		if _, err := rt.Enclave.Reserved().Load(wasmBytes); err != nil {
+			return fmt.Errorf("twine: reserved memory: %w", err)
+		}
+		m, err := wasm.Decode(wasmBytes)
+		if err != nil {
+			return err
+		}
+		c, err := wasm.Compile(m)
+		if err != nil {
+			return err
+		}
+		rt.Enclave.Reserved().Protect(sgx.PermRX)
+		mod = &Module{Compiled: c, WasmBytes: int64(len(wasmBytes)), AotIns: c.NumInstructions()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	mod.LoadTime = time.Since(start)
+	rt.prof.AddTime("twine.load", mod.LoadTime)
+	return mod, nil
+}
+
+// Instance is an instantiated module whose linear memory is charged
+// against the enclave's EPC.
+type Instance struct {
+	rt  *Runtime
+	In  *wasm.Instance
+	mem *sgx.Memory
+	// arena is the enclave region backing the guest linear memory.
+	arena   int64
+	arenaOK bool
+}
+
+// NewInstance instantiates mod inside the enclave.
+func (rt *Runtime) NewInstance(mod *Module) (*Instance, error) {
+	inst := &Instance{rt: rt, mem: rt.Enclave.Memory()}
+
+	// Reserve enclave memory for the guest's maximum linear memory so
+	// EPC pressure reflects guest usage.
+	maxPages := uint32(wasm.MaxPages)
+	if len(mod.Compiled.Module.Memories) > 0 {
+		l := mod.Compiled.Module.Memories[0]
+		if l.HasMax {
+			maxPages = l.Max
+		}
+	}
+	if rt.cfg.MaxMemoryPages != 0 && rt.cfg.MaxMemoryPages < maxPages {
+		maxPages = rt.cfg.MaxMemoryPages
+	}
+	need := int64(maxPages)*wasm.PageSize + sgx.PageSize
+	if off, err := rt.Enclave.Allocator().Alloc(need); err == nil {
+		inst.arena = (off + sgx.PageSize - 1) &^ (sgx.PageSize - 1)
+		inst.arenaOK = true
+	} else {
+		return nil, fmt.Errorf("twine: guest memory (%d pages) does not fit the enclave: %w", maxPages, err)
+	}
+
+	var in *wasm.Instance
+	err := rt.Enclave.ECall("twine_instantiate", func() error {
+		var ierr error
+		in, ierr = wasm.Instantiate(mod.Compiled, rt.Imports, wasm.Config{
+			Engine:         rt.cfg.Engine,
+			MaxMemoryPages: rt.cfg.MaxMemoryPages,
+			Touch: func(off, n int64) {
+				if inst.arenaOK {
+					_ = inst.mem.Touch(inst.arena+off, n)
+				}
+			},
+		})
+		return ierr
+	})
+	if err != nil {
+		return nil, err
+	}
+	inst.In = in
+	return inst, nil
+}
+
+// Run executes the WASI start routine (_start) inside the enclave and
+// returns the guest exit code.
+func (inst *Instance) Run() (uint32, error) {
+	var code uint32
+	err := inst.rt.Enclave.ECall("twine_run", func() error {
+		_, err := inst.In.Invoke("_start")
+		if err != nil {
+			if tr, ok := err.(*wasm.Trap); ok && tr.Kind == wasm.TrapExit {
+				code = tr.Code
+				return nil
+			}
+			return err
+		}
+		return nil
+	})
+	return code, err
+}
+
+// Invoke calls an exported guest function inside the enclave.
+func (inst *Instance) Invoke(name string, args ...uint64) ([]uint64, error) {
+	var out []uint64
+	err := inst.rt.Enclave.ECall("twine_invoke", func() error {
+		var ierr error
+		out, ierr = inst.In.Invoke(name, args...)
+		return ierr
+	})
+	return out, err
+}
+
+// ECall runs fn inside the enclave (for embedders such as the trusted
+// database facade, whose host-side code must account enclave crossings).
+func (rt *Runtime) ECall(name string, fn func() error) error {
+	return rt.Enclave.ECall(name, fn)
+}

@@ -1,0 +1,264 @@
+package hostfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// DirFS is an FS rooted at a directory of the real operating system file
+// system. All paths are confined below the root; attempts to escape fail
+// with ErrPermission.
+type DirFS struct {
+	root string
+}
+
+// NewDirFS returns an FS rooted at dir, which must exist.
+func NewDirFS(dir string) (*DirFS, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	info, err := os.Stat(abs)
+	if err != nil {
+		return nil, mapOSError(err)
+	}
+	if !info.IsDir() {
+		return nil, fmt.Errorf("%w: %s", ErrNotDir, dir)
+	}
+	return &DirFS{root: abs}, nil
+}
+
+// resolve confines name under the root.
+func (d *DirFS) resolve(name string) (string, error) {
+	parts, err := splitPath(name)
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(d.root, filepath.Join(parts...)), nil
+}
+
+func mapOSError(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, fs.ErrNotExist):
+		return fmt.Errorf("%w: %v", ErrNotExist, err)
+	case errors.Is(err, syscall.ENOTEMPTY):
+		return fmt.Errorf("%w: %v", ErrNotEmpty, err)
+	case errors.Is(err, fs.ErrExist):
+		return fmt.Errorf("%w: %v", ErrExist, err)
+	case errors.Is(err, fs.ErrPermission):
+		return fmt.Errorf("%w: %v", ErrPermission, err)
+	default:
+		return err
+	}
+}
+
+func osFlag(flag int) int {
+	var f int
+	switch {
+	case flag&OWrite != 0 && flag&ORead != 0:
+		f = os.O_RDWR
+	case flag&OWrite != 0:
+		f = os.O_WRONLY
+	default:
+		f = os.O_RDONLY
+	}
+	if flag&OCreate != 0 {
+		f |= os.O_CREATE
+	}
+	if flag&OTrunc != 0 {
+		f |= os.O_TRUNC
+	}
+	if flag&OExcl != 0 {
+		f |= os.O_EXCL
+	}
+	return f
+}
+
+// OpenFile implements FS.
+func (d *DirFS) OpenFile(name string, flag int) (File, error) {
+	path, err := d.resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, osFlag(flag), 0o644)
+	if err != nil {
+		return nil, mapOSError(err)
+	}
+	return &osFile{f: f}, nil
+}
+
+// Mkdir implements FS.
+func (d *DirFS) Mkdir(name string) error {
+	path, err := d.resolve(name)
+	if err != nil {
+		return err
+	}
+	return mapOSError(os.Mkdir(path, 0o755))
+}
+
+// Remove implements FS.
+func (d *DirFS) Remove(name string) error {
+	path, err := d.resolve(name)
+	if err != nil {
+		return err
+	}
+	return mapOSError(os.Remove(path))
+}
+
+// Rename implements FS.
+func (d *DirFS) Rename(oldName, newName string) error {
+	op, err := d.resolve(oldName)
+	if err != nil {
+		return err
+	}
+	np, err := d.resolve(newName)
+	if err != nil {
+		return err
+	}
+	return mapOSError(os.Rename(op, np))
+}
+
+// Stat implements FS.
+func (d *DirFS) Stat(name string) (FileInfo, error) {
+	path, err := d.resolve(name)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return FileInfo{}, mapOSError(err)
+	}
+	return osInfo(info), nil
+}
+
+// Lstat implements FS.
+func (d *DirFS) Lstat(name string) (FileInfo, error) {
+	path, err := d.resolve(name)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	info, err := os.Lstat(path)
+	if err != nil {
+		return FileInfo{}, mapOSError(err)
+	}
+	return osInfo(info), nil
+}
+
+func osInfo(info os.FileInfo) FileInfo {
+	typ := TypeRegular
+	switch {
+	case info.IsDir():
+		typ = TypeDir
+	case info.Mode()&os.ModeSymlink != 0:
+		typ = TypeSymlink
+	}
+	return FileInfo{
+		Name:    info.Name(),
+		Size:    info.Size(),
+		Type:    typ,
+		ModTime: info.ModTime(),
+		AccTime: info.ModTime(), // portable stand-in; Linux atime needs syscall details
+	}
+}
+
+// ReadDir implements FS.
+func (d *DirFS) ReadDir(name string) ([]FileInfo, error) {
+	path, err := d.resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(path)
+	if err != nil {
+		return nil, mapOSError(err)
+	}
+	out := make([]FileInfo, 0, len(entries))
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			continue // raced with deletion
+		}
+		out = append(out, osInfo(info))
+	}
+	return out, nil
+}
+
+// Symlink implements FS. Targets are kept relative to the FS root.
+func (d *DirFS) Symlink(target, link string) error {
+	if strings.Contains(target, "..") {
+		return fmt.Errorf("%w: symlink target escapes root", ErrPermission)
+	}
+	path, err := d.resolve(link)
+	if err != nil {
+		return err
+	}
+	return mapOSError(os.Symlink(target, path))
+}
+
+// Readlink implements FS.
+func (d *DirFS) Readlink(name string) (string, error) {
+	path, err := d.resolve(name)
+	if err != nil {
+		return "", err
+	}
+	t, err := os.Readlink(path)
+	return t, mapOSError(err)
+}
+
+// Link implements FS.
+func (d *DirFS) Link(oldName, newName string) error {
+	op, err := d.resolve(oldName)
+	if err != nil {
+		return err
+	}
+	np, err := d.resolve(newName)
+	if err != nil {
+		return err
+	}
+	return mapOSError(os.Link(op, np))
+}
+
+// UTimes implements FS.
+func (d *DirFS) UTimes(name string, atime, mtime time.Time) error {
+	path, err := d.resolve(name)
+	if err != nil {
+		return err
+	}
+	return mapOSError(os.Chtimes(path, atime, mtime))
+}
+
+type osFile struct{ f *os.File }
+
+func (o *osFile) ReadAt(p []byte, off int64) (int, error) {
+	n, err := o.f.ReadAt(p, off)
+	if errors.Is(err, io.EOF) {
+		return n, nil // positional short read; EOF conveyed by n < len(p)
+	}
+	return n, mapOSError(err)
+}
+
+func (o *osFile) WriteAt(p []byte, off int64) (int, error) {
+	n, err := o.f.WriteAt(p, off)
+	return n, mapOSError(err)
+}
+
+func (o *osFile) Truncate(size int64) error { return mapOSError(o.f.Truncate(size)) }
+func (o *osFile) Sync() error               { return mapOSError(o.f.Sync()) }
+
+func (o *osFile) Stat() (FileInfo, error) {
+	info, err := o.f.Stat()
+	if err != nil {
+		return FileInfo{}, mapOSError(err)
+	}
+	return osInfo(info), nil
+}
+
+func (o *osFile) Close() error { return mapOSError(o.f.Close()) }

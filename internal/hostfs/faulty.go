@@ -1,0 +1,147 @@
+package hostfs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Faulty wraps an FS with deterministic failure injection: after FailAfter
+// successful operations, every subsequent operation fails with Err. It is
+// used by tests to verify that higher layers (IPFS, WASI, the database)
+// surface untrusted-host failures instead of corrupting state.
+type Faulty struct {
+	FS        FS
+	Err       error
+	FailAfter int64
+
+	ops atomic.Int64
+}
+
+// NewFaulty wraps fs so the (failAfter+1)-th and later operations fail
+// with err.
+func NewFaulty(fs FS, failAfter int64, err error) *Faulty {
+	return &Faulty{FS: fs, Err: err, FailAfter: failAfter}
+}
+
+// Ops returns the number of operations attempted so far.
+func (f *Faulty) Ops() int64 { return f.ops.Load() }
+
+func (f *Faulty) fail() bool { return f.ops.Add(1) > f.FailAfter }
+
+// OpenFile implements FS.
+func (f *Faulty) OpenFile(name string, flag int) (File, error) {
+	if f.fail() {
+		return nil, f.Err
+	}
+	file, err := f.FS.OpenFile(name, flag)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{File: file, parent: f}, nil
+}
+
+// Mkdir implements FS.
+func (f *Faulty) Mkdir(name string) error {
+	if f.fail() {
+		return f.Err
+	}
+	return f.FS.Mkdir(name)
+}
+
+// Remove implements FS.
+func (f *Faulty) Remove(name string) error {
+	if f.fail() {
+		return f.Err
+	}
+	return f.FS.Remove(name)
+}
+
+// Rename implements FS.
+func (f *Faulty) Rename(oldName, newName string) error {
+	if f.fail() {
+		return f.Err
+	}
+	return f.FS.Rename(oldName, newName)
+}
+
+// Stat implements FS.
+func (f *Faulty) Stat(name string) (FileInfo, error) {
+	if f.fail() {
+		return FileInfo{}, f.Err
+	}
+	return f.FS.Stat(name)
+}
+
+// Lstat implements FS.
+func (f *Faulty) Lstat(name string) (FileInfo, error) {
+	if f.fail() {
+		return FileInfo{}, f.Err
+	}
+	return f.FS.Lstat(name)
+}
+
+// ReadDir implements FS.
+func (f *Faulty) ReadDir(name string) ([]FileInfo, error) {
+	if f.fail() {
+		return nil, f.Err
+	}
+	return f.FS.ReadDir(name)
+}
+
+// Symlink implements FS.
+func (f *Faulty) Symlink(target, link string) error {
+	if f.fail() {
+		return f.Err
+	}
+	return f.FS.Symlink(target, link)
+}
+
+// Readlink implements FS.
+func (f *Faulty) Readlink(name string) (string, error) {
+	if f.fail() {
+		return "", f.Err
+	}
+	return f.FS.Readlink(name)
+}
+
+// Link implements FS.
+func (f *Faulty) Link(oldName, newName string) error {
+	if f.fail() {
+		return f.Err
+	}
+	return f.FS.Link(oldName, newName)
+}
+
+// UTimes implements FS.
+func (f *Faulty) UTimes(name string, atime, mtime time.Time) error {
+	if f.fail() {
+		return f.Err
+	}
+	return f.FS.UTimes(name, atime, mtime)
+}
+
+type faultyFile struct {
+	File
+	parent *Faulty
+}
+
+func (f *faultyFile) ReadAt(p []byte, off int64) (int, error) {
+	if f.parent.fail() {
+		return 0, f.parent.Err
+	}
+	return f.File.ReadAt(p, off)
+}
+
+func (f *faultyFile) WriteAt(p []byte, off int64) (int, error) {
+	if f.parent.fail() {
+		return 0, f.parent.Err
+	}
+	return f.File.WriteAt(p, off)
+}
+
+func (f *faultyFile) Sync() error {
+	if f.parent.fail() {
+		return f.parent.Err
+	}
+	return f.File.Sync()
+}

@@ -1,0 +1,87 @@
+package ipfs
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"twine/internal/hostfs"
+)
+
+// Large-file stress: write a multi-MHT file with interleaved
+// read-modify-write at pager-like granularity, then verify.
+func TestLargeInterleavedRW(t *testing.T) {
+	backing := hostfs.NewMemFS()
+	for _, mode := range []Mode{ModeStandard, ModeOptimized} {
+		fs := New(nil, backing, Options{Mode: mode, CacheNodes: 48})
+		name := "big-" + mode.String()
+		f, err := fs.Open(name, hostfs.OCreate|hostfs.OWrite|hostfs.ORead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		page := make([]byte, 4096)
+		const nPages = 6000 // ~24 MiB, several MHT levels
+		for i := 0; i < nPages; i++ {
+			for j := range page {
+				page[j] = byte(i + j)
+			}
+			if _, err := f.Seek(int64(i)*4096, SeekStart); err != nil {
+				if err2 := f.ExtendTo(int64(i+1) * 4096); err2 != nil {
+					t.Fatalf("extend %d: %v", i, err2)
+				}
+				if _, err := f.Seek(int64(i)*4096, SeekStart); err != nil {
+					t.Fatalf("seek %d: %v", i, err)
+				}
+			}
+			if _, err := f.Write(page); err != nil {
+				t.Fatalf("write %d: %v", i, err)
+			}
+			// Interleave random re-reads like the pager does.
+			if i%7 == 3 {
+				k := i / 2
+				if _, err := f.Seek(int64(k)*4096, SeekStart); err != nil {
+					t.Fatalf("reseek: %v", err)
+				}
+				buf := make([]byte, 4096)
+				if _, err := io.ReadFull(fileRd{f}, buf); err != nil {
+					t.Fatalf("read %d at size %d: %v", k, i, err)
+				}
+				for j := range buf {
+					if buf[j] != byte(k+j) {
+						t.Fatalf("page %d corrupt at %d", k, j)
+					}
+				}
+			}
+			if i%500 == 499 {
+				if err := f.Flush(); err != nil {
+					t.Fatalf("flush @%d: %v", i, err)
+				}
+			}
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		g, err := fs.Open(name, hostfs.ORead)
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		buf := make([]byte, 4096)
+		for i := 0; i < nPages; i++ {
+			if _, err := g.Seek(int64(i)*4096, SeekStart); err != nil {
+				t.Fatalf("seek: %v", err)
+			}
+			if _, err := io.ReadFull(fileRd{g}, buf); err != nil {
+				t.Fatalf("read %d: %v", i, err)
+			}
+			want := byte(i)
+			if buf[0] != want || !bytes.Equal(buf[:4], []byte{byte(i), byte(i + 1), byte(i + 2), byte(i + 3)}) {
+				t.Fatalf("page %d content wrong", i)
+			}
+		}
+		g.Close()
+	}
+}
+
+type fileRd struct{ f *File }
+
+func (r fileRd) Read(p []byte) (int, error) { return r.f.Read(p) }

@@ -1,0 +1,64 @@
+package ipfs
+
+import "container/list"
+
+// Merkle layout (Intel's interleaving): node 0 is the metadata node, MHT
+// node k sits at physical index 1+k*97, and the 96 data nodes it covers
+// follow it. Every MHT node holds 96 data-child entries then 32 MHT-child
+// entries of 32 bytes each (16-byte key + 16-byte GCM tag).
+
+func dataPhys(d int64) int64 { return 2 + d + d/dataPerMHT }
+
+func mhtPhys(k int64) int64 { return 1 + k*(dataPerMHT+1) }
+
+// dataParent returns the MHT index and entry slot covering data node d.
+func dataParent(d int64) (mht int64, slot int) {
+	return d / dataPerMHT, int(d % dataPerMHT)
+}
+
+// mhtParent returns the parent MHT index and entry slot for MHT k >= 1.
+func mhtParent(k int64) (parent int64, slot int) {
+	return (k - 1) / mhtPerMHT, dataPerMHT + int((k-1)%mhtPerMHT)
+}
+
+// node is one cached, decrypted protected-file node.
+type node struct {
+	phys  int64
+	isMHT bool
+	idx   int64 // data index, or MHT index when isMHT
+
+	plain  []byte // decrypted content (NodeSize)
+	cipher []byte // enclave-side ciphertext buffer (ModeStandard only)
+
+	dirty bool
+	slot  int // EPC accounting slot, -1 when none
+	elem  *list.Element
+}
+
+// entry reads the 32-byte child entry at slot from an MHT node's plaintext.
+func (n *node) entry(slot int) (key, tag [16]byte) {
+	off := slot * entrySize
+	copy(key[:], n.plain[off:off+16])
+	copy(tag[:], n.plain[off+16:off+32])
+	return key, tag
+}
+
+// setEntry writes a child entry and marks the node dirty.
+func (n *node) setEntry(slot int, key, tag [16]byte) {
+	off := slot * entrySize
+	copy(n.plain[off:off+16], key[:])
+	copy(n.plain[off+16:off+32], tag[:])
+	n.dirty = true
+}
+
+// entryIsZero reports whether the child entry at slot has never been
+// written (the child node does not exist yet).
+func (n *node) entryIsZero(slot int) bool {
+	off := slot * entrySize
+	for _, b := range n.plain[off : off+entrySize] {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,66 @@
+package ipfs
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"twine/internal/hostfs"
+)
+
+// No-Flush stress: rely purely on eviction write-back (SyncOff pattern).
+func TestNoFlushEvictionConsistency(t *testing.T) {
+	backing := hostfs.NewMemFS()
+	fs := New(nil, backing, Options{Mode: ModeOptimized, CacheNodes: 48})
+	f, err := fs.Open("db", hostfs.OCreate|hostfs.OWrite|hostfs.ORead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := make([]byte, 4096)
+	content := map[int]byte{}
+	rng := rand.New(rand.NewSource(5))
+	maxPage := 0
+	buf := make([]byte, 4096)
+	for op := 0; op < 60000; op++ {
+		if rng.Intn(3) != 0 || maxPage == 0 { // write (append-biased)
+			p := maxPage
+			if maxPage > 0 && rng.Intn(4) == 0 {
+				p = rng.Intn(maxPage) // rewrite
+			}
+			for j := range page {
+				page[j] = byte(p) ^ byte(op)
+			}
+			if _, err := f.Seek(int64(p)*4096, SeekStart); err != nil {
+				if err := f.ExtendTo(int64(p) * 4096); err != nil {
+					t.Fatalf("op%d extend: %v", op, err)
+				}
+				if _, err := f.Seek(int64(p)*4096, SeekStart); err != nil {
+					t.Fatalf("op%d seek: %v", op, err)
+				}
+			}
+			if _, err := f.Write(page); err != nil {
+				t.Fatalf("op%d write p%d: %v", op, p, err)
+			}
+			content[p] = byte(p) ^ byte(op)
+			if p == maxPage {
+				maxPage++
+			}
+		} else { // read
+			p := rng.Intn(maxPage)
+			if _, err := f.Seek(int64(p)*4096, SeekStart); err != nil {
+				t.Fatalf("op%d rseek: %v", op, err)
+			}
+			if _, err := io.ReadFull(nfRd{f}, buf); err != nil {
+				t.Fatalf("op%d read p%d (max %d): %v", op, p, maxPage, err)
+			}
+			if buf[0] != content[p] || buf[4095] != content[p] {
+				t.Fatalf("op%d: p%d = %d, want %d", op, p, buf[0], content[p])
+			}
+		}
+	}
+	t.Logf("reached %d pages", maxPage)
+}
+
+type nfRd struct{ f *File }
+
+func (r nfRd) Read(p []byte) (int, error) { return r.f.Read(p) }

@@ -1,0 +1,75 @@
+package ipfs
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"twine/internal/hostfs"
+)
+
+// TestRandomOrderPageWrites mimics a pager committing a large cache in map
+// iteration order: pages land far beyond EOF (triggering the extend-with-
+// nulls path) and in random order, across multiple "transactions".
+func TestRandomOrderPageWrites(t *testing.T) {
+	for _, mode := range []Mode{ModeStandard, ModeOptimized} {
+		backing := hostfs.NewMemFS()
+		fs := New(nil, backing, Options{Mode: mode, CacheNodes: 48})
+		f, err := fs.Open("db", hostfs.OCreate|hostfs.OWrite|hostfs.ORead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const nPages = 3000
+		page := make([]byte, 4096)
+		written := make(map[int]byte)
+		rng := rand.New(rand.NewSource(3))
+		for txn := 0; txn < 6; txn++ {
+			lo, hi := txn*500, (txn+1)*500
+			perm := rng.Perm(hi - lo)
+			for _, d := range perm {
+				p := lo + d
+				for j := range page {
+					page[j] = byte(p)
+				}
+				target := int64(p) * 4096
+				if _, err := f.Seek(target, SeekStart); err != nil {
+					if err := f.ExtendTo(target); err != nil {
+						t.Fatalf("extend p%d: %v", p, err)
+					}
+					if _, err := f.Seek(target, SeekStart); err != nil {
+						t.Fatalf("seek p%d: %v", p, err)
+					}
+				}
+				if _, err := f.Write(page); err != nil {
+					t.Fatalf("write p%d: %v", p, err)
+				}
+				written[p] = byte(p)
+			}
+			if err := f.Flush(); err != nil {
+				t.Fatalf("flush txn %d: %v", txn, err)
+			}
+			// Random re-reads after each "commit".
+			buf := make([]byte, 4096)
+			for i := 0; i < 100; i++ {
+				p := rng.Intn(hi)
+				if _, err := f.Seek(int64(p)*4096, SeekStart); err != nil {
+					t.Fatalf("seek: %v", err)
+				}
+				if _, err := io.ReadFull(rd{f}, buf); err != nil {
+					t.Fatalf("mode %v txn %d: read p%d: %v", mode, txn, p, err)
+				}
+				if buf[0] != written[p] || buf[4095] != written[p] {
+					t.Fatalf("mode %v: p%d = %d, want %d", mode, p, buf[0], written[p])
+				}
+			}
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		_ = nPages
+	}
+}
+
+type rd struct{ f *File }
+
+func (r rd) Read(p []byte) (int, error) { return r.f.Read(p) }

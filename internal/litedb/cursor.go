@@ -1,0 +1,151 @@
+package litedb
+
+// Cursor iterates a tree in key order. It stores (page, index) rather than
+// pinning pages, so it stays valid across cache evictions; mutating the
+// tree while a cursor is open invalidates it (the executor materialises
+// target rowids before UPDATE/DELETE for this reason).
+type Cursor struct {
+	t     *Tree
+	pgNo  uint32
+	idx   int
+	valid bool
+}
+
+// Cursor returns a cursor positioned at the first entry.
+func (t *Tree) Cursor() (*Cursor, error) {
+	c := &Cursor{t: t}
+	pgNo := t.root
+	for {
+		pg, err := t.pg.Get(pgNo)
+		if err != nil {
+			return nil, err
+		}
+		if isLeaf(pg.data) {
+			t.pg.Unpin(pg)
+			c.pgNo = pgNo
+			c.idx = 0
+			c.valid = true
+			return c, c.skipEmpty()
+		}
+		var child uint32
+		if cellCount(pg.data) == 0 {
+			child = rightPtr(pg.data)
+		} else {
+			cb := cellBytes(pg.data, 0)
+			if t.isIndex {
+				child, _, _ = parseIndexInteriorCell(cb)
+			} else {
+				child, _, _ = parseTableInteriorCell(cb)
+			}
+		}
+		t.pg.Unpin(pg)
+		pgNo = child
+	}
+}
+
+// CursorGE returns a cursor at the first entry with rowid >= target
+// (table trees).
+func (t *Tree) CursorGE(rowid int64) (*Cursor, error) {
+	return t.seek(rowid, nil)
+}
+
+// CursorKeyGE returns a cursor at the first entry with key >= target
+// (index trees).
+func (t *Tree) CursorKeyGE(key []byte) (*Cursor, error) {
+	return t.seek(0, key)
+}
+
+func (t *Tree) seek(rowid int64, key []byte) (*Cursor, error) {
+	c := &Cursor{t: t}
+	pgNo := t.root
+	for {
+		pg, err := t.pg.Get(pgNo)
+		if err != nil {
+			return nil, err
+		}
+		if isLeaf(pg.data) {
+			idx, _ := t.leafFind(pg.data, rowid, key)
+			t.pg.Unpin(pg)
+			c.pgNo = pgNo
+			c.idx = idx
+			c.valid = true
+			return c, c.skipEmpty()
+		}
+		_, child := t.interiorFind(pg.data, rowid, key)
+		t.pg.Unpin(pg)
+		pgNo = child
+	}
+}
+
+// skipEmpty advances past exhausted leaves (including empty ones left by
+// lazy deletion).
+func (c *Cursor) skipEmpty() error {
+	for c.valid {
+		pg, err := c.t.pg.Get(c.pgNo)
+		if err != nil {
+			return err
+		}
+		n := cellCount(pg.data)
+		next := rightPtr(pg.data)
+		c.t.pg.Unpin(pg)
+		if c.idx < n {
+			return nil
+		}
+		if next == 0 {
+			c.valid = false
+			return nil
+		}
+		c.pgNo = next
+		c.idx = 0
+	}
+	return nil
+}
+
+// Valid reports whether the cursor points at an entry.
+func (c *Cursor) Valid() bool { return c.valid }
+
+// Next advances to the following entry.
+func (c *Cursor) Next() error {
+	if !c.valid {
+		return nil
+	}
+	c.idx++
+	return c.skipEmpty()
+}
+
+// Rowid returns the current table-tree rowid.
+func (c *Cursor) Rowid() int64 {
+	pg, err := c.t.pg.Get(c.pgNo)
+	if err != nil {
+		return 0
+	}
+	defer c.t.pg.Unpin(pg)
+	r, _, _, _, _ := parseTableLeafCell(cellBytes(pg.data, c.idx))
+	return r
+}
+
+// Payload returns a copy of the current table-tree payload.
+func (c *Cursor) Payload() ([]byte, error) {
+	pg, err := c.t.pg.Get(c.pgNo)
+	if err != nil {
+		return nil, err
+	}
+	_, total, inline, ovf, _ := parseTableLeafCell(cellBytes(pg.data, c.idx))
+	out := append([]byte(nil), inline...)
+	c.t.pg.Unpin(pg)
+	if total > maxLocal {
+		return c.t.readOverflow(out, ovf)
+	}
+	return out, nil
+}
+
+// Key returns a copy of the current index-tree key.
+func (c *Cursor) Key() ([]byte, error) {
+	pg, err := c.t.pg.Get(c.pgNo)
+	if err != nil {
+		return nil, err
+	}
+	defer c.t.pg.Unpin(pg)
+	k, _ := parseIndexLeafCell(cellBytes(pg.data, c.idx))
+	return append([]byte(nil), k...), nil
+}

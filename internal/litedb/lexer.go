@@ -1,0 +1,223 @@
+package litedb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Token kinds.
+type tokKind int
+
+const (
+	tkEOF tokKind = iota
+	tkIdent
+	tkKeyword
+	tkInt
+	tkFloat
+	tkString // 'quoted'
+	tkBlob   // x'hex'
+	tkOp     // punctuation / operators
+	tkParam  // ?
+)
+
+type token struct {
+	kind tokKind
+	text string // uppercased for keywords
+	raw  string
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "UPDATE": true, "SET": true, "DELETE": true, "CREATE": true,
+	"TABLE": true, "INDEX": true, "UNIQUE": true, "DROP": true, "ALTER": true,
+	"ADD": true, "COLUMN": true, "RENAME": true, "TO": true, "PRIMARY": true,
+	"KEY": true, "NOT": true, "NULL": true, "DEFAULT": true, "AND": true,
+	"OR": true, "IN": true, "LIKE": true, "BETWEEN": true, "IS": true,
+	"ORDER": true, "BY": true, "GROUP": true, "HAVING": true, "LIMIT": true,
+	"OFFSET": true, "ASC": true, "DESC": true, "DISTINCT": true, "AS": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "OUTER": true, "CROSS": true, "ON": true,
+	"BEGIN": true, "COMMIT": true, "ROLLBACK": true, "TRANSACTION": true,
+	"PRAGMA": true, "ANALYZE": true, "VACUUM": true, "IF": true, "EXISTS": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+	"CAST": true, "REPLACE": true, "CONFLICT": true, "ABORT": true, "IGNORE": true,
+	"GLOB": true, "ESCAPE": true, "COLLATE": true, "NOCASE": true,
+	"TRUE": true, "FALSE": true, "ALL": true, "UNION": true, "EXPLAIN": true,
+	"WITHOUT": true, "ROWID": true, "AUTOINCREMENT": true, "TEMP": true, "TEMPORARY": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// tokenize splits src into tokens.
+func tokenize(src string) ([]token, error) {
+	lx := &lexer{src: src}
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		lx.toks = append(lx.toks, tok)
+		if tok.kind == tkEOF {
+			return lx.toks, nil
+		}
+	}
+}
+
+func (lx *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("litedb: syntax error at offset %d: %s", lx.pos, fmt.Sprintf(format, args...))
+}
+
+func (lx *lexer) next() (token, error) {
+	src := lx.src
+	// Skip whitespace and comments.
+	for lx.pos < len(src) {
+		c := src[lx.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			lx.pos++
+		case c == '-' && lx.pos+1 < len(src) && src[lx.pos+1] == '-':
+			for lx.pos < len(src) && src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		case c == '/' && lx.pos+1 < len(src) && src[lx.pos+1] == '*':
+			end := strings.Index(src[lx.pos+2:], "*/")
+			if end < 0 {
+				return token{}, lx.errf("unterminated comment")
+			}
+			lx.pos += end + 4
+		default:
+			goto scan
+		}
+	}
+scan:
+	if lx.pos >= len(src) {
+		return token{kind: tkEOF, pos: lx.pos}, nil
+	}
+	start := lx.pos
+	c := src[lx.pos]
+	switch {
+	case isAlpha(c) || c == '_':
+		for lx.pos < len(src) && (isAlnum(src[lx.pos]) || src[lx.pos] == '_') {
+			lx.pos++
+		}
+		word := src[start:lx.pos]
+		up := strings.ToUpper(word)
+		// x'ABCD' blob literal.
+		if (up == "X") && lx.pos < len(src) && src[lx.pos] == '\'' {
+			lx.pos++
+			hexStart := lx.pos
+			for lx.pos < len(src) && src[lx.pos] != '\'' {
+				lx.pos++
+			}
+			if lx.pos >= len(src) {
+				return token{}, lx.errf("unterminated blob literal")
+			}
+			hexStr := src[hexStart:lx.pos]
+			lx.pos++
+			return token{kind: tkBlob, text: hexStr, raw: hexStr, pos: start}, nil
+		}
+		if keywords[up] {
+			return token{kind: tkKeyword, text: up, raw: word, pos: start}, nil
+		}
+		return token{kind: tkIdent, text: word, raw: word, pos: start}, nil
+
+	case c >= '0' && c <= '9' || (c == '.' && lx.pos+1 < len(src) && src[lx.pos+1] >= '0' && src[lx.pos+1] <= '9'):
+		isFloat := false
+		for lx.pos < len(src) {
+			d := src[lx.pos]
+			if d >= '0' && d <= '9' {
+				lx.pos++
+			} else if d == '.' && !isFloat {
+				isFloat = true
+				lx.pos++
+			} else if (d == 'e' || d == 'E') && lx.pos+1 < len(src) {
+				isFloat = true
+				lx.pos++
+				if src[lx.pos] == '+' || src[lx.pos] == '-' {
+					lx.pos++
+				}
+			} else {
+				break
+			}
+		}
+		text := src[start:lx.pos]
+		if isFloat {
+			return token{kind: tkFloat, text: text, raw: text, pos: start}, nil
+		}
+		return token{kind: tkInt, text: text, raw: text, pos: start}, nil
+
+	case c == '\'':
+		lx.pos++
+		var sb strings.Builder
+		for lx.pos < len(src) {
+			if src[lx.pos] == '\'' {
+				if lx.pos+1 < len(src) && src[lx.pos+1] == '\'' {
+					sb.WriteByte('\'')
+					lx.pos += 2
+					continue
+				}
+				lx.pos++
+				return token{kind: tkString, text: sb.String(), raw: sb.String(), pos: start}, nil
+			}
+			sb.WriteByte(src[lx.pos])
+			lx.pos++
+		}
+		return token{}, lx.errf("unterminated string")
+
+	case c == '"' || c == '`' || c == '[':
+		close := c
+		if c == '[' {
+			close = ']'
+		}
+		lx.pos++
+		idStart := lx.pos
+		for lx.pos < len(src) && src[lx.pos] != close {
+			lx.pos++
+		}
+		if lx.pos >= len(src) {
+			return token{}, lx.errf("unterminated quoted identifier")
+		}
+		id := src[idStart:lx.pos]
+		lx.pos++
+		return token{kind: tkIdent, text: id, raw: id, pos: start}, nil
+
+	case c == '?':
+		lx.pos++
+		return token{kind: tkParam, text: "?", raw: "?", pos: start}, nil
+
+	default:
+		two := ""
+		if lx.pos+1 < len(src) {
+			two = src[lx.pos : lx.pos+2]
+		}
+		switch two {
+		case "<=", ">=", "<>", "!=", "==", "||", "<<", ">>":
+			lx.pos += 2
+			return token{kind: tkOp, text: two, raw: two, pos: start}, nil
+		}
+		switch c {
+		case '+', '-', '*', '/', '%', '=', '<', '>', '(', ')', ',', ';', '.', '&', '|', '~':
+			lx.pos++
+			return token{kind: tkOp, text: string(c), raw: string(c), pos: start}, nil
+		}
+		return token{}, lx.errf("unexpected character %q", c)
+	}
+}
+
+func isAlpha(c byte) bool { return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' }
+func isAlnum(c byte) bool { return isAlpha(c) || c >= '0' && c <= '9' }
+
+// parseIntLiteral converts an integer token, tolerating values that
+// overflow into float (as SQLite does).
+func parseIntLiteral(text string) Value {
+	if v, err := strconv.ParseInt(text, 10, 64); err == nil {
+		return IntVal(v)
+	}
+	f, _ := strconv.ParseFloat(text, 64)
+	return RealVal(f)
+}

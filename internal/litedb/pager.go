@@ -1,0 +1,734 @@
+package litedb
+
+import (
+	"container/list"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"twine/internal/prof"
+)
+
+// PageSize is the database page size (4 KiB, matching the paper's SQLite
+// configuration and the SGX page granularity).
+const PageSize = 4096
+
+// DefaultCachePages matches SQLite's configuration in the paper: a
+// 2,048-page cache of 4 KiB pages (8 MiB).
+const DefaultCachePages = 2048
+
+// Database header layout (page 1).
+const (
+	hdrMagicOff      = 0  // 16 bytes
+	hdrPageCountOff  = 16 // u32
+	hdrFreelistOff   = 20 // u32 head page (0 = none)
+	hdrFreeCountOff  = 24 // u32
+	hdrSchemaRootOff = 28 // u32
+	hdrCookieOff     = 32 // u32 schema cookie
+)
+
+var dbMagic = [16]byte{'L', 'i', 't', 'e', 'D', 'B', ' ', 'f', 'o', 'r', 'm', 'a', 't', ' ', '1', 0}
+
+var journalMagic = [8]byte{'L', 'D', 'B', 'J', 'R', 'N', 'L', '1'}
+
+// SyncMode mirrors PRAGMA synchronous.
+type SyncMode int
+
+// Sync modes.
+const (
+	SyncOff SyncMode = iota
+	SyncNormal
+	SyncFull
+)
+
+// JournalMode mirrors PRAGMA journal_mode (delete or memory).
+type JournalMode int
+
+// Journal modes.
+const (
+	JournalDelete JournalMode = iota
+	JournalMemory
+)
+
+// Package errors.
+var (
+	ErrCorrupt    = errors.New("litedb: database corrupt")
+	ErrTxn        = errors.New("litedb: transaction state error")
+	ErrCacheFull  = errors.New("litedb: page cache exhausted (all pages pinned)")
+	ErrPageBounds = errors.New("litedb: page number out of range")
+)
+
+// PagerOptions configures a pager.
+type PagerOptions struct {
+	CachePages int
+	Store      PageStore
+	Sync       SyncMode
+	Journal    JournalMode
+	Prof       *prof.Registry
+}
+
+// Page is a pinned page image. Data is only valid while pinned.
+type Page struct {
+	no    uint32
+	slot  int
+	data  []byte
+	dirty bool
+	pins  int
+	elem  *list.Element
+}
+
+// No returns the page number (1-based).
+func (p *Page) No() uint32 { return p.no }
+
+// Data returns the page image.
+func (p *Page) Data() []byte { return p.data }
+
+// Pager provides transactional page access over a VFS file, with a fixed
+// page cache and a rollback journal (delete mode), following SQLite's
+// pager design.
+type Pager struct {
+	vfs   VFS
+	name  string
+	file  DBFile
+	opt   PagerOptions
+	store PageStore
+
+	cache map[uint32]*Page
+	lru   *list.List // clean, unpinned pages (eviction candidates)
+	free  []int      // free cache slots
+
+	nPages uint32
+
+	inTxn      bool
+	origNPages uint32
+	journaled  map[uint32][]byte // original images (JournalMemory)
+	jFile      DBFile            // journal file (JournalDelete)
+	jCount     int
+}
+
+// OpenPager opens or creates the database file.
+func OpenPager(vfs VFS, name string, opt PagerOptions) (*Pager, error) {
+	if opt.CachePages <= 0 {
+		opt.CachePages = DefaultCachePages
+	}
+	if opt.CachePages < 16 {
+		opt.CachePages = 16
+	}
+	if opt.Store == nil {
+		opt.Store = NewNativeStore(opt.CachePages)
+	}
+	if opt.Store.Cap() < opt.CachePages {
+		return nil, fmt.Errorf("litedb: store has %d slots, cache wants %d", opt.Store.Cap(), opt.CachePages)
+	}
+	f, err := vfs.Open(name, true)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pager{
+		vfs: vfs, name: name, file: f, opt: opt, store: opt.Store,
+		cache: make(map[uint32]*Page), lru: list.New(),
+	}
+	for i := opt.CachePages - 1; i >= 0; i-- {
+		p.free = append(p.free, i)
+	}
+	if err := p.recoverJournal(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	size, err := f.Size()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if size == 0 {
+		if err := p.initialize(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	} else {
+		// Provisional size so the header page passes bounds checks; the
+		// header's own page count replaces it.
+		p.nPages = uint32(size / PageSize)
+		if p.nPages == 0 {
+			f.Close()
+			return nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+		}
+		if err := p.loadHeader(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+func (p *Pager) initialize() error {
+	p.nPages = 1
+	hdr, err := p.allocSlotFor(1)
+	if err != nil {
+		return err
+	}
+	clearBytes(hdr.data)
+	copy(hdr.data[hdrMagicOff:], dbMagic[:])
+	binary.BigEndian.PutUint32(hdr.data[hdrPageCountOff:], 1)
+	hdr.dirty = true
+	p.unpinInternal(hdr)
+	// Flush immediately so the file is well-formed.
+	return p.flushAll()
+}
+
+func (p *Pager) loadHeader() error {
+	hdr, err := p.Get(1)
+	if err != nil {
+		return err
+	}
+	defer p.Unpin(hdr)
+	if [16]byte(hdr.data[hdrMagicOff:hdrMagicOff+16]) != dbMagic {
+		return fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	p.nPages = binary.BigEndian.Uint32(hdr.data[hdrPageCountOff:])
+	if p.nPages == 0 {
+		return fmt.Errorf("%w: zero page count", ErrCorrupt)
+	}
+	return nil
+}
+
+// NPages returns the database size in pages.
+func (p *Pager) NPages() uint32 { return p.nPages }
+
+// CacheSize returns the configured cache capacity in pages.
+func (p *Pager) CacheSize() int { return p.opt.CachePages }
+
+// SetCacheSize is a no-op shrink guard used by PRAGMA cache_size; growing
+// beyond the store capacity is refused.
+func (p *Pager) SetCacheSize(n int) error {
+	if n > p.store.Cap() {
+		return fmt.Errorf("litedb: cache_size %d exceeds store capacity %d", n, p.store.Cap())
+	}
+	if n < 16 {
+		n = 16
+	}
+	p.opt.CachePages = n
+	return nil
+}
+
+// SetSync updates PRAGMA synchronous.
+func (p *Pager) SetSync(m SyncMode) { p.opt.Sync = m }
+
+// --- cache ---
+
+func (p *Pager) allocSlotFor(no uint32) (*Page, error) {
+	if len(p.free) == 0 {
+		if err := p.evictOne(); err != nil {
+			return nil, err
+		}
+	}
+	slot := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	pg := &Page{no: no, slot: slot, data: p.store.Page(slot), pins: 1}
+	p.cache[no] = pg
+	return pg, nil
+}
+
+func (p *Pager) evictOne() error {
+	// Prefer a clean unpinned page.
+	for e := p.lru.Back(); e != nil; e = e.Prev() {
+		pg := e.Value.(*Page)
+		if pg.pins == 0 && !pg.dirty {
+			p.dropPage(pg)
+			return nil
+		}
+	}
+	// Spill a dirty unpinned page (it is already journaled).
+	for e := p.lru.Back(); e != nil; e = e.Prev() {
+		pg := e.Value.(*Page)
+		if pg.pins == 0 && pg.dirty {
+			if err := p.writePage(pg); err != nil {
+				return err
+			}
+			pg.dirty = false
+			p.dropPage(pg)
+			return nil
+		}
+	}
+	return ErrCacheFull
+}
+
+func (p *Pager) dropPage(pg *Page) {
+	if pg.elem != nil {
+		p.lru.Remove(pg.elem)
+		pg.elem = nil
+	}
+	delete(p.cache, pg.no)
+	p.free = append(p.free, pg.slot)
+}
+
+// Get pins page no, reading it from the file on a miss.
+func (p *Pager) Get(no uint32) (*Page, error) {
+	if no == 0 || no > p.nPages {
+		return nil, fmt.Errorf("%w: page %d of %d", ErrPageBounds, no, p.nPages)
+	}
+	if pg, ok := p.cache[no]; ok {
+		p.opt.Prof.Incr("pager.hit")
+		if pg.elem != nil {
+			p.lru.Remove(pg.elem)
+			pg.elem = nil
+		}
+		pg.pins++
+		// Re-acquire through the store so sandboxed variants charge the
+		// access.
+		pg.data = p.store.Page(pg.slot)
+		return pg, nil
+	}
+	p.opt.Prof.Incr("pager.miss")
+	// Evict first if needed so the slot exists.
+	for len(p.free) == 0 {
+		if err := p.evictOne(); err != nil {
+			return nil, err
+		}
+	}
+	pg, err := p.allocSlotFor(no)
+	if err != nil {
+		return nil, err
+	}
+	sp := p.opt.Prof.Start("pager.read")
+	n, err := p.file.ReadAt(pg.data, int64(no-1)*PageSize)
+	sp.Stop()
+	if err != nil {
+		p.dropPage(pg)
+		return nil, err
+	}
+	for i := n; i < PageSize; i++ {
+		pg.data[i] = 0
+	}
+	return pg, nil
+}
+
+// Unpin releases a pinned page.
+func (p *Pager) Unpin(pg *Page) { p.unpinInternal(pg) }
+
+func (p *Pager) unpinInternal(pg *Page) {
+	if pg.pins <= 0 {
+		panic("litedb: unpin of unpinned page")
+	}
+	pg.pins--
+	if pg.pins == 0 && pg.elem == nil {
+		pg.elem = p.lru.PushFront(pg)
+	}
+}
+
+// Write declares intent to modify a pinned page, journaling its original
+// image on first touch within the transaction.
+func (p *Pager) Write(pg *Page) error {
+	if !p.inTxn {
+		return fmt.Errorf("%w: write outside transaction", ErrTxn)
+	}
+	if !pg.dirty || p.notJournaled(pg.no) {
+		if err := p.journalPage(pg); err != nil {
+			return err
+		}
+	}
+	pg.dirty = true
+	return nil
+}
+
+func (p *Pager) notJournaled(no uint32) bool {
+	_, ok := p.journaled[no]
+	return !ok && no <= p.origNPages
+}
+
+func (p *Pager) journalPage(pg *Page) error {
+	if _, ok := p.journaled[pg.no]; ok {
+		return nil
+	}
+	if pg.no > p.origNPages {
+		// Fresh page this transaction: no original image to preserve.
+		p.journaled[pg.no] = nil
+		return nil
+	}
+	orig := append([]byte(nil), pg.data...)
+	p.journaled[pg.no] = orig
+	if p.opt.Journal == JournalDelete {
+		if err := p.appendJournal(pg.no, orig); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- allocation ---
+
+// Alloc returns a fresh pinned, zeroed, journaled page.
+func (p *Pager) Alloc() (*Page, error) {
+	if !p.inTxn {
+		return nil, fmt.Errorf("%w: alloc outside transaction", ErrTxn)
+	}
+	hdr, err := p.Get(1)
+	if err != nil {
+		return nil, err
+	}
+	freeHead := binary.BigEndian.Uint32(hdr.data[hdrFreelistOff:])
+	if freeHead != 0 {
+		fp, err := p.Get(freeHead)
+		if err != nil {
+			p.Unpin(hdr)
+			return nil, err
+		}
+		next := binary.BigEndian.Uint32(fp.data[1:5])
+		if err := p.Write(hdr); err != nil {
+			p.Unpin(fp)
+			p.Unpin(hdr)
+			return nil, err
+		}
+		binary.BigEndian.PutUint32(hdr.data[hdrFreelistOff:], next)
+		cnt := binary.BigEndian.Uint32(hdr.data[hdrFreeCountOff:])
+		if cnt > 0 {
+			binary.BigEndian.PutUint32(hdr.data[hdrFreeCountOff:], cnt-1)
+		}
+		p.Unpin(hdr)
+		if err := p.Write(fp); err != nil {
+			p.Unpin(fp)
+			return nil, err
+		}
+		clearBytes(fp.data)
+		return fp, nil
+	}
+	p.Unpin(hdr)
+
+	// Extend the file.
+	no := p.nPages + 1
+	p.nPages = no
+	for len(p.free) == 0 {
+		if err := p.evictOne(); err != nil {
+			return nil, err
+		}
+	}
+	pg, err := p.allocSlotFor(no)
+	if err != nil {
+		return nil, err
+	}
+	clearBytes(pg.data)
+	p.journaled[no] = nil // fresh page
+	pg.dirty = true
+	if err := p.updatePageCount(); err != nil {
+		return nil, err
+	}
+	return pg, nil
+}
+
+// Free returns a page to the freelist.
+func (p *Pager) Free(no uint32) error {
+	if !p.inTxn {
+		return fmt.Errorf("%w: free outside transaction", ErrTxn)
+	}
+	pg, err := p.Get(no)
+	if err != nil {
+		return err
+	}
+	if err := p.Write(pg); err != nil {
+		p.Unpin(pg)
+		return err
+	}
+	hdr, err := p.Get(1)
+	if err != nil {
+		p.Unpin(pg)
+		return err
+	}
+	if err := p.Write(hdr); err != nil {
+		p.Unpin(hdr)
+		p.Unpin(pg)
+		return err
+	}
+	head := binary.BigEndian.Uint32(hdr.data[hdrFreelistOff:])
+	clearBytes(pg.data)
+	pg.data[0] = 0xFF // freelist marker
+	binary.BigEndian.PutUint32(pg.data[1:5], head)
+	binary.BigEndian.PutUint32(hdr.data[hdrFreelistOff:], no)
+	cnt := binary.BigEndian.Uint32(hdr.data[hdrFreeCountOff:])
+	binary.BigEndian.PutUint32(hdr.data[hdrFreeCountOff:], cnt+1)
+	p.Unpin(hdr)
+	p.Unpin(pg)
+	return nil
+}
+
+func (p *Pager) updatePageCount() error {
+	hdr, err := p.Get(1)
+	if err != nil {
+		return err
+	}
+	defer p.Unpin(hdr)
+	if err := p.Write(hdr); err != nil {
+		return err
+	}
+	binary.BigEndian.PutUint32(hdr.data[hdrPageCountOff:], p.nPages)
+	return nil
+}
+
+// SchemaRoot reads the catalog root page number from the header.
+func (p *Pager) SchemaRoot() (uint32, error) {
+	hdr, err := p.Get(1)
+	if err != nil {
+		return 0, err
+	}
+	defer p.Unpin(hdr)
+	return binary.BigEndian.Uint32(hdr.data[hdrSchemaRootOff:]), nil
+}
+
+// SetSchemaRoot stores the catalog root page number.
+func (p *Pager) SetSchemaRoot(no uint32) error {
+	hdr, err := p.Get(1)
+	if err != nil {
+		return err
+	}
+	defer p.Unpin(hdr)
+	if err := p.Write(hdr); err != nil {
+		return err
+	}
+	binary.BigEndian.PutUint32(hdr.data[hdrSchemaRootOff:], no)
+	return nil
+}
+
+// BumpCookie increments the schema cookie (schema change marker).
+func (p *Pager) BumpCookie() error {
+	hdr, err := p.Get(1)
+	if err != nil {
+		return err
+	}
+	defer p.Unpin(hdr)
+	if err := p.Write(hdr); err != nil {
+		return err
+	}
+	c := binary.BigEndian.Uint32(hdr.data[hdrCookieOff:])
+	binary.BigEndian.PutUint32(hdr.data[hdrCookieOff:], c+1)
+	return nil
+}
+
+// --- transactions ---
+
+// InTxn reports whether a transaction is open.
+func (p *Pager) InTxn() bool { return p.inTxn }
+
+// Begin opens a transaction.
+func (p *Pager) Begin() error {
+	if p.inTxn {
+		return fmt.Errorf("%w: nested transaction", ErrTxn)
+	}
+	p.inTxn = true
+	p.origNPages = p.nPages
+	p.journaled = make(map[uint32][]byte)
+	p.jCount = 0
+	return nil
+}
+
+func (p *Pager) journalName() string { return p.name + "-journal" }
+
+func (p *Pager) appendJournal(no uint32, data []byte) error {
+	if p.jFile == nil {
+		f, err := p.vfs.Open(p.journalName(), true)
+		if err != nil {
+			return err
+		}
+		p.jFile = f
+		var hdr [16]byte
+		copy(hdr[:8], journalMagic[:])
+		binary.BigEndian.PutUint32(hdr[8:], p.origNPages)
+		if _, err := f.WriteAt(hdr[:], 0); err != nil {
+			return err
+		}
+	}
+	sp := p.opt.Prof.Start("pager.journal")
+	defer sp.Stop()
+	off := int64(16) + int64(p.jCount)*(4+PageSize)
+	var noBuf [4]byte
+	binary.BigEndian.PutUint32(noBuf[:], no)
+	if _, err := p.jFile.WriteAt(noBuf[:], off); err != nil {
+		return err
+	}
+	if _, err := p.jFile.WriteAt(data, off+4); err != nil {
+		return err
+	}
+	p.jCount++
+	return nil
+}
+
+// Commit flushes dirty pages and finalises the journal, with sync points
+// per the configured synchronous mode.
+func (p *Pager) Commit() error {
+	if !p.inTxn {
+		return fmt.Errorf("%w: commit without begin", ErrTxn)
+	}
+	sp := p.opt.Prof.Start("pager.commit")
+	defer sp.Stop()
+	if p.jFile != nil && p.opt.Sync >= SyncNormal {
+		if err := p.jFile.Sync(); err != nil {
+			return err
+		}
+	}
+	if err := p.flushAll(); err != nil {
+		return err
+	}
+	if p.opt.Sync >= SyncNormal {
+		if err := p.file.Sync(); err != nil {
+			return err
+		}
+	}
+	if err := p.discardJournal(); err != nil {
+		return err
+	}
+	p.inTxn = false
+	p.journaled = nil
+	return nil
+}
+
+func (p *Pager) flushAll() error {
+	for _, pg := range p.cache {
+		if pg.dirty {
+			if err := p.writePage(pg); err != nil {
+				return err
+			}
+			pg.dirty = false
+		}
+	}
+	return nil
+}
+
+func (p *Pager) writePage(pg *Page) error {
+	sp := p.opt.Prof.Start("pager.write")
+	defer sp.Stop()
+	// Refresh the slot view (and charge the access) before writing out.
+	pg.data = p.store.Page(pg.slot)
+	_, err := p.file.WriteAt(pg.data, int64(pg.no-1)*PageSize)
+	return err
+}
+
+func (p *Pager) discardJournal() error {
+	if p.jFile != nil {
+		if err := p.jFile.Close(); err != nil {
+			return err
+		}
+		p.jFile = nil
+		if err := p.vfs.Delete(p.journalName()); err != nil {
+			return err
+		}
+	}
+	p.jCount = 0
+	return nil
+}
+
+// Rollback restores every journaled page and the original size.
+func (p *Pager) Rollback() error {
+	if !p.inTxn {
+		return fmt.Errorf("%w: rollback without begin", ErrTxn)
+	}
+	for no, orig := range p.journaled {
+		if orig == nil {
+			// Page created this transaction: drop it from cache.
+			if pg, ok := p.cache[no]; ok && pg.pins == 0 {
+				pg.dirty = false
+				p.dropPage(pg)
+			}
+			continue
+		}
+		pg, ok := p.cache[no]
+		if !ok {
+			var err error
+			for len(p.free) == 0 {
+				if err := p.evictOne(); err != nil {
+					return err
+				}
+			}
+			pg, err = p.allocSlotFor(no)
+			if err != nil {
+				return err
+			}
+			pg.pins--
+			pg.elem = p.lru.PushFront(pg)
+		}
+		pg.data = p.store.Page(pg.slot)
+		copy(pg.data, orig)
+		pg.dirty = true
+	}
+	p.nPages = p.origNPages
+	// Drop cached pages beyond the restored size.
+	for no, pg := range p.cache {
+		if no > p.nPages && pg.pins == 0 {
+			pg.dirty = false
+			p.dropPage(pg)
+		}
+	}
+	if err := p.flushAll(); err != nil {
+		return err
+	}
+	if err := p.file.Truncate(int64(p.nPages) * PageSize); err != nil {
+		return err
+	}
+	if err := p.discardJournal(); err != nil {
+		return err
+	}
+	p.inTxn = false
+	p.journaled = nil
+	return nil
+}
+
+// recoverJournal replays a hot journal left by a crash.
+func (p *Pager) recoverJournal() error {
+	ok, err := p.vfs.Exists(p.journalName())
+	if err != nil || !ok {
+		return err
+	}
+	jf, err := p.vfs.Open(p.journalName(), false)
+	if err != nil {
+		return err
+	}
+	defer jf.Close()
+	var hdr [16]byte
+	if n, err := jf.ReadAt(hdr[:], 0); err != nil || n < 16 {
+		// Empty/garbage journal: discard it.
+		return p.vfs.Delete(p.journalName())
+	}
+	if [8]byte(hdr[:8]) != journalMagic {
+		return p.vfs.Delete(p.journalName())
+	}
+	origNPages := binary.BigEndian.Uint32(hdr[8:12])
+	size, err := jf.Size()
+	if err != nil {
+		return err
+	}
+	entries := (size - 16) / (4 + PageSize)
+	buf := make([]byte, 4+PageSize)
+	for i := int64(0); i < entries; i++ {
+		off := 16 + i*(4+PageSize)
+		if n, err := jf.ReadAt(buf, off); err != nil || n < len(buf) {
+			break // torn tail: restore what we have
+		}
+		no := binary.BigEndian.Uint32(buf[:4])
+		if _, err := p.file.WriteAt(buf[4:], int64(no-1)*PageSize); err != nil {
+			return err
+		}
+	}
+	if err := p.file.Truncate(int64(origNPages) * PageSize); err != nil {
+		return err
+	}
+	if err := p.file.Sync(); err != nil {
+		return err
+	}
+	return p.vfs.Delete(p.journalName())
+}
+
+// Close flushes (committing is the caller's job) and closes the file.
+func (p *Pager) Close() error {
+	if p.inTxn {
+		if err := p.Rollback(); err != nil {
+			return err
+		}
+	}
+	if err := p.flushAll(); err != nil {
+		return err
+	}
+	return p.file.Close()
+}
+
+func clearBytes(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}

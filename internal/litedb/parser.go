@@ -1,0 +1,1182 @@
+package litedb
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// parser is a recursive-descent SQL parser.
+type parser struct {
+	toks   []token
+	pos    int
+	nParam int
+}
+
+// ParseAll parses a semicolon-separated script.
+func ParseAll(src string) ([]Stmt, error) {
+	toks, err := tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var out []Stmt
+	for {
+		for p.is(";") {
+			p.pos++
+		}
+		if p.cur().kind == tkEOF {
+			return out, nil
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+		if !p.is(";") && p.cur().kind != tkEOF {
+			return nil, p.errf("expected ';' after statement")
+		}
+	}
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) peek() token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.cur()
+	return fmt.Errorf("litedb: parse error near %q (offset %d): %s", t.raw, t.pos, fmt.Sprintf(format, args...))
+}
+
+// is reports whether the current token matches word (keyword or operator).
+func (p *parser) is(word string) bool {
+	t := p.cur()
+	return (t.kind == tkKeyword || t.kind == tkOp) && t.text == word
+}
+
+// eat consumes the current token if it matches.
+func (p *parser) eat(word string) bool {
+	if p.is(word) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// expect consumes a required token.
+func (p *parser) expect(word string) error {
+	if !p.eat(word) {
+		return p.errf("expected %q", word)
+	}
+	return nil
+}
+
+// ident consumes an identifier (allowing non-reserved keywords as names).
+func (p *parser) ident() (string, error) {
+	t := p.cur()
+	if t.kind == tkIdent {
+		p.pos++
+		return t.text, nil
+	}
+	// Permit a few keyword-ish names commonly used as identifiers.
+	if t.kind == tkKeyword {
+		switch t.text {
+		case "KEY", "TEMP", "REPLACE", "ROWID":
+			p.pos++
+			return t.raw, nil
+		}
+	}
+	return "", p.errf("expected identifier")
+}
+
+func (p *parser) statement() (Stmt, error) {
+	switch {
+	case p.is("CREATE"):
+		return p.createStmt()
+	case p.is("DROP"):
+		return p.dropStmt()
+	case p.is("ALTER"):
+		return p.alterStmt()
+	case p.is("INSERT"), p.is("REPLACE"):
+		return p.insertStmt()
+	case p.is("SELECT"):
+		return p.selectStmt()
+	case p.is("UPDATE"):
+		return p.updateStmt()
+	case p.is("DELETE"):
+		return p.deleteStmt()
+	case p.is("BEGIN"):
+		p.pos++
+		p.eat("TRANSACTION")
+		return &BeginStmt{}, nil
+	case p.is("COMMIT"):
+		p.pos++
+		p.eat("TRANSACTION")
+		return &CommitStmt{}, nil
+	case p.is("ROLLBACK"):
+		p.pos++
+		p.eat("TRANSACTION")
+		return &RollbackStmt{}, nil
+	case p.is("PRAGMA"):
+		return p.pragmaStmt()
+	case p.is("ANALYZE"):
+		p.pos++
+		if p.cur().kind == tkIdent {
+			p.pos++ // optional table name, ignored
+		}
+		return &AnalyzeStmt{}, nil
+	case p.is("VACUUM"):
+		p.pos++
+		return &VacuumStmt{}, nil
+	default:
+		return nil, p.errf("unsupported statement")
+	}
+}
+
+// --- DDL ---
+
+func (p *parser) createStmt() (Stmt, error) {
+	p.pos++ // CREATE
+	p.eat("TEMP")
+	p.eat("TEMPORARY")
+	unique := p.eat("UNIQUE")
+	switch {
+	case p.eat("TABLE"):
+		if unique {
+			return nil, p.errf("UNIQUE TABLE")
+		}
+		return p.createTable()
+	case p.eat("INDEX"):
+		return p.createIndex(unique)
+	default:
+		return nil, p.errf("expected TABLE or INDEX")
+	}
+}
+
+func (p *parser) ifNotExists() (bool, error) {
+	if p.eat("IF") {
+		if err := p.expect("NOT"); err != nil {
+			return false, err
+		}
+		if err := p.expect("EXISTS"); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+func (p *parser) createTable() (Stmt, error) {
+	ine, err := p.ifNotExists()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	st := &CreateTableStmt{Name: name, IfNotExists: ine}
+	for {
+		col, err := p.columnDef()
+		if err != nil {
+			return nil, err
+		}
+		st.Cols = append(st.Cols, *col)
+		if p.eat(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	// Optional WITHOUT ROWID is parsed and ignored (all tables are rowid
+	// tables here).
+	if p.eat("WITHOUT") {
+		if err := p.expect("ROWID"); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) columnDef() (*ColumnDef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	col := &ColumnDef{Name: name, Affinity: Null}
+	// Optional type (type names are ordinary identifiers in SQLite).
+	if t := p.cur(); t.kind == tkIdent {
+		switch strings.ToUpper(t.text) {
+		case "INTEGER", "INT", "BOOLEAN", "BIGINT", "SMALLINT":
+			col.Affinity = Integer
+			p.pos++
+		case "TEXT", "VARCHAR", "CHAR", "CLOB", "STRING":
+			col.Affinity = Text
+			p.pos++
+			p.skipTypeArgs()
+		case "REAL", "DOUBLE", "FLOAT", "NUMERIC", "DECIMAL":
+			col.Affinity = Real
+			p.pos++
+			p.skipTypeArgs()
+		case "BLOB":
+			col.Affinity = Blob
+			p.pos++
+		}
+	}
+	for {
+		switch {
+		case p.eat("PRIMARY"):
+			if err := p.expect("KEY"); err != nil {
+				return nil, err
+			}
+			p.eat("ASC")
+			p.eat("DESC")
+			p.eat("AUTOINCREMENT")
+			col.PrimaryKey = true
+		case p.eat("NOT"):
+			if err := p.expect("NULL"); err != nil {
+				return nil, err
+			}
+			col.NotNull = true
+		case p.eat("UNIQUE"):
+			col.Unique = true
+		case p.eat("DEFAULT"):
+			v, err := p.literalValue()
+			if err != nil {
+				return nil, err
+			}
+			col.Default = &v
+		case p.eat("COLLATE"):
+			p.pos++ // collation name, ignored (binary collation only)
+		default:
+			return col, nil
+		}
+	}
+}
+
+func (p *parser) skipTypeArgs() {
+	if p.eat("(") {
+		depth := 1
+		for depth > 0 && p.cur().kind != tkEOF {
+			if p.is("(") {
+				depth++
+			}
+			if p.is(")") {
+				depth--
+			}
+			p.pos++
+		}
+	}
+}
+
+func (p *parser) literalValue() (Value, error) {
+	t := p.cur()
+	neg := false
+	if p.is("-") {
+		neg = true
+		p.pos++
+		t = p.cur()
+	}
+	switch t.kind {
+	case tkInt:
+		p.pos++
+		v := parseIntLiteral(t.text)
+		if neg {
+			if v.Type() == Integer {
+				return IntVal(-v.Int()), nil
+			}
+			return RealVal(-v.Real()), nil
+		}
+		return v, nil
+	case tkFloat:
+		p.pos++
+		f, _ := strconv.ParseFloat(t.text, 64)
+		if neg {
+			f = -f
+		}
+		return RealVal(f), nil
+	case tkString:
+		p.pos++
+		return TextVal(t.text), nil
+	case tkKeyword:
+		switch t.text {
+		case "NULL":
+			p.pos++
+			return NullVal(), nil
+		case "TRUE":
+			p.pos++
+			return IntVal(1), nil
+		case "FALSE":
+			p.pos++
+			return IntVal(0), nil
+		}
+	}
+	return Value{}, p.errf("expected literal")
+}
+
+func (p *parser) createIndex(unique bool) (Stmt, error) {
+	ine, err := p.ifNotExists()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	st := &CreateIndexStmt{Name: name, Table: table, Unique: unique, IfNotExists: ine}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		p.eat("ASC")
+		p.eat("DESC")
+		st.Cols = append(st.Cols, col)
+		if !p.eat(",") {
+			break
+		}
+	}
+	return st, p.expect(")")
+}
+
+func (p *parser) dropStmt() (Stmt, error) {
+	p.pos++ // DROP
+	st := &DropStmt{}
+	switch {
+	case p.eat("TABLE"):
+	case p.eat("INDEX"):
+		st.Index = true
+	default:
+		return nil, p.errf("expected TABLE or INDEX")
+	}
+	if p.eat("IF") {
+		if err := p.expect("EXISTS"); err != nil {
+			return nil, err
+		}
+		st.IfExists = true
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Name = name
+	return st, nil
+}
+
+func (p *parser) alterStmt() (Stmt, error) {
+	p.pos++ // ALTER
+	if err := p.expect("TABLE"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &AlterStmt{Table: table}
+	switch {
+	case p.eat("RENAME"):
+		if err := p.expect("TO"); err != nil {
+			return nil, err
+		}
+		newName, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		st.Rename = newName
+	case p.eat("ADD"):
+		p.eat("COLUMN")
+		col, err := p.columnDef()
+		if err != nil {
+			return nil, err
+		}
+		st.AddCol = col
+	default:
+		return nil, p.errf("expected RENAME TO or ADD COLUMN")
+	}
+	return st, nil
+}
+
+// --- DML ---
+
+func (p *parser) insertStmt() (Stmt, error) {
+	st := &InsertStmt{}
+	if p.eat("REPLACE") {
+		st.OrReplace = true
+	} else {
+		p.pos++ // INSERT
+		if p.eat("OR") {
+			if !p.eat("REPLACE") {
+				return nil, p.errf("only INSERT OR REPLACE is supported")
+			}
+			st.OrReplace = true
+		}
+	}
+	if err := p.expect("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = name
+	if p.eat("(") {
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			st.Cols = append(st.Cols, col)
+			if !p.eat(",") {
+				break
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+	}
+	switch {
+	case p.eat("VALUES"):
+		for {
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			var row []Expr
+			for {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, e)
+				if !p.eat(",") {
+					break
+				}
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			st.Rows = append(st.Rows, row)
+			if !p.eat(",") {
+				break
+			}
+		}
+	case p.is("SELECT"):
+		sel, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		st.Select = sel.(*SelectStmt)
+	default:
+		return nil, p.errf("expected VALUES or SELECT")
+	}
+	return st, nil
+}
+
+func (p *parser) selectStmt() (Stmt, error) {
+	p.pos++ // SELECT
+	st := &SelectStmt{}
+	if p.eat("DISTINCT") {
+		st.Distinct = true
+	} else {
+		p.eat("ALL")
+	}
+	for {
+		rc := ResultCol{}
+		if p.is("*") {
+			p.pos++
+			rc.Star = true
+		} else if p.cur().kind == tkIdent && p.peek().kind == tkOp && p.peek().text == "." &&
+			p.pos+2 < len(p.toks) && p.toks[p.pos+2].text == "*" {
+			rc.Star = true
+			rc.StarTable = p.cur().text
+			p.pos += 3
+		} else {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			rc.Expr = e
+			if p.eat("AS") {
+				alias, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				rc.Alias = alias
+			} else if p.cur().kind == tkIdent {
+				rc.Alias = p.cur().text
+				p.pos++
+			}
+		}
+		st.Cols = append(st.Cols, rc)
+		if !p.eat(",") {
+			break
+		}
+	}
+	if p.eat("FROM") {
+		refs, err := p.fromClause()
+		if err != nil {
+			return nil, err
+		}
+		st.From = refs
+	}
+	if p.eat("WHERE") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	if p.eat("GROUP") {
+		if err := p.expect("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			st.GroupBy = append(st.GroupBy, e)
+			if !p.eat(",") {
+				break
+			}
+		}
+		if p.eat("HAVING") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			st.Having = e
+		}
+	}
+	if p.eat("ORDER") {
+		if err := p.expect("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			term := OrderTerm{Expr: e}
+			if p.eat("DESC") {
+				term.Desc = true
+			} else {
+				p.eat("ASC")
+			}
+			st.OrderBy = append(st.OrderBy, term)
+			if !p.eat(",") {
+				break
+			}
+		}
+	}
+	if p.eat("LIMIT") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		st.Limit = e
+		if p.eat("OFFSET") {
+			o, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			st.Offset = o
+		} else if p.eat(",") {
+			// LIMIT offset, count
+			c, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			st.Offset = st.Limit
+			st.Limit = c
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) fromClause() ([]TableRef, error) {
+	var refs []TableRef
+	first, err := p.tableRef()
+	if err != nil {
+		return nil, err
+	}
+	refs = append(refs, first)
+	for {
+		switch {
+		case p.eat(","):
+			r, err := p.tableRef()
+			if err != nil {
+				return nil, err
+			}
+			refs = append(refs, r)
+		case p.is("JOIN") || p.is("INNER") || p.is("CROSS") || p.is("LEFT"):
+			if p.eat("LEFT") {
+				return nil, p.errf("LEFT JOIN is not supported")
+			}
+			p.eat("INNER")
+			p.eat("CROSS")
+			if err := p.expect("JOIN"); err != nil {
+				return nil, err
+			}
+			r, err := p.tableRef()
+			if err != nil {
+				return nil, err
+			}
+			if p.eat("ON") {
+				on, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				r.On = on
+			}
+			refs = append(refs, r)
+		default:
+			return refs, nil
+		}
+	}
+}
+
+func (p *parser) tableRef() (TableRef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return TableRef{}, err
+	}
+	r := TableRef{Name: name}
+	if p.eat("AS") {
+		alias, err := p.ident()
+		if err != nil {
+			return TableRef{}, err
+		}
+		r.Alias = alias
+	} else if p.cur().kind == tkIdent {
+		r.Alias = p.cur().text
+		p.pos++
+	}
+	return r, nil
+}
+
+func (p *parser) updateStmt() (Stmt, error) {
+	p.pos++ // UPDATE
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("SET"); err != nil {
+		return nil, err
+	}
+	st := &UpdateStmt{Table: name}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		st.Sets = append(st.Sets, SetClause{Col: col, Expr: e})
+		if !p.eat(",") {
+			break
+		}
+	}
+	if p.eat("WHERE") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	return st, nil
+}
+
+func (p *parser) deleteStmt() (Stmt, error) {
+	p.pos++ // DELETE
+	if err := p.expect("FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &DeleteStmt{Table: name}
+	if p.eat("WHERE") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	return st, nil
+}
+
+func (p *parser) pragmaStmt() (Stmt, error) {
+	p.pos++ // PRAGMA
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &PragmaStmt{Name: strings.ToLower(name)}
+	if p.eat("=") {
+		v, err := p.pragmaValue()
+		if err != nil {
+			return nil, err
+		}
+		st.Value = &v
+	} else if p.eat("(") {
+		v, err := p.pragmaValue()
+		if err != nil {
+			return nil, err
+		}
+		st.Value = &v
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) pragmaValue() (Value, error) {
+	if p.cur().kind == tkIdent || p.cur().kind == tkKeyword {
+		v := TextVal(strings.ToLower(p.cur().text))
+		p.pos++
+		return v, nil
+	}
+	return p.literalValue()
+}
+
+// --- expressions (precedence climbing) ---
+
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.eat("OR") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.eat("AND") {
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.eat("NOT") {
+		x, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "NOT", X: x}, nil
+	}
+	return p.predicate()
+}
+
+// predicate handles comparisons, IS, IN, LIKE, BETWEEN.
+func (p *parser) predicate() (Expr, error) {
+	l, err := p.comparison()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.is("=") || p.is("==") || p.is("!=") || p.is("<>"):
+			op := "="
+			if p.cur().text == "!=" || p.cur().text == "<>" {
+				op = "!="
+			}
+			p.pos++
+			r, err := p.comparison()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: op, L: l, R: r}
+		case p.eat("IS"):
+			not := p.eat("NOT")
+			if p.eat("NULL") {
+				l = &IsNull{X: l, Not: not}
+			} else {
+				r, err := p.comparison()
+				if err != nil {
+					return nil, err
+				}
+				op := "IS"
+				if not {
+					op = "ISNOT"
+				}
+				l = &Binary{Op: op, L: l, R: r}
+			}
+		case p.is("IN") || (p.is("NOT") && p.peek().text == "IN"):
+			not := p.eat("NOT")
+			p.pos++ // IN
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			in := &InList{X: l, Not: not}
+			if !p.is(")") {
+				for {
+					e, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					in.List = append(in.List, e)
+					if !p.eat(",") {
+						break
+					}
+				}
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			l = in
+		case p.is("LIKE") || (p.is("NOT") && p.peek().text == "LIKE"):
+			not := p.eat("NOT")
+			p.pos++ // LIKE
+			r, err := p.comparison()
+			if err != nil {
+				return nil, err
+			}
+			l = &Like{X: l, Pattern: r, Not: not}
+		case p.is("BETWEEN") || (p.is("NOT") && p.peek().text == "BETWEEN"):
+			not := p.eat("NOT")
+			p.pos++ // BETWEEN
+			lo, err := p.comparison()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("AND"); err != nil {
+				return nil, err
+			}
+			hi, err := p.comparison()
+			if err != nil {
+				return nil, err
+			}
+			l = &Between{X: l, Lo: lo, Hi: hi, Not: not}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) comparison() (Expr, error) {
+	l, err := p.bitwise()
+	if err != nil {
+		return nil, err
+	}
+	for p.is("<") || p.is("<=") || p.is(">") || p.is(">=") {
+		op := p.cur().text
+		p.pos++
+		r, err := p.bitwise()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) bitwise() (Expr, error) {
+	l, err := p.additive()
+	if err != nil {
+		return nil, err
+	}
+	for p.is("<<") || p.is(">>") || p.is("&") || p.is("|") {
+		op := p.cur().text
+		p.pos++
+		r, err := p.additive()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) additive() (Expr, error) {
+	l, err := p.multiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.is("+") || p.is("-") {
+		op := p.cur().text
+		p.pos++
+		r, err := p.multiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) multiplicative() (Expr, error) {
+	l, err := p.concat()
+	if err != nil {
+		return nil, err
+	}
+	for p.is("*") || p.is("/") || p.is("%") {
+		op := p.cur().text
+		p.pos++
+		r, err := p.concat()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) concat() (Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.is("||") {
+		p.pos++
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "||", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) unary() (Expr, error) {
+	switch {
+	case p.is("-"), p.is("+"), p.is("~"):
+		op := p.cur().text
+		p.pos++
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		if op == "+" {
+			return x, nil
+		}
+		return &Unary{Op: op, X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tkInt:
+		p.pos++
+		return &Literal{Val: parseIntLiteral(t.text)}, nil
+	case tkFloat:
+		p.pos++
+		f, _ := strconv.ParseFloat(t.text, 64)
+		return &Literal{Val: RealVal(f)}, nil
+	case tkString:
+		p.pos++
+		return &Literal{Val: TextVal(t.text)}, nil
+	case tkBlob:
+		p.pos++
+		b, err := hex.DecodeString(t.text)
+		if err != nil {
+			return nil, p.errf("bad blob literal: %v", err)
+		}
+		return &Literal{Val: BlobVal(b)}, nil
+	case tkParam:
+		p.pos++
+		p.nParam++
+		return &Param{Idx: p.nParam}, nil
+	case tkKeyword:
+		switch t.text {
+		case "NULL":
+			p.pos++
+			return &Literal{Val: NullVal()}, nil
+		case "TRUE":
+			p.pos++
+			return &Literal{Val: IntVal(1)}, nil
+		case "FALSE":
+			p.pos++
+			return &Literal{Val: IntVal(0)}, nil
+		case "CASE":
+			return p.caseExpr()
+		case "CAST":
+			return p.castExpr()
+		case "NOT":
+			p.pos++
+			x, err := p.primary()
+			if err != nil {
+				return nil, err
+			}
+			return &Unary{Op: "NOT", X: x}, nil
+		case "ROWID":
+			p.pos++
+			return &ColRef{Col: "rowid"}, nil
+		case "REPLACE": // replace() function
+			return p.callExpr()
+		}
+		return nil, p.errf("unexpected keyword %s", t.text)
+	case tkIdent:
+		// Function call?
+		if p.peek().kind == tkOp && p.peek().text == "(" {
+			return p.callExpr()
+		}
+		// table.column?
+		if p.peek().kind == tkOp && p.peek().text == "." {
+			tbl := t.text
+			p.pos += 2
+			col, err := p.ident()
+			if err != nil {
+				// t.rowid
+				if p.is("ROWID") {
+					p.pos++
+					return &ColRef{Table: tbl, Col: "rowid"}, nil
+				}
+				return nil, err
+			}
+			return &ColRef{Table: tbl, Col: col}, nil
+		}
+		p.pos++
+		return &ColRef{Col: t.text}, nil
+	case tkOp:
+		if t.text == "(" {
+			p.pos++
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return e, p.expect(")")
+		}
+	}
+	return nil, p.errf("unexpected token")
+}
+
+func (p *parser) callExpr() (Expr, error) {
+	name := strings.ToLower(p.cur().raw)
+	p.pos++
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	call := &Call{Name: name}
+	if p.is("*") {
+		p.pos++
+		call.Star = true
+		return call, p.expect(")")
+	}
+	p.eat("DISTINCT") // aggregate DISTINCT is parsed but not deduplicated
+	if !p.is(")") {
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			call.Args = append(call.Args, e)
+			if !p.eat(",") {
+				break
+			}
+		}
+	}
+	return call, p.expect(")")
+}
+
+func (p *parser) caseExpr() (Expr, error) {
+	p.pos++ // CASE
+	ce := &CaseExpr{}
+	if !p.is("WHEN") {
+		op, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Operand = op
+	}
+	for p.eat("WHEN") {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("THEN"); err != nil {
+			return nil, err
+		}
+		res, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Whens = append(ce.Whens, WhenClause{Cond: cond, Res: res})
+	}
+	if p.eat("ELSE") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Else = e
+	}
+	return ce, p.expect("END")
+}
+
+func (p *parser) castExpr() (Expr, error) {
+	p.pos++ // CAST
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("AS"); err != nil {
+		return nil, err
+	}
+	tn, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	var to Type
+	switch strings.ToUpper(tn) {
+	case "INTEGER", "INT", "BIGINT":
+		to = Integer
+	case "TEXT", "VARCHAR", "CHAR":
+		to = Text
+		p.skipTypeArgs()
+	case "REAL", "DOUBLE", "FLOAT", "NUMERIC":
+		to = Real
+	case "BLOB":
+		to = Blob
+	default:
+		return nil, p.errf("unsupported cast type %s", tn)
+	}
+	return &Cast{X: x, To: to}, p.expect(")")
+}

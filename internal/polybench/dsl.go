@@ -1,0 +1,456 @@
+// Package polybench reimplements the PolyBench/C 4.2 kernels used by the
+// paper's Figure 3. Every kernel exists twice: as native Go, and as a real
+// WebAssembly module built by a small loop-nest DSL that compiles to
+// wasmgen output — so the Wasm side of the comparison executes genuine
+// Wasm bytecode through TWINE's runtime, exactly as the paper's
+// wamrc-compiled binaries did.
+package polybench
+
+import (
+	"fmt"
+
+	"twine/internal/wasm"
+	"twine/wasmgen"
+)
+
+// --- integer (index) expressions ---
+
+// Iex is an i32-valued expression.
+type Iex interface{ emitI(k *K) }
+
+type icon int32
+
+func (c icon) emitI(k *K) { k.f.I32Const(int32(c)) }
+
+// IC is an i32 constant.
+func IC(v int) Iex { return icon(v) }
+
+type ivar string
+
+func (v ivar) emitI(k *K) { k.f.LocalGet(k.ilocal(string(v))) }
+
+// IV reads an index local.
+func IV(name string) Iex { return ivar(name) }
+
+type ibin struct {
+	op   byte // '+', '-', '*', '/', '%'
+	l, r Iex
+}
+
+func (b ibin) emitI(k *K) {
+	b.l.emitI(k)
+	b.r.emitI(k)
+	switch b.op {
+	case '+':
+		k.f.I32Add()
+	case '-':
+		k.f.I32Sub()
+	case '*':
+		k.f.I32Mul()
+	case '/':
+		k.f.I32DivS()
+	case '%':
+		k.f.I32RemS()
+	}
+}
+
+// IAdd, ISub, IMul, IDiv, IMod build i32 arithmetic.
+func IAdd(l, r Iex) Iex { return ibin{'+', l, r} }
+func ISub(l, r Iex) Iex { return ibin{'-', l, r} }
+func IMul(l, r Iex) Iex { return ibin{'*', l, r} }
+func IDiv(l, r Iex) Iex { return ibin{'/', l, r} }
+func IMod(l, r Iex) Iex { return ibin{'%', l, r} }
+
+// --- float expressions ---
+
+// Fex is an f64-valued expression.
+type Fex interface{ emitF(k *K) }
+
+type fcon float64
+
+func (c fcon) emitF(k *K) { k.f.F64Const(float64(c)) }
+
+// FC is an f64 constant.
+func FC(v float64) Fex { return fcon(v) }
+
+type fvar string
+
+func (v fvar) emitF(k *K) { k.f.LocalGet(k.flocal(string(v))) }
+
+// FV reads an f64 scalar local.
+func FV(name string) Fex { return fvar(name) }
+
+type fbin struct {
+	op   byte // '+', '-', '*', '/'
+	l, r Fex
+}
+
+func (b fbin) emitF(k *K) {
+	b.l.emitF(k)
+	b.r.emitF(k)
+	switch b.op {
+	case '+':
+		k.f.F64Add()
+	case '-':
+		k.f.F64Sub()
+	case '*':
+		k.f.F64Mul()
+	case '/':
+		k.f.F64Div()
+	}
+}
+
+// Add, Sub, Mul, Div build f64 arithmetic.
+func Add(l, r Fex) Fex { return fbin{'+', l, r} }
+func Sub(l, r Fex) Fex { return fbin{'-', l, r} }
+func Mul(l, r Fex) Fex { return fbin{'*', l, r} }
+func Div(l, r Fex) Fex { return fbin{'/', l, r} }
+
+type funop struct {
+	op string
+	x  Fex
+}
+
+func (u funop) emitF(k *K) {
+	u.x.emitF(k)
+	switch u.op {
+	case "neg":
+		k.f.F64Neg()
+	case "sqrt":
+		k.f.F64Sqrt()
+	case "abs":
+		k.f.F64Abs()
+	case "exp":
+		k.f.Call(k.expFn)
+	}
+}
+
+// Neg, Sqrt, FAbs, Exp build f64 unaries (Exp is the math.exp import).
+func Neg(x Fex) Fex  { return funop{"neg", x} }
+func Sqrt(x Fex) Fex { return funop{"sqrt", x} }
+func FAbs(x Fex) Fex { return funop{"abs", x} }
+func Exp(x Fex) Fex  { return funop{"exp", x} }
+
+type fbin2 struct {
+	op   string
+	l, r Fex
+}
+
+func (b fbin2) emitF(k *K) {
+	b.l.emitF(k)
+	b.r.emitF(k)
+	switch b.op {
+	case "min":
+		k.f.F64Min()
+	case "max":
+		k.f.F64Max()
+	case "pow":
+		k.f.Call(k.powFn)
+	}
+}
+
+// FMin, FMax, Pow build f64 binaries (Pow is the math.pow import).
+func FMin(l, r Fex) Fex { return fbin2{"min", l, r} }
+func FMax(l, r Fex) Fex { return fbin2{"max", l, r} }
+func Pow(l, r Fex) Fex  { return fbin2{"pow", l, r} }
+
+// F converts an index expression to f64.
+func F(i Iex) Fex { return fconv{i} }
+
+type fconv struct{ i Iex }
+
+func (c fconv) emitF(k *K) {
+	c.i.emitI(k)
+	k.f.F64ConvertI32S()
+}
+
+// A reads an array element.
+func A(name string, idx ...Iex) Fex { return aref{name, idx} }
+
+type aref struct {
+	name string
+	idx  []Iex
+}
+
+func (a aref) emitF(k *K) {
+	k.emitAddr(a.name, a.idx)
+	k.f.F64Load(0)
+}
+
+// cmpKind for loop conditions and If.
+type Cmp struct {
+	op   string // "<", "<=", ">", ">=", "==", "!="
+	l, r Iex
+}
+
+// ILt etc. build i32 comparisons for If.
+func ILt(l, r Iex) Cmp { return Cmp{"<", l, r} }
+func ILe(l, r Iex) Cmp { return Cmp{"<=", l, r} }
+func IGt(l, r Iex) Cmp { return Cmp{">", l, r} }
+func IGe(l, r Iex) Cmp { return Cmp{">=", l, r} }
+func IEq(l, r Iex) Cmp { return Cmp{"==", l, r} }
+func INe(l, r Iex) Cmp { return Cmp{"!=", l, r} }
+
+func (c Cmp) emit(k *K) {
+	c.l.emitI(k)
+	c.r.emitI(k)
+	switch c.op {
+	case "<":
+		k.f.I32LtS()
+	case "<=":
+		k.f.I32LeS()
+	case ">":
+		k.f.I32GtS()
+	case ">=":
+		k.f.I32GeS()
+	case "==":
+		k.f.I32Eq()
+	case "!=":
+		k.f.I32Ne()
+	}
+}
+
+// --- kernel builder ---
+
+type arrInfo struct {
+	base    uint32
+	strides []int // element strides per dimension (innermost = 1)
+}
+
+// K assembles one kernel module.
+type K struct {
+	m       *wasmgen.Module
+	f       *wasmgen.Func
+	ilocals map[string]uint32
+	flocals map[string]uint32
+	arrays  map[string]arrInfo
+	nextOff uint32
+	expFn   *wasmgen.Func
+	powFn   *wasmgen.Func
+}
+
+// NewK starts a kernel builder. The "run" function takes no parameters
+// and returns the f64 checksum.
+func NewK() *K {
+	m := wasmgen.NewModule()
+	k := &K{
+		m:       m,
+		ilocals: map[string]uint32{},
+		flocals: map[string]uint32{},
+		arrays:  map[string]arrInfo{},
+		nextOff: 64, // leave the first cache line free
+	}
+	k.expFn = m.ImportFunc("math", "exp", wasmgen.Sig(wasmgen.F64).Returns(wasmgen.F64))
+	k.powFn = m.ImportFunc("math", "pow", wasmgen.Sig(wasmgen.F64, wasmgen.F64).Returns(wasmgen.F64))
+	k.f = m.Func(wasmgen.Sig().Returns(wasmgen.F64))
+	return k
+}
+
+// Arr declares an f64 array with the given dimensions, returning its name.
+func (k *K) Arr(name string, dims ...int) string {
+	elems := 1
+	strides := make([]int, len(dims))
+	for i := len(dims) - 1; i >= 0; i-- {
+		strides[i] = elems
+		elems *= dims[i]
+	}
+	k.arrays[name] = arrInfo{base: k.nextOff, strides: strides}
+	k.nextOff += uint32(elems) * 8
+	return name
+}
+
+func (k *K) ilocal(name string) uint32 {
+	if idx, ok := k.ilocals[name]; ok {
+		return idx
+	}
+	idx := k.f.AddLocal(wasmgen.I32)
+	k.ilocals[name] = idx
+	return idx
+}
+
+func (k *K) flocal(name string) uint32 {
+	if idx, ok := k.flocals[name]; ok {
+		return idx
+	}
+	idx := k.f.AddLocal(wasmgen.F64)
+	k.flocals[name] = idx
+	return idx
+}
+
+// emitAddr leaves the byte address of an element on the stack (i32).
+func (k *K) emitAddr(name string, idx []Iex) {
+	info, ok := k.arrays[name]
+	if !ok {
+		panic(fmt.Sprintf("polybench: unknown array %s", name))
+	}
+	if len(idx) != len(info.strides) {
+		panic(fmt.Sprintf("polybench: %s has %d dims, got %d indexes", name, len(info.strides), len(idx)))
+	}
+	// linear = sum(idx[d] * stride[d])
+	first := true
+	for d, ix := range idx {
+		ix.emitI(k)
+		if info.strides[d] != 1 {
+			k.f.I32Const(int32(info.strides[d]))
+			k.f.I32Mul()
+		}
+		if !first {
+			k.f.I32Add()
+		}
+		first = false
+	}
+	k.f.I32Const(8)
+	k.f.I32Mul()
+	k.f.I32Const(int32(info.base))
+	k.f.I32Add()
+}
+
+// SetI assigns an index local.
+func (k *K) SetI(name string, v Iex) {
+	v.emitI(k)
+	k.f.LocalSet(k.ilocal(name))
+}
+
+// SetF assigns an f64 scalar local.
+func (k *K) SetF(name string, v Fex) {
+	v.emitF(k)
+	k.f.LocalSet(k.flocal(name))
+}
+
+// Store writes an array element.
+func (k *K) Store(name string, idx []Iex, v Fex) {
+	k.emitAddr(name, idx)
+	v.emitF(k)
+	k.f.F64Store(0)
+}
+
+// For emits: for name := lo; name < hi; name++ { body }.
+func (k *K) For(name string, lo, hi Iex, body func()) {
+	k.ForStep(name, lo, hi, 1, body)
+}
+
+// ForStep allows a custom positive step.
+func (k *K) ForStep(name string, lo, hi Iex, step int, body func()) {
+	idx := k.ilocal(name)
+	lo.emitI(k)
+	k.f.LocalSet(idx)
+	k.f.Block(wasmgen.BlockVoid)
+	k.f.Loop(wasmgen.BlockVoid)
+	k.f.LocalGet(idx)
+	hi.emitI(k)
+	k.f.I32GeS()
+	k.f.BrIf(1)
+	body()
+	k.f.LocalGet(idx)
+	k.f.I32Const(int32(step))
+	k.f.I32Add()
+	k.f.LocalSet(idx)
+	k.f.Br(0)
+	k.f.End()
+	k.f.End()
+}
+
+// ForDown emits: for name := hi-1; name >= lo; name-- { body }.
+func (k *K) ForDown(name string, hi, lo Iex, body func()) {
+	idx := k.ilocal(name)
+	hi.emitI(k)
+	k.f.I32Const(1)
+	k.f.I32Sub()
+	k.f.LocalSet(idx)
+	k.f.Block(wasmgen.BlockVoid)
+	k.f.Loop(wasmgen.BlockVoid)
+	k.f.LocalGet(idx)
+	lo.emitI(k)
+	k.f.I32LtS()
+	k.f.BrIf(1)
+	body()
+	k.f.LocalGet(idx)
+	k.f.I32Const(1)
+	k.f.I32Sub()
+	k.f.LocalSet(idx)
+	k.f.Br(0)
+	k.f.End()
+	k.f.End()
+}
+
+// If emits a conditional.
+func (k *K) If(c Cmp, then func()) {
+	c.emit(k)
+	k.f.If(wasmgen.BlockVoid)
+	then()
+	k.f.End()
+}
+
+// IfElse emits a conditional with an else branch.
+func (k *K) IfElse(c Cmp, then, els func()) {
+	c.emit(k)
+	k.f.If(wasmgen.BlockVoid)
+	then()
+	k.f.Else()
+	els()
+	k.f.End()
+}
+
+// AddTo does A[idx] += v.
+func (k *K) AddTo(name string, idx []Iex, v Fex) {
+	k.Store(name, idx, Add(A(name, idx...), v))
+}
+
+// Finish computes the checksum (sum of the named arrays' elements) and
+// assembles the module bytes.
+func (k *K) Finish(sumArrays ...string) []byte {
+	sum := k.flocal("__sum")
+	for _, name := range sumArrays {
+		info := k.arrays[name]
+		elems := info.strides[0]
+		if len(info.strides) > 0 {
+			// total = stride[0] * dim[0]; recover total from base of next
+			// array or nextOff — simpler: stride[0] is the size of one
+			// slice of the first dimension, so iterate bytes directly.
+			elems = 0
+		}
+		_ = elems
+		total := k.arrayElems(name)
+		k.For("__s", IC(0), IC(total), func() {
+			k.f.LocalGet(sum)
+			k.emitAddr1D(name, IV("__s"))
+			k.f.F64Load(0)
+			k.f.F64Add()
+			k.f.LocalSet(sum)
+		})
+	}
+	k.f.LocalGet(sum)
+	k.f.End()
+	k.m.Export("run", k.f)
+	k.m.ExportMemory("memory")
+
+	pages := (k.nextOff + wasm.PageSize - 1) / wasm.PageSize
+	if pages == 0 {
+		pages = 1
+	}
+	k.m.Memory(pages, pages)
+	return k.m.Bytes()
+}
+
+// arrayElems computes the total element count of an array.
+func (k *K) arrayElems(name string) int {
+	info := k.arrays[name]
+	// Find the next base (arrays are allocated contiguously).
+	next := k.nextOff
+	for _, other := range k.arrays {
+		if other.base > info.base && other.base < next {
+			next = other.base
+		}
+	}
+	return int(next-info.base) / 8
+}
+
+// emitAddr1D addresses element i of the flattened array.
+func (k *K) emitAddr1D(name string, i Iex) {
+	info := k.arrays[name]
+	i.emitI(k)
+	k.f.I32Const(8)
+	k.f.I32Mul()
+	k.f.I32Const(int32(info.base))
+	k.f.I32Add()
+}

@@ -1,0 +1,717 @@
+package polybench
+
+// Kernel registry: the 30 PolyBench/C benchmarks of the paper's Figure 3.
+// Each kernel provides a native Go implementation and a Wasm module
+// builder; both perform identical floating-point operations in identical
+// order, so their checksums agree bit-for-bit on strict-IEEE hardware.
+
+// Kernel is one PolyBench benchmark.
+type Kernel struct {
+	Name string
+	// Build compiles the kernel (problem size n) to a Wasm module whose
+	// exported "run" returns the checksum.
+	Build func(n int) []byte
+	// Native runs the same computation in Go.
+	Native func(n int) float64
+}
+
+// All returns the 30 kernels in the paper's order.
+func All() []Kernel {
+	return []Kernel{
+		k2mm(), k3mm(), kAdi(), kAtax(), kBicg(), kCholesky(),
+		kCorrelation(), kCovariance(), kDeriche(), kDoitgen(), kDurbin(),
+		kFdtd2d(), kFloydWarshall(), kGemm(), kGemver(), kGesummv(),
+		kGramschmidt(), kHeat3d(), kJacobi1d(), kJacobi2d(), kLu(),
+		kLudcmp(), kMvt(), kNussinov(), kSeidel2d(), kSymm(), kSyr2k(),
+		kSyrk(), kTrisolv(), kTrmm(),
+	}
+}
+
+// ByName finds a kernel.
+func ByName(name string) (Kernel, bool) {
+	for _, k := range All() {
+		if k.Name == name {
+			return k, true
+		}
+	}
+	return Kernel{}, false
+}
+
+// initMat is the shared PolyBench-style deterministic initialiser.
+func initMat(i, j, c, n int) float64 { return float64((i*j+c)%n) / float64(n) }
+
+func initMatF(k *K, name string, rows, cols, c, n int) {
+	k.For("i", IC(0), IC(rows), func() {
+		k.For("j", IC(0), IC(cols), func() {
+			k.Store(name, []Iex{IV("i"), IV("j")},
+				Div(F(IMod(IAdd(IMul(IV("i"), IV("j")), IC(c)), IC(n))), F(IC(n))))
+		})
+	})
+}
+
+func initVecF(k *K, name string, len_, c, n int) {
+	k.For("i", IC(0), IC(len_), func() {
+		k.Store(name, []Iex{IV("i")},
+			Div(F(IMod(IAdd(IV("i"), IC(c)), IC(n))), F(IC(n))))
+	})
+}
+
+// --- 2mm: D := alpha*A*B*C + beta*D ---
+
+func k2mm() Kernel {
+	build := func(n int) []byte {
+		k := NewK()
+		k.Arr("A", n, n)
+		k.Arr("B", n, n)
+		k.Arr("C", n, n)
+		k.Arr("D", n, n)
+		k.Arr("tmp", n, n)
+		initMatF(k, "A", n, n, 1, n)
+		initMatF(k, "B", n, n, 2, n)
+		initMatF(k, "C", n, n, 3, n)
+		initMatF(k, "D", n, n, 4, n)
+		alpha, beta := FC(1.5), FC(1.2)
+		k.For("i", IC(0), IC(n), func() {
+			k.For("j", IC(0), IC(n), func() {
+				k.Store("tmp", []Iex{IV("i"), IV("j")}, FC(0))
+				k.For("l", IC(0), IC(n), func() {
+					k.AddTo("tmp", []Iex{IV("i"), IV("j")},
+						Mul(Mul(alpha, A("A", IV("i"), IV("l"))), A("B", IV("l"), IV("j"))))
+				})
+			})
+		})
+		k.For("i", IC(0), IC(n), func() {
+			k.For("j", IC(0), IC(n), func() {
+				k.Store("D", []Iex{IV("i"), IV("j")}, Mul(A("D", IV("i"), IV("j")), beta))
+				k.For("l", IC(0), IC(n), func() {
+					k.AddTo("D", []Iex{IV("i"), IV("j")},
+						Mul(A("tmp", IV("i"), IV("l")), A("C", IV("l"), IV("j"))))
+				})
+			})
+		})
+		return k.Finish("D")
+	}
+	native := func(n int) float64 {
+		A := mat(n, n, 1, n)
+		B := mat(n, n, 2, n)
+		C := mat(n, n, 3, n)
+		D := mat(n, n, 4, n)
+		tmp := make([]float64, n*n)
+		alpha, beta := 1.5, 1.2
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				tmp[i*n+j] = 0
+				for l := 0; l < n; l++ {
+					tmp[i*n+j] += alpha * A[i*n+l] * B[l*n+j]
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				D[i*n+j] *= beta
+				for l := 0; l < n; l++ {
+					D[i*n+j] += tmp[i*n+l] * C[l*n+j]
+				}
+			}
+		}
+		return sum(D)
+	}
+	return Kernel{Name: "2mm", Build: build, Native: native}
+}
+
+func mat(rows, cols, c, n int) []float64 {
+	m := make([]float64, rows*cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m[i*cols+j] = initMat(i, j, c, n)
+		}
+	}
+	return m
+}
+
+func vec(len_, c, n int) []float64 {
+	v := make([]float64, len_)
+	for i := range v {
+		v[i] = float64((i+c)%n) / float64(n)
+	}
+	return v
+}
+
+func sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// --- 3mm: G := (A*B) * (C*D) ---
+
+func k3mm() Kernel {
+	build := func(n int) []byte {
+		k := NewK()
+		k.Arr("A", n, n)
+		k.Arr("B", n, n)
+		k.Arr("C", n, n)
+		k.Arr("D", n, n)
+		k.Arr("E", n, n)
+		k.Arr("F", n, n)
+		k.Arr("G", n, n)
+		initMatF(k, "A", n, n, 1, n)
+		initMatF(k, "B", n, n, 2, n)
+		initMatF(k, "C", n, n, 3, n)
+		initMatF(k, "D", n, n, 4, n)
+		mm := func(dst, l, r string) {
+			k.For("i", IC(0), IC(n), func() {
+				k.For("j", IC(0), IC(n), func() {
+					k.Store(dst, []Iex{IV("i"), IV("j")}, FC(0))
+					k.For("l2", IC(0), IC(n), func() {
+						k.AddTo(dst, []Iex{IV("i"), IV("j")},
+							Mul(A(l, IV("i"), IV("l2")), A(r, IV("l2"), IV("j"))))
+					})
+				})
+			})
+		}
+		mm("E", "A", "B")
+		mm("F", "C", "D")
+		mm("G", "E", "F")
+		return k.Finish("G")
+	}
+	native := func(n int) float64 {
+		A := mat(n, n, 1, n)
+		B := mat(n, n, 2, n)
+		C := mat(n, n, 3, n)
+		D := mat(n, n, 4, n)
+		mm := func(l, r []float64) []float64 {
+			out := make([]float64, n*n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					for l2 := 0; l2 < n; l2++ {
+						out[i*n+j] += l[i*n+l2] * r[l2*n+j]
+					}
+				}
+			}
+			return out
+		}
+		return sum(mm(mm(A, B), mm(C, D)))
+	}
+	return Kernel{Name: "3mm", Build: build, Native: native}
+}
+
+// --- atax: y = A^T (A x) ---
+
+func kAtax() Kernel {
+	build := func(n int) []byte {
+		k := NewK()
+		k.Arr("A", n, n)
+		k.Arr("x", n)
+		k.Arr("y", n)
+		k.Arr("t", n)
+		initMatF(k, "A", n, n, 1, n)
+		initVecF(k, "x", n, 0, n)
+		k.For("i", IC(0), IC(n), func() { k.Store("y", []Iex{IV("i")}, FC(0)) })
+		k.For("i", IC(0), IC(n), func() {
+			k.Store("t", []Iex{IV("i")}, FC(0))
+			k.For("j", IC(0), IC(n), func() {
+				k.AddTo("t", []Iex{IV("i")}, Mul(A("A", IV("i"), IV("j")), A("x", IV("j"))))
+			})
+			k.For("j", IC(0), IC(n), func() {
+				k.AddTo("y", []Iex{IV("j")}, Mul(A("A", IV("i"), IV("j")), A("t", IV("i"))))
+			})
+		})
+		return k.Finish("y")
+	}
+	native := func(n int) float64 {
+		Am := mat(n, n, 1, n)
+		x := vec(n, 0, n)
+		y := make([]float64, n)
+		t := make([]float64, n)
+		for i := 0; i < n; i++ {
+			t[i] = 0
+			for j := 0; j < n; j++ {
+				t[i] += Am[i*n+j] * x[j]
+			}
+			for j := 0; j < n; j++ {
+				y[j] += Am[i*n+j] * t[i]
+			}
+		}
+		return sum(y)
+	}
+	return Kernel{Name: "atax", Build: build, Native: native}
+}
+
+// --- bicg: s = A^T r ; q = A p ---
+
+func kBicg() Kernel {
+	build := func(n int) []byte {
+		k := NewK()
+		k.Arr("A", n, n)
+		k.Arr("s", n)
+		k.Arr("q", n)
+		k.Arr("p", n)
+		k.Arr("r", n)
+		initMatF(k, "A", n, n, 1, n)
+		initVecF(k, "p", n, 1, n)
+		initVecF(k, "r", n, 2, n)
+		k.For("i", IC(0), IC(n), func() { k.Store("s", []Iex{IV("i")}, FC(0)) })
+		k.For("i", IC(0), IC(n), func() {
+			k.Store("q", []Iex{IV("i")}, FC(0))
+			k.For("j", IC(0), IC(n), func() {
+				k.AddTo("s", []Iex{IV("j")}, Mul(A("r", IV("i")), A("A", IV("i"), IV("j"))))
+				k.AddTo("q", []Iex{IV("i")}, Mul(A("A", IV("i"), IV("j")), A("p", IV("j"))))
+			})
+		})
+		return k.Finish("s", "q")
+	}
+	native := func(n int) float64 {
+		Am := mat(n, n, 1, n)
+		p := vec(n, 1, n)
+		r := vec(n, 2, n)
+		s := make([]float64, n)
+		q := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				s[j] += r[i] * Am[i*n+j]
+				q[i] += Am[i*n+j] * p[j]
+			}
+		}
+		return sum(s) + sum(q)
+	}
+	return Kernel{Name: "bicg", Build: build, Native: native}
+}
+
+// --- gemm: C := alpha*A*B + beta*C ---
+
+func kGemm() Kernel {
+	build := func(n int) []byte {
+		k := NewK()
+		k.Arr("A", n, n)
+		k.Arr("B", n, n)
+		k.Arr("C", n, n)
+		initMatF(k, "A", n, n, 1, n)
+		initMatF(k, "B", n, n, 2, n)
+		initMatF(k, "C", n, n, 3, n)
+		k.For("i", IC(0), IC(n), func() {
+			k.For("j", IC(0), IC(n), func() {
+				k.Store("C", []Iex{IV("i"), IV("j")}, Mul(A("C", IV("i"), IV("j")), FC(1.2)))
+			})
+			k.For("l", IC(0), IC(n), func() {
+				k.For("j", IC(0), IC(n), func() {
+					k.AddTo("C", []Iex{IV("i"), IV("j")},
+						Mul(Mul(FC(1.5), A("A", IV("i"), IV("l"))), A("B", IV("l"), IV("j"))))
+				})
+			})
+		})
+		return k.Finish("C")
+	}
+	native := func(n int) float64 {
+		Am := mat(n, n, 1, n)
+		B := mat(n, n, 2, n)
+		C := mat(n, n, 3, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				C[i*n+j] *= 1.2
+			}
+			for l := 0; l < n; l++ {
+				for j := 0; j < n; j++ {
+					C[i*n+j] += 1.5 * Am[i*n+l] * B[l*n+j]
+				}
+			}
+		}
+		return sum(C)
+	}
+	return Kernel{Name: "gemm", Build: build, Native: native}
+}
+
+// --- gemver: multiple vector ops ---
+
+func kGemver() Kernel {
+	build := func(n int) []byte {
+		k := NewK()
+		k.Arr("A", n, n)
+		for _, v := range []string{"u1", "v1", "u2", "v2", "w", "x", "y", "z"} {
+			k.Arr(v, n)
+		}
+		initMatF(k, "A", n, n, 1, n)
+		initVecF(k, "u1", n, 1, n)
+		initVecF(k, "v1", n, 2, n)
+		initVecF(k, "u2", n, 3, n)
+		initVecF(k, "v2", n, 4, n)
+		initVecF(k, "y", n, 5, n)
+		initVecF(k, "z", n, 6, n)
+		k.For("i", IC(0), IC(n), func() {
+			k.Store("w", []Iex{IV("i")}, FC(0))
+			k.Store("x", []Iex{IV("i")}, FC(0))
+		})
+		k.For("i", IC(0), IC(n), func() {
+			k.For("j", IC(0), IC(n), func() {
+				k.Store("A", []Iex{IV("i"), IV("j")},
+					Add(A("A", IV("i"), IV("j")),
+						Add(Mul(A("u1", IV("i")), A("v1", IV("j"))),
+							Mul(A("u2", IV("i")), A("v2", IV("j"))))))
+			})
+		})
+		k.For("i", IC(0), IC(n), func() {
+			k.For("j", IC(0), IC(n), func() {
+				k.AddTo("x", []Iex{IV("i")}, Mul(Mul(FC(1.2), A("A", IV("j"), IV("i"))), A("y", IV("j"))))
+			})
+		})
+		k.For("i", IC(0), IC(n), func() {
+			k.AddTo("x", []Iex{IV("i")}, A("z", IV("i")))
+		})
+		k.For("i", IC(0), IC(n), func() {
+			k.For("j", IC(0), IC(n), func() {
+				k.AddTo("w", []Iex{IV("i")}, Mul(Mul(FC(1.5), A("A", IV("i"), IV("j"))), A("x", IV("j"))))
+			})
+		})
+		return k.Finish("w")
+	}
+	native := func(n int) float64 {
+		Am := mat(n, n, 1, n)
+		u1, v1 := vec(n, 1, n), vec(n, 2, n)
+		u2, v2 := vec(n, 3, n), vec(n, 4, n)
+		y, z := vec(n, 5, n), vec(n, 6, n)
+		w := make([]float64, n)
+		x := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				Am[i*n+j] = Am[i*n+j] + (u1[i]*v1[j] + u2[i]*v2[j])
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				x[i] += 1.2 * Am[j*n+i] * y[j]
+			}
+		}
+		for i := 0; i < n; i++ {
+			x[i] += z[i]
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				w[i] += 1.5 * Am[i*n+j] * x[j]
+			}
+		}
+		return sum(w)
+	}
+	return Kernel{Name: "gemver", Build: build, Native: native}
+}
+
+// --- gesummv: y = alpha*A*x + beta*B*x ---
+
+func kGesummv() Kernel {
+	build := func(n int) []byte {
+		k := NewK()
+		k.Arr("A", n, n)
+		k.Arr("B", n, n)
+		k.Arr("x", n)
+		k.Arr("y", n)
+		k.Arr("t", n)
+		initMatF(k, "A", n, n, 1, n)
+		initMatF(k, "B", n, n, 2, n)
+		initVecF(k, "x", n, 0, n)
+		k.For("i", IC(0), IC(n), func() {
+			k.Store("t", []Iex{IV("i")}, FC(0))
+			k.Store("y", []Iex{IV("i")}, FC(0))
+			k.For("j", IC(0), IC(n), func() {
+				k.AddTo("t", []Iex{IV("i")}, Mul(A("A", IV("i"), IV("j")), A("x", IV("j"))))
+				k.AddTo("y", []Iex{IV("i")}, Mul(A("B", IV("i"), IV("j")), A("x", IV("j"))))
+			})
+			k.Store("y", []Iex{IV("i")},
+				Add(Mul(FC(1.5), A("t", IV("i"))), Mul(FC(1.2), A("y", IV("i")))))
+		})
+		return k.Finish("y")
+	}
+	native := func(n int) float64 {
+		Am := mat(n, n, 1, n)
+		B := mat(n, n, 2, n)
+		x := vec(n, 0, n)
+		y := make([]float64, n)
+		t := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				t[i] += Am[i*n+j] * x[j]
+				y[i] += B[i*n+j] * x[j]
+			}
+			y[i] = 1.5*t[i] + 1.2*y[i]
+		}
+		return sum(y)
+	}
+	return Kernel{Name: "gesummv", Build: build, Native: native}
+}
+
+// --- mvt: x1 += A y1 ; x2 += A^T y2 ---
+
+func kMvt() Kernel {
+	build := func(n int) []byte {
+		k := NewK()
+		k.Arr("A", n, n)
+		k.Arr("x1", n)
+		k.Arr("x2", n)
+		k.Arr("y1", n)
+		k.Arr("y2", n)
+		initMatF(k, "A", n, n, 1, n)
+		initVecF(k, "x1", n, 1, n)
+		initVecF(k, "x2", n, 2, n)
+		initVecF(k, "y1", n, 3, n)
+		initVecF(k, "y2", n, 4, n)
+		k.For("i", IC(0), IC(n), func() {
+			k.For("j", IC(0), IC(n), func() {
+				k.AddTo("x1", []Iex{IV("i")}, Mul(A("A", IV("i"), IV("j")), A("y1", IV("j"))))
+			})
+		})
+		k.For("i", IC(0), IC(n), func() {
+			k.For("j", IC(0), IC(n), func() {
+				k.AddTo("x2", []Iex{IV("i")}, Mul(A("A", IV("j"), IV("i")), A("y2", IV("j"))))
+			})
+		})
+		return k.Finish("x1", "x2")
+	}
+	native := func(n int) float64 {
+		Am := mat(n, n, 1, n)
+		x1, x2 := vec(n, 1, n), vec(n, 2, n)
+		y1, y2 := vec(n, 3, n), vec(n, 4, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				x1[i] += Am[i*n+j] * y1[j]
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				x2[i] += Am[j*n+i] * y2[j]
+			}
+		}
+		return sum(x1) + sum(x2)
+	}
+	return Kernel{Name: "mvt", Build: build, Native: native}
+}
+
+// --- doitgen: 3D sum-product ---
+
+func kDoitgen() Kernel {
+	build := func(n int) []byte {
+		r, q, p := n, n, n
+		k := NewK()
+		k.Arr("A", r, q, p)
+		k.Arr("C4", p, p)
+		k.Arr("s", p)
+		k.For("i", IC(0), IC(r), func() {
+			k.For("j", IC(0), IC(q), func() {
+				k.For("l", IC(0), IC(p), func() {
+					k.Store("A", []Iex{IV("i"), IV("j"), IV("l")},
+						Div(F(IMod(IAdd(IMul(IV("i"), IV("j")), IV("l")), IC(p))), F(IC(p))))
+				})
+			})
+		})
+		initMatF(k, "C4", p, p, 1, p)
+		k.For("i", IC(0), IC(r), func() {
+			k.For("j", IC(0), IC(q), func() {
+				k.For("l", IC(0), IC(p), func() {
+					k.Store("s", []Iex{IV("l")}, FC(0))
+					k.For("m", IC(0), IC(p), func() {
+						k.AddTo("s", []Iex{IV("l")},
+							Mul(A("A", IV("i"), IV("j"), IV("m")), A("C4", IV("m"), IV("l"))))
+					})
+				})
+				k.For("l", IC(0), IC(p), func() {
+					k.Store("A", []Iex{IV("i"), IV("j"), IV("l")}, A("s", IV("l")))
+				})
+			})
+		})
+		return k.Finish("A")
+	}
+	native := func(n int) float64 {
+		r, q, p := n, n, n
+		Aa := make([]float64, r*q*p)
+		for i := 0; i < r; i++ {
+			for j := 0; j < q; j++ {
+				for l := 0; l < p; l++ {
+					Aa[(i*q+j)*p+l] = float64((i*j+l)%p) / float64(p)
+				}
+			}
+		}
+		C4 := mat(p, p, 1, p)
+		s := make([]float64, p)
+		for i := 0; i < r; i++ {
+			for j := 0; j < q; j++ {
+				for l := 0; l < p; l++ {
+					s[l] = 0
+					for m := 0; m < p; m++ {
+						s[l] += Aa[(i*q+j)*p+m] * C4[m*p+l]
+					}
+				}
+				for l := 0; l < p; l++ {
+					Aa[(i*q+j)*p+l] = s[l]
+				}
+			}
+		}
+		return sum(Aa)
+	}
+	return Kernel{Name: "doitgen", Build: build, Native: native}
+}
+
+// --- syrk: C := alpha*A*A^T + beta*C (lower triangular) ---
+
+func kSyrk() Kernel {
+	build := func(n int) []byte {
+		k := NewK()
+		k.Arr("A", n, n)
+		k.Arr("C", n, n)
+		initMatF(k, "A", n, n, 1, n)
+		initMatF(k, "C", n, n, 2, n)
+		k.For("i", IC(0), IC(n), func() {
+			k.For("j", IC(0), IAdd(IV("i"), IC(1)), func() {
+				k.Store("C", []Iex{IV("i"), IV("j")}, Mul(A("C", IV("i"), IV("j")), FC(1.2)))
+			})
+			k.For("l", IC(0), IC(n), func() {
+				k.For("j", IC(0), IAdd(IV("i"), IC(1)), func() {
+					k.AddTo("C", []Iex{IV("i"), IV("j")},
+						Mul(Mul(FC(1.5), A("A", IV("i"), IV("l"))), A("A", IV("j"), IV("l"))))
+				})
+			})
+		})
+		return k.Finish("C")
+	}
+	native := func(n int) float64 {
+		Am := mat(n, n, 1, n)
+		C := mat(n, n, 2, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				C[i*n+j] *= 1.2
+			}
+			for l := 0; l < n; l++ {
+				for j := 0; j <= i; j++ {
+					C[i*n+j] += 1.5 * Am[i*n+l] * Am[j*n+l]
+				}
+			}
+		}
+		return sum(C)
+	}
+	return Kernel{Name: "syrk", Build: build, Native: native}
+}
+
+// --- syr2k ---
+
+func kSyr2k() Kernel {
+	build := func(n int) []byte {
+		k := NewK()
+		k.Arr("A", n, n)
+		k.Arr("B", n, n)
+		k.Arr("C", n, n)
+		initMatF(k, "A", n, n, 1, n)
+		initMatF(k, "B", n, n, 2, n)
+		initMatF(k, "C", n, n, 3, n)
+		k.For("i", IC(0), IC(n), func() {
+			k.For("j", IC(0), IAdd(IV("i"), IC(1)), func() {
+				k.Store("C", []Iex{IV("i"), IV("j")}, Mul(A("C", IV("i"), IV("j")), FC(1.2)))
+			})
+			k.For("l", IC(0), IC(n), func() {
+				k.For("j", IC(0), IAdd(IV("i"), IC(1)), func() {
+					k.AddTo("C", []Iex{IV("i"), IV("j")},
+						Add(Mul(Mul(A("A", IV("j"), IV("l")), FC(1.5)), A("B", IV("i"), IV("l"))),
+							Mul(Mul(A("B", IV("j"), IV("l")), FC(1.5)), A("A", IV("i"), IV("l")))))
+				})
+			})
+		})
+		return k.Finish("C")
+	}
+	native := func(n int) float64 {
+		Am := mat(n, n, 1, n)
+		B := mat(n, n, 2, n)
+		C := mat(n, n, 3, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				C[i*n+j] *= 1.2
+			}
+			for l := 0; l < n; l++ {
+				for j := 0; j <= i; j++ {
+					C[i*n+j] += Am[j*n+l]*1.5*B[i*n+l] + B[j*n+l]*1.5*Am[i*n+l]
+				}
+			}
+		}
+		return sum(C)
+	}
+	return Kernel{Name: "syr2k", Build: build, Native: native}
+}
+
+// --- symm: symmetric matrix multiply ---
+
+func kSymm() Kernel {
+	build := func(n int) []byte {
+		k := NewK()
+		k.Arr("A", n, n)
+		k.Arr("B", n, n)
+		k.Arr("C", n, n)
+		initMatF(k, "A", n, n, 1, n)
+		initMatF(k, "B", n, n, 2, n)
+		initMatF(k, "C", n, n, 3, n)
+		k.For("i", IC(0), IC(n), func() {
+			k.For("j", IC(0), IC(n), func() {
+				k.SetF("temp2", FC(0))
+				k.For("l", IC(0), IV("i"), func() {
+					k.AddTo("C", []Iex{IV("l"), IV("j")},
+						Mul(Mul(FC(1.5), A("B", IV("i"), IV("j"))), A("A", IV("i"), IV("l"))))
+					k.SetF("temp2", Add(FV("temp2"),
+						Mul(A("B", IV("l"), IV("j")), A("A", IV("i"), IV("l")))))
+				})
+				k.Store("C", []Iex{IV("i"), IV("j")},
+					Add(Add(Mul(FC(1.2), A("C", IV("i"), IV("j"))),
+						Mul(Mul(FC(1.5), A("B", IV("i"), IV("j"))), A("A", IV("i"), IV("i")))),
+						Mul(FC(1.5), FV("temp2"))))
+			})
+		})
+		return k.Finish("C")
+	}
+	native := func(n int) float64 {
+		Am := mat(n, n, 1, n)
+		B := mat(n, n, 2, n)
+		C := mat(n, n, 3, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				temp2 := 0.0
+				for l := 0; l < i; l++ {
+					C[l*n+j] += 1.5 * B[i*n+j] * Am[i*n+l]
+					temp2 += B[l*n+j] * Am[i*n+l]
+				}
+				C[i*n+j] = 1.2*C[i*n+j] + 1.5*B[i*n+j]*Am[i*n+i] + 1.5*temp2
+			}
+		}
+		return sum(C)
+	}
+	return Kernel{Name: "symm", Build: build, Native: native}
+}
+
+// --- trmm: triangular matrix multiply ---
+
+func kTrmm() Kernel {
+	build := func(n int) []byte {
+		k := NewK()
+		k.Arr("A", n, n)
+		k.Arr("B", n, n)
+		initMatF(k, "A", n, n, 1, n)
+		initMatF(k, "B", n, n, 2, n)
+		k.For("i", IC(0), IC(n), func() {
+			k.For("j", IC(0), IC(n), func() {
+				k.For("l", IAdd(IV("i"), IC(1)), IC(n), func() {
+					k.AddTo("B", []Iex{IV("i"), IV("j")},
+						Mul(A("A", IV("l"), IV("i")), A("B", IV("l"), IV("j"))))
+				})
+				k.Store("B", []Iex{IV("i"), IV("j")}, Mul(FC(1.5), A("B", IV("i"), IV("j"))))
+			})
+		})
+		return k.Finish("B")
+	}
+	native := func(n int) float64 {
+		Am := mat(n, n, 1, n)
+		B := mat(n, n, 2, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				for l := i + 1; l < n; l++ {
+					B[i*n+j] += Am[l*n+i] * B[l*n+j]
+				}
+				B[i*n+j] = 1.5 * B[i*n+j]
+			}
+		}
+		return sum(B)
+	}
+	return Kernel{Name: "trmm", Build: build, Native: native}
+}

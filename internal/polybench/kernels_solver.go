@@ -1,0 +1,587 @@
+package polybench
+
+import "math"
+
+// Solver and statistics kernels.
+
+// nativeExp/nativeSqrt mirror the Wasm-side intrinsics exactly (same Go
+// functions back the "math" host imports), keeping checksums bit-equal.
+func nativeExp(x float64) float64  { return math.Exp(x) }
+func nativeSqrt(x float64) float64 { return math.Sqrt(x) }
+
+// spdInit builds the positive-definite input PolyBench uses for
+// cholesky/ludcmp: A = B*B^T with B lower-triangular.
+func spdInitNative(n int) []float64 {
+	A := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			A[i*n+j] = float64(-j%n)/float64(n) + 1
+		}
+		for j := i + 1; j < n; j++ {
+			A[i*n+j] = 0
+		}
+		A[i*n+i] = 1
+	}
+	B := make([]float64, n*n)
+	for t := 0; t < n; t++ {
+		for r := 0; r < n; r++ {
+			for s := 0; s < n; s++ {
+				B[r*n+s] += A[r*n+t] * A[s*n+t]
+			}
+		}
+	}
+	return B
+}
+
+func spdInitK(k *K, name string, n int) {
+	k.Arr("__spd", n, n)
+	k.For("i", IC(0), IC(n), func() {
+		k.For("j", IC(0), IAdd(IV("i"), IC(1)), func() {
+			k.Store("__spd", []Iex{IV("i"), IV("j")},
+				Add(Div(F(ISub(IC(0), IMod(IV("j"), IC(n)))), F(IC(n))), FC(1)))
+		})
+		k.For("j", IAdd(IV("i"), IC(1)), IC(n), func() {
+			k.Store("__spd", []Iex{IV("i"), IV("j")}, FC(0))
+		})
+		k.Store("__spd", []Iex{IV("i"), IV("i")}, FC(1))
+	})
+	k.For("i", IC(0), IC(n), func() {
+		k.For("j", IC(0), IC(n), func() {
+			k.Store(name, []Iex{IV("i"), IV("j")}, FC(0))
+		})
+	})
+	k.For("t", IC(0), IC(n), func() {
+		k.For("r", IC(0), IC(n), func() {
+			k.For("s", IC(0), IC(n), func() {
+				k.AddTo(name, []Iex{IV("r"), IV("s")},
+					Mul(A("__spd", IV("r"), IV("t")), A("__spd", IV("s"), IV("t"))))
+			})
+		})
+	})
+}
+
+// --- cholesky ---
+
+func kCholesky() Kernel {
+	build := func(n int) []byte {
+		k := NewK()
+		k.Arr("A", n, n)
+		spdInitK(k, "A", n)
+		k.For("i", IC(0), IC(n), func() {
+			k.For("j", IC(0), IV("i"), func() {
+				k.For("l", IC(0), IV("j"), func() {
+					k.Store("A", []Iex{IV("i"), IV("j")},
+						Sub(A("A", IV("i"), IV("j")),
+							Mul(A("A", IV("i"), IV("l")), A("A", IV("j"), IV("l")))))
+				})
+				k.Store("A", []Iex{IV("i"), IV("j")},
+					Div(A("A", IV("i"), IV("j")), A("A", IV("j"), IV("j"))))
+			})
+			k.For("l", IC(0), IV("i"), func() {
+				k.Store("A", []Iex{IV("i"), IV("i")},
+					Sub(A("A", IV("i"), IV("i")),
+						Mul(A("A", IV("i"), IV("l")), A("A", IV("i"), IV("l")))))
+			})
+			k.Store("A", []Iex{IV("i"), IV("i")}, Sqrt(A("A", IV("i"), IV("i"))))
+		})
+		return k.Finish("A")
+	}
+	native := func(n int) float64 {
+		A := spdInitNative(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < i; j++ {
+				for l := 0; l < j; l++ {
+					A[i*n+j] -= A[i*n+l] * A[j*n+l]
+				}
+				A[i*n+j] /= A[j*n+j]
+			}
+			for l := 0; l < i; l++ {
+				A[i*n+i] -= A[i*n+l] * A[i*n+l]
+			}
+			A[i*n+i] = nativeSqrt(A[i*n+i])
+		}
+		return sum(A)
+	}
+	return Kernel{Name: "cholesky", Build: build, Native: native}
+}
+
+// --- lu ---
+
+func kLu() Kernel {
+	build := func(n int) []byte {
+		k := NewK()
+		k.Arr("A", n, n)
+		spdInitK(k, "A", n)
+		k.For("i", IC(0), IC(n), func() {
+			k.For("j", IC(0), IV("i"), func() {
+				k.For("l", IC(0), IV("j"), func() {
+					k.Store("A", []Iex{IV("i"), IV("j")},
+						Sub(A("A", IV("i"), IV("j")),
+							Mul(A("A", IV("i"), IV("l")), A("A", IV("l"), IV("j")))))
+				})
+				k.Store("A", []Iex{IV("i"), IV("j")},
+					Div(A("A", IV("i"), IV("j")), A("A", IV("j"), IV("j"))))
+			})
+			k.For("j", IV("i"), IC(n), func() {
+				k.For("l", IC(0), IV("i"), func() {
+					k.Store("A", []Iex{IV("i"), IV("j")},
+						Sub(A("A", IV("i"), IV("j")),
+							Mul(A("A", IV("i"), IV("l")), A("A", IV("l"), IV("j")))))
+				})
+			})
+		})
+		return k.Finish("A")
+	}
+	native := func(n int) float64 {
+		A := spdInitNative(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < i; j++ {
+				for l := 0; l < j; l++ {
+					A[i*n+j] -= A[i*n+l] * A[l*n+j]
+				}
+				A[i*n+j] /= A[j*n+j]
+			}
+			for j := i; j < n; j++ {
+				for l := 0; l < i; l++ {
+					A[i*n+j] -= A[i*n+l] * A[l*n+j]
+				}
+			}
+		}
+		return sum(A)
+	}
+	return Kernel{Name: "lu", Build: build, Native: native}
+}
+
+// --- ludcmp: LU + solve ---
+
+func kLudcmp() Kernel {
+	build := func(n int) []byte {
+		k := NewK()
+		k.Arr("A", n, n)
+		k.Arr("b", n)
+		k.Arr("x", n)
+		k.Arr("y", n)
+		spdInitK(k, "A", n)
+		k.For("i", IC(0), IC(n), func() {
+			k.Store("b", []Iex{IV("i")},
+				Add(Div(F(IAdd(IV("i"), IC(1))), F(IC(n))), FC(4)))
+		})
+		// LU (same as lu kernel).
+		k.For("i", IC(0), IC(n), func() {
+			k.For("j", IC(0), IV("i"), func() {
+				k.SetF("w", A("A", IV("i"), IV("j")))
+				k.For("l", IC(0), IV("j"), func() {
+					k.SetF("w", Sub(FV("w"), Mul(A("A", IV("i"), IV("l")), A("A", IV("l"), IV("j")))))
+				})
+				k.Store("A", []Iex{IV("i"), IV("j")}, Div(FV("w"), A("A", IV("j"), IV("j"))))
+			})
+			k.For("j", IV("i"), IC(n), func() {
+				k.SetF("w", A("A", IV("i"), IV("j")))
+				k.For("l", IC(0), IV("i"), func() {
+					k.SetF("w", Sub(FV("w"), Mul(A("A", IV("i"), IV("l")), A("A", IV("l"), IV("j")))))
+				})
+				k.Store("A", []Iex{IV("i"), IV("j")}, FV("w"))
+			})
+		})
+		// Forward substitution.
+		k.For("i", IC(0), IC(n), func() {
+			k.SetF("w", A("b", IV("i")))
+			k.For("j", IC(0), IV("i"), func() {
+				k.SetF("w", Sub(FV("w"), Mul(A("A", IV("i"), IV("j")), A("y", IV("j")))))
+			})
+			k.Store("y", []Iex{IV("i")}, FV("w"))
+		})
+		// Back substitution.
+		k.ForDown("i", IC(n), IC(0), func() {
+			k.SetF("w", A("y", IV("i")))
+			k.For("j", IAdd(IV("i"), IC(1)), IC(n), func() {
+				k.SetF("w", Sub(FV("w"), Mul(A("A", IV("i"), IV("j")), A("x", IV("j")))))
+			})
+			k.Store("x", []Iex{IV("i")}, Div(FV("w"), A("A", IV("i"), IV("i"))))
+		})
+		return k.Finish("x")
+	}
+	native := func(n int) float64 {
+		A := spdInitNative(n)
+		b := make([]float64, n)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			b[i] = float64(i+1)/float64(n) + 4
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < i; j++ {
+				w := A[i*n+j]
+				for l := 0; l < j; l++ {
+					w -= A[i*n+l] * A[l*n+j]
+				}
+				A[i*n+j] = w / A[j*n+j]
+			}
+			for j := i; j < n; j++ {
+				w := A[i*n+j]
+				for l := 0; l < i; l++ {
+					w -= A[i*n+l] * A[l*n+j]
+				}
+				A[i*n+j] = w
+			}
+		}
+		for i := 0; i < n; i++ {
+			w := b[i]
+			for j := 0; j < i; j++ {
+				w -= A[i*n+j] * y[j]
+			}
+			y[i] = w
+		}
+		for i := n - 1; i >= 0; i-- {
+			w := y[i]
+			for j := i + 1; j < n; j++ {
+				w -= A[i*n+j] * x[j]
+			}
+			x[i] = w / A[i*n+i]
+		}
+		return sum(x)
+	}
+	return Kernel{Name: "ludcmp", Build: build, Native: native}
+}
+
+// --- trisolv ---
+
+func kTrisolv() Kernel {
+	build := func(n int) []byte {
+		k := NewK()
+		k.Arr("L", n, n)
+		k.Arr("x", n)
+		k.Arr("b", n)
+		k.For("i", IC(0), IC(n), func() {
+			k.Store("b", []Iex{IV("i")}, F(IV("i")))
+			k.For("j", IC(0), IAdd(IV("i"), IC(1)), func() {
+				k.Store("L", []Iex{IV("i"), IV("j")},
+					Div(Mul(FC(2), F(IAdd(IAdd(IV("i"), IV("j")), IC(n)))), Mul(FC(2), F(IC(n)))))
+			})
+		})
+		k.For("i", IC(0), IC(n), func() {
+			k.SetF("w", A("b", IV("i")))
+			k.For("j", IC(0), IV("i"), func() {
+				k.SetF("w", Sub(FV("w"), Mul(A("L", IV("i"), IV("j")), A("x", IV("j")))))
+			})
+			k.Store("x", []Iex{IV("i")}, Div(FV("w"), A("L", IV("i"), IV("i"))))
+		})
+		return k.Finish("x")
+	}
+	native := func(n int) float64 {
+		L := make([]float64, n*n)
+		x := make([]float64, n)
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			b[i] = float64(i)
+			for j := 0; j <= i; j++ {
+				L[i*n+j] = 2 * float64(i+j+n) / (2 * float64(n))
+			}
+		}
+		for i := 0; i < n; i++ {
+			w := b[i]
+			for j := 0; j < i; j++ {
+				w -= L[i*n+j] * x[j]
+			}
+			x[i] = w / L[i*n+i]
+		}
+		return sum(x)
+	}
+	return Kernel{Name: "trisolv", Build: build, Native: native}
+}
+
+// --- durbin ---
+
+func kDurbin() Kernel {
+	build := func(n int) []byte {
+		k := NewK()
+		k.Arr("r", n)
+		k.Arr("y", n)
+		k.Arr("z", n)
+		k.For("i", IC(0), IC(n), func() {
+			k.Store("r", []Iex{IV("i")}, F(IAdd(ISub(IC(n), IV("i")), IC(1))))
+		})
+		k.Store("y", []Iex{IC(0)}, Neg(A("r", IC(0))))
+		k.SetF("beta", FC(1))
+		k.SetF("alpha", Neg(A("r", IC(0))))
+		k.For("i", IC(1), IC(n), func() {
+			k.SetF("beta", Mul(Sub(FC(1), Mul(FV("alpha"), FV("alpha"))), FV("beta")))
+			k.SetF("s", FC(0))
+			k.For("j", IC(0), IV("i"), func() {
+				k.SetF("s", Add(FV("s"),
+					Mul(A("r", ISub(ISub(IV("i"), IV("j")), IC(1))), A("y", IV("j")))))
+			})
+			k.SetF("alpha", Neg(Div(Add(A("r", IV("i")), FV("s")), FV("beta"))))
+			k.For("j", IC(0), IV("i"), func() {
+				k.Store("z", []Iex{IV("j")},
+					Add(A("y", IV("j")),
+						Mul(FV("alpha"), A("y", ISub(ISub(IV("i"), IV("j")), IC(1))))))
+			})
+			k.For("j", IC(0), IV("i"), func() {
+				k.Store("y", []Iex{IV("j")}, A("z", IV("j")))
+			})
+			k.Store("y", []Iex{IV("i")}, FV("alpha"))
+		})
+		return k.Finish("y")
+	}
+	native := func(n int) float64 {
+		r := make([]float64, n)
+		y := make([]float64, n)
+		z := make([]float64, n)
+		for i := 0; i < n; i++ {
+			r[i] = float64(n - i + 1)
+		}
+		y[0] = -r[0]
+		beta := 1.0
+		alpha := -r[0]
+		for i := 1; i < n; i++ {
+			beta = (1 - alpha*alpha) * beta
+			s := 0.0
+			for j := 0; j < i; j++ {
+				s += r[i-j-1] * y[j]
+			}
+			alpha = -(r[i] + s) / beta
+			for j := 0; j < i; j++ {
+				z[j] = y[j] + alpha*y[i-j-1]
+			}
+			for j := 0; j < i; j++ {
+				y[j] = z[j]
+			}
+			y[i] = alpha
+		}
+		return sum(y)
+	}
+	return Kernel{Name: "durbin", Build: build, Native: native}
+}
+
+// --- gramschmidt ---
+
+func kGramschmidt() Kernel {
+	build := func(n int) []byte {
+		k := NewK()
+		k.Arr("A", n, n)
+		k.Arr("R", n, n)
+		k.Arr("Q", n, n)
+		k.For("i", IC(0), IC(n), func() {
+			k.For("j", IC(0), IC(n), func() {
+				k.Store("A", []Iex{IV("i"), IV("j")},
+					Add(Div(F(IMod(IMul(IV("i"), IV("j")), IC(n))), F(IC(n))), FC(1)))
+				k.Store("Q", []Iex{IV("i"), IV("j")}, FC(0))
+				k.Store("R", []Iex{IV("i"), IV("j")}, FC(0))
+			})
+		})
+		k.For("l", IC(0), IC(n), func() {
+			k.SetF("nrm", FC(0))
+			k.For("i", IC(0), IC(n), func() {
+				k.SetF("nrm", Add(FV("nrm"),
+					Mul(A("A", IV("i"), IV("l")), A("A", IV("i"), IV("l")))))
+			})
+			k.Store("R", []Iex{IV("l"), IV("l")}, Sqrt(FV("nrm")))
+			k.For("i", IC(0), IC(n), func() {
+				k.Store("Q", []Iex{IV("i"), IV("l")},
+					Div(A("A", IV("i"), IV("l")), A("R", IV("l"), IV("l"))))
+			})
+			k.For("j", IAdd(IV("l"), IC(1)), IC(n), func() {
+				k.Store("R", []Iex{IV("l"), IV("j")}, FC(0))
+				k.For("i", IC(0), IC(n), func() {
+					k.AddTo("R", []Iex{IV("l"), IV("j")},
+						Mul(A("Q", IV("i"), IV("l")), A("A", IV("i"), IV("j"))))
+				})
+				k.For("i", IC(0), IC(n), func() {
+					k.Store("A", []Iex{IV("i"), IV("j")},
+						Sub(A("A", IV("i"), IV("j")),
+							Mul(A("Q", IV("i"), IV("l")), A("R", IV("l"), IV("j")))))
+				})
+			})
+		})
+		return k.Finish("R", "Q")
+	}
+	native := func(n int) float64 {
+		A := make([]float64, n*n)
+		R := make([]float64, n*n)
+		Q := make([]float64, n*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				A[i*n+j] = float64((i*j)%n)/float64(n) + 1
+			}
+		}
+		for l := 0; l < n; l++ {
+			nrm := 0.0
+			for i := 0; i < n; i++ {
+				nrm += A[i*n+l] * A[i*n+l]
+			}
+			R[l*n+l] = nativeSqrt(nrm)
+			for i := 0; i < n; i++ {
+				Q[i*n+l] = A[i*n+l] / R[l*n+l]
+			}
+			for j := l + 1; j < n; j++ {
+				R[l*n+j] = 0
+				for i := 0; i < n; i++ {
+					R[l*n+j] += Q[i*n+l] * A[i*n+j]
+				}
+				for i := 0; i < n; i++ {
+					A[i*n+j] = A[i*n+j] - Q[i*n+l]*R[l*n+j]
+				}
+			}
+		}
+		return sum(R) + sum(Q)
+	}
+	return Kernel{Name: "gramschmidt", Build: build, Native: native}
+}
+
+// --- correlation ---
+
+func kCorrelation() Kernel {
+	build := func(n int) []byte {
+		k := NewK()
+		k.Arr("data", n, n)
+		k.Arr("corr", n, n)
+		k.Arr("mean", n)
+		k.Arr("stddev", n)
+		initMatF(k, "data", n, n, 1, n)
+		fn := F(IC(n))
+		k.For("j", IC(0), IC(n), func() {
+			k.Store("mean", []Iex{IV("j")}, FC(0))
+			k.For("i", IC(0), IC(n), func() {
+				k.AddTo("mean", []Iex{IV("j")}, A("data", IV("i"), IV("j")))
+			})
+			k.Store("mean", []Iex{IV("j")}, Div(A("mean", IV("j")), fn))
+		})
+		k.For("j", IC(0), IC(n), func() {
+			k.Store("stddev", []Iex{IV("j")}, FC(0))
+			k.For("i", IC(0), IC(n), func() {
+				k.SetF("d", Sub(A("data", IV("i"), IV("j")), A("mean", IV("j"))))
+				k.AddTo("stddev", []Iex{IV("j")}, Mul(FV("d"), FV("d")))
+			})
+			k.Store("stddev", []Iex{IV("j")}, Sqrt(Div(A("stddev", IV("j")), fn)))
+			// Guard near-zero stddev like PolyBench does.
+			k.SetF("sd", A("stddev", IV("j")))
+			k.Store("stddev", []Iex{IV("j")}, FMax(FV("sd"), FC(0.1)))
+		})
+		k.For("i", IC(0), IC(n), func() {
+			k.For("j", IC(0), IC(n), func() {
+				k.Store("data", []Iex{IV("i"), IV("j")},
+					Div(Sub(A("data", IV("i"), IV("j")), A("mean", IV("j"))),
+						Mul(Sqrt(fn), A("stddev", IV("j")))))
+			})
+		})
+		k.For("i", IC(0), IC(n), func() {
+			k.Store("corr", []Iex{IV("i"), IV("i")}, FC(1))
+			k.For("j", IAdd(IV("i"), IC(1)), IC(n), func() {
+				k.Store("corr", []Iex{IV("i"), IV("j")}, FC(0))
+				k.For("l", IC(0), IC(n), func() {
+					k.AddTo("corr", []Iex{IV("i"), IV("j")},
+						Mul(A("data", IV("l"), IV("i")), A("data", IV("l"), IV("j"))))
+				})
+				k.Store("corr", []Iex{IV("j"), IV("i")}, A("corr", IV("i"), IV("j")))
+			})
+		})
+		return k.Finish("corr")
+	}
+	native := func(n int) float64 {
+		data := mat(n, n, 1, n)
+		corr := make([]float64, n*n)
+		mean := make([]float64, n)
+		stddev := make([]float64, n)
+		fn := float64(n)
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				mean[j] += data[i*n+j]
+			}
+			mean[j] /= fn
+		}
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				d := data[i*n+j] - mean[j]
+				stddev[j] += d * d
+			}
+			stddev[j] = nativeSqrt(stddev[j] / fn)
+			if !(stddev[j] > 0.1) {
+				stddev[j] = 0.1
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				data[i*n+j] = (data[i*n+j] - mean[j]) / (nativeSqrt(fn) * stddev[j])
+			}
+		}
+		for i := 0; i < n; i++ {
+			corr[i*n+i] = 1
+			for j := i + 1; j < n; j++ {
+				for l := 0; l < n; l++ {
+					corr[i*n+j] += data[l*n+i] * data[l*n+j]
+				}
+				corr[j*n+i] = corr[i*n+j]
+			}
+		}
+		return sum(corr)
+	}
+	return Kernel{Name: "correlation", Build: build, Native: native}
+}
+
+// --- covariance ---
+
+func kCovariance() Kernel {
+	build := func(n int) []byte {
+		k := NewK()
+		k.Arr("data", n, n)
+		k.Arr("cov", n, n)
+		k.Arr("mean", n)
+		initMatF(k, "data", n, n, 1, n)
+		fn := F(IC(n))
+		k.For("j", IC(0), IC(n), func() {
+			k.Store("mean", []Iex{IV("j")}, FC(0))
+			k.For("i", IC(0), IC(n), func() {
+				k.AddTo("mean", []Iex{IV("j")}, A("data", IV("i"), IV("j")))
+			})
+			k.Store("mean", []Iex{IV("j")}, Div(A("mean", IV("j")), fn))
+		})
+		k.For("i", IC(0), IC(n), func() {
+			k.For("j", IC(0), IC(n), func() {
+				k.Store("data", []Iex{IV("i"), IV("j")},
+					Sub(A("data", IV("i"), IV("j")), A("mean", IV("j"))))
+			})
+		})
+		k.For("i", IC(0), IC(n), func() {
+			k.For("j", IV("i"), IC(n), func() {
+				k.Store("cov", []Iex{IV("i"), IV("j")}, FC(0))
+				k.For("l", IC(0), IC(n), func() {
+					k.AddTo("cov", []Iex{IV("i"), IV("j")},
+						Mul(A("data", IV("l"), IV("i")), A("data", IV("l"), IV("j"))))
+				})
+				k.Store("cov", []Iex{IV("i"), IV("j")},
+					Div(A("cov", IV("i"), IV("j")), Sub(fn, FC(1))))
+				k.Store("cov", []Iex{IV("j"), IV("i")}, A("cov", IV("i"), IV("j")))
+			})
+		})
+		return k.Finish("cov")
+	}
+	native := func(n int) float64 {
+		data := mat(n, n, 1, n)
+		cov := make([]float64, n*n)
+		mean := make([]float64, n)
+		fn := float64(n)
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				mean[j] += data[i*n+j]
+			}
+			mean[j] /= fn
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				data[i*n+j] -= mean[j]
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				for l := 0; l < n; l++ {
+					cov[i*n+j] += data[l*n+i] * data[l*n+j]
+				}
+				cov[i*n+j] /= fn - 1
+				cov[j*n+i] = cov[i*n+j]
+			}
+		}
+		return sum(cov)
+	}
+	return Kernel{Name: "covariance", Build: build, Native: native}
+}

@@ -1,0 +1,685 @@
+package polybench
+
+// Stencil and dynamic-programming kernels. Time-stepped kernels use
+// tsteps = n/8 (minimum 2) so problem size scales with one parameter.
+
+func tstepsOf(n int) int {
+	t := n / 8
+	if t < 2 {
+		t = 2
+	}
+	return t
+}
+
+// --- jacobi-1d ---
+
+func kJacobi1d() Kernel {
+	build := func(n int) []byte {
+		t := tstepsOf(n)
+		k := NewK()
+		k.Arr("A", n)
+		k.Arr("B", n)
+		k.For("i", IC(0), IC(n), func() {
+			k.Store("A", []Iex{IV("i")}, Div(F(IAdd(IV("i"), IC(2))), F(IC(n))))
+			k.Store("B", []Iex{IV("i")}, Div(F(IAdd(IV("i"), IC(3))), F(IC(n))))
+		})
+		k.For("t", IC(0), IC(t), func() {
+			k.For("i", IC(1), IC(n-1), func() {
+				k.Store("B", []Iex{IV("i")},
+					Mul(FC(0.33333), Add(Add(A("A", ISub(IV("i"), IC(1))), A("A", IV("i"))),
+						A("A", IAdd(IV("i"), IC(1))))))
+			})
+			k.For("i", IC(1), IC(n-1), func() {
+				k.Store("A", []Iex{IV("i")},
+					Mul(FC(0.33333), Add(Add(A("B", ISub(IV("i"), IC(1))), A("B", IV("i"))),
+						A("B", IAdd(IV("i"), IC(1))))))
+			})
+		})
+		return k.Finish("A")
+	}
+	native := func(n int) float64 {
+		t := tstepsOf(n)
+		A := make([]float64, n)
+		B := make([]float64, n)
+		for i := 0; i < n; i++ {
+			A[i] = float64(i+2) / float64(n)
+			B[i] = float64(i+3) / float64(n)
+		}
+		for ts := 0; ts < t; ts++ {
+			for i := 1; i < n-1; i++ {
+				B[i] = 0.33333 * (A[i-1] + A[i] + A[i+1])
+			}
+			for i := 1; i < n-1; i++ {
+				A[i] = 0.33333 * (B[i-1] + B[i] + B[i+1])
+			}
+		}
+		return sum(A)
+	}
+	return Kernel{Name: "jacobi-1d", Build: build, Native: native}
+}
+
+// --- jacobi-2d ---
+
+func kJacobi2d() Kernel {
+	build := func(n int) []byte {
+		t := tstepsOf(n)
+		k := NewK()
+		k.Arr("A", n, n)
+		k.Arr("B", n, n)
+		initMatF(k, "A", n, n, 2, n)
+		initMatF(k, "B", n, n, 3, n)
+		step := func(dst, src string) {
+			k.For("i", IC(1), IC(n-1), func() {
+				k.For("j", IC(1), IC(n-1), func() {
+					k.Store(dst, []Iex{IV("i"), IV("j")},
+						Mul(FC(0.2), Add(Add(Add(Add(
+							A(src, IV("i"), IV("j")),
+							A(src, IV("i"), ISub(IV("j"), IC(1)))),
+							A(src, IV("i"), IAdd(IV("j"), IC(1)))),
+							A(src, IAdd(IV("i"), IC(1)), IV("j"))),
+							A(src, ISub(IV("i"), IC(1)), IV("j")))))
+				})
+			})
+		}
+		k.For("t", IC(0), IC(t), func() {
+			step("B", "A")
+			step("A", "B")
+		})
+		return k.Finish("A")
+	}
+	native := func(n int) float64 {
+		t := tstepsOf(n)
+		A := mat(n, n, 2, n)
+		B := mat(n, n, 3, n)
+		step := func(dst, src []float64) {
+			for i := 1; i < n-1; i++ {
+				for j := 1; j < n-1; j++ {
+					dst[i*n+j] = 0.2 * (src[i*n+j] + src[i*n+j-1] + src[i*n+j+1] +
+						src[(i+1)*n+j] + src[(i-1)*n+j])
+				}
+			}
+		}
+		for ts := 0; ts < t; ts++ {
+			step(B, A)
+			step(A, B)
+		}
+		return sum(A)
+	}
+	return Kernel{Name: "jacobi-2d", Build: build, Native: native}
+}
+
+// --- seidel-2d ---
+
+func kSeidel2d() Kernel {
+	build := func(n int) []byte {
+		t := tstepsOf(n)
+		k := NewK()
+		k.Arr("A", n, n)
+		initMatF(k, "A", n, n, 2, n)
+		k.For("t", IC(0), IC(t), func() {
+			k.For("i", IC(1), IC(n-1), func() {
+				k.For("j", IC(1), IC(n-1), func() {
+					k.Store("A", []Iex{IV("i"), IV("j")},
+						Div(Add(Add(Add(Add(Add(Add(Add(Add(
+							A("A", ISub(IV("i"), IC(1)), ISub(IV("j"), IC(1))),
+							A("A", ISub(IV("i"), IC(1)), IV("j"))),
+							A("A", ISub(IV("i"), IC(1)), IAdd(IV("j"), IC(1)))),
+							A("A", IV("i"), ISub(IV("j"), IC(1)))),
+							A("A", IV("i"), IV("j"))),
+							A("A", IV("i"), IAdd(IV("j"), IC(1)))),
+							A("A", IAdd(IV("i"), IC(1)), ISub(IV("j"), IC(1)))),
+							A("A", IAdd(IV("i"), IC(1)), IV("j"))),
+							A("A", IAdd(IV("i"), IC(1)), IAdd(IV("j"), IC(1)))),
+							FC(9.0)))
+				})
+			})
+		})
+		return k.Finish("A")
+	}
+	native := func(n int) float64 {
+		t := tstepsOf(n)
+		A := mat(n, n, 2, n)
+		for ts := 0; ts < t; ts++ {
+			for i := 1; i < n-1; i++ {
+				for j := 1; j < n-1; j++ {
+					A[i*n+j] = (A[(i-1)*n+j-1] + A[(i-1)*n+j] + A[(i-1)*n+j+1] +
+						A[i*n+j-1] + A[i*n+j] + A[i*n+j+1] +
+						A[(i+1)*n+j-1] + A[(i+1)*n+j] + A[(i+1)*n+j+1]) / 9.0
+				}
+			}
+		}
+		return sum(A)
+	}
+	return Kernel{Name: "seidel-2d", Build: build, Native: native}
+}
+
+// --- fdtd-2d ---
+
+func kFdtd2d() Kernel {
+	build := func(n int) []byte {
+		t := tstepsOf(n)
+		k := NewK()
+		k.Arr("ex", n, n)
+		k.Arr("ey", n, n)
+		k.Arr("hz", n, n)
+		k.Arr("fict", t)
+		k.For("i", IC(0), IC(t), func() {
+			k.Store("fict", []Iex{IV("i")}, F(IV("i")))
+		})
+		initMatF(k, "ex", n, n, 1, n)
+		initMatF(k, "ey", n, n, 2, n)
+		initMatF(k, "hz", n, n, 3, n)
+		k.For("t", IC(0), IC(t), func() {
+			k.For("j", IC(0), IC(n), func() {
+				k.Store("ey", []Iex{IC(0), IV("j")}, A("fict", IV("t")))
+			})
+			k.For("i", IC(1), IC(n), func() {
+				k.For("j", IC(0), IC(n), func() {
+					k.Store("ey", []Iex{IV("i"), IV("j")},
+						Sub(A("ey", IV("i"), IV("j")),
+							Mul(FC(0.5), Sub(A("hz", IV("i"), IV("j")),
+								A("hz", ISub(IV("i"), IC(1)), IV("j"))))))
+				})
+			})
+			k.For("i", IC(0), IC(n), func() {
+				k.For("j", IC(1), IC(n), func() {
+					k.Store("ex", []Iex{IV("i"), IV("j")},
+						Sub(A("ex", IV("i"), IV("j")),
+							Mul(FC(0.5), Sub(A("hz", IV("i"), IV("j")),
+								A("hz", IV("i"), ISub(IV("j"), IC(1)))))))
+				})
+			})
+			k.For("i", IC(0), IC(n-1), func() {
+				k.For("j", IC(0), IC(n-1), func() {
+					k.Store("hz", []Iex{IV("i"), IV("j")},
+						Sub(A("hz", IV("i"), IV("j")),
+							Mul(FC(0.7), Sub(Add(
+								Sub(A("ex", IV("i"), IAdd(IV("j"), IC(1))), A("ex", IV("i"), IV("j"))),
+								A("ey", IAdd(IV("i"), IC(1)), IV("j"))),
+								A("ey", IV("i"), IV("j"))))))
+				})
+			})
+		})
+		return k.Finish("hz")
+	}
+	native := func(n int) float64 {
+		t := tstepsOf(n)
+		ex := mat(n, n, 1, n)
+		ey := mat(n, n, 2, n)
+		hz := mat(n, n, 3, n)
+		fict := make([]float64, t)
+		for i := range fict {
+			fict[i] = float64(i)
+		}
+		for ts := 0; ts < t; ts++ {
+			for j := 0; j < n; j++ {
+				ey[j] = fict[ts]
+			}
+			for i := 1; i < n; i++ {
+				for j := 0; j < n; j++ {
+					ey[i*n+j] = ey[i*n+j] - 0.5*(hz[i*n+j]-hz[(i-1)*n+j])
+				}
+			}
+			for i := 0; i < n; i++ {
+				for j := 1; j < n; j++ {
+					ex[i*n+j] = ex[i*n+j] - 0.5*(hz[i*n+j]-hz[i*n+j-1])
+				}
+			}
+			for i := 0; i < n-1; i++ {
+				for j := 0; j < n-1; j++ {
+					hz[i*n+j] = hz[i*n+j] - 0.7*(ex[i*n+j+1]-ex[i*n+j]+ey[(i+1)*n+j]-ey[i*n+j])
+				}
+			}
+		}
+		return sum(hz)
+	}
+	return Kernel{Name: "fdtd-2d", Build: build, Native: native}
+}
+
+// --- heat-3d ---
+
+func kHeat3d() Kernel {
+	build := func(n int) []byte {
+		t := tstepsOf(n)
+		k := NewK()
+		k.Arr("A", n, n, n)
+		k.Arr("B", n, n, n)
+		k.For("i", IC(0), IC(n), func() {
+			k.For("j", IC(0), IC(n), func() {
+				k.For("l", IC(0), IC(n), func() {
+					v := Div(F(IAdd(IAdd(IV("i"), IV("j")), ISub(IC(n), IV("l")))), F(IC(10*n)))
+					k.Store("A", []Iex{IV("i"), IV("j"), IV("l")}, v)
+					k.Store("B", []Iex{IV("i"), IV("j"), IV("l")}, v)
+				})
+			})
+		})
+		step := func(dst, src string) {
+			k.For("i", IC(1), IC(n-1), func() {
+				k.For("j", IC(1), IC(n-1), func() {
+					k.For("l", IC(1), IC(n-1), func() {
+						lap := func(hiI, loI, hiJ, loJ, hiL, loL Fex) Fex {
+							dx := Add(Sub(hiI, Mul(FC(2), A(src, IV("i"), IV("j"), IV("l")))), loI)
+							dy := Add(Sub(hiJ, Mul(FC(2), A(src, IV("i"), IV("j"), IV("l")))), loJ)
+							dz := Add(Sub(hiL, Mul(FC(2), A(src, IV("i"), IV("j"), IV("l")))), loL)
+							return Add(Add(Mul(FC(0.125), dx), Mul(FC(0.125), dy)),
+								Add(Mul(FC(0.125), dz), A(src, IV("i"), IV("j"), IV("l"))))
+						}
+						k.Store(dst, []Iex{IV("i"), IV("j"), IV("l")}, lap(
+							A(src, IAdd(IV("i"), IC(1)), IV("j"), IV("l")),
+							A(src, ISub(IV("i"), IC(1)), IV("j"), IV("l")),
+							A(src, IV("i"), IAdd(IV("j"), IC(1)), IV("l")),
+							A(src, IV("i"), ISub(IV("j"), IC(1)), IV("l")),
+							A(src, IV("i"), IV("j"), IAdd(IV("l"), IC(1))),
+							A(src, IV("i"), IV("j"), ISub(IV("l"), IC(1)))))
+					})
+				})
+			})
+		}
+		k.For("t", IC(0), IC(t), func() {
+			step("B", "A")
+			step("A", "B")
+		})
+		return k.Finish("A")
+	}
+	native := func(n int) float64 {
+		t := tstepsOf(n)
+		at := func(m []float64, i, j, l int) int { return (i*n+j)*n + l }
+		A := make([]float64, n*n*n)
+		B := make([]float64, n*n*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				for l := 0; l < n; l++ {
+					v := float64(i+j+(n-l)) / float64(10*n)
+					A[at(A, i, j, l)] = v
+					B[at(B, i, j, l)] = v
+				}
+			}
+		}
+		step := func(dst, src []float64) {
+			for i := 1; i < n-1; i++ {
+				for j := 1; j < n-1; j++ {
+					for l := 1; l < n-1; l++ {
+						c := src[at(src, i, j, l)]
+						dx := src[at(src, i+1, j, l)] - 2*c + src[at(src, i-1, j, l)]
+						dy := src[at(src, i, j+1, l)] - 2*c + src[at(src, i, j-1, l)]
+						dz := src[at(src, i, j, l+1)] - 2*c + src[at(src, i, j, l-1)]
+						dst[at(dst, i, j, l)] = 0.125*dx + 0.125*dy + (0.125*dz + c)
+					}
+				}
+			}
+		}
+		for ts := 0; ts < t; ts++ {
+			step(B, A)
+			step(A, B)
+		}
+		return sum(A)
+	}
+	return Kernel{Name: "heat-3d", Build: build, Native: native}
+}
+
+// --- adi: alternating direction implicit ---
+
+func kAdi() Kernel {
+	build := func(n int) []byte {
+		t := tstepsOf(n)
+		k := NewK()
+		k.Arr("u", n, n)
+		k.Arr("v", n, n)
+		k.Arr("p", n, n)
+		k.Arr("q", n, n)
+		initMatF(k, "u", n, n, 2, n)
+		// Coefficients from the PolyBench source with DX=1/n, DT=1/t.
+		a, b, c, d, e, f := adiCoeffs(n, t)
+		k.For("t", IC(0), IC(t), func() {
+			// Column sweep.
+			k.For("i", IC(1), IC(n-1), func() {
+				k.Store("v", []Iex{IC(0), IV("i")}, FC(1))
+				k.Store("p", []Iex{IV("i"), IC(0)}, FC(0))
+				k.Store("q", []Iex{IV("i"), IC(0)}, FC(1))
+				k.For("j", IC(1), IC(n-1), func() {
+					k.Store("p", []Iex{IV("i"), IV("j")},
+						Div(Neg(FC(c)), Add(Mul(FC(a), A("p", IV("i"), ISub(IV("j"), IC(1)))), FC(b))))
+					k.Store("q", []Iex{IV("i"), IV("j")},
+						Div(Sub(Sub(Add(Mul(Neg(FC(d)), A("u", IV("j"), ISub(IV("i"), IC(1)))),
+							Mul(Add(FC(1), Mul(FC(2), FC(d))), A("u", IV("j"), IV("i")))),
+							Mul(FC(f), A("u", IV("j"), IAdd(IV("i"), IC(1))))),
+							Mul(FC(a), A("q", IV("i"), ISub(IV("j"), IC(1))))),
+							Add(Mul(FC(a), A("p", IV("i"), ISub(IV("j"), IC(1)))), FC(b))))
+				})
+				k.Store("v", []Iex{IC(n - 1), IV("i")}, FC(1))
+				k.ForDown("j", IC(n-1), IC(1), func() {
+					k.Store("v", []Iex{IV("j"), IV("i")},
+						Add(Mul(A("p", IV("i"), IV("j")), A("v", IAdd(IV("j"), IC(1)), IV("i"))),
+							A("q", IV("i"), IV("j"))))
+				})
+			})
+			// Row sweep.
+			k.For("i", IC(1), IC(n-1), func() {
+				k.Store("u", []Iex{IV("i"), IC(0)}, FC(1))
+				k.Store("p", []Iex{IV("i"), IC(0)}, FC(0))
+				k.Store("q", []Iex{IV("i"), IC(0)}, FC(1))
+				k.For("j", IC(1), IC(n-1), func() {
+					k.Store("p", []Iex{IV("i"), IV("j")},
+						Div(Neg(FC(f)), Add(Mul(FC(d), A("p", IV("i"), ISub(IV("j"), IC(1)))), FC(e))))
+					k.Store("q", []Iex{IV("i"), IV("j")},
+						Div(Sub(Sub(Add(Mul(Neg(FC(a)), A("v", ISub(IV("i"), IC(1)), IV("j"))),
+							Mul(Add(FC(1), Mul(FC(2), FC(a))), A("v", IV("i"), IV("j")))),
+							Mul(FC(c), A("v", IAdd(IV("i"), IC(1)), IV("j")))),
+							Mul(FC(d), A("q", IV("i"), ISub(IV("j"), IC(1))))),
+							Add(Mul(FC(d), A("p", IV("i"), ISub(IV("j"), IC(1)))), FC(e))))
+				})
+				k.Store("u", []Iex{IV("i"), IC(n - 1)}, FC(1))
+				k.ForDown("j", IC(n-1), IC(1), func() {
+					k.Store("u", []Iex{IV("i"), IV("j")},
+						Add(Mul(A("p", IV("i"), IV("j")), A("u", IV("i"), IAdd(IV("j"), IC(1)))),
+							A("q", IV("i"), IV("j"))))
+				})
+			})
+		})
+		return k.Finish("u")
+	}
+	native := func(n int) float64 {
+		t := tstepsOf(n)
+		a, b, c, d, e, f := adiCoeffs(n, t)
+		u := mat(n, n, 2, n)
+		v := make([]float64, n*n)
+		p := make([]float64, n*n)
+		q := make([]float64, n*n)
+		for ts := 0; ts < t; ts++ {
+			for i := 1; i < n-1; i++ {
+				v[0*n+i] = 1
+				p[i*n+0] = 0
+				q[i*n+0] = 1
+				for j := 1; j < n-1; j++ {
+					p[i*n+j] = -c / (a*p[i*n+j-1] + b)
+					q[i*n+j] = (-d*u[j*n+i-1] + (1+2*d)*u[j*n+i] - f*u[j*n+i+1] - a*q[i*n+j-1]) /
+						(a*p[i*n+j-1] + b)
+				}
+				v[(n-1)*n+i] = 1
+				for j := n - 2; j >= 1; j-- {
+					v[j*n+i] = p[i*n+j]*v[(j+1)*n+i] + q[i*n+j]
+				}
+			}
+			for i := 1; i < n-1; i++ {
+				u[i*n+0] = 1
+				p[i*n+0] = 0
+				q[i*n+0] = 1
+				for j := 1; j < n-1; j++ {
+					p[i*n+j] = -f / (d*p[i*n+j-1] + e)
+					q[i*n+j] = (-a*v[(i-1)*n+j] + (1+2*a)*v[i*n+j] - c*v[(i+1)*n+j] - d*q[i*n+j-1]) /
+						(d*p[i*n+j-1] + e)
+				}
+				u[i*n+n-1] = 1
+				for j := n - 2; j >= 1; j-- {
+					u[i*n+j] = p[i*n+j]*u[i*n+j+1] + q[i*n+j]
+				}
+			}
+		}
+		return sum(u)
+	}
+	return Kernel{Name: "adi", Build: build, Native: native}
+}
+
+func adiCoeffs(n, t int) (a, b, c, d, e, f float64) {
+	dx := 1.0 / float64(n)
+	dy := 1.0 / float64(n)
+	dt := 1.0 / float64(t)
+	b1, b2 := 2.0, 1.0
+	mul1 := b1 * dt / (dx * dx)
+	mul2 := b2 * dt / (dy * dy)
+	a = -mul1 / 2
+	b = 1 + mul1
+	c = a
+	d = -mul2 / 2
+	e = 1 + mul2
+	f = d
+	return
+}
+
+// --- floyd-warshall (min-plus) ---
+
+func kFloydWarshall() Kernel {
+	build := func(n int) []byte {
+		k := NewK()
+		k.Arr("P", n, n)
+		k.For("i", IC(0), IC(n), func() {
+			k.For("j", IC(0), IC(n), func() {
+				k.Store("P", []Iex{IV("i"), IV("j")},
+					F(IMod(IMul(IV("i"), IV("j")), IC(7))))
+				k.If(INe(IMod(IAdd(IAdd(IV("i"), IV("j")), IC(1)), IC(13)), IC(0)), func() {
+					// unreachable-ish edge: large weight
+					k.Store("P", []Iex{IV("i"), IV("j")},
+						Add(A("P", IV("i"), IV("j")), F(IMod(IAdd(IV("i"), IV("j")), IC(11)))))
+				})
+			})
+		})
+		k.For("l", IC(0), IC(n), func() {
+			k.For("i", IC(0), IC(n), func() {
+				k.For("j", IC(0), IC(n), func() {
+					k.Store("P", []Iex{IV("i"), IV("j")},
+						FMin(A("P", IV("i"), IV("j")),
+							Add(A("P", IV("i"), IV("l")), A("P", IV("l"), IV("j")))))
+				})
+			})
+		})
+		return k.Finish("P")
+	}
+	native := func(n int) float64 {
+		P := make([]float64, n*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				P[i*n+j] = float64((i * j) % 7)
+				if (i+j+1)%13 != 0 {
+					P[i*n+j] += float64((i + j) % 11)
+				}
+			}
+		}
+		for l := 0; l < n; l++ {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if v := P[i*n+l] + P[l*n+j]; v < P[i*n+j] {
+						P[i*n+j] = v
+					}
+				}
+			}
+		}
+		return sum(P)
+	}
+	return Kernel{Name: "floyd-warshall", Build: build, Native: native}
+}
+
+// --- nussinov (DP with max) ---
+
+func kNussinov() Kernel {
+	build := func(n int) []byte {
+		k := NewK()
+		k.Arr("T", n, n)
+		k.Arr("seq", n)
+		k.For("i", IC(0), IC(n), func() {
+			k.Store("seq", []Iex{IV("i")}, F(IMod(IAdd(IV("i"), IC(1)), IC(4))))
+		})
+		k.For("i", IC(0), IC(n), func() {
+			k.For("j", IC(0), IC(n), func() {
+				k.Store("T", []Iex{IV("i"), IV("j")}, FC(0))
+			})
+		})
+		k.ForDown("i", IC(n), IC(0), func() {
+			k.For("j", IAdd(IV("i"), IC(1)), IC(n), func() {
+				k.If(IGt(IV("j"), IC(0)), func() {
+					k.Store("T", []Iex{IV("i"), IV("j")},
+						FMax(A("T", IV("i"), IV("j")), A("T", IV("i"), ISub(IV("j"), IC(1)))))
+				})
+				k.If(ILt(IAdd(IV("i"), IC(1)), IC(n)), func() {
+					k.Store("T", []Iex{IV("i"), IV("j")},
+						FMax(A("T", IV("i"), IV("j")), A("T", IAdd(IV("i"), IC(1)), IV("j"))))
+				})
+				k.If(IGt(IV("j"), IC(0)), func() {
+					k.If(ILt(IAdd(IV("i"), IC(1)), IC(n)), func() {
+						k.IfElse(ILt(IV("i"), ISub(IV("j"), IC(1))), func() {
+							// match(seq[i], seq[j]): seq[i]+seq[j] == 3
+							k.SetF("m", FC(0))
+							k.If(IEq(IAdd(IMod(IAdd(IV("i"), IC(1)), IC(4)), IMod(IAdd(IV("j"), IC(1)), IC(4))), IC(3)), func() {
+								k.SetF("m", FC(1))
+							})
+							k.Store("T", []Iex{IV("i"), IV("j")},
+								FMax(A("T", IV("i"), IV("j")),
+									Add(A("T", IAdd(IV("i"), IC(1)), ISub(IV("j"), IC(1))), FV("m"))))
+						}, func() {
+							k.Store("T", []Iex{IV("i"), IV("j")},
+								FMax(A("T", IV("i"), IV("j")),
+									A("T", IAdd(IV("i"), IC(1)), ISub(IV("j"), IC(1)))))
+						})
+					})
+				})
+				k.For("l", IAdd(IV("i"), IC(1)), IV("j"), func() {
+					k.Store("T", []Iex{IV("i"), IV("j")},
+						FMax(A("T", IV("i"), IV("j")),
+							Add(A("T", IV("i"), IV("l")), A("T", IAdd(IV("l"), IC(1)), IV("j")))))
+				})
+			})
+		})
+		return k.Finish("T")
+	}
+	native := func(n int) float64 {
+		T := make([]float64, n*n)
+		match := func(i, j int) float64 {
+			if (i+1)%4+(j+1)%4 == 3 {
+				return 1
+			}
+			return 0
+		}
+		fmax := func(a, b float64) float64 {
+			if a > b {
+				return a
+			}
+			return b
+		}
+		for i := n - 1; i >= 0; i-- {
+			for j := i + 1; j < n; j++ {
+				if j > 0 {
+					T[i*n+j] = fmax(T[i*n+j], T[i*n+j-1])
+				}
+				if i+1 < n {
+					T[i*n+j] = fmax(T[i*n+j], T[(i+1)*n+j])
+				}
+				if j > 0 && i+1 < n {
+					if i < j-1 {
+						T[i*n+j] = fmax(T[i*n+j], T[(i+1)*n+j-1]+match(i, j))
+					} else {
+						T[i*n+j] = fmax(T[i*n+j], T[(i+1)*n+j-1])
+					}
+				}
+				for l := i + 1; l < j; l++ {
+					T[i*n+j] = fmax(T[i*n+j], T[i*n+l]+T[(l+1)*n+j])
+				}
+			}
+		}
+		return sum(T)
+	}
+	return Kernel{Name: "nussinov", Build: build, Native: native}
+}
+
+// --- deriche (recursive edge filter; uses exp/pow imports) ---
+
+func kDeriche() Kernel {
+	build := func(n int) []byte {
+		w, h := n, n
+		k := NewK()
+		k.Arr("img", w, h)
+		k.Arr("y1", w, h)
+		k.Arr("y2", w, h)
+		k.Arr("out", w, h)
+		k.For("i", IC(0), IC(w), func() {
+			k.For("j", IC(0), IC(h), func() {
+				k.Store("img", []Iex{IV("i"), IV("j")},
+					Div(F(IMod(IMul(IMod(IAdd(IV("i"), IC(313)), IC(991)), IMod(IAdd(IV("j"), IC(991)), IC(65536))), IC(65536))), F(IC(65536))))
+			})
+		})
+		// alpha = 0.25; coefficients via exp/pow.
+		k.SetF("a0", Div(Mul(Mul(FC(0.0), FC(0)), FC(0)), FC(1))) // placeholder zero
+		k.SetF("k0", Div(Mul(Sub(FC(1), Exp(Neg(FC(0.25)))), Sub(FC(1), Exp(Neg(FC(0.25))))),
+			Add(FC(1), Sub(Mul(Mul(FC(2), FC(0.25)), Exp(Neg(FC(0.25)))), Exp(Neg(FC(0.5)))))))
+		k.SetF("a1", FV("k0"))
+		k.SetF("a2", Mul(Mul(FV("k0"), Exp(Neg(FC(0.25)))), Sub(FC(0.25), FC(1))))
+		k.SetF("a3", Mul(Mul(FV("k0"), Exp(Neg(FC(0.25)))), Add(FC(0.25), FC(1))))
+		k.SetF("a4", Mul(Neg(FV("k0")), Exp(Neg(FC(0.5)))))
+		k.SetF("b1", Mul(FC(2), Exp(Neg(FC(0.25)))))
+		k.SetF("b2", Neg(Exp(Neg(FC(0.5)))))
+		// Horizontal pass.
+		k.For("i", IC(0), IC(w), func() {
+			k.SetF("ym1", FC(0))
+			k.SetF("ym2", FC(0))
+			k.SetF("xm1", FC(0))
+			k.For("j", IC(0), IC(h), func() {
+				k.SetF("cur", Add(Add(Mul(FV("a1"), A("img", IV("i"), IV("j"))), Mul(FV("a2"), FV("xm1"))),
+					Add(Mul(FV("b1"), FV("ym1")), Mul(FV("b2"), FV("ym2")))))
+				k.Store("y1", []Iex{IV("i"), IV("j")}, FV("cur"))
+				k.SetF("xm1", A("img", IV("i"), IV("j")))
+				k.SetF("ym2", FV("ym1"))
+				k.SetF("ym1", FV("cur"))
+			})
+			k.SetF("yp1", FC(0))
+			k.SetF("yp2", FC(0))
+			k.SetF("xp1", FC(0))
+			k.SetF("xp2", FC(0))
+			k.ForDown("j", IC(h), IC(0), func() {
+				k.SetF("cur", Add(Add(Mul(FV("a3"), FV("xp1")), Mul(FV("a4"), FV("xp2"))),
+					Add(Mul(FV("b1"), FV("yp1")), Mul(FV("b2"), FV("yp2")))))
+				k.Store("y2", []Iex{IV("i"), IV("j")}, FV("cur"))
+				k.SetF("xp2", FV("xp1"))
+				k.SetF("xp1", A("img", IV("i"), IV("j")))
+				k.SetF("yp2", FV("yp1"))
+				k.SetF("yp1", FV("cur"))
+			})
+			k.For("j", IC(0), IC(h), func() {
+				k.Store("out", []Iex{IV("i"), IV("j")},
+					Add(A("y1", IV("i"), IV("j")), A("y2", IV("i"), IV("j"))))
+			})
+		})
+		return k.Finish("out")
+	}
+	native := func(n int) float64 {
+		w, h := n, n
+		img := make([]float64, w*h)
+		for i := 0; i < w; i++ {
+			for j := 0; j < h; j++ {
+				img[i*h+j] = float64((((i+313)%991)*((j+991)%65536))%65536) / 65536.0
+			}
+		}
+		exp := nativeExp
+		k0 := ((1 - exp(-0.25)) * (1 - exp(-0.25))) / (1 + (2*0.25*exp(-0.25) - exp(-0.5)))
+		a1 := k0
+		a2 := k0 * exp(-0.25) * (0.25 - 1)
+		a3 := k0 * exp(-0.25) * (0.25 + 1)
+		a4 := -k0 * exp(-0.5)
+		b1 := 2 * exp(-0.25)
+		b2 := -exp(-0.5)
+		y1 := make([]float64, w*h)
+		y2 := make([]float64, w*h)
+		out := make([]float64, w*h)
+		for i := 0; i < w; i++ {
+			ym1, ym2, xm1 := 0.0, 0.0, 0.0
+			for j := 0; j < h; j++ {
+				cur := (a1*img[i*h+j] + a2*xm1) + (b1*ym1 + b2*ym2)
+				y1[i*h+j] = cur
+				xm1 = img[i*h+j]
+				ym2 = ym1
+				ym1 = cur
+			}
+			yp1, yp2, xp1, xp2 := 0.0, 0.0, 0.0, 0.0
+			for j := h - 1; j >= 0; j-- {
+				cur := (a3*xp1 + a4*xp2) + (b1*yp1 + b2*yp2)
+				y2[i*h+j] = cur
+				xp2 = xp1
+				xp1 = img[i*h+j]
+				yp2 = yp1
+				yp1 = cur
+			}
+			for j := 0; j < h; j++ {
+				out[i*h+j] = y1[i*h+j] + y2[i*h+j]
+			}
+		}
+		return sum(out)
+	}
+	return Kernel{Name: "deriche", Build: build, Native: native}
+}

@@ -1,0 +1,98 @@
+package polybench
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"twine/internal/core"
+	"twine/internal/wasm"
+)
+
+// MathImports registers the libm-equivalent host functions kernels import
+// ("math".exp / "math".pow) for standalone (non-enclave) execution.
+func MathImports(imp *wasm.ImportObject) {
+	f1 := wasm.FuncType{Params: []wasm.ValueType{wasm.F64}, Results: []wasm.ValueType{wasm.F64}}
+	f2 := wasm.FuncType{Params: []wasm.ValueType{wasm.F64, wasm.F64}, Results: []wasm.ValueType{wasm.F64}}
+	imp.AddFunc(wasm.HostFunc{Module: "math", Name: "exp", Type: f1,
+		Fn: func(in *wasm.Instance, a []uint64) ([]uint64, error) {
+			return []uint64{math.Float64bits(math.Exp(math.Float64frombits(a[0])))}, nil
+		}})
+	imp.AddFunc(wasm.HostFunc{Module: "math", Name: "pow", Type: f2,
+		Fn: func(in *wasm.Instance, a []uint64) ([]uint64, error) {
+			return []uint64{math.Float64bits(math.Pow(math.Float64frombits(a[0]), math.Float64frombits(a[1])))}, nil
+		}})
+}
+
+// RunNative executes the Go twin and returns (checksum, elapsed).
+func RunNative(k Kernel, n int) (float64, time.Duration) {
+	start := time.Now()
+	sum := k.Native(n)
+	return sum, time.Since(start)
+}
+
+// RunWasm executes the kernel as a Wasm module outside any enclave (the
+// paper's "WAMR" configuration). The returned duration covers execution
+// only (module build/compile excluded, like the paper's AoT-ahead setup).
+func RunWasm(k Kernel, n int, engine wasm.Engine) (float64, time.Duration, error) {
+	bin := k.Build(n)
+	mod, err := wasm.Decode(bin)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%s: %w", k.Name, err)
+	}
+	c, err := wasm.Compile(mod)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%s: %w", k.Name, err)
+	}
+	imp := wasm.NewImportObject()
+	MathImports(imp)
+	in, err := wasm.Instantiate(c, imp, wasm.Config{Engine: engine})
+	if err != nil {
+		return 0, 0, fmt.Errorf("%s: %w", k.Name, err)
+	}
+	start := time.Now()
+	out, err := in.Invoke("run")
+	elapsed := time.Since(start)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%s: %w", k.Name, err)
+	}
+	return math.Float64frombits(out[0]), elapsed, nil
+}
+
+// RunTwine executes the kernel inside a TWINE runtime (enclave + AoT).
+func RunTwine(k Kernel, n int, cfg core.Config) (float64, time.Duration, error) {
+	rt, err := core.NewRuntime(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	mod, err := rt.LoadModule(k.Build(n))
+	if err != nil {
+		return 0, 0, fmt.Errorf("%s: %w", k.Name, err)
+	}
+	inst, err := rt.NewInstance(mod)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%s: %w", k.Name, err)
+	}
+	start := time.Now()
+	out, err := inst.Invoke("run")
+	elapsed := time.Since(start)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%s: %w", k.Name, err)
+	}
+	return math.Float64frombits(out[0]), elapsed, nil
+}
+
+// MinMemoryPages reports the smallest linear-memory cap (in 64 KiB pages)
+// under which the kernel still instantiates — the paper's §V-B memory
+// sweep probes exactly this boundary.
+func MinMemoryPages(k Kernel, n int) (uint32, error) {
+	bin := k.Build(n)
+	mod, err := wasm.Decode(bin)
+	if err != nil {
+		return 0, err
+	}
+	if len(mod.Memories) == 0 {
+		return 0, fmt.Errorf("%s: no memory", k.Name)
+	}
+	return mod.Memories[0].Min, nil
+}

@@ -1,0 +1,215 @@
+// Package prof provides a lightweight profiling registry used across the
+// TWINE reproduction to attribute wall-clock time and event counts to named
+// components (e.g. "ipfs.memset", "sgx.ocall", "litedb.exec").
+//
+// The paper's Figure 7 breaks the random-read workload down into SQLite
+// inner work, read operations, OCALL transitions and memory clearing; every
+// one of those series is produced by timers and counters registered here.
+//
+// A Registry is safe for concurrent use. Timing has deliberately low
+// overhead (one monotonic clock read on start and stop) so that it can stay
+// enabled during benchmark runs.
+package prof
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Registry accumulates named counters and timers.
+//
+// The zero value is not ready for use; construct one with NewRegistry. A nil
+// *Registry is valid everywhere and records nothing, so components can be
+// wired unconditionally and profiled only when the caller provides a
+// registry.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	timers   map[string]time.Duration
+	enabled  bool
+}
+
+// NewRegistry returns an empty, enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]int64),
+		timers:   make(map[string]time.Duration),
+		enabled:  true,
+	}
+}
+
+// SetEnabled toggles recording. A disabled registry keeps its accumulated
+// values but ignores new events.
+func (r *Registry) SetEnabled(v bool) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.enabled = v
+	r.mu.Unlock()
+}
+
+// Add increments the named counter by n.
+func (r *Registry) Add(name string, n int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.enabled {
+		r.counters[name] += n
+	}
+	r.mu.Unlock()
+}
+
+// Incr increments the named counter by one.
+func (r *Registry) Incr(name string) { r.Add(name, 1) }
+
+// AddTime accumulates d under the named timer.
+func (r *Registry) AddTime(name string, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.enabled {
+		r.timers[name] += d
+	}
+	r.mu.Unlock()
+}
+
+// Span is an in-flight timed region created by Start.
+type Span struct {
+	r     *Registry
+	name  string
+	start time.Time
+}
+
+// Start begins timing a region attributed to name. Call Stop on the returned
+// span. Start on a nil registry returns a no-op span.
+func (r *Registry) Start(name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{r: r, name: name, start: time.Now()}
+}
+
+// Stop ends the span and accumulates its elapsed time.
+func (s Span) Stop() {
+	if s.r == nil {
+		return
+	}
+	s.r.AddTime(s.name, time.Since(s.start))
+}
+
+// Time runs fn while attributing its wall time to name.
+func (r *Registry) Time(name string, fn func()) {
+	sp := r.Start(name)
+	fn()
+	sp.Stop()
+}
+
+// Counter returns the current value of the named counter.
+func (r *Registry) Counter(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// Timer returns the accumulated duration of the named timer.
+func (r *Registry) Timer(name string) time.Duration {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.timers[name]
+}
+
+// Reset clears all counters and timers.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k := range r.counters {
+		delete(r.counters, k)
+	}
+	for k := range r.timers {
+		delete(r.timers, k)
+	}
+}
+
+// Snapshot is a point-in-time copy of a registry's contents.
+type Snapshot struct {
+	Counters map[string]int64
+	Timers   map[string]time.Duration
+}
+
+// Snapshot copies the registry's current contents.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters: make(map[string]int64),
+		Timers:   make(map[string]time.Duration),
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, v := range r.counters {
+		snap.Counters[k] = v
+	}
+	for k, v := range r.timers {
+		snap.Timers[k] = v
+	}
+	return snap
+}
+
+// Sub returns the delta snapshot cur − prev (clamped at zero is NOT applied;
+// negative deltas indicate a Reset happened in between and are reported
+// as-is so callers can detect them).
+func (cur Snapshot) Sub(prev Snapshot) Snapshot {
+	out := Snapshot{
+		Counters: make(map[string]int64),
+		Timers:   make(map[string]time.Duration),
+	}
+	for k, v := range cur.Counters {
+		if d := v - prev.Counters[k]; d != 0 {
+			out.Counters[k] = d
+		}
+	}
+	for k, v := range cur.Timers {
+		if d := v - prev.Timers[k]; d != 0 {
+			out.Timers[k] = d
+		}
+	}
+	return out
+}
+
+// String renders the snapshot sorted by name, timers first, for reports.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	names := make([]string, 0, len(s.Timers))
+	for k := range s.Timers {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(&b, "%-32s %12s\n", k, s.Timers[k])
+	}
+	names = names[:0]
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(&b, "%-32s %12d\n", k, s.Counters[k])
+	}
+	return b.String()
+}

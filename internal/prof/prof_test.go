@@ -1,0 +1,180 @@
+package prof
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryIsSafe(t *testing.T) {
+	var r *Registry
+	r.Add("x", 1)
+	r.Incr("x")
+	r.AddTime("t", time.Second)
+	r.Time("t", func() {})
+	r.Start("t").Stop()
+	r.Reset()
+	r.SetEnabled(true)
+	if got := r.Counter("x"); got != 0 {
+		t.Fatalf("nil registry counter = %d, want 0", got)
+	}
+	if got := r.Timer("t"); got != 0 {
+		t.Fatalf("nil registry timer = %v, want 0", got)
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Timers) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", snap)
+	}
+}
+
+func TestCountersAccumulate(t *testing.T) {
+	r := NewRegistry()
+	r.Add("reads", 3)
+	r.Incr("reads")
+	r.Add("writes", 2)
+	if got := r.Counter("reads"); got != 4 {
+		t.Errorf("reads = %d, want 4", got)
+	}
+	if got := r.Counter("writes"); got != 2 {
+		t.Errorf("writes = %d, want 2", got)
+	}
+	if got := r.Counter("missing"); got != 0 {
+		t.Errorf("missing = %d, want 0", got)
+	}
+}
+
+func TestTimersAccumulate(t *testing.T) {
+	r := NewRegistry()
+	r.AddTime("io", 10*time.Millisecond)
+	r.AddTime("io", 5*time.Millisecond)
+	if got := r.Timer("io"); got != 15*time.Millisecond {
+		t.Errorf("io = %v, want 15ms", got)
+	}
+}
+
+func TestSpanMeasuresElapsedTime(t *testing.T) {
+	r := NewRegistry()
+	sp := r.Start("sleep")
+	time.Sleep(2 * time.Millisecond)
+	sp.Stop()
+	if got := r.Timer("sleep"); got < 2*time.Millisecond {
+		t.Errorf("span recorded %v, want >= 2ms", got)
+	}
+}
+
+func TestDisabledRegistryIgnoresEvents(t *testing.T) {
+	r := NewRegistry()
+	r.Add("a", 1)
+	r.SetEnabled(false)
+	r.Add("a", 1)
+	r.AddTime("t", time.Second)
+	if got := r.Counter("a"); got != 1 {
+		t.Errorf("a = %d, want 1 (event while disabled must be dropped)", got)
+	}
+	if got := r.Timer("t"); got != 0 {
+		t.Errorf("t = %v, want 0", got)
+	}
+	r.SetEnabled(true)
+	r.Add("a", 1)
+	if got := r.Counter("a"); got != 2 {
+		t.Errorf("a = %d, want 2 after re-enable", got)
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	r := NewRegistry()
+	r.Add("a", 5)
+	r.AddTime("t", time.Second)
+	r.Reset()
+	if r.Counter("a") != 0 || r.Timer("t") != 0 {
+		t.Fatal("reset did not clear registry")
+	}
+}
+
+func TestSnapshotIsACopy(t *testing.T) {
+	r := NewRegistry()
+	r.Add("a", 1)
+	snap := r.Snapshot()
+	r.Add("a", 1)
+	if snap.Counters["a"] != 1 {
+		t.Errorf("snapshot mutated by later Add: %d", snap.Counters["a"])
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	r := NewRegistry()
+	r.Add("a", 1)
+	r.AddTime("t", time.Second)
+	prev := r.Snapshot()
+	r.Add("a", 2)
+	r.Add("b", 7)
+	r.AddTime("t", time.Second)
+	d := r.Snapshot().Sub(prev)
+	if d.Counters["a"] != 2 {
+		t.Errorf("delta a = %d, want 2", d.Counters["a"])
+	}
+	if d.Counters["b"] != 7 {
+		t.Errorf("delta b = %d, want 7", d.Counters["b"])
+	}
+	if d.Timers["t"] != time.Second {
+		t.Errorf("delta t = %v, want 1s", d.Timers["t"])
+	}
+	if _, ok := d.Counters["zero"]; ok {
+		t.Error("zero deltas must be omitted")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Incr("n")
+				r.AddTime("t", time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n"); got != 8000 {
+		t.Errorf("n = %d, want 8000", got)
+	}
+	if got := r.Timer("t"); got != 8000*time.Nanosecond {
+		t.Errorf("t = %v, want 8000ns", got)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	r := NewRegistry()
+	r.Add("b.count", 2)
+	r.Add("a.count", 1)
+	r.AddTime("z.time", time.Millisecond)
+	out := r.Snapshot().String()
+	if out == "" {
+		t.Fatal("empty string output")
+	}
+	// Timers render before counters; names sorted within each group.
+	wantOrder := []string{"z.time", "a.count", "b.count"}
+	last := -1
+	for _, name := range wantOrder {
+		idx := indexOf(out, name)
+		if idx < 0 {
+			t.Fatalf("output missing %q:\n%s", name, out)
+		}
+		if idx < last {
+			t.Fatalf("output order wrong, %q appears too early:\n%s", name, out)
+		}
+		last = idx
+	}
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,182 @@
+package sgx
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestSealUnsealRoundTrip(t *testing.T) {
+	e := newTestEnclave(t)
+	blob, err := e.Seal("db-key", []byte("top secret"))
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	if bytes.Contains(blob, []byte("top secret")) {
+		t.Fatal("sealed blob contains plaintext")
+	}
+	pt, err := e.Unseal("db-key", blob)
+	if err != nil {
+		t.Fatalf("Unseal: %v", err)
+	}
+	if string(pt) != "top secret" {
+		t.Errorf("Unseal = %q", pt)
+	}
+}
+
+func TestUnsealRejectsWrongLabel(t *testing.T) {
+	e := newTestEnclave(t)
+	blob, _ := e.Seal("a", []byte("x"))
+	if _, err := e.Unseal("b", blob); err == nil {
+		t.Error("Unseal with wrong label succeeded")
+	}
+}
+
+func TestUnsealRejectsTampering(t *testing.T) {
+	e := newTestEnclave(t)
+	blob, _ := e.Seal("a", []byte("payload"))
+	blob[len(blob)-1] ^= 0x01
+	if _, err := e.Unseal("a", blob); err == nil {
+		t.Error("Unseal of tampered blob succeeded")
+	}
+	if _, err := e.Unseal("a", blob[:4]); err == nil {
+		t.Error("Unseal of truncated blob succeeded")
+	}
+}
+
+// TestSealKeyPortability encodes the IPFS key-portability limitation from
+// §IV-E: same enclave + same platform regenerates the key; a different
+// platform or different enclave code cannot.
+func TestSealKeyPortability(t *testing.T) {
+	p1 := NewPlatform("cpu-1")
+	p2 := NewPlatform("cpu-2")
+	code := []byte("twine-enclave")
+	e1a, _ := p1.NewEnclave(TestConfig(), code)
+	e1b, _ := p1.NewEnclave(TestConfig(), code)
+	e1c, _ := p1.NewEnclave(TestConfig(), []byte("other-code"))
+	e2, _ := p2.NewEnclave(TestConfig(), code)
+
+	k := func(e *Enclave) [32]byte { return e.SealKey("fs") }
+	if k(e1a) != k(e1b) {
+		t.Error("same code, same platform: keys differ")
+	}
+	if k(e1a) == k(e1c) {
+		t.Error("different code, same platform: keys match")
+	}
+	if k(e1a) == k(e2) {
+		t.Error("same code, different platform: keys match")
+	}
+	if e1a.SealKey("fs") == e1a.SealKey("other") {
+		t.Error("different labels: keys match")
+	}
+}
+
+func TestQuoteVerification(t *testing.T) {
+	p := NewPlatform("genuine")
+	e, _ := p.NewEnclave(TestConfig(), []byte("code"))
+	svc := NewAttestationService()
+	svc.Register(p)
+
+	q, err := p.Quote(e, []byte("channel-binding"))
+	if err != nil {
+		t.Fatalf("Quote: %v", err)
+	}
+	if err := svc.Verify(q); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+
+	// Tampered measurement must fail.
+	bad := q
+	bad.Report.Measurement[0] ^= 1
+	if err := svc.Verify(bad); !errors.Is(err, ErrBadQuote) {
+		t.Errorf("tampered quote verified: %v", err)
+	}
+
+	// Tampered report data must fail.
+	bad = q
+	bad.Report.Data[0] ^= 1
+	if err := svc.Verify(bad); !errors.Is(err, ErrBadQuote) {
+		t.Errorf("tampered report data verified: %v", err)
+	}
+}
+
+func TestQuoteFromUnknownPlatformRejected(t *testing.T) {
+	p := NewPlatform("rogue")
+	e, _ := p.NewEnclave(TestConfig(), []byte("code"))
+	svc := NewAttestationService() // rogue not registered
+	q, _ := p.Quote(e, nil)
+	if err := svc.Verify(q); !errors.Is(err, ErrBadQuote) {
+		t.Errorf("quote from unknown platform verified: %v", err)
+	}
+}
+
+func TestQuoteForeignEnclaveRejected(t *testing.T) {
+	p1 := NewPlatform("a")
+	p2 := NewPlatform("b")
+	e, _ := p1.NewEnclave(TestConfig(), []byte("code"))
+	if _, err := p2.Quote(e, nil); err == nil {
+		t.Error("platform quoted an enclave it does not host")
+	}
+}
+
+func TestReportDataSizeLimit(t *testing.T) {
+	e := newTestEnclave(t)
+	if _, err := e.ReportFor(make([]byte, ReportDataSize+1)); err == nil {
+		t.Error("oversized report data accepted")
+	}
+	if _, err := e.ReportFor(make([]byte, ReportDataSize)); err != nil {
+		t.Errorf("exact-size report data rejected: %v", err)
+	}
+}
+
+func TestExpectedMeasurement(t *testing.T) {
+	e := newTestEnclave(t)
+	r, _ := e.ReportFor(nil)
+	if err := ExpectedMeasurement(r, e.Measurement()); err != nil {
+		t.Errorf("matching measurement rejected: %v", err)
+	}
+	var other [32]byte
+	if err := ExpectedMeasurement(r, other); err == nil {
+		t.Error("mismatched measurement accepted")
+	}
+	dbg := newTestEnclave(t, func(c *Config) { c.Debug = true })
+	rd, _ := dbg.ReportFor(nil)
+	if err := ExpectedMeasurement(rd, dbg.Measurement()); err == nil {
+		t.Error("debug enclave accepted")
+	}
+}
+
+func TestReservedMemoryLifecycle(t *testing.T) {
+	e := newTestEnclave(t)
+	r := e.Reserved()
+	off, err := r.Load([]byte("wasm-aot-code"))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	r.Protect(PermRX)
+	if _, err := r.Load([]byte("more")); !errors.Is(err, ErrPerm) {
+		t.Errorf("Load after PermRX = %v, want ErrPerm", err)
+	}
+	got, err := r.Bytes(off, 13)
+	if err != nil {
+		t.Fatalf("Bytes: %v", err)
+	}
+	if string(got) != "wasm-aot-code" {
+		t.Errorf("Bytes = %q", got)
+	}
+	if _, err := r.Bytes(off, 1<<30); !errors.Is(err, ErrBounds) {
+		t.Errorf("oversized Bytes = %v, want ErrBounds", err)
+	}
+}
+
+func TestReservedMemoryCapacity(t *testing.T) {
+	cfg := TestConfig()
+	cfg.ReservedSize = PageSize
+	e, err := NewPlatform("r").NewEnclave(cfg, nil)
+	if err != nil {
+		t.Fatalf("NewEnclave: %v", err)
+	}
+	if _, err := e.Reserved().Load(make([]byte, 2*PageSize)); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("oversized Load = %v, want ErrOutOfMemory", err)
+	}
+}

@@ -1,0 +1,210 @@
+package sgx
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"fmt"
+)
+
+// Memory is the enclave's protected linear memory. Its layout is:
+//
+//	[0, reservedSize)              reserved-memory region (code loading)
+//	[reservedSize, len(data))      enclave heap
+//
+// Every access must pass through Touch (directly or via the Read/Write
+// helpers) so the EPC residency model can charge paging costs. Page
+// residency is tracked with a clock (second-chance) policy, an adequate
+// stand-in for the SGX driver's EPC reclaim behaviour.
+//
+// In ModeHardware, loading a page into the EPC and evicting one out both
+// pay the cost of AES processing over the 4 KiB page, approximating the
+// memory-encryption-engine plus EWB/ELDU work that makes EPC paging
+// expensive on real hardware. In ModeSimulation the model is bypassed.
+type Memory struct {
+	data []byte
+
+	// reservedBytes is the size of the reserved-memory region at the
+	// bottom of enclave memory; set by newReserved before the allocator
+	// is built.
+	reservedBytes int64
+
+	mode        Mode
+	pageState   []uint8 // pageAbsent / pageResident / pageReferenced
+	maxResident int
+	resident    int
+	hand        int
+
+	faults    int64
+	evictions int64
+
+	block   cipher.Block
+	scratch [PageSize]byte
+}
+
+const (
+	pageAbsent uint8 = iota
+	pageResident
+	pageReferenced
+)
+
+func newMemory(cfg Config) (*Memory, error) {
+	total := cfg.ReservedSize + cfg.HeapSize
+	if total%PageSize != 0 {
+		return nil, fmt.Errorf("sgx: enclave memory size %d is not page aligned", total)
+	}
+	m := &Memory{
+		data:        make([]byte, total),
+		mode:        cfg.Mode,
+		pageState:   make([]uint8, total/PageSize),
+		maxResident: int(cfg.EPCUsable / PageSize),
+	}
+	if m.maxResident < 2 {
+		return nil, fmt.Errorf("sgx: EPC usable size %d too small", cfg.EPCUsable)
+	}
+	// The paging cost cipher. The key's value is irrelevant (the work is
+	// what matters); a fixed key keeps the model deterministic.
+	block, err := aes.NewCipher([]byte("twine-epc-paging-cost-key-32by!!"))
+	if err != nil {
+		return nil, err
+	}
+	m.block = block
+	return m, nil
+}
+
+// Size returns the total enclave memory size in bytes.
+func (m *Memory) Size() int64 { return int64(len(m.data)) }
+
+// Faults returns the number of EPC page faults so far.
+func (m *Memory) Faults() int64 { return m.faults }
+
+// Evictions returns the number of EPC page evictions so far.
+func (m *Memory) Evictions() int64 { return m.evictions }
+
+// Resident returns the number of currently resident EPC pages.
+func (m *Memory) Resident() int { return m.resident }
+
+// Touch marks the byte range [off, off+n) as accessed, faulting in any
+// non-resident pages and paying the associated paging cost. It returns
+// ErrBounds if the range falls outside enclave memory.
+func (m *Memory) Touch(off, n int64) error {
+	if n <= 0 {
+		return nil
+	}
+	if off < 0 || off+n > int64(len(m.data)) {
+		return fmt.Errorf("%w: [%d, %d) of %d", ErrBounds, off, off+n, len(m.data))
+	}
+	first := off / PageSize
+	last := (off + n - 1) / PageSize
+	for p := first; p <= last; p++ {
+		switch m.pageState[p] {
+		case pageReferenced:
+			// Hot page: nothing to do.
+		case pageResident:
+			m.pageState[p] = pageReferenced
+		default:
+			m.fault(int(p))
+		}
+	}
+	return nil
+}
+
+// fault brings page p into the EPC, evicting a victim if the EPC is full.
+func (m *Memory) fault(p int) {
+	m.faults++
+	if m.resident >= m.maxResident {
+		m.evict()
+	}
+	if m.mode == ModeHardware {
+		m.pageWork(p) // ELDU: decrypt + integrity-check the incoming page.
+	}
+	m.pageState[p] = pageReferenced
+	m.resident++
+}
+
+// evict selects a victim with the clock algorithm and pays the EWB
+// (encrypt + write back) cost for it.
+func (m *Memory) evict() {
+	for {
+		if m.hand >= len(m.pageState) {
+			m.hand = 0
+		}
+		switch m.pageState[m.hand] {
+		case pageReferenced:
+			m.pageState[m.hand] = pageResident
+		case pageResident:
+			victim := m.hand
+			m.pageState[victim] = pageAbsent
+			m.resident--
+			m.evictions++
+			if m.mode == ModeHardware {
+				m.pageWork(victim)
+			}
+			m.hand++
+			return
+		}
+		m.hand++
+	}
+}
+
+// pageWork performs one page's worth of AES as the paging cost. ECB over
+// the page into a scratch buffer: no allocation, deterministic, and close
+// in magnitude to the MEE work per 4 KiB.
+func (m *Memory) pageWork(p int) {
+	src := m.data[p*PageSize : (p+1)*PageSize]
+	for i := 0; i < PageSize; i += aes.BlockSize {
+		m.block.Encrypt(m.scratch[i:i+aes.BlockSize], src[i:i+aes.BlockSize])
+	}
+}
+
+// Read copies len(p) bytes from enclave memory at off into p.
+func (m *Memory) Read(off int64, p []byte) error {
+	if err := m.Touch(off, int64(len(p))); err != nil {
+		return err
+	}
+	copy(p, m.data[off:])
+	return nil
+}
+
+// Write copies p into enclave memory at off.
+func (m *Memory) Write(off int64, p []byte) error {
+	if err := m.Touch(off, int64(len(p))); err != nil {
+		return err
+	}
+	copy(m.data[off:], p)
+	return nil
+}
+
+// Slice returns a view of enclave memory [off, off+n) after touching it.
+// The returned slice aliases enclave memory; it is valid until the enclave
+// is destroyed. Callers on hot paths use Slice to avoid copies, paying the
+// EPC model once per call rather than per byte.
+func (m *Memory) Slice(off, n int64) ([]byte, error) {
+	if err := m.Touch(off, n); err != nil {
+		return nil, err
+	}
+	return m.data[off : off+n : off+n], nil
+}
+
+// Zero clears [off, off+n). It models an in-enclave memset: the work is
+// real and the pages are touched.
+func (m *Memory) Zero(off, n int64) error {
+	if err := m.Touch(off, n); err != nil {
+		return err
+	}
+	s := m.data[off : off+n]
+	for i := range s {
+		s[i] = 0
+	}
+	return nil
+}
+
+// scrub wipes all memory on destroy.
+func (m *Memory) scrub() {
+	for i := range m.data {
+		m.data[i] = 0
+	}
+	for i := range m.pageState {
+		m.pageState[i] = pageAbsent
+	}
+	m.resident = 0
+}

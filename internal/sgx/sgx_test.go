@@ -1,0 +1,185 @@
+package sgx
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func newTestEnclave(t *testing.T, mutate ...func(*Config)) *Enclave {
+	t.Helper()
+	cfg := TestConfig()
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	e, err := NewPlatform("test").NewEnclave(cfg, []byte("enclave-code"))
+	if err != nil {
+		t.Fatalf("NewEnclave: %v", err)
+	}
+	return e
+}
+
+func TestECallRunsInside(t *testing.T) {
+	e := newTestEnclave(t)
+	var inside bool
+	err := e.ECall("probe", func() error {
+		inside = e.Inside()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ECall: %v", err)
+	}
+	if !inside {
+		t.Error("Inside() = false during ECall")
+	}
+	if e.Inside() {
+		t.Error("Inside() = true after ECall returned")
+	}
+	if got := e.Stats().ECalls; got != 1 {
+		t.Errorf("ECalls = %d, want 1", got)
+	}
+}
+
+func TestECallPropagatesError(t *testing.T) {
+	e := newTestEnclave(t)
+	want := errors.New("boom")
+	if err := e.ECall("fail", func() error { return want }); !errors.Is(err, want) {
+		t.Errorf("ECall error = %v, want %v", err, want)
+	}
+}
+
+func TestNestedECallRejected(t *testing.T) {
+	e := newTestEnclave(t)
+	err := e.ECall("outer", func() error {
+		return e.ECall("inner", func() error { return nil })
+	})
+	if !errors.Is(err, ErrInsideEnclave) {
+		t.Errorf("nested ECall error = %v, want ErrInsideEnclave", err)
+	}
+}
+
+func TestOCallRequiresEnclaveContext(t *testing.T) {
+	e := newTestEnclave(t)
+	if err := e.OCall("bad", func() error { return nil }); !errors.Is(err, ErrOutsideEnclave) {
+		t.Errorf("OCall outside = %v, want ErrOutsideEnclave", err)
+	}
+}
+
+func TestOCallExitsAndReenters(t *testing.T) {
+	e := newTestEnclave(t)
+	var during, after bool
+	err := e.ECall("entry", func() error {
+		oerr := e.OCall("io", func() error {
+			during = e.Inside()
+			return nil
+		})
+		after = e.Inside()
+		return oerr
+	})
+	if err != nil {
+		t.Fatalf("ECall: %v", err)
+	}
+	if during {
+		t.Error("Inside() = true during OCall body")
+	}
+	if !after {
+		t.Error("Inside() = false after OCall returned")
+	}
+	if got := e.Stats().OCalls; got != 1 {
+		t.Errorf("OCalls = %d, want 1", got)
+	}
+}
+
+func TestDestroyedEnclaveRejectsEntry(t *testing.T) {
+	e := newTestEnclave(t)
+	e.Destroy()
+	if err := e.ECall("x", func() error { return nil }); !errors.Is(err, ErrDestroyed) {
+		t.Errorf("ECall after destroy = %v, want ErrDestroyed", err)
+	}
+	e.Destroy() // idempotent
+}
+
+func TestTransitionCostIsPaid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	cost := 200 * time.Microsecond
+	e := newTestEnclave(t, func(c *Config) { c.TransitionCost = cost })
+	start := time.Now()
+	_ = e.ECall("timed", func() error { return nil })
+	if elapsed := time.Since(start); elapsed < 2*cost {
+		t.Errorf("ECall took %v, want >= %v (two crossings)", elapsed, 2*cost)
+	}
+}
+
+func TestMeasurementDependsOnCode(t *testing.T) {
+	p := NewPlatform("m")
+	a, _ := p.NewEnclave(TestConfig(), []byte("code-a"))
+	b, _ := p.NewEnclave(TestConfig(), []byte("code-b"))
+	c, _ := p.NewEnclave(TestConfig(), []byte("code-a"))
+	if a.Measurement() == b.Measurement() {
+		t.Error("different code produced the same measurement")
+	}
+	if a.Measurement() != c.Measurement() {
+		t.Error("same code produced different measurements")
+	}
+}
+
+func TestMeasurementDependsOnConfig(t *testing.T) {
+	p := NewPlatform("m")
+	cfg1 := TestConfig()
+	cfg2 := TestConfig()
+	cfg2.Debug = true
+	a, _ := p.NewEnclave(cfg1, []byte("code"))
+	b, _ := p.NewEnclave(cfg2, []byte("code"))
+	if a.Measurement() == b.Measurement() {
+		t.Error("debug flag not reflected in measurement")
+	}
+}
+
+func TestInvalidConfigs(t *testing.T) {
+	p := NewPlatform("cfg")
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero EPC usable", func(c *Config) { c.EPCUsable = 0 }},
+		{"usable exceeds total", func(c *Config) { c.EPCUsable = c.EPCSize + 1 }},
+		{"zero heap", func(c *Config) { c.HeapSize = 0 }},
+		{"tiny EPC", func(c *Config) { c.EPCUsable = PageSize }},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := TestConfig()
+			tc.mutate(&cfg)
+			if _, err := p.NewEnclave(cfg, nil); err == nil {
+				t.Error("NewEnclave accepted invalid config")
+			}
+		})
+	}
+}
+
+func TestDefaultConfigMatchesPaperTestbed(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.EPCSize != 128<<20 {
+		t.Errorf("EPCSize = %d, want 128 MiB", cfg.EPCSize)
+	}
+	if cfg.EPCUsable != 93<<20 {
+		t.Errorf("EPCUsable = %d, want 93 MiB", cfg.EPCUsable)
+	}
+	if cfg.Mode != ModeHardware {
+		t.Errorf("Mode = %v, want hardware", cfg.Mode)
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if ModeHardware.String() != "hardware" || ModeSimulation.String() != "simulation" {
+		t.Error("Mode.String mismatch")
+	}
+	if HeapSystem.String() != "system" || HeapPool.String() != "pool" {
+		t.Error("HeapMode.String mismatch")
+	}
+	if Mode(42).String() == "" || HeapMode(42).String() == "" {
+		t.Error("unknown values must still render")
+	}
+}

@@ -1,0 +1,105 @@
+package speedtest
+
+import (
+	"testing"
+
+	"twine/internal/litedb"
+)
+
+func TestNumberName(t *testing.T) {
+	cases := map[int]string{
+		0:       "zero",
+		7:       "seven",
+		13:      "thirteen",
+		20:      "twenty",
+		42:      "forty two",
+		100:     "one hundred",
+		101:     "one hundred one",
+		999:     "nine hundred ninety nine",
+		1000:    "one thousand",
+		1234:    "one thousand two hundred thirty four",
+		1000000: "one million",
+		-5:      "minus five",
+	}
+	for n, want := range cases {
+		if got := numberName(n); got != want {
+			t.Errorf("numberName(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestSuiteShape(t *testing.T) {
+	tests := All()
+	if len(tests) != 30 {
+		t.Fatalf("suite has %d tests, want 30", len(tests))
+	}
+	plotted := 0
+	last := 0
+	for _, tc := range tests {
+		if tc.ID <= last {
+			t.Errorf("test IDs not increasing at %d", tc.ID)
+		}
+		last = tc.ID
+		if !tc.Setup {
+			plotted++
+		}
+		if tc.Run == nil {
+			t.Errorf("test %d has no runner", tc.ID)
+		}
+	}
+	if plotted != 29 {
+		t.Errorf("%d plotted tests, want 29 (paper Figure 4)", plotted)
+	}
+	if _, ok := ByID(990); !ok {
+		t.Error("ANALYZE test missing")
+	}
+	if _, ok := ByID(555); ok {
+		t.Error("ghost test found")
+	}
+	if Describe() == "" {
+		t.Error("empty description")
+	}
+}
+
+func TestStateDeterminism(t *testing.T) {
+	a, b := NewState(50), NewState(50)
+	for i := 0; i < 100; i++ {
+		if a.rand(1000) != b.rand(1000) {
+			t.Fatal("state not deterministic")
+		}
+	}
+	if NewState(0).Scale != 100 {
+		t.Error("default scale not applied")
+	}
+}
+
+func TestScaling(t *testing.T) {
+	st := NewState(100)
+	if st.n(25000) != 250 {
+		t.Errorf("n(25000) at scale 100 = %d, want 250", st.n(25000))
+	}
+	if NewState(1).n(25000) < 10 {
+		t.Error("scaled count below floor")
+	}
+}
+
+// TestFullSuiteRuns executes every test against a plain litedb database —
+// the ground-truth pass that the bench harness variants are compared to.
+func TestFullSuiteRuns(t *testing.T) {
+	db, err := litedb.Open(litedb.NewMemVFS(), ":memory:", litedb.Options{CachePages: 128})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer db.Close()
+	st := NewState(30)
+	for _, tc := range All() {
+		if err := tc.Run(db, st); err != nil {
+			t.Fatalf("test %d (%s): %v", tc.ID, tc.Name, err)
+		}
+	}
+	// Sanity: the suite left real data behind.
+	row, err := db.QueryRow(`SELECT COUNT(*) FROM t1`)
+	if err != nil || row[0].Int() == 0 {
+		t.Errorf("t1 empty after suite: %v, %v", row, err)
+	}
+}

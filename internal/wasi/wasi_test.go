@@ -1,0 +1,702 @@
+package wasi
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"twine/internal/hostfs"
+	"twine/internal/ipfs"
+	"twine/internal/sgx"
+	"twine/internal/wasm"
+	"twine/wasmgen"
+)
+
+// newGuest builds a minimal instance whose memory the WASI functions
+// operate on.
+func newGuest(t *testing.T) *wasm.Instance {
+	t.Helper()
+	m := wasmgen.NewModule()
+	m.Memory(4, 4)
+	f := m.Func(wasmgen.Sig().Returns())
+	f.End()
+	m.Export("noop", f)
+	mod, err := wasm.Decode(m.Bytes())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	c, err := wasm.Compile(mod)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	in, err := wasm.Instantiate(c, nil, wasm.Config{})
+	if err != nil {
+		t.Fatalf("Instantiate: %v", err)
+	}
+	return in
+}
+
+// newSystem builds a System over the given backend with one preopen "/".
+func newSystem(t *testing.T, be Backend, mutate ...func(*Config)) *System {
+	t.Helper()
+	cfg := Config{
+		Args:     []string{"prog", "arg1"},
+		Env:      []string{"KEY=value"},
+		FS:       be,
+		Preopens: map[string]string{"/": ""},
+	}
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	return s
+}
+
+func hostBE() Backend { return NewHostBackend(hostfs.NewMemFS(), nil) }
+
+func ipfsBE() Backend {
+	mem := hostfs.NewMemFS()
+	host := NewHostBackend(mem, nil)
+	return NewIPFSBackend(ipfs.New(nil, mem, ipfs.Options{}), host)
+}
+
+// eachBackend runs a subtest against the host (untrusted POSIX) and IPFS
+// (trusted) backends; WASI behaviour must match.
+func eachBackend(t *testing.T, fn func(t *testing.T, s *System, in *wasm.Instance)) {
+	t.Helper()
+	t.Run("host", func(t *testing.T) { fn(t, newSystem(t, hostBE()), newGuest(t)) })
+	t.Run("ipfs", func(t *testing.T) { fn(t, newSystem(t, ipfsBE()), newGuest(t)) })
+}
+
+// writeGuestString places s at addr in guest memory.
+func writeGuestString(t *testing.T, in *wasm.Instance, addr uint32, s string) {
+	t.Helper()
+	b, err := in.Memory().Bytes(addr, uint32(len(s)))
+	if err != nil {
+		t.Fatalf("guest write: %v", err)
+	}
+	copy(b, s)
+}
+
+// writeIovec places a single iovec (base, len) at addr.
+func writeIovec(t *testing.T, in *wasm.Instance, addr, base, n uint32) {
+	t.Helper()
+	in.Memory().WriteU32(addr, base)
+	in.Memory().WriteU32(addr+4, n)
+}
+
+// openFile performs path_open against the preopened root (fd 3) and
+// returns the new fd.
+func openFile(t *testing.T, s *System, in *wasm.Instance, name string, oflags uint32, rights Rights) int32 {
+	t.Helper()
+	writeGuestString(t, in, 1024, name)
+	errno := s.pathOpen(in, []uint64{
+		3, 0, 1024, uint64(len(name)), uint64(oflags),
+		uint64(rights), uint64(RightsAll), 0, 2048,
+	})
+	if errno != ErrnoSuccess {
+		t.Fatalf("path_open(%s) = %v", name, errno)
+	}
+	fd, _ := in.Memory().ReadU32(2048)
+	return int32(fd)
+}
+
+func TestArgsAndEnviron(t *testing.T) {
+	s := newSystem(t, hostBE())
+	in := newGuest(t)
+	if errno := s.argsSizesGet(in, []uint64{100, 104}); errno != ErrnoSuccess {
+		t.Fatalf("args_sizes_get = %v", errno)
+	}
+	argc, _ := in.Memory().ReadU32(100)
+	bufsz, _ := in.Memory().ReadU32(104)
+	if argc != 2 || bufsz != uint32(len("prog\x00arg1\x00")) {
+		t.Errorf("sizes = %d, %d", argc, bufsz)
+	}
+	if errno := s.argsGet(in, []uint64{200, 300}); errno != ErrnoSuccess {
+		t.Fatalf("args_get = %v", errno)
+	}
+	buf, _ := in.Memory().Bytes(300, bufsz)
+	if string(buf) != "prog\x00arg1\x00" {
+		t.Errorf("args buf = %q", buf)
+	}
+	if errno := s.environSizesGet(in, []uint64{100, 104}); errno != ErrnoSuccess {
+		t.Fatalf("environ_sizes_get = %v", errno)
+	}
+	n, _ := in.Memory().ReadU32(100)
+	if n != 1 {
+		t.Errorf("environ count = %d", n)
+	}
+}
+
+type backwardsClock struct {
+	t    int64
+	step int64
+}
+
+func (c *backwardsClock) Now() time.Time            { return time.Unix(0, c.t) }
+func (c *backwardsClock) Monotonic() int64          { c.t += c.step; return c.t }
+func (c *backwardsClock) Resolution() time.Duration { return time.Nanosecond }
+
+func TestClockMonotonicGuard(t *testing.T) {
+	// A malicious host returns decreasing monotonic time; the enclave-side
+	// guard must keep values strictly increasing (§IV-C).
+	clk := &backwardsClock{t: 1000, step: -10}
+	s := newSystem(t, hostBE(), func(c *Config) { c.Clock = clk })
+	in := newGuest(t)
+	var last uint64
+	for i := 0; i < 5; i++ {
+		if errno := s.clockTimeGet(in, []uint64{clockMonotonic, 0, 64}); errno != ErrnoSuccess {
+			t.Fatalf("clock_time_get = %v", errno)
+		}
+		v, _ := in.Memory().ReadU64(64)
+		if v <= last {
+			t.Fatalf("monotonic clock went backwards: %d then %d", last, v)
+		}
+		last = v
+	}
+}
+
+func TestClockDisabledUntrustedPOSIX(t *testing.T) {
+	s := newSystem(t, hostBE(), func(c *Config) { c.DisableUntrustedPOSIX = true })
+	in := newGuest(t)
+	if errno := s.clockTimeGet(in, []uint64{clockMonotonic, 0, 64}); errno != ErrnoSuccess {
+		t.Fatalf("clock_time_get = %v", errno)
+	}
+	v1, _ := in.Memory().ReadU64(64)
+	s.clockTimeGet(in, []uint64{clockMonotonic, 0, 64})
+	v2, _ := in.Memory().ReadU64(64)
+	if v2 <= v1 {
+		t.Error("logical clock not increasing")
+	}
+	if errno := s.clockResGet(in, []uint64{99, 64}); errno != ErrnoInval {
+		t.Errorf("bad clock id = %v", errno)
+	}
+}
+
+func TestRandomGet(t *testing.T) {
+	s := newSystem(t, hostBE())
+	in := newGuest(t)
+	if errno := s.randomGet(in, []uint64{512, 64}); errno != ErrnoSuccess {
+		t.Fatalf("random_get = %v", errno)
+	}
+	buf, _ := in.Memory().Bytes(512, 64)
+	if bytes.Equal(buf, make([]byte, 64)) {
+		t.Error("random_get produced all zeros")
+	}
+}
+
+func TestFileWriteReadSeek(t *testing.T) {
+	eachBackend(t, func(t *testing.T, s *System, in *wasm.Instance) {
+		fd := openFile(t, s, in, "test.db", oflagCreat, rightsFile)
+
+		// fd_write "hello world" via two iovecs.
+		writeGuestString(t, in, 4096, "hello ")
+		writeGuestString(t, in, 4200, "world")
+		writeIovec(t, in, 8192, 4096, 6)
+		writeIovec(t, in, 8200, 4200, 5)
+		if errno := s.fdWrite(in, []uint64{uint64(fd), 8192, 2, 300}); errno != ErrnoSuccess {
+			t.Fatalf("fd_write = %v", errno)
+		}
+		n, _ := in.Memory().ReadU32(300)
+		if n != 11 {
+			t.Fatalf("nwritten = %d", n)
+		}
+
+		// fd_tell / fd_seek.
+		if errno := s.fdTell(in, []uint64{uint64(fd), 300}); errno != ErrnoSuccess {
+			t.Fatalf("fd_tell = %v", errno)
+		}
+		pos, _ := in.Memory().ReadU64(300)
+		if pos != 11 {
+			t.Fatalf("tell = %d", pos)
+		}
+		if errno := s.fdSeek(in, []uint64{uint64(fd), 0, whenceSet, 300}); errno != ErrnoSuccess {
+			t.Fatalf("fd_seek = %v", errno)
+		}
+
+		// fd_read back.
+		writeIovec(t, in, 8192, 16384, 32)
+		if errno := s.fdRead(in, []uint64{uint64(fd), 8192, 1, 300}); errno != ErrnoSuccess {
+			t.Fatalf("fd_read = %v", errno)
+		}
+		nr, _ := in.Memory().ReadU32(300)
+		got, _ := in.Memory().Bytes(16384, nr)
+		if string(got) != "hello world" {
+			t.Errorf("read back %q", got)
+		}
+
+		// fd_filestat_get reports the size.
+		if errno := s.fdFilestatGet(in, []uint64{uint64(fd), 1000}); errno != ErrnoSuccess {
+			t.Fatalf("fd_filestat_get = %v", errno)
+		}
+		size, _ := in.Memory().ReadU64(1032)
+		if size != 11 {
+			t.Errorf("filestat size = %d", size)
+		}
+
+		if errno := s.fdClose(in, []uint64{uint64(fd)}); errno != ErrnoSuccess {
+			t.Fatalf("fd_close = %v", errno)
+		}
+		if errno := s.fdClose(in, []uint64{uint64(fd)}); errno != ErrnoBadf {
+			t.Errorf("double close = %v", errno)
+		}
+	})
+}
+
+func TestSeekPastEndExtends(t *testing.T) {
+	// The §IV-E SQLite pattern: seek well past EOF and write; with IPFS
+	// the file is extended with null bytes.
+	eachBackend(t, func(t *testing.T, s *System, in *wasm.Instance) {
+		fd := openFile(t, s, in, "sparse.db", oflagCreat, rightsFile)
+		if errno := s.fdSeek(in, []uint64{uint64(fd), 10000, whenceSet, 300}); errno != ErrnoSuccess {
+			t.Fatalf("seek past end = %v", errno)
+		}
+		writeGuestString(t, in, 4096, "tail")
+		writeIovec(t, in, 8192, 4096, 4)
+		if errno := s.fdWrite(in, []uint64{uint64(fd), 8192, 1, 300}); errno != ErrnoSuccess {
+			t.Fatalf("write after far seek = %v", errno)
+		}
+		if errno := s.fdFilestatGet(in, []uint64{uint64(fd), 1000}); errno != ErrnoSuccess {
+			t.Fatalf("filestat = %v", errno)
+		}
+		size, _ := in.Memory().ReadU64(1032)
+		if size != 10004 {
+			t.Errorf("size = %d, want 10004", size)
+		}
+		// The gap reads as zeros.
+		s.fdSeek(in, []uint64{uint64(fd), 9996, whenceSet, 300})
+		writeIovec(t, in, 8192, 16384, 8)
+		s.fdRead(in, []uint64{uint64(fd), 8192, 1, 300})
+		got, _ := in.Memory().Bytes(16384, 8)
+		if !bytes.Equal(got[:4], make([]byte, 4)) || string(got[4:]) != "tail" {
+			t.Errorf("gap content = %q", got)
+		}
+	})
+}
+
+func TestPreadPwritePreserveCursor(t *testing.T) {
+	eachBackend(t, func(t *testing.T, s *System, in *wasm.Instance) {
+		fd := openFile(t, s, in, "pp.db", oflagCreat, rightsFile)
+		writeGuestString(t, in, 4096, "0123456789")
+		writeIovec(t, in, 8192, 4096, 10)
+		s.fdWrite(in, []uint64{uint64(fd), 8192, 1, 300})
+		s.fdSeek(in, []uint64{uint64(fd), 2, whenceSet, 300})
+
+		// pwrite at 5 must not move the cursor.
+		writeGuestString(t, in, 4200, "XX")
+		writeIovec(t, in, 8200, 4200, 2)
+		if errno := s.fdPwrite(in, []uint64{uint64(fd), 8200, 1, 5, 300}); errno != ErrnoSuccess {
+			t.Fatalf("fd_pwrite = %v", errno)
+		}
+		s.fdTell(in, []uint64{uint64(fd), 300})
+		pos, _ := in.Memory().ReadU64(300)
+		if pos != 2 {
+			t.Errorf("cursor after pwrite = %d, want 2", pos)
+		}
+
+		// pread at 4.
+		writeIovec(t, in, 8200, 16384, 4)
+		if errno := s.fdPread(in, []uint64{uint64(fd), 8200, 1, 4, 300}); errno != ErrnoSuccess {
+			t.Fatalf("fd_pread = %v", errno)
+		}
+		got, _ := in.Memory().Bytes(16384, 4)
+		if string(got) != "4XX7" {
+			t.Errorf("pread = %q, want 4XX7", got)
+		}
+	})
+}
+
+func TestSandboxEscapeRejected(t *testing.T) {
+	eachBackend(t, func(t *testing.T, s *System, in *wasm.Instance) {
+		name := "../../etc/passwd"
+		writeGuestString(t, in, 1024, name)
+		errno := s.pathOpen(in, []uint64{3, 0, 1024, uint64(len(name)), 0, uint64(RightsAll), 0, 0, 2048})
+		if errno != ErrnoNotcapable {
+			t.Errorf("escape open = %v, want ENOTCAPABLE", errno)
+		}
+	})
+}
+
+func TestRightsEnforced(t *testing.T) {
+	eachBackend(t, func(t *testing.T, s *System, in *wasm.Instance) {
+		// Create the file first with full rights.
+		fd := openFile(t, s, in, "ro.db", oflagCreat, rightsFile)
+		s.fdClose(in, []uint64{uint64(fd)})
+
+		// Re-open read-only: writes must be refused at the rights layer.
+		ro := openFile(t, s, in, "ro.db", 0, RightFdRead|RightFdSeek)
+		writeIovec(t, in, 8192, 4096, 4)
+		if errno := s.fdWrite(in, []uint64{uint64(ro), 8192, 1, 300}); errno != ErrnoNotcapable {
+			t.Errorf("write without right = %v, want ENOTCAPABLE", errno)
+		}
+		if errno := s.fdTell(in, []uint64{uint64(ro), 300}); errno != ErrnoNotcapable {
+			t.Errorf("tell without right = %v, want ENOTCAPABLE", errno)
+		}
+	})
+}
+
+func TestFdstatAndSetRights(t *testing.T) {
+	s := newSystem(t, hostBE())
+	in := newGuest(t)
+	fd := openFile(t, s, in, "st.db", oflagCreat, rightsFile)
+	if errno := s.fdFdstatGet(in, []uint64{uint64(fd), 100}); errno != ErrnoSuccess {
+		t.Fatalf("fd_fdstat_get = %v", errno)
+	}
+	ft, _ := in.Memory().Bytes(100, 1)
+	if ft[0] != filetypeRegular {
+		t.Errorf("filetype = %d", ft[0])
+	}
+	// Shrink rights, then try to grow them back (must fail).
+	if errno := s.fdFdstatSetRights(in, []uint64{uint64(fd), uint64(RightFdRead), 0}); errno != ErrnoSuccess {
+		t.Fatalf("shrink rights = %v", errno)
+	}
+	if errno := s.fdFdstatSetRights(in, []uint64{uint64(fd), uint64(rightsFile), 0}); errno != ErrnoNotcapable {
+		t.Errorf("grow rights = %v, want ENOTCAPABLE", errno)
+	}
+}
+
+func TestPrestat(t *testing.T) {
+	s := newSystem(t, hostBE())
+	in := newGuest(t)
+	if errno := s.fdPrestatGet(in, []uint64{3, 100}); errno != ErrnoSuccess {
+		t.Fatalf("fd_prestat_get = %v", errno)
+	}
+	tag, _ := in.Memory().Bytes(100, 1)
+	nameLen, _ := in.Memory().ReadU32(104)
+	if tag[0] != 0 || nameLen != 1 {
+		t.Errorf("prestat = tag %d len %d", tag[0], nameLen)
+	}
+	if errno := s.fdPrestatDirName(in, []uint64{3, 200, uint64(nameLen)}); errno != ErrnoSuccess {
+		t.Fatalf("fd_prestat_dir_name = %v", errno)
+	}
+	name, _ := in.Memory().Bytes(200, nameLen)
+	if string(name) != "/" {
+		t.Errorf("preopen name = %q", name)
+	}
+	// fd 4 is not a preopen.
+	if errno := s.fdPrestatGet(in, []uint64{4, 100}); errno != ErrnoBadf {
+		t.Errorf("prestat of non-preopen = %v", errno)
+	}
+}
+
+func TestDirectoryOps(t *testing.T) {
+	eachBackend(t, func(t *testing.T, s *System, in *wasm.Instance) {
+		mk := func(name string) {
+			writeGuestString(t, in, 1024, name)
+			if errno := s.pathCreateDirectory(in, []uint64{3, 1024, uint64(len(name))}); errno != ErrnoSuccess {
+				t.Fatalf("mkdir %s = %v", name, errno)
+			}
+		}
+		mk("sub")
+		// Create files inside.
+		for _, n := range []string{"sub/a", "sub/b"} {
+			fd := openFile(t, s, in, n, oflagCreat, rightsFile)
+			s.fdClose(in, []uint64{uint64(fd)})
+		}
+		// Open the directory.
+		writeGuestString(t, in, 1024, "sub")
+		if errno := s.pathOpen(in, []uint64{3, 0, 1024, 3, oflagDirectory, uint64(RightsAll), uint64(RightsAll), 0, 2048}); errno != ErrnoSuccess {
+			t.Fatalf("open dir = %v", errno)
+		}
+		dirFD, _ := in.Memory().ReadU32(2048)
+
+		// fd_readdir.
+		if errno := s.fdReaddir(in, []uint64{uint64(dirFD), 8192, 4096, 0, 300}); errno != ErrnoSuccess {
+			t.Fatalf("fd_readdir = %v", errno)
+		}
+		used, _ := in.Memory().ReadU32(300)
+		raw, _ := in.Memory().Bytes(8192, used)
+		var names []string
+		for off := 0; off+24 <= len(raw); {
+			nameLen := int(binary.LittleEndian.Uint32(raw[off+16:]))
+			if off+24+nameLen > len(raw) {
+				break
+			}
+			names = append(names, string(raw[off+24:off+24+nameLen]))
+			off += 24 + nameLen
+		}
+		if strings.Join(names, ",") != "a,b" {
+			t.Errorf("readdir names = %v", names)
+		}
+
+		// path_rename and path_unlink_file.
+		writeGuestString(t, in, 1024, "sub/a")
+		writeGuestString(t, in, 1124, "sub/c")
+		if errno := s.pathRename(in, []uint64{3, 1024, 5, 3, 1124, 5}); errno != ErrnoSuccess {
+			t.Fatalf("rename = %v", errno)
+		}
+		writeGuestString(t, in, 1024, "sub/b")
+		if errno := s.pathUnlinkFile(in, []uint64{3, 1024, 5}); errno != ErrnoSuccess {
+			t.Fatalf("unlink = %v", errno)
+		}
+		writeGuestString(t, in, 1024, "sub/c")
+		if errno := s.pathUnlinkFile(in, []uint64{3, 1024, 5}); errno != ErrnoSuccess {
+			t.Fatalf("unlink c = %v", errno)
+		}
+		// Remove the (now empty) directory.
+		writeGuestString(t, in, 1024, "sub")
+		if errno := s.pathRemoveDirectory(in, []uint64{3, 1024, 3}); errno != ErrnoSuccess {
+			t.Fatalf("rmdir = %v", errno)
+		}
+		writeGuestString(t, in, 1024, "sub")
+		if errno := s.pathFilestatGet(in, []uint64{3, 1, 1024, 3, 4000}); errno != ErrnoNoent {
+			t.Errorf("stat removed dir = %v", errno)
+		}
+	})
+}
+
+func TestFilestatSetSizeAndAllocate(t *testing.T) {
+	eachBackend(t, func(t *testing.T, s *System, in *wasm.Instance) {
+		fd := openFile(t, s, in, "sz.db", oflagCreat, rightsFile)
+		if errno := s.fdFilestatSetSize(in, []uint64{uint64(fd), 5000}); errno != ErrnoSuccess {
+			t.Fatalf("set_size = %v", errno)
+		}
+		s.fdFilestatGet(in, []uint64{uint64(fd), 1000})
+		size, _ := in.Memory().ReadU64(1032)
+		if size != 5000 {
+			t.Errorf("size after set_size = %d", size)
+		}
+		if errno := s.fdAllocate(in, []uint64{uint64(fd), 4000, 3000}); errno != ErrnoSuccess {
+			t.Fatalf("fd_allocate = %v", errno)
+		}
+		s.fdFilestatGet(in, []uint64{uint64(fd), 1000})
+		size, _ = in.Memory().ReadU64(1032)
+		if size != 7000 {
+			t.Errorf("size after allocate = %d", size)
+		}
+	})
+}
+
+func TestFdRenumber(t *testing.T) {
+	s := newSystem(t, hostBE())
+	in := newGuest(t)
+	fd := openFile(t, s, in, "rn.db", oflagCreat, rightsFile)
+	if errno := s.fdRenumber(in, []uint64{uint64(fd), 17}); errno != ErrnoSuccess {
+		t.Fatalf("fd_renumber = %v", errno)
+	}
+	if errno := s.fdTell(in, []uint64{17, 300}); errno != ErrnoSuccess {
+		t.Errorf("renumbered fd unusable: %v", errno)
+	}
+	if errno := s.fdTell(in, []uint64{uint64(fd), 300}); errno != ErrnoBadf {
+		t.Errorf("old fd still live: %v", errno)
+	}
+}
+
+func TestDisableUntrustedPOSIX(t *testing.T) {
+	// Host backend blocked; IPFS backend (trusted) still works.
+	s := newSystem(t, hostBE(), func(c *Config) { c.DisableUntrustedPOSIX = true })
+	in := newGuest(t)
+	writeGuestString(t, in, 1024, "f")
+	errno := s.pathOpen(in, []uint64{3, 0, 1024, 1, oflagCreat, uint64(rightsFile), 0, 0, 2048})
+	if errno != ErrnoNotcapable {
+		t.Errorf("host open with POSIX disabled = %v, want ENOTCAPABLE", errno)
+	}
+
+	s2 := newSystem(t, ipfsBE(), func(c *Config) { c.DisableUntrustedPOSIX = true })
+	in2 := newGuest(t)
+	fd := openFile(t, s2, in2, "f", oflagCreat, rightsFile)
+	if errno := s2.fdClose(in2, []uint64{uint64(fd)}); errno != ErrnoSuccess {
+		t.Errorf("trusted backend blocked: %v", errno)
+	}
+}
+
+func TestSocketsUnsupported(t *testing.T) {
+	s := newSystem(t, hostBE())
+	in := newGuest(t)
+	if errno := s.sockRecv(in, make([]uint64, 6)); errno != ErrnoNosys {
+		t.Errorf("sock_recv = %v", errno)
+	}
+	if errno := s.sockSend(in, make([]uint64, 5)); errno != ErrnoNosys {
+		t.Errorf("sock_send = %v", errno)
+	}
+	if errno := s.sockShutdown(in, make([]uint64, 2)); errno != ErrnoNosys {
+		t.Errorf("sock_shutdown = %v", errno)
+	}
+	if errno := s.procRaise(in, []uint64{9}); errno != ErrnoNosys {
+		t.Errorf("proc_raise = %v", errno)
+	}
+	if errno := s.schedYield(in, nil); errno != ErrnoSuccess {
+		t.Errorf("sched_yield = %v", errno)
+	}
+}
+
+func TestPollOneoffClock(t *testing.T) {
+	s := newSystem(t, hostBE())
+	in := newGuest(t)
+	// One clock subscription with a 1ms relative timeout.
+	base := uint32(1024)
+	in.Memory().WriteU64(base, 0xCAFE)       // userdata
+	in.Memory().WriteByteAt(base+8, 0)       // tag: clock
+	in.Memory().WriteU32(base+16, 1)         // clock id
+	in.Memory().WriteU64(base+24, 1_000_000) // timeout 1ms
+	start := time.Now()
+	if errno := s.pollOneoff(in, []uint64{uint64(base), 2048, 1, 300}); errno != ErrnoSuccess {
+		t.Fatalf("poll_oneoff = %v", errno)
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Error("poll did not sleep")
+	}
+	n, _ := in.Memory().ReadU32(300)
+	if n != 1 {
+		t.Fatalf("nevents = %d", n)
+	}
+	userdata, _ := in.Memory().ReadU64(2048)
+	if userdata != 0xCAFE {
+		t.Errorf("event userdata = %#x", userdata)
+	}
+}
+
+// TestEndToEndHelloWorld runs a real Wasm module through the registered
+// WASI imports: _start writes to stdout and exits.
+func TestEndToEndHelloWorld(t *testing.T) {
+	m := wasmgen.NewModule()
+	fdWrite := m.ImportFunc(ModuleName, "fd_write",
+		wasmgen.Sig(wasmgen.I32, wasmgen.I32, wasmgen.I32, wasmgen.I32).Returns(wasmgen.I32))
+	procExit := m.ImportFunc(ModuleName, "proc_exit", wasmgen.Sig(wasmgen.I32))
+	m.Memory(1, 1)
+	m.Data(16, []byte("hello from wasi\n"))
+	start := m.Func(wasmgen.Sig())
+	// iovec at 0: base=16 len=16
+	start.I32Const(0).I32Const(16).I32Store(0)
+	start.I32Const(4).I32Const(16).I32Store(0)
+	start.I32Const(1).I32Const(0).I32Const(1).I32Const(8).Call(fdWrite).Drop()
+	start.I32Const(0).Call(procExit)
+	start.End()
+	m.Export("_start", start)
+
+	var out bytes.Buffer
+	s, err := NewSystem(Config{Stdout: &out, FS: hostBE()})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	imp := wasm.NewImportObject()
+	s.Register(imp)
+
+	mod, err := wasm.Decode(m.Bytes())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	c, err := wasm.Compile(mod)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	in, err := wasm.Instantiate(c, imp, wasm.Config{})
+	if err != nil {
+		t.Fatalf("Instantiate: %v", err)
+	}
+	_, err = in.Invoke("_start")
+	var tr *wasm.Trap
+	if !errors.As(err, &tr) || tr.Kind != wasm.TrapExit || tr.Code != 0 {
+		t.Fatalf("_start = %v, want clean TrapExit", err)
+	}
+	if out.String() != "hello from wasi\n" {
+		t.Errorf("stdout = %q", out.String())
+	}
+	if exited, code := s.Exited(); !exited || code != 0 {
+		t.Errorf("Exited = %v, %d", exited, code)
+	}
+}
+
+func TestOCallAccounting(t *testing.T) {
+	// With an enclave attached, untrusted file operations must cross the
+	// boundary; random_get (trusted) must not.
+	platform := sgx.NewPlatform("wasi")
+	enclave, err := platform.NewEnclave(sgx.TestConfig(), []byte("twine"))
+	if err != nil {
+		t.Fatalf("NewEnclave: %v", err)
+	}
+	be := NewHostBackend(hostfs.NewMemFS(), enclave)
+	s := newSystem(t, be, func(c *Config) { c.Enclave = enclave })
+	in := newGuest(t)
+
+	err = enclave.ECall("main", func() error {
+		fd := openFile(t, s, in, "x", oflagCreat, rightsFile)
+		writeGuestString(t, in, 4096, "data")
+		writeIovec(t, in, 8192, 4096, 4)
+		s.fdWrite(in, []uint64{uint64(fd), 8192, 1, 300})
+		s.fdClose(in, []uint64{uint64(fd)})
+		base := enclave.Stats().OCalls
+		if base == 0 {
+			t.Error("file I/O caused no OCALLs")
+		}
+		s.randomGet(in, []uint64{512, 16})
+		if enclave.Stats().OCalls != base {
+			t.Error("random_get crossed the enclave boundary")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ECall: %v", err)
+	}
+}
+
+func TestStdinRead(t *testing.T) {
+	s := newSystem(t, hostBE(), func(c *Config) { c.Stdin = strings.NewReader("input") })
+	in := newGuest(t)
+	writeIovec(t, in, 8192, 4096, 16)
+	if errno := s.fdRead(in, []uint64{0, 8192, 1, 300}); errno != ErrnoSuccess {
+		t.Fatalf("stdin read = %v", errno)
+	}
+	n, _ := in.Memory().ReadU32(300)
+	got, _ := in.Memory().Bytes(4096, n)
+	if string(got) != "input" {
+		t.Errorf("stdin = %q", got)
+	}
+}
+
+func TestBadFDEverywhere(t *testing.T) {
+	s := newSystem(t, hostBE())
+	in := newGuest(t)
+	bad := uint64(99)
+	checks := map[string]Errno{
+		"fd_close":    s.fdClose(in, []uint64{bad}),
+		"fd_read":     s.fdRead(in, []uint64{bad, 0, 0, 0}),
+		"fd_write":    s.fdWrite(in, []uint64{bad, 0, 0, 0}),
+		"fd_seek":     s.fdSeek(in, []uint64{bad, 0, 0, 0}),
+		"fd_tell":     s.fdTell(in, []uint64{bad, 0}),
+		"fd_sync":     s.fdSync(in, []uint64{bad}),
+		"fd_readdir":  s.fdReaddir(in, []uint64{bad, 0, 0, 0, 0}),
+		"fd_renumber": s.fdRenumber(in, []uint64{bad, 100}),
+	}
+	for name, errno := range checks {
+		if errno != ErrnoBadf {
+			t.Errorf("%s(bad fd) = %v, want EBADF", name, errno)
+		}
+	}
+}
+
+func TestSymlinkOps(t *testing.T) {
+	s := newSystem(t, hostBE())
+	in := newGuest(t)
+	fd := openFile(t, s, in, "target", oflagCreat, rightsFile)
+	s.fdClose(in, []uint64{uint64(fd)})
+
+	writeGuestString(t, in, 1024, "target")
+	writeGuestString(t, in, 1124, "ln")
+	if errno := s.pathSymlink(in, []uint64{1024, 6, 3, 1124, 2}); errno != ErrnoSuccess {
+		t.Fatalf("path_symlink = %v", errno)
+	}
+	if errno := s.pathReadlink(in, []uint64{3, 1124, 2, 4096, 64, 300}); errno != ErrnoSuccess {
+		t.Fatalf("path_readlink = %v", errno)
+	}
+	n, _ := in.Memory().ReadU32(300)
+	got, _ := in.Memory().Bytes(4096, n)
+	if string(got) != "target" {
+		t.Errorf("readlink = %q", got)
+	}
+	// Hard link.
+	writeGuestString(t, in, 1224, "hard")
+	if errno := s.pathLink(in, []uint64{3, 0, 1024, 6, 3, 1224, 4}); errno != ErrnoSuccess {
+		t.Fatalf("path_link = %v", errno)
+	}
+	writeGuestString(t, in, 1024, "hard")
+	if errno := s.pathFilestatGet(in, []uint64{3, 1, 1024, 4, 4000}); errno != ErrnoSuccess {
+		t.Errorf("stat hard link = %v", errno)
+	}
+}

@@ -1,0 +1,130 @@
+package wasm
+
+// The AoT "compilation" step: a peephole pass that rewrites lowered code
+// into fused superinstructions, standing in for wamrc's ahead-of-time
+// translation. Fusion never crosses a branch-target boundary, so all
+// control transfers stay valid after the rewrite; semantics are preserved
+// exactly (in particular, float operations are never combined — no FMA
+// contraction).
+
+// fuseFunc returns a fused copy of fn; fn itself is not modified so the
+// same Compiled module can back interpreter and AoT instances.
+func fuseFunc(fn compiledFunc) compiledFunc {
+	old := fn.code
+	// Collect branch-target boundaries.
+	isTarget := make([]bool, len(old)+1)
+	isTarget[0] = true
+	for _, i := range old {
+		switch i.op {
+		case opLoweredBr, opLoweredBrIf, opLoweredBrIfZ:
+			isTarget[i.a] = true
+		}
+	}
+	for _, tbl := range fn.brTables {
+		for _, t := range tbl {
+			isTarget[t.pc] = true
+		}
+	}
+
+	free := func(pc int) bool { return pc < len(old) && !isTarget[pc] }
+	isConst := func(op uint16) bool {
+		switch op {
+		case uint16(OpI32Const), uint16(OpI64Const), uint16(OpF32Const), uint16(OpF64Const):
+			return true
+		}
+		return false
+	}
+	isI32Cmp := func(op uint16) bool {
+		switch byte(op) {
+		case OpI32Eq, OpI32Ne, OpI32LtS, OpI32LtU, OpI32GtS, OpI32GtU,
+			OpI32LeS, OpI32LeU, OpI32GeS, OpI32GeU:
+			return op < 0x100
+		}
+		return false
+	}
+
+	newCode := make([]ins, 0, len(old))
+	remap := make([]int32, len(old)+1)
+	pc := 0
+	for pc < len(old) {
+		remap[pc] = int32(len(newCode))
+		i := old[pc]
+		fused := false
+		switch {
+		// local.get x; i32.const c; i32.add; local.set x  =>  incr_local
+		case i.op == uint16(OpLocalGet) &&
+			free(pc+1) && old[pc+1].op == uint16(OpI32Const) &&
+			free(pc+2) && old[pc+2].op == uint16(OpI32Add) &&
+			free(pc+3) && old[pc+3].op == uint16(OpLocalSet) && old[pc+3].a == i.a:
+			newCode = append(newCode, ins{op: opFusedIncrLocal, a: i.a, imm: old[pc+1].imm})
+			pc += 4
+			fused = true
+
+		// i32 compare; br_if  =>  cmp_br (drop/keep must fit the packing)
+		case isI32Cmp(i.op) && free(pc+1) && old[pc+1].op == opLoweredBrIf &&
+			old[pc+1].b < 0x8000 && old[pc+1].c < 0x8000:
+			br := old[pc+1]
+			newCode = append(newCode, ins{
+				op: opFusedCmpBr, a: br.a, b: int32(i.op),
+				c: br.b<<16 | br.c,
+			})
+			pc += 2
+			fused = true
+
+		// local.get a; local.get b  =>  local_get2
+		case i.op == uint16(OpLocalGet) && free(pc+1) && old[pc+1].op == uint16(OpLocalGet):
+			newCode = append(newCode, ins{op: opFusedLocalGet2, a: i.a, b: old[pc+1].a})
+			pc += 2
+			fused = true
+
+		// local.get a; const c  =>  local_get_const
+		case i.op == uint16(OpLocalGet) && free(pc+1) && isConst(old[pc+1].op):
+			newCode = append(newCode, ins{op: opFusedLocalGetC, a: i.a, imm: old[pc+1].imm})
+			pc += 2
+			fused = true
+
+		// local.get a; f64.load off  =>  f64_load_local
+		case i.op == uint16(OpLocalGet) && free(pc+1) && old[pc+1].op == uint16(OpF64Load):
+			newCode = append(newCode, ins{op: opFusedF64LoadLocal, a: i.a, imm: old[pc+1].imm})
+			pc += 2
+			fused = true
+
+		// i32.const c; i32.add  =>  i32_add_const
+		case i.op == uint16(OpI32Const) && free(pc+1) && old[pc+1].op == uint16(OpI32Add):
+			newCode = append(newCode, ins{op: opFusedI32AddConst, imm: i.imm})
+			pc += 2
+			fused = true
+
+		// i64.const c; i64.add  =>  i64_add_const
+		case i.op == uint16(OpI64Const) && free(pc+1) && old[pc+1].op == uint16(OpI64Add):
+			newCode = append(newCode, ins{op: opFusedI64AddConst, imm: i.imm})
+			pc += 2
+			fused = true
+		}
+		if !fused {
+			newCode = append(newCode, i)
+			pc++
+		}
+	}
+	remap[len(old)] = int32(len(newCode))
+
+	// Remap branch targets (all of which are boundaries by construction).
+	for idx := range newCode {
+		switch newCode[idx].op {
+		case opLoweredBr, opLoweredBrIf, opLoweredBrIfZ, opFusedCmpBr:
+			newCode[idx].a = remap[newCode[idx].a]
+		}
+	}
+	newTables := make([][]brTarget, len(fn.brTables))
+	for ti, tbl := range fn.brTables {
+		nt := make([]brTarget, len(tbl))
+		for i, t := range tbl {
+			nt[i] = brTarget{pc: remap[t.pc], drop: t.drop, keep: t.keep}
+		}
+		newTables[ti] = nt
+	}
+	out := fn
+	out.code = newCode
+	out.brTables = newTables
+	return out
+}

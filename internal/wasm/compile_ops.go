@@ -1,0 +1,140 @@
+package wasm
+
+import "fmt"
+
+// simpleInstr dispatches the regular (non-control) opcode space: memory
+// access, numeric operators and conversions.
+func (fc *funcCompiler) simpleInstr(op byte) error {
+	switch op {
+	// Loads.
+	case OpI32Load:
+		return fc.memInstr(op, 4, I32, false)
+	case OpI64Load:
+		return fc.memInstr(op, 8, I64, false)
+	case OpF32Load:
+		return fc.memInstr(op, 4, F32, false)
+	case OpF64Load:
+		return fc.memInstr(op, 8, F64, false)
+	case OpI32Load8S, OpI32Load8U:
+		return fc.memInstr(op, 1, I32, false)
+	case OpI32Load16S, OpI32Load16U:
+		return fc.memInstr(op, 2, I32, false)
+	case OpI64Load8S, OpI64Load8U:
+		return fc.memInstr(op, 1, I64, false)
+	case OpI64Load16S, OpI64Load16U:
+		return fc.memInstr(op, 2, I64, false)
+	case OpI64Load32S, OpI64Load32U:
+		return fc.memInstr(op, 4, I64, false)
+
+	// Stores.
+	case OpI32Store:
+		return fc.memInstr(op, 4, I32, true)
+	case OpI64Store:
+		return fc.memInstr(op, 8, I64, true)
+	case OpF32Store:
+		return fc.memInstr(op, 4, F32, true)
+	case OpF64Store:
+		return fc.memInstr(op, 8, F64, true)
+	case OpI32Store8:
+		return fc.memInstr(op, 1, I32, true)
+	case OpI32Store16:
+		return fc.memInstr(op, 2, I32, true)
+	case OpI64Store8:
+		return fc.memInstr(op, 1, I64, true)
+	case OpI64Store16:
+		return fc.memInstr(op, 2, I64, true)
+	case OpI64Store32:
+		return fc.memInstr(op, 4, I64, true)
+
+	// i32 test/rel ops.
+	case OpI32Eqz:
+		return fc.testop(op, I32)
+	case OpI32Eq, OpI32Ne, OpI32LtS, OpI32LtU, OpI32GtS, OpI32GtU,
+		OpI32LeS, OpI32LeU, OpI32GeS, OpI32GeU:
+		return fc.relop(op, I32)
+
+	// i64 test/rel ops.
+	case OpI64Eqz:
+		return fc.testop(op, I64)
+	case OpI64Eq, OpI64Ne, OpI64LtS, OpI64LtU, OpI64GtS, OpI64GtU,
+		OpI64LeS, OpI64LeU, OpI64GeS, OpI64GeU:
+		return fc.relop(op, I64)
+
+	// f32/f64 rel ops.
+	case OpF32Eq, OpF32Ne, OpF32Lt, OpF32Gt, OpF32Le, OpF32Ge:
+		return fc.relop(op, F32)
+	case OpF64Eq, OpF64Ne, OpF64Lt, OpF64Gt, OpF64Le, OpF64Ge:
+		return fc.relop(op, F64)
+
+	// i32 arithmetic.
+	case OpI32Clz, OpI32Ctz, OpI32Popcnt:
+		return fc.unop(op, I32)
+	case OpI32Add, OpI32Sub, OpI32Mul, OpI32DivS, OpI32DivU, OpI32RemS,
+		OpI32RemU, OpI32And, OpI32Or, OpI32Xor, OpI32Shl, OpI32ShrS,
+		OpI32ShrU, OpI32Rotl, OpI32Rotr:
+		return fc.binop(op, I32)
+
+	// i64 arithmetic.
+	case OpI64Clz, OpI64Ctz, OpI64Popcnt:
+		return fc.unop(op, I64)
+	case OpI64Add, OpI64Sub, OpI64Mul, OpI64DivS, OpI64DivU, OpI64RemS,
+		OpI64RemU, OpI64And, OpI64Or, OpI64Xor, OpI64Shl, OpI64ShrS,
+		OpI64ShrU, OpI64Rotl, OpI64Rotr:
+		return fc.binop(op, I64)
+
+	// f32 arithmetic.
+	case OpF32Abs, OpF32Neg, OpF32Ceil, OpF32Floor, OpF32Trunc, OpF32Nearest, OpF32Sqrt:
+		return fc.unop(op, F32)
+	case OpF32Add, OpF32Sub, OpF32Mul, OpF32Div, OpF32Min, OpF32Max, OpF32Copysign:
+		return fc.binop(op, F32)
+
+	// f64 arithmetic.
+	case OpF64Abs, OpF64Neg, OpF64Ceil, OpF64Floor, OpF64Trunc, OpF64Nearest, OpF64Sqrt:
+		return fc.unop(op, F64)
+	case OpF64Add, OpF64Sub, OpF64Mul, OpF64Div, OpF64Min, OpF64Max, OpF64Copysign:
+		return fc.binop(op, F64)
+
+	// Conversions.
+	case OpI32WrapI64:
+		return fc.cvtop(op, I64, I32)
+	case OpI32TruncF32S, OpI32TruncF32U:
+		return fc.cvtop(op, F32, I32)
+	case OpI32TruncF64S, OpI32TruncF64U:
+		return fc.cvtop(op, F64, I32)
+	case OpI64ExtendI32S, OpI64ExtendI32U:
+		return fc.cvtop(op, I32, I64)
+	case OpI64TruncF32S, OpI64TruncF32U:
+		return fc.cvtop(op, F32, I64)
+	case OpI64TruncF64S, OpI64TruncF64U:
+		return fc.cvtop(op, F64, I64)
+	case OpF32ConvertI32S, OpF32ConvertI32U:
+		return fc.cvtop(op, I32, F32)
+	case OpF32ConvertI64S, OpF32ConvertI64U:
+		return fc.cvtop(op, I64, F32)
+	case OpF32DemoteF64:
+		return fc.cvtop(op, F64, F32)
+	case OpF64ConvertI32S, OpF64ConvertI32U:
+		return fc.cvtop(op, I32, F64)
+	case OpF64ConvertI64S, OpF64ConvertI64U:
+		return fc.cvtop(op, I64, F64)
+	case OpF64PromoteF32:
+		return fc.cvtop(op, F32, F64)
+	case OpI32ReinterpretF32:
+		return fc.cvtop(op, F32, I32)
+	case OpI64ReinterpretF64:
+		return fc.cvtop(op, F64, I64)
+	case OpF32ReinterpretI32:
+		return fc.cvtop(op, I32, F32)
+	case OpF64ReinterpretI64:
+		return fc.cvtop(op, I64, F64)
+
+	// Sign extension.
+	case OpI32Extend8S, OpI32Extend16S:
+		return fc.unop(op, I32)
+	case OpI64Extend8S, OpI64Extend16S, OpI64Extend32S:
+		return fc.unop(op, I64)
+
+	default:
+		return fmt.Errorf("unsupported opcode 0x%02x", op)
+	}
+}

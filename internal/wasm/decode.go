@@ -1,0 +1,601 @@
+package wasm
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+var wasmMagic = []byte{0x00, 0x61, 0x73, 0x6D, 0x01, 0x00, 0x00, 0x00}
+
+// Section IDs.
+const (
+	secCustom   = 0
+	secType     = 1
+	secImport   = 2
+	secFunction = 3
+	secTable    = 4
+	secMemory   = 5
+	secGlobal   = 6
+	secExport   = 7
+	secStart    = 8
+	secElement  = 9
+	secCode     = 10
+	secData     = 11
+)
+
+// Decode parses a binary module and performs structural (index-space)
+// validation. Function bodies are validated later, by Compile.
+func Decode(buf []byte) (*Module, error) {
+	r := &reader{buf: buf}
+	magic, err := r.bytes(8)
+	if err != nil {
+		return nil, fmt.Errorf("%w: too short", ErrBadModule)
+	}
+	for i, b := range wasmMagic {
+		if magic[i] != b {
+			return nil, fmt.Errorf("%w: bad magic/version", ErrBadModule)
+		}
+	}
+	m := &Module{}
+	lastSec := -1
+	sawCode := false
+	for !r.done() {
+		id, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		size, err := r.u32()
+		if err != nil {
+			return nil, fmt.Errorf("%w: section size: %v", ErrBadModule, err)
+		}
+		body, err := r.bytes(int(size))
+		if err != nil {
+			return nil, fmt.Errorf("%w: section %d truncated", ErrBadModule, id)
+		}
+		if id != secCustom {
+			if int(id) <= lastSec {
+				return nil, fmt.Errorf("%w: section %d out of order", ErrBadModule, id)
+			}
+			lastSec = int(id)
+		}
+		sr := &reader{buf: body}
+		switch id {
+		case secCustom:
+			// Skipped (names, producers, ...).
+		case secType:
+			err = decodeTypes(sr, m)
+		case secImport:
+			err = decodeImports(sr, m)
+		case secFunction:
+			err = decodeFunctions(sr, m)
+		case secTable:
+			err = decodeTables(sr, m)
+		case secMemory:
+			err = decodeMemories(sr, m)
+		case secGlobal:
+			err = decodeGlobals(sr, m)
+		case secExport:
+			err = decodeExports(sr, m)
+		case secStart:
+			idx, serr := sr.u32()
+			if serr != nil {
+				err = serr
+				break
+			}
+			m.HasStart = true
+			m.StartIdx = idx
+		case secElement:
+			err = decodeElems(sr, m)
+		case secCode:
+			sawCode = true
+			err = decodeCodes(sr, m)
+		case secData:
+			err = decodeData(sr, m)
+		default:
+			return nil, fmt.Errorf("%w: unknown section id %d", ErrBadModule, id)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: section %d: %v", ErrBadModule, id, err)
+		}
+		if id != secCustom && sr.len() != 0 {
+			return nil, fmt.Errorf("%w: section %d has %d trailing bytes", ErrBadModule, id, sr.len())
+		}
+	}
+	if len(m.FuncTypeIdxs) > 0 && !sawCode {
+		return nil, fmt.Errorf("%w: function section without code section", ErrBadModule)
+	}
+	if len(m.Codes) != len(m.FuncTypeIdxs) {
+		return nil, fmt.Errorf("%w: %d code bodies for %d functions", ErrBadModule, len(m.Codes), len(m.FuncTypeIdxs))
+	}
+	if err := validateIndexSpaces(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func decodeTypes(r *reader, m *Module) error {
+	n, err := r.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < n; i++ {
+		form, err := r.byte()
+		if err != nil {
+			return err
+		}
+		if form != 0x60 {
+			return fmt.Errorf("type %d: bad form 0x%02x", i, form)
+		}
+		ft := FuncType{}
+		if ft.Params, err = decodeValTypes(r); err != nil {
+			return err
+		}
+		if ft.Results, err = decodeValTypes(r); err != nil {
+			return err
+		}
+		if len(ft.Results) > 1 {
+			return fmt.Errorf("type %d: multiple results not supported in MVP", i)
+		}
+		m.Types = append(m.Types, ft)
+	}
+	return nil
+}
+
+func decodeValTypes(r *reader) ([]ValueType, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ValueType, 0, n)
+	for i := uint32(0); i < n; i++ {
+		b, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		if !validValueType(b) {
+			return nil, fmt.Errorf("bad value type 0x%02x", b)
+		}
+		out = append(out, ValueType(b))
+	}
+	return out, nil
+}
+
+func decodeLimits(r *reader) (Limits, error) {
+	flag, err := r.byte()
+	if err != nil {
+		return Limits{}, err
+	}
+	var l Limits
+	min, err := r.u32()
+	if err != nil {
+		return Limits{}, err
+	}
+	l.Min = min
+	switch flag {
+	case 0:
+	case 1:
+		max, err := r.u32()
+		if err != nil {
+			return Limits{}, err
+		}
+		l.Max = max
+		l.HasMax = true
+		if l.Max < l.Min {
+			return Limits{}, fmt.Errorf("limits max %d < min %d", l.Max, l.Min)
+		}
+	default:
+		return Limits{}, fmt.Errorf("bad limits flag %d", flag)
+	}
+	return l, nil
+}
+
+func decodeImports(r *reader, m *Module) error {
+	n, err := r.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < n; i++ {
+		var imp Import
+		if imp.Module, err = r.name(); err != nil {
+			return err
+		}
+		if imp.Name, err = r.name(); err != nil {
+			return err
+		}
+		kind, err := r.byte()
+		if err != nil {
+			return err
+		}
+		imp.Kind = ImportKind(kind)
+		switch imp.Kind {
+		case KindFunc:
+			if imp.TypeIdx, err = r.u32(); err != nil {
+				return err
+			}
+			m.NumImportedFuncs++
+		case KindTable:
+			elem, err := r.byte()
+			if err != nil {
+				return err
+			}
+			if elem != 0x70 {
+				return fmt.Errorf("import %d: bad table elem type", i)
+			}
+			if imp.Limits, err = decodeLimits(r); err != nil {
+				return err
+			}
+			m.NumImportedTables++
+		case KindMemory:
+			if imp.Limits, err = decodeLimits(r); err != nil {
+				return err
+			}
+			m.NumImportedMems++
+		case KindGlobal:
+			t, err := r.byte()
+			if err != nil {
+				return err
+			}
+			if !validValueType(t) {
+				return fmt.Errorf("import %d: bad global type", i)
+			}
+			mut, err := r.byte()
+			if err != nil {
+				return err
+			}
+			imp.Global = GlobalType{Type: ValueType(t), Mutable: mut == 1}
+		default:
+			return fmt.Errorf("import %d: bad kind %d", i, kind)
+		}
+		if imp.Kind == KindGlobal {
+			m.NumImportedGlobals++
+		}
+		m.Imports = append(m.Imports, imp)
+	}
+	return nil
+}
+
+func decodeFunctions(r *reader, m *Module) error {
+	n, err := r.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < n; i++ {
+		idx, err := r.u32()
+		if err != nil {
+			return err
+		}
+		m.FuncTypeIdxs = append(m.FuncTypeIdxs, idx)
+	}
+	return nil
+}
+
+func decodeTables(r *reader, m *Module) error {
+	n, err := r.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < n; i++ {
+		elem, err := r.byte()
+		if err != nil {
+			return err
+		}
+		if elem != 0x70 {
+			return fmt.Errorf("table %d: bad elem type", i)
+		}
+		l, err := decodeLimits(r)
+		if err != nil {
+			return err
+		}
+		m.Tables = append(m.Tables, l)
+	}
+	if len(m.Tables)+m.NumImportedTables > 1 {
+		return fmt.Errorf("at most one table in MVP")
+	}
+	return nil
+}
+
+func decodeMemories(r *reader, m *Module) error {
+	n, err := r.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < n; i++ {
+		l, err := decodeLimits(r)
+		if err != nil {
+			return err
+		}
+		if l.Min > MaxPages || (l.HasMax && l.Max > MaxPages) {
+			return fmt.Errorf("memory %d: exceeds 4 GiB", i)
+		}
+		m.Memories = append(m.Memories, l)
+	}
+	if len(m.Memories)+m.NumImportedMems > 1 {
+		return fmt.Errorf("at most one memory in MVP")
+	}
+	return nil
+}
+
+func decodeInitExpr(r *reader) (InitExpr, error) {
+	op, err := r.byte()
+	if err != nil {
+		return InitExpr{}, err
+	}
+	var e InitExpr
+	e.Kind = op
+	switch op {
+	case OpI32Const:
+		v, err := r.sleb(32)
+		if err != nil {
+			return e, err
+		}
+		e.Value = uint64(uint32(int32(v)))
+	case OpI64Const:
+		v, err := r.sleb(64)
+		if err != nil {
+			return e, err
+		}
+		e.Value = uint64(v)
+	case OpF32Const:
+		b, err := r.bytes(4)
+		if err != nil {
+			return e, err
+		}
+		e.Value = uint64(binary.LittleEndian.Uint32(b))
+	case OpF64Const:
+		b, err := r.bytes(8)
+		if err != nil {
+			return e, err
+		}
+		e.Value = binary.LittleEndian.Uint64(b)
+	case OpGlobalGet:
+		idx, err := r.u32()
+		if err != nil {
+			return e, err
+		}
+		e.GlobalIdx = idx
+	default:
+		return e, fmt.Errorf("unsupported init expr opcode 0x%02x", op)
+	}
+	end, err := r.byte()
+	if err != nil {
+		return e, err
+	}
+	if end != OpEnd {
+		return e, fmt.Errorf("init expr not terminated")
+	}
+	return e, nil
+}
+
+func decodeGlobals(r *reader, m *Module) error {
+	n, err := r.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < n; i++ {
+		t, err := r.byte()
+		if err != nil {
+			return err
+		}
+		if !validValueType(t) {
+			return fmt.Errorf("global %d: bad type", i)
+		}
+		mut, err := r.byte()
+		if err != nil {
+			return err
+		}
+		init, err := decodeInitExpr(r)
+		if err != nil {
+			return fmt.Errorf("global %d: %v", i, err)
+		}
+		m.Globals = append(m.Globals, Global{
+			Type: GlobalType{Type: ValueType(t), Mutable: mut == 1},
+			Init: init,
+		})
+	}
+	return nil
+}
+
+func decodeExports(r *reader, m *Module) error {
+	n, err := r.u32()
+	if err != nil {
+		return err
+	}
+	seen := make(map[string]bool, n)
+	for i := uint32(0); i < n; i++ {
+		name, err := r.name()
+		if err != nil {
+			return err
+		}
+		if seen[name] {
+			return fmt.Errorf("duplicate export %q", name)
+		}
+		seen[name] = true
+		kind, err := r.byte()
+		if err != nil {
+			return err
+		}
+		idx, err := r.u32()
+		if err != nil {
+			return err
+		}
+		m.Exports = append(m.Exports, Export{Name: name, Kind: ImportKind(kind), Idx: idx})
+	}
+	return nil
+}
+
+func decodeElems(r *reader, m *Module) error {
+	n, err := r.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < n; i++ {
+		tableIdx, err := r.u32()
+		if err != nil {
+			return err
+		}
+		if tableIdx != 0 {
+			return fmt.Errorf("elem %d: non-zero table index", i)
+		}
+		off, err := decodeInitExpr(r)
+		if err != nil {
+			return err
+		}
+		cnt, err := r.u32()
+		if err != nil {
+			return err
+		}
+		seg := ElemSegment{Offset: off, Indices: make([]uint32, 0, cnt)}
+		for j := uint32(0); j < cnt; j++ {
+			fi, err := r.u32()
+			if err != nil {
+				return err
+			}
+			seg.Indices = append(seg.Indices, fi)
+		}
+		m.Elems = append(m.Elems, seg)
+	}
+	return nil
+}
+
+func decodeCodes(r *reader, m *Module) error {
+	n, err := r.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < n; i++ {
+		size, err := r.u32()
+		if err != nil {
+			return err
+		}
+		body, err := r.bytes(int(size))
+		if err != nil {
+			return err
+		}
+		br := &reader{buf: body}
+		declCount, err := br.u32()
+		if err != nil {
+			return err
+		}
+		var locals []ValueType
+		for j := uint32(0); j < declCount; j++ {
+			cnt, err := br.u32()
+			if err != nil {
+				return err
+			}
+			t, err := br.byte()
+			if err != nil {
+				return err
+			}
+			if !validValueType(t) {
+				return fmt.Errorf("code %d: bad local type", i)
+			}
+			if uint64(len(locals))+uint64(cnt) > 65536 {
+				return fmt.Errorf("code %d: too many locals", i)
+			}
+			for k := uint32(0); k < cnt; k++ {
+				locals = append(locals, ValueType(t))
+			}
+		}
+		m.Codes = append(m.Codes, Code{Locals: locals, Body: body[br.pos:]})
+	}
+	return nil
+}
+
+func decodeData(r *reader, m *Module) error {
+	n, err := r.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < n; i++ {
+		memIdx, err := r.u32()
+		if err != nil {
+			return err
+		}
+		if memIdx != 0 {
+			return fmt.Errorf("data %d: non-zero memory index", i)
+		}
+		off, err := decodeInitExpr(r)
+		if err != nil {
+			return err
+		}
+		cnt, err := r.u32()
+		if err != nil {
+			return err
+		}
+		b, err := r.bytes(int(cnt))
+		if err != nil {
+			return err
+		}
+		seg := DataSegment{Offset: off, Bytes: append([]byte(nil), b...)}
+		m.Data = append(m.Data, seg)
+	}
+	return nil
+}
+
+// validateIndexSpaces checks every cross-reference in the module.
+func validateIndexSpaces(m *Module) error {
+	nTypes := uint32(len(m.Types))
+	for i, imp := range m.Imports {
+		if imp.Kind == KindFunc && imp.TypeIdx >= nTypes {
+			return fmt.Errorf("%w: import %d: type index %d out of range", ErrValidation, i, imp.TypeIdx)
+		}
+	}
+	for i, ti := range m.FuncTypeIdxs {
+		if ti >= nTypes {
+			return fmt.Errorf("%w: function %d: type index %d out of range", ErrValidation, i, ti)
+		}
+	}
+	nFuncs := uint32(m.NumFunctions())
+	nGlobals := uint32(m.NumImportedGlobals + len(m.Globals))
+	nTables := uint32(m.NumImportedTables + len(m.Tables))
+	nMems := uint32(m.NumImportedMems + len(m.Memories))
+	for _, e := range m.Exports {
+		var limit uint32
+		switch e.Kind {
+		case KindFunc:
+			limit = nFuncs
+		case KindGlobal:
+			limit = nGlobals
+		case KindTable:
+			limit = nTables
+		case KindMemory:
+			limit = nMems
+		default:
+			return fmt.Errorf("%w: export %q: bad kind", ErrValidation, e.Name)
+		}
+		if e.Idx >= limit {
+			return fmt.Errorf("%w: export %q: index %d out of range", ErrValidation, e.Name, e.Idx)
+		}
+	}
+	if m.HasStart {
+		if m.StartIdx >= nFuncs {
+			return fmt.Errorf("%w: start function index out of range", ErrValidation)
+		}
+		ft, err := m.TypeOfFunc(m.StartIdx)
+		if err != nil {
+			return err
+		}
+		if len(ft.Params) != 0 || len(ft.Results) != 0 {
+			return fmt.Errorf("%w: start function must be []->[]", ErrValidation)
+		}
+	}
+	for i, g := range m.Globals {
+		if g.Init.Kind == OpGlobalGet && int(g.Init.GlobalIdx) >= m.NumImportedGlobals {
+			return fmt.Errorf("%w: global %d: init refers to non-imported global", ErrValidation, i)
+		}
+	}
+	for i, e := range m.Elems {
+		if nTables == 0 {
+			return fmt.Errorf("%w: elem %d: no table", ErrValidation, i)
+		}
+		for _, fi := range e.Indices {
+			if fi >= nFuncs {
+				return fmt.Errorf("%w: elem %d: function index %d out of range", ErrValidation, i, fi)
+			}
+		}
+	}
+	if len(m.Data) > 0 && nMems == 0 {
+		return fmt.Errorf("%w: data segment without memory", ErrValidation)
+	}
+	return nil
+}

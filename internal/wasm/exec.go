@@ -1,0 +1,555 @@
+package wasm
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"math/bits"
+)
+
+// invokeFunc runs function-index-space entry fi. Arguments are the top
+// len(params) slots of the value stack; on return they are replaced by the
+// results.
+func (in *Instance) invokeFunc(fi int) {
+	if fi < len(in.hosts) {
+		in.invokeHost(fi)
+		return
+	}
+	fn := &in.funcs[fi-len(in.hosts)]
+	base := in.sp - fn.numParams
+	top := base + fn.numParams + fn.numLocals + fn.maxStack
+	if top > len(in.stack) {
+		trap(TrapStackOverflow, "need %d slots", top)
+	}
+	in.depth++
+	if in.depth > in.cfg.MaxCallDepth {
+		in.depth--
+		trap(TrapCallDepth, "depth %d", in.cfg.MaxCallDepth)
+	}
+	locals := in.stack[base+fn.numParams : base+fn.numParams+fn.numLocals]
+	for i := range locals {
+		locals[i] = 0
+	}
+	in.runBody(fn, base)
+	in.depth--
+}
+
+func (in *Instance) invokeHost(fi int) {
+	hf := &in.hosts[fi]
+	np := len(hf.Type.Params)
+	if cap(in.hostArgBuf) < np {
+		in.hostArgBuf = make([]uint64, np)
+	}
+	args := in.hostArgBuf[:np]
+	copy(args, in.stack[in.sp-np:in.sp])
+	res, err := hf.Fn(in, args)
+	if err != nil {
+		var exit ExitError
+		if errors.As(err, &exit) {
+			panic(&Trap{Kind: TrapExit, Code: exit.Code})
+		}
+		panic(&Trap{Kind: TrapHostError, Msg: hf.Module + "." + hf.Name, Err: err})
+	}
+	if len(res) != len(hf.Type.Results) {
+		trap(TrapHostError, "%s.%s returned %d values, want %d", hf.Module, hf.Name, len(res), len(hf.Type.Results))
+	}
+	in.sp -= np
+	for _, r := range res {
+		in.stack[in.sp] = r
+		in.sp++
+	}
+}
+
+// runBody is the interpreter loop. bp is the frame base: params, then
+// locals, then the operand stack.
+func (in *Instance) runBody(fn *compiledFunc, bp int) {
+	code := fn.code
+	stack := in.stack
+	mem := in.mem
+	sp := bp + fn.numParams + fn.numLocals
+	pc := 0
+
+	for {
+		i := &code[pc]
+		switch i.op {
+
+		// --- control ---
+		case uint16(OpUnreachable):
+			trap(TrapUnreachable, "")
+		case opLoweredBr:
+			sp = brAdjust(stack, sp, int(i.b), int(i.c))
+			pc = int(i.a)
+			continue
+		case opLoweredBrIf:
+			sp--
+			if uint32(stack[sp]) != 0 {
+				sp = brAdjust(stack, sp, int(i.b), int(i.c))
+				pc = int(i.a)
+				continue
+			}
+		case opLoweredBrIfZ:
+			sp--
+			if uint32(stack[sp]) == 0 {
+				sp = brAdjust(stack, sp, int(i.b), int(i.c))
+				pc = int(i.a)
+				continue
+			}
+		case opLoweredBrTable:
+			sp--
+			idx := uint32(stack[sp])
+			table := fn.brTables[i.a]
+			t := table[len(table)-1]
+			if int(idx) < len(table)-1 {
+				t = table[idx]
+			}
+			sp = brAdjust(stack, sp, int(t.drop), int(t.keep))
+			pc = int(t.pc)
+			continue
+		case opLoweredReturn:
+			keep := int(i.c)
+			copy(stack[bp:bp+keep], stack[sp-keep:sp])
+			in.sp = bp + keep
+			return
+		case opFusedCmpBr:
+			// Fused i32 compare + conditional branch (AoT engine).
+			sp -= 2
+			a, b := uint32(stack[sp]), uint32(stack[sp+1])
+			var cond bool
+			switch byte(i.b) {
+			case OpI32Eq:
+				cond = a == b
+			case OpI32Ne:
+				cond = a != b
+			case OpI32LtS:
+				cond = int32(a) < int32(b)
+			case OpI32LtU:
+				cond = a < b
+			case OpI32GtS:
+				cond = int32(a) > int32(b)
+			case OpI32GtU:
+				cond = a > b
+			case OpI32LeS:
+				cond = int32(a) <= int32(b)
+			case OpI32LeU:
+				cond = a <= b
+			case OpI32GeS:
+				cond = int32(a) >= int32(b)
+			case OpI32GeU:
+				cond = a >= b
+			}
+			if cond {
+				sp = brAdjust(stack, sp, int(i.c)>>16, int(i.c)&0xFFFF)
+				pc = int(i.a)
+				continue
+			}
+		case uint16(OpCall):
+			in.sp = sp
+			in.invokeFunc(int(i.a))
+			sp = in.sp
+		case uint16(OpCallIndirect):
+			sp--
+			elem := uint32(stack[sp])
+			if int(elem) >= len(in.table) {
+				trap(TrapUndefinedElem, "index %d of %d", elem, len(in.table))
+			}
+			target := in.table[elem]
+			if target < 0 {
+				trap(TrapUndefinedElem, "uninitialised element %d", elem)
+			}
+			want := in.m.Types[i.a]
+			got, err := in.m.TypeOfFunc(uint32(target))
+			if err != nil || !got.Equal(want) {
+				trap(TrapIndirectType, "want %v got %v", want, got)
+			}
+			in.sp = sp
+			in.invokeFunc(int(target))
+			sp = in.sp
+
+		// --- parametric ---
+		case uint16(OpDrop):
+			sp--
+		case uint16(OpSelect):
+			sp -= 2
+			if uint32(stack[sp+1]) == 0 {
+				stack[sp-1] = stack[sp]
+			}
+
+		// --- variables ---
+		case uint16(OpLocalGet):
+			stack[sp] = stack[bp+int(i.a)]
+			sp++
+		case uint16(OpLocalSet):
+			sp--
+			stack[bp+int(i.a)] = stack[sp]
+		case uint16(OpLocalTee):
+			stack[bp+int(i.a)] = stack[sp-1]
+		case uint16(OpGlobalGet):
+			stack[sp] = in.globals[i.a]
+			sp++
+		case uint16(OpGlobalSet):
+			sp--
+			in.globals[i.a] = stack[sp]
+
+		// --- memory ---
+		case uint16(OpI32Load):
+			stack[sp-1] = uint64(binary.LittleEndian.Uint32(memAt(mem, stack[sp-1], i.imm, 4)))
+		case uint16(OpI64Load):
+			stack[sp-1] = binary.LittleEndian.Uint64(memAt(mem, stack[sp-1], i.imm, 8))
+		case uint16(OpF32Load):
+			stack[sp-1] = uint64(binary.LittleEndian.Uint32(memAt(mem, stack[sp-1], i.imm, 4)))
+		case uint16(OpF64Load):
+			stack[sp-1] = binary.LittleEndian.Uint64(memAt(mem, stack[sp-1], i.imm, 8))
+		case uint16(OpI32Load8S):
+			stack[sp-1] = uint64(uint32(int32(int8(memAt(mem, stack[sp-1], i.imm, 1)[0]))))
+		case uint16(OpI32Load8U):
+			stack[sp-1] = uint64(memAt(mem, stack[sp-1], i.imm, 1)[0])
+		case uint16(OpI32Load16S):
+			stack[sp-1] = uint64(uint32(int32(int16(binary.LittleEndian.Uint16(memAt(mem, stack[sp-1], i.imm, 2))))))
+		case uint16(OpI32Load16U):
+			stack[sp-1] = uint64(binary.LittleEndian.Uint16(memAt(mem, stack[sp-1], i.imm, 2)))
+		case uint16(OpI64Load8S):
+			stack[sp-1] = uint64(int64(int8(memAt(mem, stack[sp-1], i.imm, 1)[0])))
+		case uint16(OpI64Load8U):
+			stack[sp-1] = uint64(memAt(mem, stack[sp-1], i.imm, 1)[0])
+		case uint16(OpI64Load16S):
+			stack[sp-1] = uint64(int64(int16(binary.LittleEndian.Uint16(memAt(mem, stack[sp-1], i.imm, 2)))))
+		case uint16(OpI64Load16U):
+			stack[sp-1] = uint64(binary.LittleEndian.Uint16(memAt(mem, stack[sp-1], i.imm, 2)))
+		case uint16(OpI64Load32S):
+			stack[sp-1] = uint64(int64(int32(binary.LittleEndian.Uint32(memAt(mem, stack[sp-1], i.imm, 4)))))
+		case uint16(OpI64Load32U):
+			stack[sp-1] = uint64(binary.LittleEndian.Uint32(memAt(mem, stack[sp-1], i.imm, 4)))
+		case uint16(OpI32Store):
+			sp -= 2
+			binary.LittleEndian.PutUint32(memAt(mem, stack[sp], i.imm, 4), uint32(stack[sp+1]))
+		case uint16(OpI64Store):
+			sp -= 2
+			binary.LittleEndian.PutUint64(memAt(mem, stack[sp], i.imm, 8), stack[sp+1])
+		case uint16(OpF32Store):
+			sp -= 2
+			binary.LittleEndian.PutUint32(memAt(mem, stack[sp], i.imm, 4), uint32(stack[sp+1]))
+		case uint16(OpF64Store):
+			sp -= 2
+			binary.LittleEndian.PutUint64(memAt(mem, stack[sp], i.imm, 8), stack[sp+1])
+		case uint16(OpI32Store8), uint16(OpI64Store8):
+			sp -= 2
+			memAt(mem, stack[sp], i.imm, 1)[0] = byte(stack[sp+1])
+		case uint16(OpI32Store16), uint16(OpI64Store16):
+			sp -= 2
+			binary.LittleEndian.PutUint16(memAt(mem, stack[sp], i.imm, 2), uint16(stack[sp+1]))
+		case uint16(OpI64Store32):
+			sp -= 2
+			binary.LittleEndian.PutUint32(memAt(mem, stack[sp], i.imm, 4), uint32(stack[sp+1]))
+		case uint16(OpMemorySize):
+			stack[sp] = uint64(mem.Pages())
+			sp++
+		case uint16(OpMemoryGrow):
+			stack[sp-1] = uint64(uint32(mem.Grow(uint32(stack[sp-1]))))
+
+		// --- constants ---
+		case uint16(OpI32Const), uint16(OpI64Const), uint16(OpF32Const), uint16(OpF64Const):
+			stack[sp] = i.imm
+			sp++
+
+		// --- i32 compare ---
+		case uint16(OpI32Eqz):
+			stack[sp-1] = b2u(uint32(stack[sp-1]) == 0)
+		case uint16(OpI32Eq):
+			sp--
+			stack[sp-1] = b2u(uint32(stack[sp-1]) == uint32(stack[sp]))
+		case uint16(OpI32Ne):
+			sp--
+			stack[sp-1] = b2u(uint32(stack[sp-1]) != uint32(stack[sp]))
+		case uint16(OpI32LtS):
+			sp--
+			stack[sp-1] = b2u(int32(stack[sp-1]) < int32(stack[sp]))
+		case uint16(OpI32LtU):
+			sp--
+			stack[sp-1] = b2u(uint32(stack[sp-1]) < uint32(stack[sp]))
+		case uint16(OpI32GtS):
+			sp--
+			stack[sp-1] = b2u(int32(stack[sp-1]) > int32(stack[sp]))
+		case uint16(OpI32GtU):
+			sp--
+			stack[sp-1] = b2u(uint32(stack[sp-1]) > uint32(stack[sp]))
+		case uint16(OpI32LeS):
+			sp--
+			stack[sp-1] = b2u(int32(stack[sp-1]) <= int32(stack[sp]))
+		case uint16(OpI32LeU):
+			sp--
+			stack[sp-1] = b2u(uint32(stack[sp-1]) <= uint32(stack[sp]))
+		case uint16(OpI32GeS):
+			sp--
+			stack[sp-1] = b2u(int32(stack[sp-1]) >= int32(stack[sp]))
+		case uint16(OpI32GeU):
+			sp--
+			stack[sp-1] = b2u(uint32(stack[sp-1]) >= uint32(stack[sp]))
+
+		// --- i64 compare ---
+		case uint16(OpI64Eqz):
+			stack[sp-1] = b2u(stack[sp-1] == 0)
+		case uint16(OpI64Eq):
+			sp--
+			stack[sp-1] = b2u(stack[sp-1] == stack[sp])
+		case uint16(OpI64Ne):
+			sp--
+			stack[sp-1] = b2u(stack[sp-1] != stack[sp])
+		case uint16(OpI64LtS):
+			sp--
+			stack[sp-1] = b2u(int64(stack[sp-1]) < int64(stack[sp]))
+		case uint16(OpI64LtU):
+			sp--
+			stack[sp-1] = b2u(stack[sp-1] < stack[sp])
+		case uint16(OpI64GtS):
+			sp--
+			stack[sp-1] = b2u(int64(stack[sp-1]) > int64(stack[sp]))
+		case uint16(OpI64GtU):
+			sp--
+			stack[sp-1] = b2u(stack[sp-1] > stack[sp])
+		case uint16(OpI64LeS):
+			sp--
+			stack[sp-1] = b2u(int64(stack[sp-1]) <= int64(stack[sp]))
+		case uint16(OpI64LeU):
+			sp--
+			stack[sp-1] = b2u(stack[sp-1] <= stack[sp])
+		case uint16(OpI64GeS):
+			sp--
+			stack[sp-1] = b2u(int64(stack[sp-1]) >= int64(stack[sp]))
+		case uint16(OpI64GeU):
+			sp--
+			stack[sp-1] = b2u(stack[sp-1] >= stack[sp])
+
+		// --- float compare ---
+		case uint16(OpF32Eq):
+			sp--
+			stack[sp-1] = b2u(f32(stack[sp-1]) == f32(stack[sp]))
+		case uint16(OpF32Ne):
+			sp--
+			stack[sp-1] = b2u(f32(stack[sp-1]) != f32(stack[sp]))
+		case uint16(OpF32Lt):
+			sp--
+			stack[sp-1] = b2u(f32(stack[sp-1]) < f32(stack[sp]))
+		case uint16(OpF32Gt):
+			sp--
+			stack[sp-1] = b2u(f32(stack[sp-1]) > f32(stack[sp]))
+		case uint16(OpF32Le):
+			sp--
+			stack[sp-1] = b2u(f32(stack[sp-1]) <= f32(stack[sp]))
+		case uint16(OpF32Ge):
+			sp--
+			stack[sp-1] = b2u(f32(stack[sp-1]) >= f32(stack[sp]))
+		case uint16(OpF64Eq):
+			sp--
+			stack[sp-1] = b2u(f64(stack[sp-1]) == f64(stack[sp]))
+		case uint16(OpF64Ne):
+			sp--
+			stack[sp-1] = b2u(f64(stack[sp-1]) != f64(stack[sp]))
+		case uint16(OpF64Lt):
+			sp--
+			stack[sp-1] = b2u(f64(stack[sp-1]) < f64(stack[sp]))
+		case uint16(OpF64Gt):
+			sp--
+			stack[sp-1] = b2u(f64(stack[sp-1]) > f64(stack[sp]))
+		case uint16(OpF64Le):
+			sp--
+			stack[sp-1] = b2u(f64(stack[sp-1]) <= f64(stack[sp]))
+		case uint16(OpF64Ge):
+			sp--
+			stack[sp-1] = b2u(f64(stack[sp-1]) >= f64(stack[sp]))
+
+		// --- i32 arithmetic ---
+		case uint16(OpI32Clz):
+			stack[sp-1] = uint64(bits.LeadingZeros32(uint32(stack[sp-1])))
+		case uint16(OpI32Ctz):
+			stack[sp-1] = uint64(bits.TrailingZeros32(uint32(stack[sp-1])))
+		case uint16(OpI32Popcnt):
+			stack[sp-1] = uint64(bits.OnesCount32(uint32(stack[sp-1])))
+		case uint16(OpI32Add):
+			sp--
+			stack[sp-1] = uint64(uint32(stack[sp-1]) + uint32(stack[sp]))
+		case uint16(OpI32Sub):
+			sp--
+			stack[sp-1] = uint64(uint32(stack[sp-1]) - uint32(stack[sp]))
+		case uint16(OpI32Mul):
+			sp--
+			stack[sp-1] = uint64(uint32(stack[sp-1]) * uint32(stack[sp]))
+		case uint16(OpI32DivS):
+			sp--
+			d := int32(stack[sp])
+			n := int32(stack[sp-1])
+			if d == 0 {
+				trap(TrapDivZero, "i32.div_s")
+			}
+			if n == math.MinInt32 && d == -1 {
+				trap(TrapIntOverflow, "i32.div_s")
+			}
+			stack[sp-1] = uint64(uint32(n / d))
+		case uint16(OpI32DivU):
+			sp--
+			d := uint32(stack[sp])
+			if d == 0 {
+				trap(TrapDivZero, "i32.div_u")
+			}
+			stack[sp-1] = uint64(uint32(stack[sp-1]) / d)
+		case uint16(OpI32RemS):
+			sp--
+			d := int32(stack[sp])
+			n := int32(stack[sp-1])
+			if d == 0 {
+				trap(TrapDivZero, "i32.rem_s")
+			}
+			if n == math.MinInt32 && d == -1 {
+				stack[sp-1] = 0
+			} else {
+				stack[sp-1] = uint64(uint32(n % d))
+			}
+		case uint16(OpI32RemU):
+			sp--
+			d := uint32(stack[sp])
+			if d == 0 {
+				trap(TrapDivZero, "i32.rem_u")
+			}
+			stack[sp-1] = uint64(uint32(stack[sp-1]) % d)
+		case uint16(OpI32And):
+			sp--
+			stack[sp-1] = stack[sp-1] & stack[sp]
+		case uint16(OpI32Or):
+			sp--
+			stack[sp-1] = stack[sp-1] | stack[sp]
+		case uint16(OpI32Xor):
+			sp--
+			stack[sp-1] = stack[sp-1] ^ stack[sp]
+		case uint16(OpI32Shl):
+			sp--
+			stack[sp-1] = uint64(uint32(stack[sp-1]) << (uint32(stack[sp]) & 31))
+		case uint16(OpI32ShrS):
+			sp--
+			stack[sp-1] = uint64(uint32(int32(stack[sp-1]) >> (uint32(stack[sp]) & 31)))
+		case uint16(OpI32ShrU):
+			sp--
+			stack[sp-1] = uint64(uint32(stack[sp-1]) >> (uint32(stack[sp]) & 31))
+		case uint16(OpI32Rotl):
+			sp--
+			stack[sp-1] = uint64(bits.RotateLeft32(uint32(stack[sp-1]), int(uint32(stack[sp])&31)))
+		case uint16(OpI32Rotr):
+			sp--
+			stack[sp-1] = uint64(bits.RotateLeft32(uint32(stack[sp-1]), -int(uint32(stack[sp])&31)))
+
+		// --- i64 arithmetic ---
+		case uint16(OpI64Clz):
+			stack[sp-1] = uint64(bits.LeadingZeros64(stack[sp-1]))
+		case uint16(OpI64Ctz):
+			stack[sp-1] = uint64(bits.TrailingZeros64(stack[sp-1]))
+		case uint16(OpI64Popcnt):
+			stack[sp-1] = uint64(bits.OnesCount64(stack[sp-1]))
+		case uint16(OpI64Add):
+			sp--
+			stack[sp-1] = stack[sp-1] + stack[sp]
+		case uint16(OpI64Sub):
+			sp--
+			stack[sp-1] = stack[sp-1] - stack[sp]
+		case uint16(OpI64Mul):
+			sp--
+			stack[sp-1] = stack[sp-1] * stack[sp]
+		case uint16(OpI64DivS):
+			sp--
+			d := int64(stack[sp])
+			n := int64(stack[sp-1])
+			if d == 0 {
+				trap(TrapDivZero, "i64.div_s")
+			}
+			if n == math.MinInt64 && d == -1 {
+				trap(TrapIntOverflow, "i64.div_s")
+			}
+			stack[sp-1] = uint64(n / d)
+		case uint16(OpI64DivU):
+			sp--
+			if stack[sp] == 0 {
+				trap(TrapDivZero, "i64.div_u")
+			}
+			stack[sp-1] = stack[sp-1] / stack[sp]
+		case uint16(OpI64RemS):
+			sp--
+			d := int64(stack[sp])
+			n := int64(stack[sp-1])
+			if d == 0 {
+				trap(TrapDivZero, "i64.rem_s")
+			}
+			if n == math.MinInt64 && d == -1 {
+				stack[sp-1] = 0
+			} else {
+				stack[sp-1] = uint64(n % d)
+			}
+		case uint16(OpI64RemU):
+			sp--
+			if stack[sp] == 0 {
+				trap(TrapDivZero, "i64.rem_u")
+			}
+			stack[sp-1] = stack[sp-1] % stack[sp]
+		case uint16(OpI64And):
+			sp--
+			stack[sp-1] = stack[sp-1] & stack[sp]
+		case uint16(OpI64Or):
+			sp--
+			stack[sp-1] = stack[sp-1] | stack[sp]
+		case uint16(OpI64Xor):
+			sp--
+			stack[sp-1] = stack[sp-1] ^ stack[sp]
+		case uint16(OpI64Shl):
+			sp--
+			stack[sp-1] = stack[sp-1] << (stack[sp] & 63)
+		case uint16(OpI64ShrS):
+			sp--
+			stack[sp-1] = uint64(int64(stack[sp-1]) >> (stack[sp] & 63))
+		case uint16(OpI64ShrU):
+			sp--
+			stack[sp-1] = stack[sp-1] >> (stack[sp] & 63)
+		case uint16(OpI64Rotl):
+			sp--
+			stack[sp-1] = bits.RotateLeft64(stack[sp-1], int(stack[sp]&63))
+		case uint16(OpI64Rotr):
+			sp--
+			stack[sp-1] = bits.RotateLeft64(stack[sp-1], -int(stack[sp]&63))
+
+		default:
+			sp = in.runFloatOrFused(fn, i, stack, bp, sp)
+		}
+		pc++
+	}
+}
+
+// brAdjust implements branch value transfer: keep the top keep slots,
+// discard drop slots beneath them.
+func brAdjust(stack []uint64, sp, drop, keep int) int {
+	if drop == 0 {
+		return sp
+	}
+	copy(stack[sp-keep-drop:sp-drop], stack[sp-keep:sp])
+	return sp - drop
+}
+
+// memAt bounds-checks, touches and returns the n-byte window at
+// base+offset.
+func memAt(mem *Memory, base, offset uint64, n uint64) []byte {
+	addr := uint64(uint32(base)) + offset
+	end := addr + n
+	if mem == nil || end > uint64(len(mem.data)) {
+		trap(TrapOOB, "[%d,%d)", addr, end)
+	}
+	if mem.touch != nil {
+		mem.touch(int64(addr), int64(n))
+	}
+	return mem.data[addr:end:end]
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func f32(v uint64) float32  { return math.Float32frombits(uint32(v)) }
+func f64(v uint64) float64  { return math.Float64frombits(v) }
+func pf32(f float32) uint64 { return uint64(math.Float32bits(f)) }
+func pf64(f float64) uint64 { return math.Float64bits(f) }

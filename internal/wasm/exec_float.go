@@ -1,0 +1,223 @@
+package wasm
+
+import (
+	"math"
+)
+
+// runFloatOrFused handles the float arithmetic, conversion and fused
+// opcodes that do not fit in the main dispatch switch. It returns the new
+// stack pointer. pc-relative control flow never happens here except in the
+// fused compare-and-branch, which is why that one op is inlined back in
+// runBody (see the opFusedCmpBr case there).
+func (in *Instance) runFloatOrFused(fn *compiledFunc, i *ins, stack []uint64, bp, sp int) int {
+	switch i.op {
+
+	// --- f32 arithmetic ---
+	case uint16(OpF32Abs):
+		stack[sp-1] = pf32(float32(math.Abs(float64(f32(stack[sp-1])))))
+	case uint16(OpF32Neg):
+		stack[sp-1] ^= 0x80000000
+	case uint16(OpF32Ceil):
+		stack[sp-1] = pf32(float32(math.Ceil(float64(f32(stack[sp-1])))))
+	case uint16(OpF32Floor):
+		stack[sp-1] = pf32(float32(math.Floor(float64(f32(stack[sp-1])))))
+	case uint16(OpF32Trunc):
+		stack[sp-1] = pf32(float32(math.Trunc(float64(f32(stack[sp-1])))))
+	case uint16(OpF32Nearest):
+		stack[sp-1] = pf32(float32(math.RoundToEven(float64(f32(stack[sp-1])))))
+	case uint16(OpF32Sqrt):
+		stack[sp-1] = pf32(float32(math.Sqrt(float64(f32(stack[sp-1])))))
+	case uint16(OpF32Add):
+		sp--
+		stack[sp-1] = pf32(f32(stack[sp-1]) + f32(stack[sp]))
+	case uint16(OpF32Sub):
+		sp--
+		stack[sp-1] = pf32(f32(stack[sp-1]) - f32(stack[sp]))
+	case uint16(OpF32Mul):
+		sp--
+		stack[sp-1] = pf32(f32(stack[sp-1]) * f32(stack[sp]))
+	case uint16(OpF32Div):
+		sp--
+		stack[sp-1] = pf32(f32(stack[sp-1]) / f32(stack[sp]))
+	case uint16(OpF32Min):
+		sp--
+		stack[sp-1] = pf32(float32(math.Min(float64(f32(stack[sp-1])), float64(f32(stack[sp])))))
+	case uint16(OpF32Max):
+		sp--
+		stack[sp-1] = pf32(float32(math.Max(float64(f32(stack[sp-1])), float64(f32(stack[sp])))))
+	case uint16(OpF32Copysign):
+		sp--
+		stack[sp-1] = pf32(float32(math.Copysign(float64(f32(stack[sp-1])), float64(f32(stack[sp])))))
+
+	// --- f64 arithmetic ---
+	case uint16(OpF64Abs):
+		stack[sp-1] &^= 1 << 63
+	case uint16(OpF64Neg):
+		stack[sp-1] ^= 1 << 63
+	case uint16(OpF64Ceil):
+		stack[sp-1] = pf64(math.Ceil(f64(stack[sp-1])))
+	case uint16(OpF64Floor):
+		stack[sp-1] = pf64(math.Floor(f64(stack[sp-1])))
+	case uint16(OpF64Trunc):
+		stack[sp-1] = pf64(math.Trunc(f64(stack[sp-1])))
+	case uint16(OpF64Nearest):
+		stack[sp-1] = pf64(math.RoundToEven(f64(stack[sp-1])))
+	case uint16(OpF64Sqrt):
+		stack[sp-1] = pf64(math.Sqrt(f64(stack[sp-1])))
+	case uint16(OpF64Add):
+		sp--
+		stack[sp-1] = pf64(f64(stack[sp-1]) + f64(stack[sp]))
+	case uint16(OpF64Sub):
+		sp--
+		stack[sp-1] = pf64(f64(stack[sp-1]) - f64(stack[sp]))
+	case uint16(OpF64Mul):
+		sp--
+		stack[sp-1] = pf64(f64(stack[sp-1]) * f64(stack[sp]))
+	case uint16(OpF64Div):
+		sp--
+		stack[sp-1] = pf64(f64(stack[sp-1]) / f64(stack[sp]))
+	case uint16(OpF64Min):
+		sp--
+		stack[sp-1] = pf64(math.Min(f64(stack[sp-1]), f64(stack[sp])))
+	case uint16(OpF64Max):
+		sp--
+		stack[sp-1] = pf64(math.Max(f64(stack[sp-1]), f64(stack[sp])))
+	case uint16(OpF64Copysign):
+		sp--
+		stack[sp-1] = pf64(math.Copysign(f64(stack[sp-1]), f64(stack[sp])))
+
+	// --- conversions ---
+	case uint16(OpI32WrapI64):
+		stack[sp-1] = uint64(uint32(stack[sp-1]))
+	case uint16(OpI32TruncF32S):
+		stack[sp-1] = uint64(uint32(truncS32(float64(f32(stack[sp-1])))))
+	case uint16(OpI32TruncF32U):
+		stack[sp-1] = uint64(truncU32(float64(f32(stack[sp-1]))))
+	case uint16(OpI32TruncF64S):
+		stack[sp-1] = uint64(uint32(truncS32(f64(stack[sp-1]))))
+	case uint16(OpI32TruncF64U):
+		stack[sp-1] = uint64(truncU32(f64(stack[sp-1])))
+	case uint16(OpI64ExtendI32S):
+		stack[sp-1] = uint64(int64(int32(stack[sp-1])))
+	case uint16(OpI64ExtendI32U):
+		stack[sp-1] = uint64(uint32(stack[sp-1]))
+	case uint16(OpI64TruncF32S):
+		stack[sp-1] = uint64(truncS64(float64(f32(stack[sp-1]))))
+	case uint16(OpI64TruncF32U):
+		stack[sp-1] = truncU64(float64(f32(stack[sp-1])))
+	case uint16(OpI64TruncF64S):
+		stack[sp-1] = uint64(truncS64(f64(stack[sp-1])))
+	case uint16(OpI64TruncF64U):
+		stack[sp-1] = truncU64(f64(stack[sp-1]))
+	case uint16(OpF32ConvertI32S):
+		stack[sp-1] = pf32(float32(int32(stack[sp-1])))
+	case uint16(OpF32ConvertI32U):
+		stack[sp-1] = pf32(float32(uint32(stack[sp-1])))
+	case uint16(OpF32ConvertI64S):
+		stack[sp-1] = pf32(float32(int64(stack[sp-1])))
+	case uint16(OpF32ConvertI64U):
+		stack[sp-1] = pf32(float32(stack[sp-1]))
+	case uint16(OpF32DemoteF64):
+		stack[sp-1] = pf32(float32(f64(stack[sp-1])))
+	case uint16(OpF64ConvertI32S):
+		stack[sp-1] = pf64(float64(int32(stack[sp-1])))
+	case uint16(OpF64ConvertI32U):
+		stack[sp-1] = pf64(float64(uint32(stack[sp-1])))
+	case uint16(OpF64ConvertI64S):
+		stack[sp-1] = pf64(float64(int64(stack[sp-1])))
+	case uint16(OpF64ConvertI64U):
+		stack[sp-1] = pf64(float64(stack[sp-1]))
+	case uint16(OpF64PromoteF32):
+		stack[sp-1] = pf64(float64(f32(stack[sp-1])))
+	case uint16(OpI32ReinterpretF32), uint16(OpI64ReinterpretF64),
+		uint16(OpF32ReinterpretI32), uint16(OpF64ReinterpretI64):
+		// Bit patterns are already the stored representation.
+
+	// --- sign extension ---
+	case uint16(OpI32Extend8S):
+		stack[sp-1] = uint64(uint32(int32(int8(stack[sp-1]))))
+	case uint16(OpI32Extend16S):
+		stack[sp-1] = uint64(uint32(int32(int16(stack[sp-1]))))
+	case uint16(OpI64Extend8S):
+		stack[sp-1] = uint64(int64(int8(stack[sp-1])))
+	case uint16(OpI64Extend16S):
+		stack[sp-1] = uint64(int64(int16(stack[sp-1])))
+	case uint16(OpI64Extend32S):
+		stack[sp-1] = uint64(int64(int32(stack[sp-1])))
+
+	// --- fused superinstructions (AoT engine) ---
+	case opFusedLocalGet2:
+		stack[sp] = stack[bp+int(i.a)]
+		stack[sp+1] = stack[bp+int(i.b)]
+		sp += 2
+	case opFusedLocalGetC:
+		stack[sp] = stack[bp+int(i.a)]
+		stack[sp+1] = i.imm
+		sp += 2
+	case opFusedIncrLocal:
+		stack[bp+int(i.a)] = uint64(uint32(stack[bp+int(i.a)]) + uint32(i.imm))
+	case opFusedI32AddConst:
+		stack[sp-1] = uint64(uint32(stack[sp-1]) + uint32(i.imm))
+	case opFusedI64AddConst:
+		stack[sp-1] = stack[sp-1] + i.imm
+	case opFusedF64LoadLocal:
+		stack[sp] = pf64(f64FromMem(in.mem, stack[bp+int(i.a)], i.imm))
+		sp++
+
+	default:
+		trap(TrapUnreachable, "bad opcode 0x%x", i.op)
+	}
+	return sp
+}
+
+func f64FromMem(mem *Memory, base, offset uint64) float64 {
+	b := memAt(mem, base, offset, 8)
+	return math.Float64frombits(uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 |
+		uint64(b[3])<<24 | uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56)
+}
+
+// Saturating checks per spec: trunc traps on NaN and on results outside
+// the target range.
+func truncS32(f float64) int32 {
+	if math.IsNaN(f) {
+		trap(TrapBadConversion, "NaN")
+	}
+	t := math.Trunc(f)
+	if t < -2147483648 || t > 2147483647 {
+		trap(TrapIntOverflow, "i32.trunc of %g", f)
+	}
+	return int32(t)
+}
+
+func truncU32(f float64) uint32 {
+	if math.IsNaN(f) {
+		trap(TrapBadConversion, "NaN")
+	}
+	t := math.Trunc(f)
+	if t < 0 || t > 4294967295 {
+		trap(TrapIntOverflow, "u32.trunc of %g", f)
+	}
+	return uint32(t)
+}
+
+func truncS64(f float64) int64 {
+	if math.IsNaN(f) {
+		trap(TrapBadConversion, "NaN")
+	}
+	t := math.Trunc(f)
+	if t < -9223372036854775808 || t >= 9223372036854775808 {
+		trap(TrapIntOverflow, "i64.trunc of %g", f)
+	}
+	return int64(t)
+}
+
+func truncU64(f float64) uint64 {
+	if math.IsNaN(f) {
+		trap(TrapBadConversion, "NaN")
+	}
+	t := math.Trunc(f)
+	if t < 0 || t >= 18446744073709551616 {
+		trap(TrapIntOverflow, "u64.trunc of %g", f)
+	}
+	return uint64(t)
+}

@@ -1,0 +1,281 @@
+package wasm
+
+import (
+	"fmt"
+)
+
+// Engine selects the execution mode, mirroring WAMR's interpreter and
+// ahead-of-time modes (paper Table I / §IV-B: TWINE executes AoT only).
+type Engine int
+
+const (
+	// EngineInterp executes the lowered code directly.
+	EngineInterp Engine = iota
+	// EngineAOT executes a pre-translated form with fused
+	// superinstructions — the stand-in for wamrc's AoT compilation step.
+	EngineAOT
+)
+
+func (e Engine) String() string {
+	if e == EngineAOT {
+		return "aot"
+	}
+	return "interp"
+}
+
+// HostFunc is a native function exposed to guest code.
+type HostFunc struct {
+	Module string
+	Name   string
+	Type   FuncType
+	// Fn receives the instance (for memory access) and the raw argument
+	// slots; it returns the result slots.
+	Fn func(in *Instance, args []uint64) ([]uint64, error)
+}
+
+// ImportObject resolves module imports at instantiation.
+type ImportObject struct {
+	funcs map[string]HostFunc
+}
+
+// NewImportObject returns an empty import set.
+func NewImportObject() *ImportObject {
+	return &ImportObject{funcs: make(map[string]HostFunc)}
+}
+
+// AddFunc registers a host function under module/name.
+func (io *ImportObject) AddFunc(f HostFunc) {
+	io.funcs[f.Module+"\x00"+f.Name] = f
+}
+
+// Func looks up a registered host function.
+func (io *ImportObject) Func(module, name string) (HostFunc, bool) {
+	f, ok := io.funcs[module+"\x00"+name]
+	return f, ok
+}
+
+// Config tunes an instance.
+type Config struct {
+	// Engine selects interpreter or AoT execution.
+	Engine Engine
+	// MaxMemoryPages caps linear memory below the module's own limit
+	// (0 = module limit). Used by the PolyBench memory sweep.
+	MaxMemoryPages uint32
+	// StackSlots is the value-stack size in 8-byte slots (default 64k).
+	StackSlots int
+	// MaxCallDepth bounds recursion (default 2048 frames).
+	MaxCallDepth int
+	// Touch observes every linear-memory access.
+	Touch TouchFunc
+	// HostCtx is an opaque pointer host functions can retrieve with
+	// Instance.HostCtx (the WASI layer stores its state here).
+	HostCtx any
+}
+
+// Instance is an instantiated module ready for invocation. Not safe for
+// concurrent use.
+type Instance struct {
+	c   *Compiled
+	m   *Module
+	cfg Config
+
+	mem     *Memory
+	globals []uint64
+	globTs  []GlobalType
+	table   []int32
+	hosts   []HostFunc
+	funcs   []compiledFunc
+
+	stack []uint64
+	sp    int
+	depth int
+
+	hostArgBuf []uint64
+}
+
+// Instantiate links, allocates and initialises a compiled module, then
+// runs its start function.
+func Instantiate(c *Compiled, imports *ImportObject, cfg Config) (*Instance, error) {
+	if cfg.StackSlots == 0 {
+		cfg.StackSlots = 64 << 10
+	}
+	if cfg.MaxCallDepth == 0 {
+		cfg.MaxCallDepth = 2048
+	}
+	m := c.Module
+	in := &Instance{c: c, m: m, cfg: cfg, stack: make([]uint64, cfg.StackSlots)}
+
+	// Resolve function imports.
+	for _, imp := range m.Imports {
+		switch imp.Kind {
+		case KindFunc:
+			want := m.Types[imp.TypeIdx]
+			if imports == nil {
+				return nil, fmt.Errorf("%w: no imports provided, need %s.%s", ErrLink, imp.Module, imp.Name)
+			}
+			hf, ok := imports.Func(imp.Module, imp.Name)
+			if !ok {
+				return nil, fmt.Errorf("%w: unresolved import %s.%s", ErrLink, imp.Module, imp.Name)
+			}
+			if !hf.Type.Equal(want) {
+				return nil, fmt.Errorf("%w: import %s.%s signature %v, module wants %v",
+					ErrLink, imp.Module, imp.Name, hf.Type, want)
+			}
+			in.hosts = append(in.hosts, hf)
+		case KindMemory, KindTable, KindGlobal:
+			return nil, fmt.Errorf("%w: %v imports are not supported (module must define its own)", ErrLink, imp.Kind)
+		}
+	}
+
+	// Functions: AoT pre-translates (fuses) every body.
+	in.funcs = c.Funcs
+	if cfg.Engine == EngineAOT {
+		in.funcs = make([]compiledFunc, len(c.Funcs))
+		for i := range c.Funcs {
+			in.funcs[i] = fuseFunc(c.Funcs[i])
+		}
+	}
+
+	// Memory.
+	if len(m.Memories) > 0 {
+		mem, err := NewMemory(m.Memories[0], cfg.MaxMemoryPages)
+		if err != nil {
+			return nil, err
+		}
+		mem.SetTouch(cfg.Touch)
+		in.mem = mem
+	}
+
+	// Globals.
+	for _, g := range m.Globals {
+		v, err := in.evalInit(g.Init)
+		if err != nil {
+			return nil, err
+		}
+		in.globals = append(in.globals, v)
+		in.globTs = append(in.globTs, g.Type)
+	}
+
+	// Table + element segments.
+	if len(m.Tables) > 0 {
+		in.table = make([]int32, m.Tables[0].Min)
+		for i := range in.table {
+			in.table[i] = -1
+		}
+	}
+	for _, seg := range m.Elems {
+		off, err := in.evalInit(seg.Offset)
+		if err != nil {
+			return nil, err
+		}
+		base := int(uint32(off))
+		if base+len(seg.Indices) > len(in.table) {
+			return nil, fmt.Errorf("%w: element segment out of table bounds", ErrValidation)
+		}
+		for i, fi := range seg.Indices {
+			in.table[base+i] = int32(fi)
+		}
+	}
+
+	// Data segments.
+	for _, seg := range m.Data {
+		off, err := in.evalInit(seg.Offset)
+		if err != nil {
+			return nil, err
+		}
+		base := uint32(off)
+		if in.mem == nil {
+			return nil, fmt.Errorf("%w: data segment without memory", ErrValidation)
+		}
+		dst, err := in.mem.Bytes(base, uint32(len(seg.Bytes)))
+		if err != nil {
+			return nil, fmt.Errorf("%w: data segment: %v", ErrValidation, err)
+		}
+		copy(dst, seg.Bytes)
+	}
+
+	// Start function.
+	if m.HasStart {
+		if _, err := in.call(m.StartIdx, nil); err != nil {
+			return nil, fmt.Errorf("wasm: start function: %w", err)
+		}
+	}
+	return in, nil
+}
+
+func (in *Instance) evalInit(e InitExpr) (uint64, error) {
+	switch e.Kind {
+	case OpI32Const, OpI64Const, OpF32Const, OpF64Const:
+		return e.Value, nil
+	case OpGlobalGet:
+		return 0, fmt.Errorf("%w: imported-global init not supported", ErrLink)
+	default:
+		return 0, fmt.Errorf("%w: bad init expr", ErrValidation)
+	}
+}
+
+// Memory returns the instance memory (nil when the module has none).
+func (in *Instance) Memory() *Memory { return in.mem }
+
+// HostCtx returns the opaque context configured at instantiation.
+func (in *Instance) HostCtx() any { return in.cfg.HostCtx }
+
+// Module returns the underlying module.
+func (in *Instance) Module() *Module { return in.m }
+
+// Global reads an exported global by name.
+func (in *Instance) Global(name string) (uint64, bool) {
+	for _, e := range in.m.Exports {
+		if e.Kind == KindGlobal && e.Name == name {
+			return in.globals[e.Idx], true
+		}
+	}
+	return 0, false
+}
+
+// Invoke calls an exported function with raw 64-bit argument slots and
+// returns raw result slots. A trap is returned as a *Trap error.
+func (in *Instance) Invoke(name string, args ...uint64) ([]uint64, error) {
+	fi, ok := in.m.ExportedFunc(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchExport, name)
+	}
+	ft, err := in.m.TypeOfFunc(fi)
+	if err != nil {
+		return nil, err
+	}
+	if len(args) != len(ft.Params) {
+		return nil, fmt.Errorf("wasm: %q takes %d arguments, got %d", name, len(ft.Params), len(args))
+	}
+	return in.call(fi, args)
+}
+
+// call invokes function index fi with args, catching traps.
+func (in *Instance) call(fi uint32, args []uint64) (results []uint64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if t, ok := r.(*Trap); ok {
+				err = t
+				in.sp = 0
+				in.depth = 0
+				return
+			}
+			panic(r)
+		}
+	}()
+	base := in.sp
+	for _, a := range args {
+		in.stack[in.sp] = a
+		in.sp++
+	}
+	in.invokeFunc(int(fi))
+	ft, terr := in.m.TypeOfFunc(fi)
+	if terr != nil {
+		return nil, terr
+	}
+	n := len(ft.Results)
+	results = make([]uint64, n)
+	copy(results, in.stack[base:base+n])
+	in.sp = base
+	return results, nil
+}

@@ -1,0 +1,152 @@
+package wasm
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// TouchFunc observes linear-memory accesses. TWINE installs a hook that
+// charges the access against the enclave's EPC model; the default is nil
+// (no cost).
+type TouchFunc func(off, n int64)
+
+// Memory is a linear memory instance.
+type Memory struct {
+	data     []byte
+	limits   Limits
+	maxPages uint32
+	touch    TouchFunc
+}
+
+// NewMemory creates a memory honouring both the module limits and an
+// engine-level cap (capPages; 0 means "module limits only"). A module
+// minimum above the cap fails, which is exactly how the paper's PolyBench
+// memory-shrinking experiment provokes allocation failure (§V-B).
+func NewMemory(l Limits, capPages uint32) (*Memory, error) {
+	max := uint32(MaxPages)
+	if l.HasMax {
+		max = l.Max
+	}
+	if capPages != 0 && capPages < max {
+		max = capPages
+	}
+	if l.Min > max {
+		return nil, fmt.Errorf("wasm: memory min %d pages exceeds available %d pages", l.Min, max)
+	}
+	return &Memory{
+		data:     make([]byte, int(l.Min)*PageSize),
+		limits:   l,
+		maxPages: max,
+	}, nil
+}
+
+// SetTouch installs the access hook.
+func (m *Memory) SetTouch(t TouchFunc) { m.touch = t }
+
+// Pages returns the current size in 64 KiB pages.
+func (m *Memory) Pages() uint32 { return uint32(len(m.data) / PageSize) }
+
+// Len returns the current size in bytes.
+func (m *Memory) Len() int { return len(m.data) }
+
+// Grow adds delta pages, returning the previous page count or -1 when the
+// limit would be exceeded.
+func (m *Memory) Grow(delta uint32) int32 {
+	cur := m.Pages()
+	if uint64(cur)+uint64(delta) > uint64(m.maxPages) {
+		return -1
+	}
+	grown := make([]byte, (int(cur)+int(delta))*PageSize)
+	copy(grown, m.data)
+	m.data = grown
+	return int32(cur)
+}
+
+// Range checks and touches [off, off+n), returning an error out of bounds.
+// Host functions use it before raw access.
+func (m *Memory) Range(off, n uint32) error {
+	end := uint64(off) + uint64(n)
+	if end > uint64(len(m.data)) {
+		return fmt.Errorf("wasm: memory access [%d,%d) out of bounds (%d)", off, end, len(m.data))
+	}
+	if m.touch != nil && n > 0 {
+		m.touch(int64(off), int64(n))
+	}
+	return nil
+}
+
+// Bytes returns a view of guest memory after bounds-checking and touching.
+// The view is invalidated by memory.grow.
+func (m *Memory) Bytes(off, n uint32) ([]byte, error) {
+	if err := m.Range(off, n); err != nil {
+		return nil, err
+	}
+	return m.data[off : uint64(off)+uint64(n) : uint64(off)+uint64(n)], nil
+}
+
+// ReadU32 loads a little-endian u32 from guest memory.
+func (m *Memory) ReadU32(off uint32) (uint32, error) {
+	b, err := m.Bytes(off, 4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+// WriteU32 stores a little-endian u32 into guest memory.
+func (m *Memory) WriteU32(off uint32, v uint32) error {
+	b, err := m.Bytes(off, 4)
+	if err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(b, v)
+	return nil
+}
+
+// ReadU64 loads a little-endian u64 from guest memory.
+func (m *Memory) ReadU64(off uint32) (uint64, error) {
+	b, err := m.Bytes(off, 8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// WriteU64 stores a little-endian u64 into guest memory.
+func (m *Memory) WriteU64(off uint32, v uint64) error {
+	b, err := m.Bytes(off, 8)
+	if err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(b, v)
+	return nil
+}
+
+// WriteU16 stores a little-endian u16 into guest memory.
+func (m *Memory) WriteU16(off uint32, v uint16) error {
+	b, err := m.Bytes(off, 2)
+	if err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint16(b, v)
+	return nil
+}
+
+// WriteByteAt stores one byte into guest memory.
+func (m *Memory) WriteByteAt(off uint32, v byte) error {
+	b, err := m.Bytes(off, 1)
+	if err != nil {
+		return err
+	}
+	b[0] = v
+	return nil
+}
+
+// ReadString reads n bytes at off as a string.
+func (m *Memory) ReadString(off, n uint32) (string, error) {
+	b, err := m.Bytes(off, n)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

@@ -1,0 +1,83 @@
+package wasm
+
+import "fmt"
+
+// TrapKind classifies runtime traps.
+type TrapKind int
+
+// Trap kinds.
+const (
+	TrapUnreachable TrapKind = iota
+	TrapOOB
+	TrapDivZero
+	TrapIntOverflow
+	TrapBadConversion
+	TrapStackOverflow
+	TrapCallDepth
+	TrapUndefinedElem
+	TrapIndirectType
+	TrapHostError
+	TrapExit
+)
+
+func (k TrapKind) String() string {
+	switch k {
+	case TrapUnreachable:
+		return "unreachable"
+	case TrapOOB:
+		return "out of bounds memory access"
+	case TrapDivZero:
+		return "integer divide by zero"
+	case TrapIntOverflow:
+		return "integer overflow"
+	case TrapBadConversion:
+		return "invalid conversion to integer"
+	case TrapStackOverflow:
+		return "value stack exhausted"
+	case TrapCallDepth:
+		return "call stack exhausted"
+	case TrapUndefinedElem:
+		return "undefined table element"
+	case TrapIndirectType:
+		return "indirect call type mismatch"
+	case TrapHostError:
+		return "host function error"
+	case TrapExit:
+		return "process exit"
+	default:
+		return fmt.Sprintf("trap(%d)", int(k))
+	}
+}
+
+// Trap is a WebAssembly runtime trap. The guest cannot catch it; it
+// unwinds to the embedder.
+type Trap struct {
+	Kind TrapKind
+	Msg  string
+	// Code carries the exit status for TrapExit.
+	Code uint32
+	// Err carries the host error for TrapHostError.
+	Err error
+}
+
+// Error implements error.
+func (t *Trap) Error() string {
+	if t.Msg != "" {
+		return fmt.Sprintf("wasm trap: %s: %s", t.Kind, t.Msg)
+	}
+	return fmt.Sprintf("wasm trap: %s", t.Kind)
+}
+
+// Unwrap exposes the host error.
+func (t *Trap) Unwrap() error { return t.Err }
+
+func trap(k TrapKind, format string, args ...any) {
+	panic(&Trap{Kind: k, Msg: fmt.Sprintf(format, args...)})
+}
+
+// ExitError is returned by a host function (typically WASI proc_exit) to
+// terminate the guest with a status code.
+type ExitError struct{ Code uint32 }
+
+// Error implements error.
+func (e ExitError) Error() string { return fmt.Sprintf("proc_exit(%d)", e.Code) }

@@ -1,0 +1,242 @@
+// Package wasm implements a WebAssembly 1.0 (MVP) runtime in pure Go: a
+// binary decoder, a validating compiler that lowers structured control flow
+// to branch-resolved internal code, and two execution engines mirroring the
+// WAMR modes the paper uses — a plain interpreter and an "AoT" engine that
+// runs a pre-translated, peephole-fused form of the code (§III-B, Table I).
+//
+// TWINE embeds this runtime inside the SGX enclave simulator; the runtime
+// itself is host-agnostic and reports linear-memory accesses through an
+// optional touch hook so the enclave's EPC model can charge paging costs.
+package wasm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ValueType is a WebAssembly value type.
+type ValueType byte
+
+// Value types (binary encodings from the spec).
+const (
+	I32 ValueType = 0x7F
+	I64 ValueType = 0x7E
+	F32 ValueType = 0x7D
+	F64 ValueType = 0x7C
+)
+
+func (t ValueType) String() string {
+	switch t {
+	case I32:
+		return "i32"
+	case I64:
+		return "i64"
+	case F32:
+		return "f32"
+	case F64:
+		return "f64"
+	default:
+		return fmt.Sprintf("valuetype(0x%02x)", byte(t))
+	}
+}
+
+func validValueType(b byte) bool {
+	switch ValueType(b) {
+	case I32, I64, F32, F64:
+		return true
+	}
+	return false
+}
+
+// FuncType is a function signature.
+type FuncType struct {
+	Params  []ValueType
+	Results []ValueType
+}
+
+func (ft FuncType) String() string {
+	return fmt.Sprintf("func%v->%v", ft.Params, ft.Results)
+}
+
+// Equal reports signature equality.
+func (ft FuncType) Equal(o FuncType) bool {
+	if len(ft.Params) != len(o.Params) || len(ft.Results) != len(o.Results) {
+		return false
+	}
+	for i := range ft.Params {
+		if ft.Params[i] != o.Params[i] {
+			return false
+		}
+	}
+	for i := range ft.Results {
+		if ft.Results[i] != o.Results[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Limits bound a memory or table size.
+type Limits struct {
+	Min    uint32
+	Max    uint32
+	HasMax bool
+}
+
+// GlobalType describes a global variable.
+type GlobalType struct {
+	Type    ValueType
+	Mutable bool
+}
+
+// ImportKind distinguishes import/export namespaces.
+type ImportKind byte
+
+// Import/export kinds (binary encodings).
+const (
+	KindFunc   ImportKind = 0
+	KindTable  ImportKind = 1
+	KindMemory ImportKind = 2
+	KindGlobal ImportKind = 3
+)
+
+func (k ImportKind) String() string {
+	switch k {
+	case KindFunc:
+		return "func"
+	case KindTable:
+		return "table"
+	case KindMemory:
+		return "memory"
+	case KindGlobal:
+		return "global"
+	default:
+		return fmt.Sprintf("kind(%d)", byte(k))
+	}
+}
+
+// Import is one module import.
+type Import struct {
+	Module string
+	Name   string
+	Kind   ImportKind
+	// Type index for KindFunc.
+	TypeIdx uint32
+	// Limits for KindTable / KindMemory.
+	Limits Limits
+	// Global type for KindGlobal.
+	Global GlobalType
+}
+
+// Export is one module export.
+type Export struct {
+	Name string
+	Kind ImportKind
+	Idx  uint32
+}
+
+// Global is a module-defined global with its init expression value.
+type Global struct {
+	Type GlobalType
+	Init InitExpr
+}
+
+// InitExpr is a constant initialiser: either a literal value or a
+// reference to an imported global.
+type InitExpr struct {
+	// Kind is one of the const opcodes or OpGlobalGet.
+	Kind byte
+	// Value holds the literal bits.
+	Value uint64
+	// GlobalIdx is used when Kind == OpGlobalGet.
+	GlobalIdx uint32
+}
+
+// ElemSegment is an active element segment for table 0.
+type ElemSegment struct {
+	Offset  InitExpr
+	Indices []uint32
+}
+
+// DataSegment is an active data segment for memory 0.
+type DataSegment struct {
+	Offset InitExpr
+	Bytes  []byte
+}
+
+// Code is one function body as decoded (pre-compilation).
+type Code struct {
+	Locals []ValueType // expanded local declarations (excluding params)
+	Body   []byte      // raw expression bytes, ending with OpEnd
+}
+
+// Module is a decoded, structurally validated WebAssembly module.
+type Module struct {
+	Types   []FuncType
+	Imports []Import
+	// FuncTypeIdxs holds the type index of each module-defined function.
+	FuncTypeIdxs []uint32
+	Tables       []Limits
+	Memories     []Limits
+	Globals      []Global
+	Exports      []Export
+	HasStart     bool
+	StartIdx     uint32
+	Elems        []ElemSegment
+	Codes        []Code
+	Data         []DataSegment
+
+	// Counts of imported entities, fixed at decode time.
+	NumImportedFuncs   int
+	NumImportedGlobals int
+	NumImportedTables  int
+	NumImportedMems    int
+}
+
+// NumFunctions returns the total function index space size.
+func (m *Module) NumFunctions() int { return m.NumImportedFuncs + len(m.FuncTypeIdxs) }
+
+// TypeOfFunc returns the signature of function index space entry i.
+func (m *Module) TypeOfFunc(i uint32) (FuncType, error) {
+	if int(i) < m.NumImportedFuncs {
+		n := 0
+		for _, imp := range m.Imports {
+			if imp.Kind == KindFunc {
+				if n == int(i) {
+					return m.Types[imp.TypeIdx], nil
+				}
+				n++
+			}
+		}
+		return FuncType{}, fmt.Errorf("wasm: import bookkeeping corrupt for func %d", i)
+	}
+	idx := int(i) - m.NumImportedFuncs
+	if idx >= len(m.FuncTypeIdxs) {
+		return FuncType{}, fmt.Errorf("wasm: function index %d out of range", i)
+	}
+	return m.Types[m.FuncTypeIdxs[idx]], nil
+}
+
+// ExportedFunc finds an exported function index by name.
+func (m *Module) ExportedFunc(name string) (uint32, bool) {
+	for _, e := range m.Exports {
+		if e.Kind == KindFunc && e.Name == name {
+			return e.Idx, true
+		}
+	}
+	return 0, false
+}
+
+// Package errors.
+var (
+	ErrBadModule    = errors.New("wasm: malformed module")
+	ErrValidation   = errors.New("wasm: validation failed")
+	ErrLink         = errors.New("wasm: link error")
+	ErrNoSuchExport = errors.New("wasm: no such export")
+)
+
+// PageSize is the WebAssembly linear-memory page size (64 KiB).
+const PageSize = 65536
+
+// MaxPages is the architectural page limit (4 GiB).
+const MaxPages = 65536

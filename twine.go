@@ -1,0 +1,112 @@
+// Package twine is the public API of the TWINE reproduction: a trusted
+// WebAssembly runtime embedded in a (simulated) Intel SGX enclave, exposing
+// a WASI system interface whose file operations are served by the Intel
+// protected file system — data at rest on the untrusted host is always
+// ciphertext (Ménétrey et al., "TWINE: An Embedded Trusted Runtime for
+// WebAssembly", ICDE 2021).
+//
+// Quick start:
+//
+//	rt, err := twine.NewRuntime(twine.Config{})
+//	mod, err := rt.LoadModule(wasmBytes)      // single ECALL, reserved memory
+//	inst, err := rt.NewInstance(mod)
+//	code, err := inst.Run()                   // runs _start inside the enclave
+//
+// Application code can also be delivered confidentially after remote
+// attestation (the paper's Figure 1 workflow): see Provider and
+// Runtime.FetchModule.
+//
+// For the paper's flagship use case — a trusted full SQL database — see the
+// tsql subpackage.
+package twine
+
+import (
+	"io"
+
+	"twine/internal/core"
+	"twine/internal/hostfs"
+	"twine/internal/ipfs"
+	"twine/internal/prof"
+	"twine/internal/sgx"
+	"twine/internal/wasm"
+)
+
+// Re-exported kinds and modes.
+type (
+	// Config assembles a runtime; the zero value is a working default
+	// (fresh in-memory host, IPFS-backed trusted storage, AoT engine,
+	// paper-testbed SGX geometry).
+	Config = core.Config
+	// Runtime is a live TWINE enclave.
+	Runtime = core.Runtime
+	// Module is a loaded, AoT-translated application.
+	Module = core.Module
+	// Instance is an instantiated module.
+	Instance = core.Instance
+	// Provider serves Wasm modules to attested enclaves.
+	Provider = core.Provider
+	// FSKind selects the WASI file backend.
+	FSKind = core.FSKind
+)
+
+// File-system kinds.
+const (
+	// FSIPFS routes file I/O to the Intel protected file system (trusted).
+	FSIPFS = core.FSIPFS
+	// FSHost forwards file I/O to untrusted POSIX (the WAMR baseline).
+	FSHost = core.FSHost
+)
+
+// IPFS modes (paper §V-F).
+const (
+	IPFSStandard  = ipfs.ModeStandard
+	IPFSOptimized = ipfs.ModeOptimized
+)
+
+// Engines.
+const (
+	EngineAOT    = wasm.EngineAOT
+	EngineInterp = wasm.EngineInterp
+)
+
+// NewRuntime builds the enclave and WASI plumbing.
+func NewRuntime(cfg Config) (*Runtime, error) { return core.NewRuntime(cfg) }
+
+// NewProvider builds the application-provider side of the provisioning
+// protocol: it releases wasmModule only to enclaves whose measurement
+// matches expected, verified through svc.
+func NewProvider(svc *AttestationService, expected [32]byte, wasmModule []byte) *Provider {
+	return core.NewProvider(svc, expected, wasmModule)
+}
+
+// AttestationService simulates the remote attestation authority.
+type AttestationService = sgx.AttestationService
+
+// NewAttestationService returns an empty attestation service; register
+// platforms that should be considered genuine.
+func NewAttestationService() *AttestationService { return sgx.NewAttestationService() }
+
+// NewMemHostFS returns an in-memory untrusted host file system, useful for
+// examples and tests.
+func NewMemHostFS() hostfs.FS { return hostfs.NewMemFS() }
+
+// NewDirHostFS returns an untrusted host file system rooted at a real
+// directory.
+func NewDirHostFS(dir string) (hostfs.FS, error) { return hostfs.NewDirFS(dir) }
+
+// NewProfRegistry returns a profiling registry to pass in Config.Prof.
+func NewProfRegistry() *prof.Registry { return prof.NewRegistry() }
+
+// SGXDefaultConfig returns the paper-testbed enclave geometry (128 MiB
+// EPC, 93 MiB usable).
+func SGXDefaultConfig() sgx.Config { return sgx.DefaultConfig() }
+
+// SGXTestConfig returns a small, fast enclave for tests.
+func SGXTestConfig() sgx.Config { return sgx.TestConfig() }
+
+// Discard is a convenient stdout sink.
+var Discard io.Writer = discard{}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

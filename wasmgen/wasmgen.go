@@ -1,0 +1,722 @@
+// Package wasmgen is a programmatic WebAssembly (MVP) module builder. It
+// emits standard binary modules consumable by any Wasm runtime — in this
+// repository, by TWINE's embedded runtime. The PolyBench/C kernels of the
+// paper's Figure 3 and all example applications construct their modules
+// with this package, so every benchmark executes genuine WebAssembly
+// bytecode rather than a Go stand-in.
+//
+// Typical use:
+//
+//	m := wasmgen.NewModule()
+//	m.Memory(1, 16)
+//	f := m.Func(wasmgen.Sig(wasmgen.I32, wasmgen.I32).Returns(wasmgen.I32))
+//	f.LocalGet(0)
+//	f.LocalGet(1)
+//	f.I32Add()
+//	f.End()
+//	m.Export("add", f)
+//	bin := m.Bytes()
+package wasmgen
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// ValType is a WebAssembly value type.
+type ValType byte
+
+// Value types.
+const (
+	I32 ValType = 0x7F
+	I64 ValType = 0x7E
+	F32 ValType = 0x7D
+	F64 ValType = 0x7C
+)
+
+// Signature describes a function type.
+type Signature struct {
+	Params  []ValType
+	Results []ValType
+}
+
+// Sig builds a signature with the given parameters and no results.
+func Sig(params ...ValType) Signature { return Signature{Params: params} }
+
+// Returns sets the result types.
+func (s Signature) Returns(results ...ValType) Signature {
+	s.Results = results
+	return s
+}
+
+func (s Signature) key() string {
+	b := make([]byte, 0, len(s.Params)+len(s.Results)+1)
+	for _, p := range s.Params {
+		b = append(b, byte(p))
+	}
+	b = append(b, 0)
+	for _, r := range s.Results {
+		b = append(b, byte(r))
+	}
+	return string(b)
+}
+
+// BlockType is the type immediate of block/loop/if.
+type BlockType byte
+
+// Block types.
+const (
+	BlockVoid BlockType = 0x40
+	BlockI32  BlockType = 0x7F
+	BlockI64  BlockType = 0x7E
+	BlockF32  BlockType = 0x7D
+	BlockF64  BlockType = 0x7C
+)
+
+// Module accumulates a module under construction.
+type Module struct {
+	types     []Signature
+	typeIdx   map[string]uint32
+	imports   []importEntry
+	funcs     []*Func
+	memMin    uint32
+	memMax    uint32
+	hasMemMax bool
+	hasMem    bool
+	tableMin  uint32
+	hasTable  bool
+	globals   []globalEntry
+	exports   []exportEntry
+	elems     []elemEntry
+	data      []dataEntry
+	startFn   *Func
+	hasStart  bool
+}
+
+type importEntry struct {
+	module, name string
+	typeIdx      uint32
+}
+
+type globalEntry struct {
+	typ     ValType
+	mutable bool
+	init    uint64
+}
+
+type exportEntry struct {
+	name string
+	kind byte
+	idx  func() uint32
+}
+
+type elemEntry struct {
+	offset  int32
+	entries []*Func
+}
+
+type dataEntry struct {
+	offset int32
+	bytes  []byte
+}
+
+// NewModule returns an empty module builder.
+func NewModule() *Module {
+	return &Module{typeIdx: make(map[string]uint32)}
+}
+
+func (m *Module) internType(s Signature) uint32 {
+	k := s.key()
+	if idx, ok := m.typeIdx[k]; ok {
+		return idx
+	}
+	idx := uint32(len(m.types))
+	m.types = append(m.types, s)
+	m.typeIdx[k] = idx
+	return idx
+}
+
+// ImportFunc declares a host function import; imports always precede
+// module functions in the index space, so declare them before Func.
+func (m *Module) ImportFunc(module, name string, sig Signature) *Func {
+	if len(m.funcs) > 0 {
+		panic("wasmgen: imports must be declared before functions")
+	}
+	f := &Func{m: m, imported: true, idx: uint32(len(m.imports)), sig: sig}
+	m.imports = append(m.imports, importEntry{module: module, name: name, typeIdx: m.internType(sig)})
+	return f
+}
+
+// Func starts a new function with the given signature and local types.
+func (m *Module) Func(sig Signature, locals ...ValType) *Func {
+	f := &Func{
+		m:      m,
+		sig:    sig,
+		idx:    uint32(len(m.imports) + len(m.funcs)),
+		locals: locals,
+	}
+	m.internType(sig) // types must be complete before emission
+	m.funcs = append(m.funcs, f)
+	return f
+}
+
+// Memory declares the module memory in 64 KiB pages (max 0 = no maximum).
+func (m *Module) Memory(min, max uint32) {
+	m.hasMem = true
+	m.memMin = min
+	m.memMax = max
+	m.hasMemMax = max != 0
+}
+
+// Table declares a funcref table of the given size.
+func (m *Module) Table(size uint32) {
+	m.hasTable = true
+	m.tableMin = size
+}
+
+// Elem fills table slots starting at offset with the given functions.
+func (m *Module) Elem(offset int32, funcs ...*Func) {
+	m.elems = append(m.elems, elemEntry{offset: offset, entries: funcs})
+}
+
+// Global declares a global with a constant initial value (bit pattern).
+// It returns the global index.
+func (m *Module) Global(t ValType, mutable bool, init uint64) uint32 {
+	m.globals = append(m.globals, globalEntry{typ: t, mutable: mutable, init: init})
+	return uint32(len(m.globals) - 1)
+}
+
+// Export exposes a function under the given name.
+func (m *Module) Export(name string, f *Func) {
+	m.exports = append(m.exports, exportEntry{name: name, kind: 0, idx: f.Index})
+}
+
+// ExportMemory exposes the module memory under the given name.
+func (m *Module) ExportMemory(name string) {
+	m.exports = append(m.exports, exportEntry{name: name, kind: 2, idx: func() uint32 { return 0 }})
+}
+
+// Start marks f as the module start function.
+func (m *Module) Start(f *Func) {
+	m.hasStart = true
+	m.startFn = f
+}
+
+// Data places bytes at a constant offset in memory at instantiation.
+func (m *Module) Data(offset int32, b []byte) {
+	m.data = append(m.data, dataEntry{offset: offset, bytes: append([]byte(nil), b...)})
+}
+
+// --- binary emission ---
+
+func uleb(dst []byte, v uint64) []byte {
+	for {
+		b := byte(v & 0x7F)
+		v >>= 7
+		if v != 0 {
+			b |= 0x80
+		}
+		dst = append(dst, b)
+		if v == 0 {
+			return dst
+		}
+	}
+}
+
+func sleb(dst []byte, v int64) []byte {
+	for {
+		b := byte(v & 0x7F)
+		v >>= 7
+		done := (v == 0 && b&0x40 == 0) || (v == -1 && b&0x40 != 0)
+		if !done {
+			b |= 0x80
+		}
+		dst = append(dst, b)
+		if done {
+			return dst
+		}
+	}
+}
+
+func section(out []byte, id byte, body []byte) []byte {
+	out = append(out, id)
+	out = uleb(out, uint64(len(body)))
+	return append(out, body...)
+}
+
+// Bytes assembles the module binary.
+func (m *Module) Bytes() []byte {
+	out := []byte{0x00, 0x61, 0x73, 0x6D, 0x01, 0x00, 0x00, 0x00}
+
+	// Type section.
+	if len(m.types) > 0 {
+		var b []byte
+		b = uleb(b, uint64(len(m.types)))
+		for _, t := range m.types {
+			b = append(b, 0x60)
+			b = uleb(b, uint64(len(t.Params)))
+			for _, p := range t.Params {
+				b = append(b, byte(p))
+			}
+			b = uleb(b, uint64(len(t.Results)))
+			for _, r := range t.Results {
+				b = append(b, byte(r))
+			}
+		}
+		out = section(out, 1, b)
+	}
+
+	// Import section.
+	if len(m.imports) > 0 {
+		var b []byte
+		b = uleb(b, uint64(len(m.imports)))
+		for _, imp := range m.imports {
+			b = uleb(b, uint64(len(imp.module)))
+			b = append(b, imp.module...)
+			b = uleb(b, uint64(len(imp.name)))
+			b = append(b, imp.name...)
+			b = append(b, 0x00)
+			b = uleb(b, uint64(imp.typeIdx))
+		}
+		out = section(out, 2, b)
+	}
+
+	// Function section.
+	if len(m.funcs) > 0 {
+		var b []byte
+		b = uleb(b, uint64(len(m.funcs)))
+		for _, f := range m.funcs {
+			b = uleb(b, uint64(m.internType(f.sig)))
+		}
+		out = section(out, 3, b)
+	}
+
+	// Table section.
+	if m.hasTable {
+		var b []byte
+		b = uleb(b, 1)
+		b = append(b, 0x70, 0x00)
+		b = uleb(b, uint64(m.tableMin))
+		out = section(out, 4, b)
+	}
+
+	// Memory section.
+	if m.hasMem {
+		var b []byte
+		b = uleb(b, 1)
+		if m.hasMemMax {
+			b = append(b, 0x01)
+			b = uleb(b, uint64(m.memMin))
+			b = uleb(b, uint64(m.memMax))
+		} else {
+			b = append(b, 0x00)
+			b = uleb(b, uint64(m.memMin))
+		}
+		out = section(out, 5, b)
+	}
+
+	// Global section.
+	if len(m.globals) > 0 {
+		var b []byte
+		b = uleb(b, uint64(len(m.globals)))
+		for _, g := range m.globals {
+			b = append(b, byte(g.typ))
+			if g.mutable {
+				b = append(b, 1)
+			} else {
+				b = append(b, 0)
+			}
+			switch g.typ {
+			case I32:
+				b = append(b, 0x41)
+				b = sleb(b, int64(int32(uint32(g.init))))
+			case I64:
+				b = append(b, 0x42)
+				b = sleb(b, int64(g.init))
+			case F32:
+				b = append(b, 0x43)
+				b = binary.LittleEndian.AppendUint32(b, uint32(g.init))
+			case F64:
+				b = append(b, 0x44)
+				b = binary.LittleEndian.AppendUint64(b, g.init)
+			}
+			b = append(b, 0x0B)
+		}
+		out = section(out, 6, b)
+	}
+
+	// Export section.
+	if len(m.exports) > 0 {
+		var b []byte
+		b = uleb(b, uint64(len(m.exports)))
+		for _, e := range m.exports {
+			b = uleb(b, uint64(len(e.name)))
+			b = append(b, e.name...)
+			b = append(b, e.kind)
+			b = uleb(b, uint64(e.idx()))
+		}
+		out = section(out, 7, b)
+	}
+
+	// Start section.
+	if m.hasStart {
+		var b []byte
+		b = uleb(b, uint64(m.startFn.Index()))
+		out = section(out, 8, b)
+	}
+
+	// Element section.
+	if len(m.elems) > 0 {
+		var b []byte
+		b = uleb(b, uint64(len(m.elems)))
+		for _, e := range m.elems {
+			b = uleb(b, 0)
+			b = append(b, 0x41)
+			b = sleb(b, int64(e.offset))
+			b = append(b, 0x0B)
+			b = uleb(b, uint64(len(e.entries)))
+			for _, f := range e.entries {
+				b = uleb(b, uint64(f.Index()))
+			}
+		}
+		out = section(out, 9, b)
+	}
+
+	// Code section.
+	if len(m.funcs) > 0 {
+		var b []byte
+		b = uleb(b, uint64(len(m.funcs)))
+		for _, f := range m.funcs {
+			body := f.assembleBody()
+			b = uleb(b, uint64(len(body)))
+			b = append(b, body...)
+		}
+		out = section(out, 10, b)
+	}
+
+	// Data section.
+	if len(m.data) > 0 {
+		var b []byte
+		b = uleb(b, uint64(len(m.data)))
+		for _, d := range m.data {
+			b = uleb(b, 0)
+			b = append(b, 0x41)
+			b = sleb(b, int64(d.offset))
+			b = append(b, 0x0B)
+			b = uleb(b, uint64(len(d.bytes)))
+			b = append(b, d.bytes...)
+		}
+		out = section(out, 11, b)
+	}
+
+	return out
+}
+
+// Func is a function under construction. Instruction methods append to its
+// body; call End to close the outermost scope.
+type Func struct {
+	m        *Module
+	sig      Signature
+	idx      uint32
+	imported bool
+	locals   []ValType
+	body     []byte
+	depth    int
+	ended    bool
+}
+
+// Index returns the function's index in the module function index space.
+func (f *Func) Index() uint32 { return f.idx }
+
+// AddLocal appends another local of type t, returning its index.
+func (f *Func) AddLocal(t ValType) uint32 {
+	if f.imported {
+		panic("wasmgen: imported functions have no locals")
+	}
+	f.locals = append(f.locals, t)
+	return uint32(len(f.sig.Params) + len(f.locals) - 1)
+}
+
+func (f *Func) assembleBody() []byte {
+	if f.imported {
+		panic("wasmgen: imported function has no body")
+	}
+	if !f.ended {
+		panic(fmt.Sprintf("wasmgen: function %d body not ended", f.idx))
+	}
+	// Compress locals into (count, type) runs.
+	var runs [][2]uint64
+	for _, t := range f.locals {
+		if len(runs) > 0 && runs[len(runs)-1][1] == uint64(t) {
+			runs[len(runs)-1][0]++
+		} else {
+			runs = append(runs, [2]uint64{1, uint64(t)})
+		}
+	}
+	var out []byte
+	out = uleb(out, uint64(len(runs)))
+	for _, r := range runs {
+		out = uleb(out, r[0])
+		out = append(out, byte(r[1]))
+	}
+	return append(out, f.body...)
+}
+
+func (f *Func) op(b byte) *Func {
+	f.body = append(f.body, b)
+	return f
+}
+
+func (f *Func) opU(b byte, v uint64) *Func {
+	f.body = append(f.body, b)
+	f.body = uleb(f.body, v)
+	return f
+}
+
+// --- control flow ---
+
+// Block opens a block scope.
+func (f *Func) Block(t BlockType) *Func { f.depth++; return f.op(0x02).op(byte(t)) }
+
+// Loop opens a loop scope.
+func (f *Func) Loop(t BlockType) *Func { f.depth++; return f.op(0x03).op(byte(t)) }
+
+// If opens a conditional scope (consumes an i32).
+func (f *Func) If(t BlockType) *Func { f.depth++; return f.op(0x04).op(byte(t)) }
+
+// Else switches to the false branch.
+func (f *Func) Else() *Func { return f.op(0x05) }
+
+// End closes the innermost scope; closing the outermost finishes the body.
+func (f *Func) End() *Func {
+	f.op(0x0B)
+	if f.depth == 0 {
+		f.ended = true
+	} else {
+		f.depth--
+	}
+	return f
+}
+
+// Br branches to the l-th enclosing label.
+func (f *Func) Br(l uint32) *Func { return f.opU(0x0C, uint64(l)) }
+
+// BrIf conditionally branches to the l-th enclosing label.
+func (f *Func) BrIf(l uint32) *Func { return f.opU(0x0D, uint64(l)) }
+
+// BrTable emits a jump table (last label is the default).
+func (f *Func) BrTable(labels ...uint32) *Func {
+	f.op(0x0E)
+	f.body = uleb(f.body, uint64(len(labels)-1))
+	for _, l := range labels {
+		f.body = uleb(f.body, uint64(l))
+	}
+	return f
+}
+
+// Return returns from the function.
+func (f *Func) Return() *Func { return f.op(0x0F) }
+
+// Unreachable traps.
+func (f *Func) Unreachable() *Func { return f.op(0x00) }
+
+// Nop does nothing.
+func (f *Func) Nop() *Func { return f.op(0x01) }
+
+// Call invokes another function.
+func (f *Func) Call(g *Func) *Func { return f.opU(0x10, uint64(g.Index())) }
+
+// CallIndirect calls through the table with the given signature.
+func (f *Func) CallIndirect(sig Signature) *Func {
+	f.opU(0x11, uint64(f.m.internType(sig)))
+	return f.op(0x00)
+}
+
+// Drop discards the top of stack; Select picks one of two values.
+func (f *Func) Drop() *Func   { return f.op(0x1A) }
+func (f *Func) Select() *Func { return f.op(0x1B) }
+
+// --- variables ---
+
+// LocalGet, LocalSet, LocalTee, GlobalGet and GlobalSet access variables.
+func (f *Func) LocalGet(i uint32) *Func  { return f.opU(0x20, uint64(i)) }
+func (f *Func) LocalSet(i uint32) *Func  { return f.opU(0x21, uint64(i)) }
+func (f *Func) LocalTee(i uint32) *Func  { return f.opU(0x22, uint64(i)) }
+func (f *Func) GlobalGet(i uint32) *Func { return f.opU(0x23, uint64(i)) }
+func (f *Func) GlobalSet(i uint32) *Func { return f.opU(0x24, uint64(i)) }
+
+// --- constants ---
+
+// I32Const..F64Const push literals.
+func (f *Func) I32Const(v int32) *Func {
+	f.op(0x41)
+	f.body = sleb(f.body, int64(v))
+	return f
+}
+
+func (f *Func) I64Const(v int64) *Func {
+	f.op(0x42)
+	f.body = sleb(f.body, v)
+	return f
+}
+
+func (f *Func) F32Const(v float32) *Func {
+	f.op(0x43)
+	f.body = binary.LittleEndian.AppendUint32(f.body, math.Float32bits(v))
+	return f
+}
+
+func (f *Func) F64Const(v float64) *Func {
+	f.op(0x44)
+	f.body = binary.LittleEndian.AppendUint64(f.body, math.Float64bits(v))
+	return f
+}
+
+// --- memory ---
+
+func (f *Func) memOp(op byte, align, offset uint32) *Func {
+	f.op(op)
+	f.body = uleb(f.body, uint64(align))
+	f.body = uleb(f.body, uint64(offset))
+	return f
+}
+
+// Loads (offset is the constant address offset; natural alignment).
+func (f *Func) I32Load(offset uint32) *Func   { return f.memOp(0x28, 2, offset) }
+func (f *Func) I64Load(offset uint32) *Func   { return f.memOp(0x29, 3, offset) }
+func (f *Func) F32Load(offset uint32) *Func   { return f.memOp(0x2A, 2, offset) }
+func (f *Func) F64Load(offset uint32) *Func   { return f.memOp(0x2B, 3, offset) }
+func (f *Func) I32Load8U(offset uint32) *Func { return f.memOp(0x2D, 0, offset) }
+func (f *Func) I32Load8S(offset uint32) *Func { return f.memOp(0x2C, 0, offset) }
+
+// Stores.
+func (f *Func) I32Store(offset uint32) *Func  { return f.memOp(0x36, 2, offset) }
+func (f *Func) I64Store(offset uint32) *Func  { return f.memOp(0x37, 3, offset) }
+func (f *Func) F32Store(offset uint32) *Func  { return f.memOp(0x38, 2, offset) }
+func (f *Func) F64Store(offset uint32) *Func  { return f.memOp(0x39, 3, offset) }
+func (f *Func) I32Store8(offset uint32) *Func { return f.memOp(0x3A, 0, offset) }
+
+// MemorySize and MemoryGrow query/extend memory.
+func (f *Func) MemorySize() *Func { return f.op(0x3F).op(0x00) }
+func (f *Func) MemoryGrow() *Func { return f.op(0x40).op(0x00) }
+
+// --- numeric (generated mechanically; names match the spec) ---
+
+func (f *Func) I32Eqz() *Func { return f.op(0x45) }
+func (f *Func) I32Eq() *Func  { return f.op(0x46) }
+func (f *Func) I32Ne() *Func  { return f.op(0x47) }
+func (f *Func) I32LtS() *Func { return f.op(0x48) }
+func (f *Func) I32LtU() *Func { return f.op(0x49) }
+func (f *Func) I32GtS() *Func { return f.op(0x4A) }
+func (f *Func) I32GtU() *Func { return f.op(0x4B) }
+func (f *Func) I32LeS() *Func { return f.op(0x4C) }
+func (f *Func) I32LeU() *Func { return f.op(0x4D) }
+func (f *Func) I32GeS() *Func { return f.op(0x4E) }
+func (f *Func) I32GeU() *Func { return f.op(0x4F) }
+
+func (f *Func) I64Eqz() *Func { return f.op(0x50) }
+func (f *Func) I64Eq() *Func  { return f.op(0x51) }
+func (f *Func) I64Ne() *Func  { return f.op(0x52) }
+func (f *Func) I64LtS() *Func { return f.op(0x53) }
+func (f *Func) I64LtU() *Func { return f.op(0x54) }
+func (f *Func) I64GtS() *Func { return f.op(0x55) }
+func (f *Func) I64GtU() *Func { return f.op(0x56) }
+func (f *Func) I64LeS() *Func { return f.op(0x57) }
+func (f *Func) I64LeU() *Func { return f.op(0x58) }
+func (f *Func) I64GeS() *Func { return f.op(0x59) }
+func (f *Func) I64GeU() *Func { return f.op(0x5A) }
+
+func (f *Func) F32Eq() *Func { return f.op(0x5B) }
+func (f *Func) F32Ne() *Func { return f.op(0x5C) }
+func (f *Func) F32Lt() *Func { return f.op(0x5D) }
+func (f *Func) F32Gt() *Func { return f.op(0x5E) }
+func (f *Func) F32Le() *Func { return f.op(0x5F) }
+func (f *Func) F32Ge() *Func { return f.op(0x60) }
+
+func (f *Func) F64Eq() *Func { return f.op(0x61) }
+func (f *Func) F64Ne() *Func { return f.op(0x62) }
+func (f *Func) F64Lt() *Func { return f.op(0x63) }
+func (f *Func) F64Gt() *Func { return f.op(0x64) }
+func (f *Func) F64Le() *Func { return f.op(0x65) }
+func (f *Func) F64Ge() *Func { return f.op(0x66) }
+
+func (f *Func) I32Clz() *Func    { return f.op(0x67) }
+func (f *Func) I32Ctz() *Func    { return f.op(0x68) }
+func (f *Func) I32Popcnt() *Func { return f.op(0x69) }
+func (f *Func) I32Add() *Func    { return f.op(0x6A) }
+func (f *Func) I32Sub() *Func    { return f.op(0x6B) }
+func (f *Func) I32Mul() *Func    { return f.op(0x6C) }
+func (f *Func) I32DivS() *Func   { return f.op(0x6D) }
+func (f *Func) I32DivU() *Func   { return f.op(0x6E) }
+func (f *Func) I32RemS() *Func   { return f.op(0x6F) }
+func (f *Func) I32RemU() *Func   { return f.op(0x70) }
+func (f *Func) I32And() *Func    { return f.op(0x71) }
+func (f *Func) I32Or() *Func     { return f.op(0x72) }
+func (f *Func) I32Xor() *Func    { return f.op(0x73) }
+func (f *Func) I32Shl() *Func    { return f.op(0x74) }
+func (f *Func) I32ShrS() *Func   { return f.op(0x75) }
+func (f *Func) I32ShrU() *Func   { return f.op(0x76) }
+func (f *Func) I32Rotl() *Func   { return f.op(0x77) }
+func (f *Func) I32Rotr() *Func   { return f.op(0x78) }
+
+func (f *Func) I64Clz() *Func    { return f.op(0x79) }
+func (f *Func) I64Ctz() *Func    { return f.op(0x7A) }
+func (f *Func) I64Popcnt() *Func { return f.op(0x7B) }
+func (f *Func) I64Add() *Func    { return f.op(0x7C) }
+func (f *Func) I64Sub() *Func    { return f.op(0x7D) }
+func (f *Func) I64Mul() *Func    { return f.op(0x7E) }
+func (f *Func) I64DivS() *Func   { return f.op(0x7F) }
+func (f *Func) I64DivU() *Func   { return f.op(0x80) }
+func (f *Func) I64RemS() *Func   { return f.op(0x81) }
+func (f *Func) I64RemU() *Func   { return f.op(0x82) }
+func (f *Func) I64And() *Func    { return f.op(0x83) }
+func (f *Func) I64Or() *Func     { return f.op(0x84) }
+func (f *Func) I64Xor() *Func    { return f.op(0x85) }
+func (f *Func) I64Shl() *Func    { return f.op(0x86) }
+func (f *Func) I64ShrS() *Func   { return f.op(0x87) }
+func (f *Func) I64ShrU() *Func   { return f.op(0x88) }
+func (f *Func) I64Rotl() *Func   { return f.op(0x89) }
+func (f *Func) I64Rotr() *Func   { return f.op(0x8A) }
+
+func (f *Func) F32Abs() *Func      { return f.op(0x8B) }
+func (f *Func) F32Neg() *Func      { return f.op(0x8C) }
+func (f *Func) F32Sqrt() *Func     { return f.op(0x91) }
+func (f *Func) F32Add() *Func      { return f.op(0x92) }
+func (f *Func) F32Sub() *Func      { return f.op(0x93) }
+func (f *Func) F32Mul() *Func      { return f.op(0x94) }
+func (f *Func) F32Div() *Func      { return f.op(0x95) }
+func (f *Func) F32Min() *Func      { return f.op(0x96) }
+func (f *Func) F32Max() *Func      { return f.op(0x97) }
+func (f *Func) F32Copysign() *Func { return f.op(0x98) }
+
+func (f *Func) F64Abs() *Func      { return f.op(0x99) }
+func (f *Func) F64Neg() *Func      { return f.op(0x9A) }
+func (f *Func) F64Ceil() *Func     { return f.op(0x9B) }
+func (f *Func) F64Floor() *Func    { return f.op(0x9C) }
+func (f *Func) F64Trunc() *Func    { return f.op(0x9D) }
+func (f *Func) F64Nearest() *Func  { return f.op(0x9E) }
+func (f *Func) F64Sqrt() *Func     { return f.op(0x9F) }
+func (f *Func) F64Add() *Func      { return f.op(0xA0) }
+func (f *Func) F64Sub() *Func      { return f.op(0xA1) }
+func (f *Func) F64Mul() *Func      { return f.op(0xA2) }
+func (f *Func) F64Div() *Func      { return f.op(0xA3) }
+func (f *Func) F64Min() *Func      { return f.op(0xA4) }
+func (f *Func) F64Max() *Func      { return f.op(0xA5) }
+func (f *Func) F64Copysign() *Func { return f.op(0xA6) }
+
+func (f *Func) I32WrapI64() *Func        { return f.op(0xA7) }
+func (f *Func) I32TruncF64S() *Func      { return f.op(0xAA) }
+func (f *Func) I64ExtendI32S() *Func     { return f.op(0xAC) }
+func (f *Func) I64ExtendI32U() *Func     { return f.op(0xAD) }
+func (f *Func) I64TruncF64S() *Func      { return f.op(0xB0) }
+func (f *Func) F32ConvertI32S() *Func    { return f.op(0xB2) }
+func (f *Func) F32DemoteF64() *Func      { return f.op(0xB6) }
+func (f *Func) F64ConvertI32S() *Func    { return f.op(0xB7) }
+func (f *Func) F64ConvertI32U() *Func    { return f.op(0xB8) }
+func (f *Func) F64ConvertI64S() *Func    { return f.op(0xB9) }
+func (f *Func) F64PromoteF32() *Func     { return f.op(0xBB) }
+func (f *Func) I32ReinterpretF32() *Func { return f.op(0xBC) }
+func (f *Func) I64ReinterpretF64() *Func { return f.op(0xBD) }
+func (f *Func) F32ReinterpretI32() *Func { return f.op(0xBE) }
+func (f *Func) F64ReinterpretI64() *Func { return f.op(0xBF) }

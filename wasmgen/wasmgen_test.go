@@ -1,0 +1,163 @@
+package wasmgen_test
+
+import (
+	"bytes"
+	"testing"
+
+	"twine/internal/wasm"
+	"twine/wasmgen"
+)
+
+// compile round-trips a built module through the real decoder/validator.
+func compile(t *testing.T, m *wasmgen.Module) *wasm.Compiled {
+	t.Helper()
+	mod, err := wasm.Decode(m.Bytes())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	c, err := wasm.Compile(mod)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return c
+}
+
+func TestEmittedModuleHasMagic(t *testing.T) {
+	m := wasmgen.NewModule()
+	f := m.Func(wasmgen.Sig())
+	f.End()
+	m.Export("f", f)
+	bin := m.Bytes()
+	if !bytes.HasPrefix(bin, []byte{0x00, 0x61, 0x73, 0x6D, 0x01, 0x00, 0x00, 0x00}) {
+		t.Fatalf("bad header: % x", bin[:8])
+	}
+}
+
+func TestTypesAreDeduplicated(t *testing.T) {
+	m := wasmgen.NewModule()
+	sig := wasmgen.Sig(wasmgen.I32).Returns(wasmgen.I32)
+	f1 := m.Func(sig)
+	f1.LocalGet(0).End()
+	f2 := m.Func(sig)
+	f2.LocalGet(0).End()
+	m.Export("a", f1)
+	m.Export("b", f2)
+	mod, err := wasm.Decode(m.Bytes())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(mod.Types) != 1 {
+		t.Errorf("type section has %d entries, want 1", len(mod.Types))
+	}
+}
+
+func TestLocalsCompressIntoRuns(t *testing.T) {
+	m := wasmgen.NewModule()
+	f := m.Func(wasmgen.Sig(), wasmgen.I32, wasmgen.I32, wasmgen.F64, wasmgen.I32)
+	f.End()
+	m.Export("f", f)
+	mod, err := wasm.Decode(m.Bytes())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got := len(mod.Codes[0].Locals); got != 4 {
+		t.Errorf("decoded %d locals, want 4", got)
+	}
+}
+
+func TestFullFeatureModuleValidates(t *testing.T) {
+	m := wasmgen.NewModule()
+	imp := m.ImportFunc("env", "cb", wasmgen.Sig(wasmgen.I32).Returns(wasmgen.I32))
+	m.Memory(1, 4)
+	m.Table(2)
+	g := m.Global(wasmgen.I64, true, 5)
+	m.Data(16, []byte{1, 2, 3})
+
+	callee := m.Func(wasmgen.Sig(wasmgen.I32).Returns(wasmgen.I32))
+	callee.LocalGet(0).I32Const(2).I32Mul().End()
+	m.Elem(0, callee)
+
+	f := m.Func(wasmgen.Sig(wasmgen.I32).Returns(wasmgen.I32), wasmgen.I32)
+	extra := f.AddLocal(wasmgen.I64)
+	f.Block(wasmgen.BlockVoid)
+	f.Loop(wasmgen.BlockVoid)
+	f.LocalGet(1).I32Const(3).I32GeS().BrIf(1)
+	f.LocalGet(1).I32Const(1).I32Add().LocalSet(1)
+	f.Br(0)
+	f.End().End()
+	f.GlobalGet(g).LocalSet(extra)
+	f.LocalGet(0).Call(imp)                                                               // cb(x) = x + 100
+	f.LocalGet(0).I32Const(0).CallIndirect(wasmgen.Sig(wasmgen.I32).Returns(wasmgen.I32)) // callee(x) = 2x
+	f.I32Add()
+	f.End()
+	m.Export("main", f)
+	m.ExportMemory("memory")
+
+	c := compile(t, m)
+	io := wasm.NewImportObject()
+	io.AddFunc(wasm.HostFunc{
+		Module: "env", Name: "cb",
+		Type: wasm.FuncType{Params: []wasm.ValueType{wasm.I32}, Results: []wasm.ValueType{wasm.I32}},
+		Fn: func(in *wasm.Instance, a []uint64) ([]uint64, error) {
+			return []uint64{a[0] + 100}, nil
+		},
+	})
+	in, err := wasm.Instantiate(c, io, wasm.Config{})
+	if err != nil {
+		t.Fatalf("Instantiate: %v", err)
+	}
+	// main(7) = cb(7) + callee(7) = 107 + 14 = 121.
+	out, err := in.Invoke("main", 7)
+	if err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	if out[0] != 121 {
+		t.Errorf("main(7) = %d, want 121", out[0])
+	}
+}
+
+func TestStartAndGlobals(t *testing.T) {
+	m := wasmgen.NewModule()
+	g := m.Global(wasmgen.I32, true, 0)
+	init := m.Func(wasmgen.Sig())
+	init.I32Const(11).GlobalSet(g).End()
+	m.Start(init)
+	get := m.Func(wasmgen.Sig().Returns(wasmgen.I32))
+	get.GlobalGet(g).End()
+	m.Export("get", get)
+	c := compile(t, m)
+	in, err := wasm.Instantiate(c, nil, wasm.Config{})
+	if err != nil {
+		t.Fatalf("Instantiate: %v", err)
+	}
+	out, _ := in.Invoke("get")
+	if out[0] != 11 {
+		t.Errorf("start did not run: %d", out[0])
+	}
+}
+
+func TestFloatConstBits(t *testing.T) {
+	m := wasmgen.NewModule()
+	f := m.Func(wasmgen.Sig().Returns(wasmgen.F64))
+	f.F64Const(3.5).End()
+	m.Export("c", f)
+	c := compile(t, m)
+	in, _ := wasm.Instantiate(c, nil, wasm.Config{})
+	out, _ := in.Invoke("c")
+	if out[0] != 0x400C000000000000 {
+		t.Errorf("f64 const bits = %#x", out[0])
+	}
+}
+
+func TestUnendedBodyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Bytes() on unended function did not panic")
+		}
+	}()
+	m := wasmgen.NewModule()
+	f := m.Func(wasmgen.Sig())
+	f.I32Const(1) // no End
+	m.Export("f", f)
+	m.Bytes()
+}
