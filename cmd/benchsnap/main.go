@@ -1,0 +1,165 @@
+// Command benchsnap produces a machine-readable performance snapshot of
+// the paper-figure hot paths, so successive PRs have a trajectory to
+// compare against instead of ad-hoc `go test -bench` runs.
+//
+// It times the Figure 3 PolyBench kernels under the three execution
+// variants (native Go, plain Wasm AoT ("wamr"), and Wasm-in-enclave
+// ("twine")) with warmup and a minimum measurement window, then writes a
+// JSON document. The committed BENCH_1.json at the repository root was
+// generated with the defaults:
+//
+//	go run ./cmd/benchsnap -o BENCH_1.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"twine/internal/core"
+	"twine/internal/polybench"
+	"twine/internal/sgx"
+	"twine/internal/wasm"
+)
+
+// Result is one timed benchmark point.
+type Result struct {
+	Name    string  `json:"name"`      // e.g. "fig3/gemm/twine"
+	NsPerOp float64 `json:"ns_per_op"` // mean wall time per kernel run
+	Ops     int     `json:"ops"`       // measured iterations (after warmup)
+}
+
+// Snapshot is the document written to disk.
+type Snapshot struct {
+	Schema  string            `json:"schema"`
+	Config  map[string]any    `json:"config"`
+	Results []Result          `json:"results"`
+	Notes   map[string]string `json:"notes,omitempty"`
+}
+
+// benchSGX mirrors bench_test.go: a scaled-down enclave that keeps the
+// cost model while finishing quickly.
+func benchSGX() sgx.Config {
+	cfg := sgx.DefaultConfig()
+	cfg.EPCSize = 24 << 20
+	cfg.EPCUsable = 16 << 20
+	cfg.HeapSize = 192 << 20
+	cfg.ReservedSize = 16 << 20
+	cfg.TransitionCost = 1700 * time.Nanosecond
+	return cfg
+}
+
+// measure runs fn in a loop: warmup iterations first, then as many
+// timed iterations as fit in minWindow (at least minOps).
+func measure(fn func() error, warmup, minOps int, minWindow time.Duration) (float64, int, error) {
+	for i := 0; i < warmup; i++ {
+		if err := fn(); err != nil {
+			return 0, 0, err
+		}
+	}
+	var ops int
+	start := time.Now()
+	for time.Since(start) < minWindow || ops < minOps {
+		if err := fn(); err != nil {
+			return 0, 0, err
+		}
+		ops++
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(ops), ops, nil
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	kernels := flag.String("kernels", "gemm,2mm,atax,jacobi-2d,cholesky,floyd-warshall",
+		"comma-separated Fig3 kernels")
+	n := flag.Int("n", 32, "kernel problem size")
+	warmup := flag.Int("warmup", 2, "warmup iterations per point")
+	minOps := flag.Int("minops", 5, "minimum timed iterations per point")
+	window := flag.Duration("window", 300*time.Millisecond, "minimum measurement window per point")
+	flag.Parse()
+
+	snap := Snapshot{
+		Schema: "twine-bench-snapshot/1",
+		Config: map[string]any{
+			"kernel_n":        *n,
+			"warmup":          *warmup,
+			"min_ops":         *minOps,
+			"window_ms":       window.Milliseconds(),
+			"epc_usable_mib":  16,
+			"transit_cost_ns": 1700,
+		},
+		Notes: map[string]string{
+			"fig3": "PolyBench kernels, ns/op per full kernel run (incl. checksum)",
+		},
+	}
+
+	for _, name := range strings.Split(*kernels, ",") {
+		name = strings.TrimSpace(name)
+		k, ok := polybench.ByName(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchsnap: unknown kernel %q\n", name)
+			os.Exit(1)
+		}
+
+		// native
+		nsNative, ops, err := measure(func() error {
+			polybench.RunNative(k, *n)
+			return nil
+		}, *warmup, *minOps, *window)
+		die(name+"/native", err)
+		snap.Results = append(snap.Results, Result{"fig3/" + name + "/native", nsNative, ops})
+
+		// wamr: plain AoT Wasm, no enclave
+		bin := k.Build(*n)
+		mod, err := wasm.Decode(bin)
+		die(name+"/wamr decode", err)
+		c, err := wasm.Compile(mod)
+		die(name+"/wamr compile", err)
+		imp := wasm.NewImportObject()
+		polybench.MathImports(imp)
+		in, err := wasm.Instantiate(c, imp, wasm.Config{Engine: wasm.EngineAOT})
+		die(name+"/wamr instantiate", err)
+		nsWamr, ops, err := measure(func() error {
+			_, err := in.Invoke("run")
+			return err
+		}, *warmup, *minOps, *window)
+		die(name+"/wamr", err)
+		snap.Results = append(snap.Results, Result{"fig3/" + name + "/wamr", nsWamr, ops})
+
+		// twine: the same module inside the enclave
+		rt, err := core.NewRuntime(core.Config{PlatformSeed: "benchsnap", SGX: benchSGX()})
+		die(name+"/twine runtime", err)
+		tmod, err := rt.LoadModule(bin)
+		die(name+"/twine load", err)
+		inst, err := rt.NewInstance(tmod)
+		die(name+"/twine instantiate", err)
+		nsTwine, ops, err := measure(func() error {
+			_, err := inst.Invoke("run")
+			return err
+		}, *warmup, *minOps, *window)
+		die(name+"/twine", err)
+		snap.Results = append(snap.Results, Result{"fig3/" + name + "/twine", nsTwine, ops})
+
+		fmt.Fprintf(os.Stderr, "%-16s native %10.0f ns  wamr %12.0f ns  twine %12.0f ns  (twine/wamr %.2fx)\n",
+			name, nsNative, nsWamr, nsTwine, nsTwine/nsWamr)
+	}
+
+	enc, err := json.MarshalIndent(snap, "", "  ")
+	die("marshal", err)
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	die("write", os.WriteFile(*out, enc, 0o644))
+}
+
+func die(what string, err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: %s: %v\n", what, err)
+		os.Exit(1)
+	}
+}

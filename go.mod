@@ -1,0 +1,3 @@
+module twine
+
+go 1.22

@@ -86,20 +86,18 @@ func (rt *Runtime) OpenDB(cfg DBConfig) (*EmbeddedDB, error) {
 		// enclave through the touch hook (they live in guest address
 		// space conceptually).
 		mv := litedb.NewMemVFS()
-		if inst.arenaOK {
-			base := inst.arena
-			mem := rt.Enclave.Memory()
-			limit := mem.Size() - base
-			mv.Touch = func(off, n int64) {
-				if off < 0 {
-					return
-				}
-				if off+n > limit {
-					off = (off + n) % limit
-					n = 1
-				}
-				_ = mem.Touch(base+off, n)
+		base := inst.arena
+		mem := rt.Enclave.Memory()
+		limit := mem.Size() - base
+		mv.Touch = func(off, n int64) {
+			if off < 0 {
+				return
 			}
+			if off+n > limit {
+				off = (off + n) % limit
+				n = 1
+			}
+			_ = mem.Touch(base+off, n)
 		}
 		vfs = mv
 		if cfg.Journal == litedb.JournalDelete {

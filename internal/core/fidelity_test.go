@@ -1,0 +1,159 @@
+package core
+
+import (
+	"testing"
+
+	"twine/internal/wasm"
+	"twine/wasmgen"
+)
+
+// sweepModule builds a Fig5-style paging workload: repeated sequential
+// sweeps over an f64 array several times the usable EPC, so the clock
+// hand churns and evictions dominate. The exported run() performs
+// A[i] += r for every element in each round, then returns the array sum.
+func sweepModule(elems, rounds int) []byte {
+	const base = 64
+	m := wasmgen.NewModule()
+	pages := (uint32(base+elems*8) + wasm.PageSize - 1) / wasm.PageSize
+	m.Memory(pages, pages)
+
+	f := m.Func(wasmgen.Sig().Returns(wasmgen.F64))
+	r, i, sum := f.AddLocal(wasmgen.I32), f.AddLocal(wasmgen.I32), f.AddLocal(wasmgen.F64)
+
+	forLoop := func(idx uint32, limit int32, body func()) {
+		f.I32Const(0).LocalSet(idx)
+		f.Block(wasmgen.BlockVoid)
+		f.Loop(wasmgen.BlockVoid)
+		f.LocalGet(idx).I32Const(limit).I32GeS().BrIf(1)
+		body()
+		f.LocalGet(idx).I32Const(1).I32Add().LocalSet(idx)
+		f.Br(0)
+		f.End()
+		f.End()
+	}
+
+	forLoop(r, int32(rounds), func() {
+		forLoop(i, int32(elems), func() {
+			// A[i] = A[i] + f64(r)
+			f.LocalGet(i).I32Const(8).I32Mul().I32Const(base).I32Add()
+			f.LocalGet(i).I32Const(8).I32Mul().I32Const(base).I32Add().F64Load(0)
+			f.LocalGet(r).F64ConvertI32S()
+			f.F64Add()
+			f.F64Store(0)
+		})
+	})
+	forLoop(i, int32(elems), func() {
+		f.LocalGet(sum)
+		f.LocalGet(i).I32Const(8).I32Mul().I32Const(base).I32Add().F64Load(0)
+		f.F64Add().LocalSet(sum)
+	})
+	f.LocalGet(sum)
+	f.End()
+	m.Export("run", f)
+	m.ExportMemory("memory")
+	return m.Bytes()
+}
+
+type paging struct {
+	faults, evictions int64
+	checksum          uint64
+}
+
+func runSweep(t *testing.T, noTLB bool) paging {
+	t.Helper()
+	cfg := testConfig(func(c *Config) {
+		// 16 resident pages against a 64-page guest array: every sweep
+		// round pages heavily, exactly the regime where a TLB bug would
+		// change the counts.
+		c.SGX.EPCSize = 128 << 10
+		c.SGX.EPCUsable = 64 << 10
+		c.SGX.HeapSize = 8 << 20
+		c.NoEPCTLB = noTLB
+	})
+	rt, err := NewRuntime(cfg)
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	mod, err := rt.LoadModule(sweepModule(32<<10, 3)) // 256 KiB array, 3 passes
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	inst, err := rt.NewInstance(mod)
+	if err != nil {
+		t.Fatalf("NewInstance: %v", err)
+	}
+	var sum uint64
+	for i := 0; i < 2; i++ { // two invocations: cold and warm TLB
+		out, err := inst.Invoke("run")
+		if err != nil {
+			t.Fatalf("Invoke: %v", err)
+		}
+		sum = out[0]
+	}
+	m := rt.Enclave.Memory()
+	return paging{faults: m.Faults(), evictions: m.Evictions(), checksum: sum}
+}
+
+// TestEPCTLBFidelity is the acceptance guard for the software EPC-TLB:
+// under a paging-heavy sweep the enclave must report bit-identical fault
+// and eviction counts with the TLB enabled and disabled, because a TLB
+// hit is only ever taken where the touch would have been a no-op.
+func TestEPCTLBFidelity(t *testing.T) {
+	withTLB := runSweep(t, false)
+	without := runSweep(t, true)
+
+	if withTLB.faults != without.faults {
+		t.Errorf("faults: TLB=%d, no-TLB=%d — EPC model diverged", withTLB.faults, without.faults)
+	}
+	if withTLB.evictions != without.evictions {
+		t.Errorf("evictions: TLB=%d, no-TLB=%d — EPC model diverged", withTLB.evictions, without.evictions)
+	}
+	if withTLB.checksum != without.checksum {
+		t.Errorf("checksum: TLB=%#x, no-TLB=%#x", withTLB.checksum, without.checksum)
+	}
+	// The workload must actually have paged, or the test proves nothing.
+	if without.evictions == 0 {
+		t.Fatal("sweep caused no evictions; enlarge the workload")
+	}
+}
+
+// TestEPCTLBFidelityUnderPressure repeats the comparison with an EPC so
+// small that nearly every access round-trips through the clock — the
+// generation counter is then bumped constantly and the TLB must keep
+// re-validating without ever skipping a countable touch.
+func TestEPCTLBFidelityUnderPressure(t *testing.T) {
+	run := func(noTLB bool) paging {
+		cfg := testConfig(func(c *Config) {
+			c.SGX.EPCSize = 64 << 10
+			c.SGX.EPCUsable = 8 << 10 // 2 resident pages: maximal churn
+			c.SGX.HeapSize = 8 << 20
+			c.NoEPCTLB = noTLB
+		})
+		rt, err := NewRuntime(cfg)
+		if err != nil {
+			t.Fatalf("NewRuntime: %v", err)
+		}
+		mod, err := rt.LoadModule(sweepModule(8<<10, 2))
+		if err != nil {
+			t.Fatalf("LoadModule: %v", err)
+		}
+		inst, err := rt.NewInstance(mod)
+		if err != nil {
+			t.Fatalf("NewInstance: %v", err)
+		}
+		out, err := inst.Invoke("run")
+		if err != nil {
+			t.Fatalf("Invoke: %v", err)
+		}
+		m := rt.Enclave.Memory()
+		return paging{faults: m.Faults(), evictions: m.Evictions(), checksum: out[0]}
+	}
+	withTLB := run(false)
+	without := run(true)
+	if withTLB != without {
+		t.Errorf("paging state diverged under pressure: TLB=%+v no-TLB=%+v", withTLB, without)
+	}
+	if without.evictions == 0 {
+		t.Fatal("pressure sweep caused no evictions")
+	}
+}

@@ -75,6 +75,11 @@ type Config struct {
 	Stderr io.Writer
 	// MaxMemoryPages caps guest linear memory (0 = module limit).
 	MaxMemoryPages uint32
+	// NoEPCTLB disables the interpreter's software EPC-TLB, forcing the
+	// EPC model to be consulted on every guest memory access. The TLB is
+	// exactly semantics-preserving (identical fault/eviction counts), so
+	// this knob exists only for ablation benchmarks and fidelity tests.
+	NoEPCTLB bool
 	// Prof collects counters and timers.
 	Prof *prof.Registry
 }
@@ -109,6 +114,8 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	if cfg.Preopens == nil {
 		cfg.Preopens = map[string]string{"/": ""}
 	}
+	// Normalize out-of-range engine values; EngineAOT is already the zero
+	// value, so only an explicit EngineInterp selects the interpreter.
 	if cfg.Engine != wasm.EngineInterp {
 		cfg.Engine = wasm.EngineAOT
 	}
@@ -222,9 +229,10 @@ type Instance struct {
 	rt  *Runtime
 	In  *wasm.Instance
 	mem *sgx.Memory
-	// arena is the enclave region backing the guest linear memory.
-	arena   int64
-	arenaOK bool
+	// arena is the enclave region backing the guest linear memory. It is
+	// aligned to the enclave page size so guest 4 KiB pages and enclave
+	// EPC pages coincide — the alignment the EPC-TLB contract requires.
+	arena int64
 }
 
 // NewInstance instantiates mod inside the enclave.
@@ -244,24 +252,28 @@ func (rt *Runtime) NewInstance(mod *Module) (*Instance, error) {
 		maxPages = rt.cfg.MaxMemoryPages
 	}
 	need := int64(maxPages)*wasm.PageSize + sgx.PageSize
-	if off, err := rt.Enclave.Allocator().Alloc(need); err == nil {
-		inst.arena = (off + sgx.PageSize - 1) &^ (sgx.PageSize - 1)
-		inst.arenaOK = true
-	} else {
+	off, err := rt.Enclave.Allocator().Alloc(need)
+	if err != nil {
 		return nil, fmt.Errorf("twine: guest memory (%d pages) does not fit the enclave: %w", maxPages, err)
+	}
+	inst.arena = (off + sgx.PageSize - 1) &^ (sgx.PageSize - 1)
+
+	// The arena base is pre-translated into the view once; the per-access
+	// hook is then a single add instead of a capture-and-check closure.
+	view := inst.mem.ViewAt(inst.arena)
+	var touchGen *uint64
+	if !rt.cfg.NoEPCTLB {
+		touchGen = inst.mem.GenRef()
 	}
 
 	var in *wasm.Instance
-	err := rt.Enclave.ECall("twine_instantiate", func() error {
+	err = rt.Enclave.ECall("twine_instantiate", func() error {
 		var ierr error
 		in, ierr = wasm.Instantiate(mod.Compiled, rt.Imports, wasm.Config{
 			Engine:         rt.cfg.Engine,
 			MaxMemoryPages: rt.cfg.MaxMemoryPages,
-			Touch: func(off, n int64) {
-				if inst.arenaOK {
-					_ = inst.mem.Touch(inst.arena+off, n)
-				}
-			},
+			Touch:          view.Touch,
+			TouchGen:       touchGen,
 		})
 		return ierr
 	})

@@ -1,0 +1,187 @@
+package sgx
+
+import "testing"
+
+// lifecycleMemory builds a bare Memory with a 4-page EPC over a 64-page
+// enclave, the smallest geometry in which every clock behaviour
+// (fault, second chance, downgrade, eviction) is reachable in a handful
+// of touches.
+func lifecycleMemory(t *testing.T) *Memory {
+	t.Helper()
+	m, err := newMemory(Config{
+		Mode:      ModeSimulation, // counts only; no AES cost in unit tests
+		EPCUsable: 4 * PageSize,
+		HeapSize:  64 * PageSize,
+	})
+	if err != nil {
+		t.Fatalf("newMemory: %v", err)
+	}
+	return m
+}
+
+// TestPageLifecycleExactCounts drives the clock through its full state
+// machine and asserts the exact fault/eviction/resident counters after
+// every step. These counts are the fidelity contract the interpreter's
+// EPC-TLB relies on: any change here means the paging model moved and
+// the TLB's correctness argument must be re-checked.
+func TestPageLifecycleExactCounts(t *testing.T) {
+	steps := []struct {
+		name      string
+		page      int64 // page to touch
+		faults    int64 // cumulative expectations after the touch
+		evictions int64
+		resident  int
+		// referenced lists pages that must hold a second chance after
+		// the step; resident lists pages that must be in-EPC but swept.
+		referenced []int64
+		swept      []int64
+		absent     []int64
+	}{
+		{name: "fault p0", page: 0, faults: 1, evictions: 0, resident: 1,
+			referenced: []int64{0}},
+		{name: "fault p1", page: 1, faults: 2, evictions: 0, resident: 2,
+			referenced: []int64{0, 1}},
+		{name: "fault p2", page: 2, faults: 3, evictions: 0, resident: 3,
+			referenced: []int64{0, 1, 2}},
+		{name: "fault p3 fills EPC", page: 3, faults: 4, evictions: 0, resident: 4,
+			referenced: []int64{0, 1, 2, 3}},
+		{name: "re-touch p0 is free", page: 0, faults: 4, evictions: 0, resident: 4,
+			referenced: []int64{0, 1, 2, 3}},
+		// p4 faults into a full EPC: the clock sweeps p0..p3 down to
+		// resident (consuming their second chances), wraps, and evicts
+		// p0 — the textbook second-chance outcome.
+		{name: "fault p4 evicts p0", page: 4, faults: 5, evictions: 1, resident: 4,
+			referenced: []int64{4}, swept: []int64{1, 2, 3}, absent: []int64{0}},
+		{name: "re-reference p1", page: 1, faults: 5, evictions: 1, resident: 4,
+			referenced: []int64{1, 4}, swept: []int64{2, 3}, absent: []int64{0}},
+		// p0 faults again: the hand sits at p1, which spends its fresh
+		// second chance, so p2 (plain resident) is the victim.
+		{name: "fault p0 evicts p2", page: 0, faults: 6, evictions: 2, resident: 4,
+			referenced: []int64{0, 4}, swept: []int64{1, 3}, absent: []int64{2}},
+	}
+
+	m := lifecycleMemory(t)
+	for _, st := range steps {
+		if err := m.Touch(st.page*PageSize, 1); err != nil {
+			t.Fatalf("%s: Touch: %v", st.name, err)
+		}
+		if m.Faults() != st.faults {
+			t.Errorf("%s: faults = %d, want %d", st.name, m.Faults(), st.faults)
+		}
+		if m.Evictions() != st.evictions {
+			t.Errorf("%s: evictions = %d, want %d", st.name, m.Evictions(), st.evictions)
+		}
+		if m.Resident() != st.resident {
+			t.Errorf("%s: resident = %d, want %d", st.name, m.Resident(), st.resident)
+		}
+		for _, p := range st.referenced {
+			if !m.Referenced(p) {
+				t.Errorf("%s: page %d not referenced (state %s)", st.name, p, m.PageState(p))
+			}
+		}
+		for _, p := range st.swept {
+			if got := m.PageState(p); got != "resident" {
+				t.Errorf("%s: page %d state = %s, want resident", st.name, p, got)
+			}
+		}
+		for _, p := range st.absent {
+			if got := m.PageState(p); got != "absent" {
+				t.Errorf("%s: page %d state = %s, want absent", st.name, p, got)
+			}
+		}
+	}
+}
+
+// TestGenerationBumpsOnlyOnRegression pins down the generation-counter
+// contract: gen moves exactly when page state can regress (a sweep/evict
+// or a scrub) and never on faults into a non-full EPC or on reference
+// upgrades. The EPC-TLB is sound if and only if this holds.
+func TestGenerationBumpsOnlyOnRegression(t *testing.T) {
+	m := lifecycleMemory(t)
+	g0 := m.Gen()
+
+	// Faults without eviction: gen must not move.
+	for p := int64(0); p < 4; p++ {
+		_ = m.Touch(p*PageSize, 1)
+	}
+	if m.Gen() != g0 {
+		t.Fatalf("gen moved on fill-only faults: %d -> %d", g0, m.Gen())
+	}
+
+	// Upgrading a swept page back to referenced must not move gen either.
+	_ = m.Touch(0, 1)
+	if m.Gen() != g0 {
+		t.Fatalf("gen moved on a no-op touch: %d -> %d", g0, m.Gen())
+	}
+
+	// An eviction must bump gen (here: exactly once per evict call).
+	_ = m.Touch(4*PageSize, 1)
+	if m.Gen() != g0+1 {
+		t.Fatalf("gen = %d after one eviction, want %d", m.Gen(), g0+1)
+	}
+	if m.Evictions() != 1 {
+		t.Fatalf("evictions = %d, want 1", m.Evictions())
+	}
+
+	// The page evicted by the sweep is no longer referenced, and the
+	// generation change is what tells TLB holders to notice.
+	if m.Referenced(0) {
+		t.Error("victim page still reports referenced")
+	}
+
+	// Scrub is a total regression: gen must move.
+	g1 := m.Gen()
+	m.scrub()
+	if m.Gen() <= g1 {
+		t.Errorf("gen = %d after scrub, want > %d", m.Gen(), g1)
+	}
+	if m.Resident() != 0 {
+		t.Errorf("resident = %d after scrub, want 0", m.Resident())
+	}
+}
+
+// TestReferencedMatchesTouchNoOp verifies the exact property the
+// interpreter's TLB depends on: while Referenced(p) holds and Gen() is
+// unchanged, a Touch of that page alters no counters.
+func TestReferencedMatchesTouchNoOp(t *testing.T) {
+	m := lifecycleMemory(t)
+	_ = m.Touch(2*PageSize, 8)
+	if !m.Referenced(2) {
+		t.Fatal("page 2 not referenced after touch")
+	}
+	g, f, ev := m.Gen(), m.Faults(), m.Evictions()
+	for i := 0; i < 100; i++ {
+		_ = m.Touch(2*PageSize+int64(i*8), 8)
+	}
+	if m.Gen() != g || m.Faults() != f || m.Evictions() != ev {
+		t.Errorf("re-touch of a referenced page changed state: gen %d->%d faults %d->%d evictions %d->%d",
+			g, m.Gen(), f, m.Faults(), ev, m.Evictions())
+	}
+}
+
+// TestReferencedOutOfRange exercises the bounds handling of the view
+// accessors.
+func TestReferencedOutOfRange(t *testing.T) {
+	m := lifecycleMemory(t)
+	if m.Referenced(-1) || m.Referenced(1 << 30) {
+		t.Error("out-of-range pages report referenced")
+	}
+	if got := m.PageState(-1); got != "out-of-range" {
+		t.Errorf("PageState(-1) = %q", got)
+	}
+}
+
+// TestViewTouchTranslates checks that a pre-translated view charges the
+// underlying memory at base+off.
+func TestViewTouchTranslates(t *testing.T) {
+	m := lifecycleMemory(t)
+	v := m.ViewAt(8 * PageSize)
+	v.Touch(0, 1)
+	if !m.Referenced(8) {
+		t.Error("view touch at offset 0 did not reference page 8")
+	}
+	v.Touch(2*PageSize, 1)
+	if !m.Referenced(10) {
+		t.Error("view touch at offset 2 pages did not reference page 10")
+	}
+}

@@ -34,6 +34,15 @@ type Memory struct {
 	resident    int
 	hand        int
 
+	// gen is the paging generation. It is bumped only when page state can
+	// regress — a clock sweep downgrading referenced pages, an eviction, or
+	// a scrub — never on faults or reference upgrades. While gen is stable a
+	// referenced page therefore stays referenced, so a caller that proved a
+	// page referenced at generation g may skip further touches of that page
+	// for as long as Gen() == g: those touches would be no-ops. This is what
+	// lets the Wasm interpreter keep a software EPC-TLB of hot pages.
+	gen uint64
+
 	faults    int64
 	evictions int64
 
@@ -57,6 +66,7 @@ func newMemory(cfg Config) (*Memory, error) {
 		mode:        cfg.Mode,
 		pageState:   make([]uint8, total/PageSize),
 		maxResident: int(cfg.EPCUsable / PageSize),
+		gen:         1,
 	}
 	if m.maxResident < 2 {
 		return nil, fmt.Errorf("sgx: EPC usable size %d too small", cfg.EPCUsable)
@@ -82,6 +92,38 @@ func (m *Memory) Evictions() int64 { return m.evictions }
 
 // Resident returns the number of currently resident EPC pages.
 func (m *Memory) Resident() int { return m.resident }
+
+// Gen returns the current paging generation (see the field comment).
+func (m *Memory) Gen() uint64 { return m.gen }
+
+// GenRef returns a stable pointer to the paging generation so hot paths
+// can poll it with a single load instead of a call. The word is only ever
+// written by the enclave's own (single-threaded) execution.
+func (m *Memory) GenRef() *uint64 { return &m.gen }
+
+// Referenced reports whether enclave page p currently holds a second
+// chance (the clock has not swept it since its last access). Touching a
+// referenced page is a no-op; combined with Gen this lets callers prove a
+// touch redundant.
+func (m *Memory) Referenced(p int64) bool {
+	return p >= 0 && p < int64(len(m.pageState)) && m.pageState[p] == pageReferenced
+}
+
+// PageState returns the residency state of page p as one of "absent",
+// "resident" or "referenced" (a debugging/introspection view).
+func (m *Memory) PageState(p int64) string {
+	if p < 0 || p >= int64(len(m.pageState)) {
+		return "out-of-range"
+	}
+	switch m.pageState[p] {
+	case pageReferenced:
+		return "referenced"
+	case pageResident:
+		return "resident"
+	default:
+		return "absent"
+	}
+}
 
 // Touch marks the byte range [off, off+n) as accessed, faulting in any
 // non-resident pages and paying the associated paging cost. It returns
@@ -122,8 +164,12 @@ func (m *Memory) fault(p int) {
 }
 
 // evict selects a victim with the clock algorithm and pays the EWB
-// (encrypt + write back) cost for it.
+// (encrypt + write back) cost for it. Both things the sweep does — the
+// referenced→resident downgrade and the eviction itself — can regress
+// page state, so the paging generation is bumped here (once per sweep,
+// before any state changes).
 func (m *Memory) evict() {
+	m.gen++
 	for {
 		if m.hand >= len(m.pageState) {
 			m.hand = 0
@@ -200,6 +246,7 @@ func (m *Memory) Zero(off, n int64) error {
 
 // scrub wipes all memory on destroy.
 func (m *Memory) scrub() {
+	m.gen++
 	for i := range m.data {
 		m.data[i] = 0
 	}
@@ -207,4 +254,24 @@ func (m *Memory) scrub() {
 		m.pageState[i] = pageAbsent
 	}
 	m.resident = 0
+}
+
+// View is a window of enclave memory starting at a fixed, pre-translated
+// base offset. TWINE reserves one arena per guest instance and installs
+// view.Touch as the linear-memory hook, so the hot path adds the arena
+// base exactly once per access with no captured-instance indirection.
+type View struct {
+	m    *Memory
+	base int64
+}
+
+// ViewAt returns a view whose offset 0 is enclave offset base.
+func (m *Memory) ViewAt(base int64) View { return View{m: m, base: base} }
+
+// Touch charges the access [off, off+n) of the view against the EPC
+// model. Errors are impossible for in-arena accesses (the caller bounds
+// checks against the guest memory, which the arena fully covers), so the
+// signature matches the runtime's touch hook directly.
+func (v View) Touch(off, n int64) {
+	_ = v.m.Touch(v.base+off, n)
 }

@@ -2,6 +2,7 @@ package wasi
 
 import (
 	"crypto/rand"
+	"encoding/binary"
 	"time"
 
 	"twine/internal/hostfs"
@@ -412,17 +413,34 @@ func fstTimes(s *System, atim, mtim uint64, flags uint32) (time.Time, time.Time,
 	return at, mt, ErrnoSuccess
 }
 
-// iovecs iterates the guest's scatter/gather list.
+// iovecs iterates the guest's scatter/gather list. The iovec table is
+// fetched with a single bounds check and EPC touch for the whole array —
+// one span per call instead of two 4-byte touches per entry. A table
+// that is not fully addressable falls back to lazy per-entry reads so a
+// guest whose call completes before reaching the bad tail entries keeps
+// its historical behaviour.
 func iovecs(mem *wasm.Memory, ptr, count uint32, fn func(buf []byte) (int, bool, Errno)) (uint32, Errno) {
+	if count == 0 {
+		return 0, ErrnoSuccess
+	}
+	var table []byte
+	if uint64(count)*8 <= uint64(^uint32(0)) {
+		table, _ = mem.Bytes(ptr, count*8)
+	}
 	var total uint32
 	for i := uint32(0); i < count; i++ {
-		base, err := mem.ReadU32(ptr + i*8)
-		if err != nil {
-			return total, ErrnoFault
-		}
-		length, err := mem.ReadU32(ptr + i*8 + 4)
-		if err != nil {
-			return total, ErrnoFault
+		var base, length uint32
+		if table != nil {
+			base = binary.LittleEndian.Uint32(table[i*8:])
+			length = binary.LittleEndian.Uint32(table[i*8+4:])
+		} else {
+			var err error
+			if base, err = mem.ReadU32(ptr + i*8); err != nil {
+				return total, ErrnoFault
+			}
+			if length, err = mem.ReadU32(ptr + i*8 + 4); err != nil {
+				return total, ErrnoFault
+			}
 		}
 		if length == 0 {
 			continue

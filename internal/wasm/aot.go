@@ -42,6 +42,13 @@ func fuseFunc(fn compiledFunc) compiledFunc {
 		}
 		return false
 	}
+	isF64Cmp := func(op uint16) bool {
+		switch byte(op) {
+		case OpF64Eq, OpF64Ne, OpF64Lt, OpF64Gt, OpF64Le, OpF64Ge:
+			return op < 0x100
+		}
+		return false
+	}
 
 	newCode := make([]ins, 0, len(old))
 	remap := make([]int32, len(old)+1)
@@ -71,6 +78,51 @@ func fuseFunc(fn compiledFunc) compiledFunc {
 			pc += 2
 			fused = true
 
+		// i32.const s; i32.mul; i32.const b; i32.add; f64.load off
+		//   =>  scale_base_f64_load  (the array-element address+access
+		//        tail every A[i][j] read compiles to: one dispatch, one
+		//        bounds check, one EPC touch)
+		case i.op == uint16(OpI32Const) &&
+			free(pc+1) && old[pc+1].op == uint16(OpI32Mul) &&
+			free(pc+2) && old[pc+2].op == uint16(OpI32Const) &&
+			free(pc+3) && old[pc+3].op == uint16(OpI32Add) &&
+			free(pc+4) && old[pc+4].op == uint16(OpF64Load):
+			newCode = append(newCode, ins{op: opFusedScaleBaseF64Load,
+				a: int32(uint32(i.imm)), b: int32(uint32(old[pc+2].imm)), imm: old[pc+4].imm})
+			pc += 5
+			fused = true
+
+		// i32.const s; i32.mul; i32.const b; i32.add  =>  scale_base
+		// (address finalize ahead of a store, whose value is still to be
+		// computed)
+		case i.op == uint16(OpI32Const) &&
+			free(pc+1) && old[pc+1].op == uint16(OpI32Mul) &&
+			free(pc+2) && old[pc+2].op == uint16(OpI32Const) &&
+			free(pc+3) && old[pc+3].op == uint16(OpI32Add):
+			newCode = append(newCode, ins{op: opFusedScaleBase,
+				a: int32(uint32(i.imm)), b: int32(uint32(old[pc+2].imm))})
+			pc += 4
+			fused = true
+
+		// i32.const b; i32.add; f64.load off  =>  scale_base_f64_load
+		// with unit scale (flattened 1-D element access)
+		case i.op == uint16(OpI32Const) &&
+			free(pc+1) && old[pc+1].op == uint16(OpI32Add) &&
+			free(pc+2) && old[pc+2].op == uint16(OpF64Load):
+			newCode = append(newCode, ins{op: opFusedScaleBaseF64Load,
+				a: 1, b: int32(uint32(i.imm)), imm: old[pc+2].imm})
+			pc += 3
+			fused = true
+
+		// local.get x; i32.const c; i32.mul  =>  local_mul_const
+		// (the stride multiply opening every row-major address)
+		case i.op == uint16(OpLocalGet) &&
+			free(pc+1) && old[pc+1].op == uint16(OpI32Const) &&
+			free(pc+2) && old[pc+2].op == uint16(OpI32Mul):
+			newCode = append(newCode, ins{op: opFusedLocalMulC, a: i.a, imm: old[pc+1].imm})
+			pc += 3
+			fused = true
+
 		// local.get a; local.get b  =>  local_get2
 		case i.op == uint16(OpLocalGet) && free(pc+1) && old[pc+1].op == uint16(OpLocalGet):
 			newCode = append(newCode, ins{op: opFusedLocalGet2, a: i.a, b: old[pc+1].a})
@@ -86,6 +138,63 @@ func fuseFunc(fn compiledFunc) compiledFunc {
 		// local.get a; f64.load off  =>  f64_load_local
 		case i.op == uint16(OpLocalGet) && free(pc+1) && old[pc+1].op == uint16(OpF64Load):
 			newCode = append(newCode, ins{op: opFusedF64LoadLocal, a: i.a, imm: old[pc+1].imm})
+			pc += 2
+			fused = true
+
+		// local.get a; i32.load off  =>  i32_load_local
+		case i.op == uint16(OpLocalGet) && free(pc+1) && old[pc+1].op == uint16(OpI32Load):
+			newCode = append(newCode, ins{op: opFusedI32LoadLocal, a: i.a, imm: old[pc+1].imm})
+			pc += 2
+			fused = true
+
+		// local.get a; i32.add  =>  add_local (folding an index term into
+		// the running address)
+		case i.op == uint16(OpLocalGet) && free(pc+1) && old[pc+1].op == uint16(OpI32Add):
+			newCode = append(newCode, ins{op: opFusedAddLocal, a: i.a})
+			pc += 2
+			fused = true
+
+		// local.get a; f64.store off  =>  f64_store_local
+		case i.op == uint16(OpLocalGet) && free(pc+1) && old[pc+1].op == uint16(OpF64Store):
+			newCode = append(newCode, ins{op: opFusedF64StoreLocal,
+				a: int32(uint32(old[pc+1].imm)), b: i.a})
+			pc += 2
+			fused = true
+
+		// f64.const c; f64.store off  =>  f64_store_const (array init
+		// loops)
+		case i.op == uint16(OpF64Const) && free(pc+1) && old[pc+1].op == uint16(OpF64Store):
+			newCode = append(newCode, ins{op: opFusedF64StoreConst,
+				a: int32(uint32(old[pc+1].imm)), imm: i.imm})
+			pc += 2
+			fused = true
+
+		// f64.add; f64.store off  =>  f64_add_store (the tail of every
+		// A[i][j] += v accumulation)
+		case i.op == uint16(OpF64Add) && free(pc+1) && old[pc+1].op == uint16(OpF64Store):
+			newCode = append(newCode, ins{op: opFusedF64AddStore,
+				a: int32(uint32(old[pc+1].imm))})
+			pc += 2
+			fused = true
+
+		// f64.mul; f64.add  =>  f64_mul_add. Both roundings are kept at
+		// execution, so this is not an FMA contraction — semantics are
+		// bit-identical to the unfused pair.
+		case i.op == uint16(OpF64Mul) && free(pc+1) && old[pc+1].op == uint16(OpF64Add):
+			newCode = append(newCode, ins{op: opFusedF64MulAdd})
+			pc += 2
+			fused = true
+
+		// f64.load off; f64 compare  =>  f64_load_cmp
+		case i.op == uint16(OpF64Load) && free(pc+1) && isF64Cmp(old[pc+1].op):
+			newCode = append(newCode, ins{op: opFusedF64LoadCmp,
+				b: int32(old[pc+1].op), imm: i.imm})
+			pc += 2
+			fused = true
+
+		// i32.const c; i32.mul  =>  i32_mul_const
+		case i.op == uint16(OpI32Const) && free(pc+1) && old[pc+1].op == uint16(OpI32Mul):
+			newCode = append(newCode, ins{op: opFusedI32MulConst, imm: i.imm})
 			pc += 2
 			fused = true
 

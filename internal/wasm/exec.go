@@ -191,55 +191,118 @@ func (in *Instance) runBody(fn *compiledFunc, bp int) {
 			in.globals[i.a] = stack[sp]
 
 		// --- memory ---
-		case uint16(OpI32Load):
-			stack[sp-1] = uint64(binary.LittleEndian.Uint32(memAt(mem, stack[sp-1], i.imm, 4)))
-		case uint16(OpI64Load):
-			stack[sp-1] = binary.LittleEndian.Uint64(memAt(mem, stack[sp-1], i.imm, 8))
-		case uint16(OpF32Load):
-			stack[sp-1] = uint64(binary.LittleEndian.Uint32(memAt(mem, stack[sp-1], i.imm, 4)))
-		case uint16(OpF64Load):
-			stack[sp-1] = binary.LittleEndian.Uint64(memAt(mem, stack[sp-1], i.imm, 8))
+		case uint16(OpI32Load), uint16(OpF32Load):
+			stack[sp-1] = uint64(memLoad32(mem, stack[sp-1], i.imm))
+		case uint16(OpI64Load), uint16(OpF64Load):
+			stack[sp-1] = memLoad64(mem, stack[sp-1], i.imm)
 		case uint16(OpI32Load8S):
-			stack[sp-1] = uint64(uint32(int32(int8(memAt(mem, stack[sp-1], i.imm, 1)[0]))))
-		case uint16(OpI32Load8U):
-			stack[sp-1] = uint64(memAt(mem, stack[sp-1], i.imm, 1)[0])
+			stack[sp-1] = uint64(uint32(int32(int8(memLoad8(mem, stack[sp-1], i.imm)))))
+		case uint16(OpI32Load8U), uint16(OpI64Load8U):
+			stack[sp-1] = uint64(memLoad8(mem, stack[sp-1], i.imm))
 		case uint16(OpI32Load16S):
-			stack[sp-1] = uint64(uint32(int32(int16(binary.LittleEndian.Uint16(memAt(mem, stack[sp-1], i.imm, 2))))))
-		case uint16(OpI32Load16U):
-			stack[sp-1] = uint64(binary.LittleEndian.Uint16(memAt(mem, stack[sp-1], i.imm, 2)))
+			stack[sp-1] = uint64(uint32(int32(int16(memLoad16(mem, stack[sp-1], i.imm)))))
+		case uint16(OpI32Load16U), uint16(OpI64Load16U):
+			stack[sp-1] = uint64(memLoad16(mem, stack[sp-1], i.imm))
 		case uint16(OpI64Load8S):
-			stack[sp-1] = uint64(int64(int8(memAt(mem, stack[sp-1], i.imm, 1)[0])))
-		case uint16(OpI64Load8U):
-			stack[sp-1] = uint64(memAt(mem, stack[sp-1], i.imm, 1)[0])
+			stack[sp-1] = uint64(int64(int8(memLoad8(mem, stack[sp-1], i.imm))))
 		case uint16(OpI64Load16S):
-			stack[sp-1] = uint64(int64(int16(binary.LittleEndian.Uint16(memAt(mem, stack[sp-1], i.imm, 2)))))
-		case uint16(OpI64Load16U):
-			stack[sp-1] = uint64(binary.LittleEndian.Uint16(memAt(mem, stack[sp-1], i.imm, 2)))
+			stack[sp-1] = uint64(int64(int16(memLoad16(mem, stack[sp-1], i.imm))))
 		case uint16(OpI64Load32S):
-			stack[sp-1] = uint64(int64(int32(binary.LittleEndian.Uint32(memAt(mem, stack[sp-1], i.imm, 4)))))
+			stack[sp-1] = uint64(int64(int32(memLoad32(mem, stack[sp-1], i.imm))))
 		case uint16(OpI64Load32U):
-			stack[sp-1] = uint64(binary.LittleEndian.Uint32(memAt(mem, stack[sp-1], i.imm, 4)))
-		case uint16(OpI32Store):
+			stack[sp-1] = uint64(memLoad32(mem, stack[sp-1], i.imm))
+		case uint16(OpI32Store), uint16(OpF32Store):
 			sp -= 2
-			binary.LittleEndian.PutUint32(memAt(mem, stack[sp], i.imm, 4), uint32(stack[sp+1]))
-		case uint16(OpI64Store):
+			memStore32(mem, stack[sp], i.imm, uint32(stack[sp+1]))
+		case uint16(OpI64Store), uint16(OpF64Store):
 			sp -= 2
-			binary.LittleEndian.PutUint64(memAt(mem, stack[sp], i.imm, 8), stack[sp+1])
-		case uint16(OpF32Store):
-			sp -= 2
-			binary.LittleEndian.PutUint32(memAt(mem, stack[sp], i.imm, 4), uint32(stack[sp+1]))
-		case uint16(OpF64Store):
-			sp -= 2
-			binary.LittleEndian.PutUint64(memAt(mem, stack[sp], i.imm, 8), stack[sp+1])
+			memStore64(mem, stack[sp], i.imm, stack[sp+1])
 		case uint16(OpI32Store8), uint16(OpI64Store8):
 			sp -= 2
-			memAt(mem, stack[sp], i.imm, 1)[0] = byte(stack[sp+1])
+			memStore8(mem, stack[sp], i.imm, byte(stack[sp+1]))
 		case uint16(OpI32Store16), uint16(OpI64Store16):
 			sp -= 2
-			binary.LittleEndian.PutUint16(memAt(mem, stack[sp], i.imm, 2), uint16(stack[sp+1]))
+			memStore16(mem, stack[sp], i.imm, uint16(stack[sp+1]))
 		case uint16(OpI64Store32):
 			sp -= 2
-			binary.LittleEndian.PutUint32(memAt(mem, stack[sp], i.imm, 4), uint32(stack[sp+1]))
+			memStore32(mem, stack[sp], i.imm, uint32(stack[sp+1]))
+
+		// --- load/store superinstructions (AoT engine) ---
+		case opFusedScaleBaseF64Load:
+			stack[sp-1] = memLoad64(mem,
+				uint64(uint32(stack[sp-1])*uint32(i.a)+uint32(i.b)), i.imm)
+		case opFusedScaleBase:
+			stack[sp-1] = uint64(uint32(stack[sp-1])*uint32(i.a) + uint32(i.b))
+		case opFusedF64LoadLocal:
+			stack[sp] = memLoad64(mem, stack[bp+int(i.a)], i.imm)
+			sp++
+		case opFusedI32LoadLocal:
+			stack[sp] = uint64(memLoad32(mem, stack[bp+int(i.a)], i.imm))
+			sp++
+		case opFusedF64StoreConst:
+			sp--
+			memStore64(mem, stack[sp], uint64(uint32(i.a)), i.imm)
+		case opFusedF64StoreLocal:
+			sp--
+			memStore64(mem, stack[sp], uint64(uint32(i.a)), stack[bp+int(i.b)])
+		case opFusedF64AddStore:
+			sp -= 3
+			memStore64(mem, stack[sp], uint64(uint32(i.a)),
+				pf64(f64(stack[sp+1])+f64(stack[sp+2])))
+		case opFusedF64LoadCmp:
+			sp--
+			rhs := f64(memLoad64(mem, stack[sp], i.imm))
+			lhs := f64(stack[sp-1])
+			var cond bool
+			switch byte(i.b) {
+			case OpF64Eq:
+				cond = lhs == rhs
+			case OpF64Ne:
+				cond = lhs != rhs
+			case OpF64Lt:
+				cond = lhs < rhs
+			case OpF64Gt:
+				cond = lhs > rhs
+			case OpF64Le:
+				cond = lhs <= rhs
+			case OpF64Ge:
+				cond = lhs >= rhs
+			}
+			stack[sp-1] = b2u(cond)
+
+		// --- fused address arithmetic (AoT engine) ---
+		case opFusedLocalMulC:
+			stack[sp] = uint64(uint32(stack[bp+int(i.a)]) * uint32(i.imm))
+			sp++
+		case opFusedAddLocal:
+			stack[sp-1] = uint64(uint32(stack[sp-1]) + uint32(stack[bp+int(i.a)]))
+		case opFusedI32MulConst:
+			stack[sp-1] = uint64(uint32(stack[sp-1]) * uint32(i.imm))
+
+		// --- hot f64 arithmetic (kept in the main dispatch to avoid a
+		// second switch for the PolyBench inner loops) ---
+		case uint16(OpF64Add):
+			sp--
+			stack[sp-1] = pf64(f64(stack[sp-1]) + f64(stack[sp]))
+		case uint16(OpF64Sub):
+			sp--
+			stack[sp-1] = pf64(f64(stack[sp-1]) - f64(stack[sp]))
+		case uint16(OpF64Mul):
+			sp--
+			stack[sp-1] = pf64(f64(stack[sp-1]) * f64(stack[sp]))
+		case uint16(OpF64Div):
+			sp--
+			stack[sp-1] = pf64(f64(stack[sp-1]) / f64(stack[sp]))
+		case opFusedF64MulAdd:
+			sp -= 2
+			// The explicit conversion forces the product to be rounded to
+			// float64 before the add (Go spec: conversions bar fused
+			// operations), so this can never contract into a hardware FMA
+			// — the two roundings of the unfused f64.mul/f64.add pair are
+			// preserved bit-for-bit on every architecture.
+			prod := float64(f64(stack[sp]) * f64(stack[sp+1]))
+			stack[sp-1] = pf64(f64(stack[sp-1]) + prod)
+
 		case uint16(OpMemorySize):
 			stack[sp] = uint64(mem.Pages())
 			sp++
@@ -528,18 +591,75 @@ func brAdjust(stack []uint64, sp, drop, keep int) int {
 	return sp - drop
 }
 
-// memAt bounds-checks, touches and returns the n-byte window at
-// base+offset.
-func memAt(mem *Memory, base, offset uint64, n uint64) []byte {
+// Specialized linear-memory fast paths: one bounds check, a TLB-filtered
+// EPC touch, and a direct fixed-width access with no intermediate slice
+// header. mem is never nil here — validation rejects memory opcodes in
+// modules that declare no memory, so these only execute with a memory
+// present.
+//
+// memIndex bounds-checks and touches [base+offset, base+offset+n),
+// returning the resolved address. The EPC-TLB hit test is open-coded
+// here so a hot-page access costs a compare pair instead of a call into
+// the touch machinery: an access misses only when the TLB is disabled,
+// the span crosses a page boundary, the slot holds another page, or the
+// paging generation has moved (an eviction or clock sweep happened).
+func memIndex(mem *Memory, base, offset, n uint64) uint64 {
 	addr := uint64(uint32(base)) + offset
-	end := addr + n
-	if mem == nil || end > uint64(len(mem.data)) {
-		trap(TrapOOB, "[%d,%d)", addr, end)
+	if addr+n > uint64(len(mem.data)) {
+		trapOOB(addr, addr+n)
 	}
 	if mem.touch != nil {
-		mem.touch(int64(addr), int64(n))
+		p := addr >> tlbPageBits
+		e := &mem.tlb[p&tlbMask]
+		if mem.gen == nil || e.tag != p+1 || e.gen != *mem.gen ||
+			(addr+n-1)>>tlbPageBits != p {
+			mem.touchMiss(addr, n)
+		}
 	}
-	return mem.data[addr:end:end]
+	return addr
+}
+
+// trapOOB is kept out of line so memIndex stays small.
+func trapOOB(addr, end uint64) {
+	trap(TrapOOB, "[%d,%d)", addr, end)
+}
+
+func memLoad8(mem *Memory, base, offset uint64) byte {
+	return mem.data[memIndex(mem, base, offset, 1)]
+}
+
+func memLoad16(mem *Memory, base, offset uint64) uint16 {
+	addr := memIndex(mem, base, offset, 2)
+	return binary.LittleEndian.Uint16(mem.data[addr:])
+}
+
+func memLoad32(mem *Memory, base, offset uint64) uint32 {
+	addr := memIndex(mem, base, offset, 4)
+	return binary.LittleEndian.Uint32(mem.data[addr:])
+}
+
+func memLoad64(mem *Memory, base, offset uint64) uint64 {
+	addr := memIndex(mem, base, offset, 8)
+	return binary.LittleEndian.Uint64(mem.data[addr:])
+}
+
+func memStore8(mem *Memory, base, offset uint64, v byte) {
+	mem.data[memIndex(mem, base, offset, 1)] = v
+}
+
+func memStore16(mem *Memory, base, offset uint64, v uint16) {
+	addr := memIndex(mem, base, offset, 2)
+	binary.LittleEndian.PutUint16(mem.data[addr:], v)
+}
+
+func memStore32(mem *Memory, base, offset uint64, v uint32) {
+	addr := memIndex(mem, base, offset, 4)
+	binary.LittleEndian.PutUint32(mem.data[addr:], v)
+}
+
+func memStore64(mem *Memory, base, offset uint64, v uint64) {
+	addr := memIndex(mem, base, offset, 8)
+	binary.LittleEndian.PutUint64(mem.data[addr:], v)
 }
 
 func b2u(b bool) uint64 {

@@ -64,18 +64,9 @@ func (in *Instance) runFloatOrFused(fn *compiledFunc, i *ins, stack []uint64, bp
 		stack[sp-1] = pf64(math.RoundToEven(f64(stack[sp-1])))
 	case uint16(OpF64Sqrt):
 		stack[sp-1] = pf64(math.Sqrt(f64(stack[sp-1])))
-	case uint16(OpF64Add):
-		sp--
-		stack[sp-1] = pf64(f64(stack[sp-1]) + f64(stack[sp]))
-	case uint16(OpF64Sub):
-		sp--
-		stack[sp-1] = pf64(f64(stack[sp-1]) - f64(stack[sp]))
-	case uint16(OpF64Mul):
-		sp--
-		stack[sp-1] = pf64(f64(stack[sp-1]) * f64(stack[sp]))
-	case uint16(OpF64Div):
-		sp--
-		stack[sp-1] = pf64(f64(stack[sp-1]) / f64(stack[sp]))
+	// OpF64Add/Sub/Mul/Div live in runBody's main switch: they are the
+	// hottest opcodes of the PolyBench kernels and a second dispatch
+	// would cost more than the ops themselves.
 	case uint16(OpF64Min):
 		sp--
 		stack[sp-1] = pf64(math.Min(f64(stack[sp-1]), f64(stack[sp])))
@@ -160,20 +151,14 @@ func (in *Instance) runFloatOrFused(fn *compiledFunc, i *ins, stack []uint64, bp
 		stack[sp-1] = uint64(uint32(stack[sp-1]) + uint32(i.imm))
 	case opFusedI64AddConst:
 		stack[sp-1] = stack[sp-1] + i.imm
-	case opFusedF64LoadLocal:
-		stack[sp] = pf64(f64FromMem(in.mem, stack[bp+int(i.a)], i.imm))
-		sp++
+	// The load/store superinstructions (opFusedScaleBaseF64Load and
+	// friends) are dispatched in runBody's main switch next to the plain
+	// loads and stores they replace.
 
 	default:
 		trap(TrapUnreachable, "bad opcode 0x%x", i.op)
 	}
 	return sp
-}
-
-func f64FromMem(mem *Memory, base, offset uint64) float64 {
-	b := memAt(mem, base, offset, 8)
-	return math.Float64frombits(uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 |
-		uint64(b[3])<<24 | uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56)
 }
 
 // Saturating checks per spec: trunc traps on NaN and on results outside

@@ -9,11 +9,14 @@ import (
 type Engine int
 
 const (
-	// EngineInterp executes the lowered code directly.
-	EngineInterp Engine = iota
 	// EngineAOT executes a pre-translated form with fused
 	// superinstructions — the stand-in for wamrc's AoT compilation step.
-	EngineAOT
+	// It is the zero value, so an unset Config.Engine runs AoT: TWINE
+	// executes AoT only (paper §IV-B), and a zero value that silently
+	// selected the interpreter once cost the twine benchmarks 2x.
+	EngineAOT Engine = iota
+	// EngineInterp executes the lowered code directly.
+	EngineInterp
 )
 
 func (e Engine) String() string {
@@ -67,6 +70,11 @@ type Config struct {
 	MaxCallDepth int
 	// Touch observes every linear-memory access.
 	Touch TouchFunc
+	// TouchGen optionally points at the touch provider's paging
+	// generation, enabling the software EPC-TLB: accesses to pages
+	// already proven hot at the current generation skip the Touch hook
+	// entirely (see Memory.SetTouchGen for the provider contract).
+	TouchGen *uint64
 	// HostCtx is an opaque pointer host functions can retrieve with
 	// Instance.HostCtx (the WASI layer stores its state here).
 	HostCtx any
@@ -142,7 +150,11 @@ func Instantiate(c *Compiled, imports *ImportObject, cfg Config) (*Instance, err
 		if err != nil {
 			return nil, err
 		}
-		mem.SetTouch(cfg.Touch)
+		if cfg.TouchGen != nil {
+			mem.SetTouchGen(cfg.Touch, cfg.TouchGen)
+		} else {
+			mem.SetTouch(cfg.Touch)
+		}
 		in.mem = mem
 	}
 

@@ -10,12 +10,37 @@ import (
 // (no cost).
 type TouchFunc func(off, n int64)
 
+// EPC-TLB geometry. Entries cache 4 KiB guest pages (the SGX enclave page
+// size); the table is direct-mapped, so consecutive guest pages land in
+// consecutive slots and a PolyBench-style working set of a few arrays
+// stays fully cached.
+const (
+	tlbPageBits = 12 // 4 KiB pages, matching sgx.PageSize
+	tlbSlots    = 256
+	tlbMask     = tlbSlots - 1
+)
+
+// tlbEntry records that guest page tag-1 was proven referenced while the
+// touch provider's generation counter read gen. The tag is the page
+// number plus one so the zero value matches nothing.
+type tlbEntry struct {
+	tag uint64
+	gen uint64
+}
+
 // Memory is a linear memory instance.
 type Memory struct {
 	data     []byte
 	limits   Limits
 	maxPages uint32
 	touch    TouchFunc
+
+	// gen, when non-nil, points at the touch provider's paging generation
+	// and enables the software EPC-TLB: once a page has been touched at
+	// generation g, further touches of it are provably no-ops until *gen
+	// changes, so the hot path skips the hook entirely. See SetTouchGen.
+	gen *uint64
+	tlb [tlbSlots]tlbEntry
 }
 
 // NewMemory creates a memory honouring both the module limits and an
@@ -40,8 +65,65 @@ func NewMemory(l Limits, capPages uint32) (*Memory, error) {
 	}, nil
 }
 
-// SetTouch installs the access hook.
-func (m *Memory) SetTouch(t TouchFunc) { m.touch = t }
+// SetTouch installs the access hook. Every access calls the hook; use
+// SetTouchGen when the hook's semantics allow redundant calls to be
+// elided.
+func (m *Memory) SetTouch(t TouchFunc) {
+	m.touch = t
+	m.gen = nil
+}
+
+// SetTouchGen installs an access hook together with a generation word and
+// enables the EPC-TLB. The contract the provider must honour:
+//
+//   - touching a 4 KiB-aligned guest page that has already been touched is
+//     a no-op as long as *gen has not changed since, and
+//   - *gen changes before any state regression that could make a
+//     re-touch meaningful again (eviction, clock sweep, reset).
+//
+// The enclave's EPC model satisfies this exactly (sgx.Memory.Gen), with
+// the guest arena aligned to the enclave page size so guest and enclave
+// pages coincide. Passing gen == nil degrades to SetTouch.
+func (m *Memory) SetTouchGen(t TouchFunc, gen *uint64) {
+	m.touch = t
+	m.gen = gen
+	m.tlb = [tlbSlots]tlbEntry{}
+}
+
+// touchRange charges [addr, addr+n) against the touch hook, consulting
+// the TLB first. Only single-page spans are cached: multi-page spans are
+// rarer and always forwarded, preserving the hook's observed span
+// pattern. The caller has already bounds-checked the range and
+// guarantees m.touch != nil and n > 0.
+func (m *Memory) touchRange(addr, n uint64) {
+	if m.gen != nil {
+		p := addr >> tlbPageBits
+		if (addr+n-1)>>tlbPageBits == p {
+			e := &m.tlb[p&tlbMask]
+			if e.tag == p+1 && e.gen == *m.gen {
+				return // proven referenced at this generation: a no-op touch
+			}
+		}
+	}
+	m.touchMiss(addr, n)
+}
+
+// touchMiss charges the touch and, for single-page spans with the TLB
+// enabled, records the page as hot. The entry is stamped after the hook
+// runs: if the touch itself swept or evicted, *m.gen has already moved
+// on and the entry carries the new generation, at which the page is
+// (re-)referenced.
+func (m *Memory) touchMiss(addr, n uint64) {
+	m.touch(int64(addr), int64(n))
+	if m.gen != nil {
+		p := addr >> tlbPageBits
+		if (addr+n-1)>>tlbPageBits == p {
+			e := &m.tlb[p&tlbMask]
+			e.tag = p + 1
+			e.gen = *m.gen
+		}
+	}
+}
 
 // Pages returns the current size in 64 KiB pages.
 func (m *Memory) Pages() uint32 { return uint32(len(m.data) / PageSize) }
@@ -50,13 +132,29 @@ func (m *Memory) Pages() uint32 { return uint32(len(m.data) / PageSize) }
 func (m *Memory) Len() int { return len(m.data) }
 
 // Grow adds delta pages, returning the previous page count or -1 when the
-// limit would be exceeded.
+// limit would be exceeded. Growth reuses spare slice capacity when
+// possible: the region between len and cap was zeroed by the original
+// allocation and is never written (every access is bounds-checked against
+// len), so re-slicing exposes the zero bytes the spec requires without a
+// copy. When a reallocation is unavoidable, capacity is over-provisioned
+// (doubling, capped at maxPages) so repeated one-page grows amortise.
+// The EPC-TLB stays valid across growth: guest page numbers and their
+// arena mapping are unchanged, and new pages were never cached.
 func (m *Memory) Grow(delta uint32) int32 {
 	cur := m.Pages()
 	if uint64(cur)+uint64(delta) > uint64(m.maxPages) {
 		return -1
 	}
-	grown := make([]byte, (int(cur)+int(delta))*PageSize)
+	need := (int(cur) + int(delta)) * PageSize
+	if need <= cap(m.data) {
+		m.data = m.data[:need]
+		return int32(cur)
+	}
+	newCap := 2 * need
+	if max := int(m.maxPages) * PageSize; newCap > max {
+		newCap = max
+	}
+	grown := make([]byte, need, newCap)
 	copy(grown, m.data)
 	m.data = grown
 	return int32(cur)
@@ -70,7 +168,7 @@ func (m *Memory) Range(off, n uint32) error {
 		return fmt.Errorf("wasm: memory access [%d,%d) out of bounds (%d)", off, end, len(m.data))
 	}
 	if m.touch != nil && n > 0 {
-		m.touch(int64(off), int64(n))
+		m.touchRange(uint64(off), uint64(n))
 	}
 	return nil
 }

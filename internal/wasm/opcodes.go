@@ -216,6 +216,21 @@ const (
 	opFusedI32AddConst  uint16 = 0x203 // top = i32(top + imm)
 	opFusedI64AddConst  uint16 = 0x204
 	opFusedCmpBr        uint16 = 0x205 // fused i32 compare + conditional branch; b=compare op, a=target, c=drop<<16|keep
-	opFusedF64LoadLocal uint16 = 0x206 // push f64 mem[local[b] + offset a]
-	opFusedF64MulAdd    uint16 = 0x207 // a*b+c on f64 stack triple (pop 2 push combined with next add)
+	opFusedF64LoadLocal uint16 = 0x206 // push f64 mem[local[a] + offset imm]
+	opFusedF64MulAdd    uint16 = 0x207 // x + a*b on f64 stack triple; both roundings kept (no FMA contraction)
+
+	// Load/store superinstructions. Each batches the address arithmetic
+	// that the PolyBench-style codegen emits around every array element
+	// access — and therefore pays at most one EPC touch per fused op
+	// instead of one per constituent instruction.
+	opFusedLocalMulC        uint16 = 0x208 // push u32(local[a] * imm)
+	opFusedAddLocal         uint16 = 0x209 // top = u32(top + local[a])
+	opFusedI32MulConst      uint16 = 0x20A // top = u32(top * imm)
+	opFusedScaleBase        uint16 = 0x20B // top = u32(u32(top*a) + b): address finalize (elem scale + array base)
+	opFusedScaleBaseF64Load uint16 = 0x20C // top = f64 mem[u32(u32(top*a)+b) + imm]
+	opFusedF64StoreConst    uint16 = 0x20D // pop addr; mem[addr+a] = f64 const imm
+	opFusedF64StoreLocal    uint16 = 0x20E // pop addr; mem[addr+a] = local[b]
+	opFusedF64AddStore      uint16 = 0x20F // pop addr,x,y; mem[addr+a] = x+y
+	opFusedF64LoadCmp       uint16 = 0x210 // pop addr; top = b2u(cmp_b(top, mem[addr+imm]))
+	opFusedI32LoadLocal     uint16 = 0x211 // push u32 mem[local[a] + offset imm]
 )

@@ -1,0 +1,261 @@
+package wasm_test
+
+import (
+	"testing"
+
+	"twine/internal/wasm"
+	"twine/wasmgen"
+)
+
+const epcPage = 4096 // the EPC-TLB caching granularity (sgx.PageSize)
+
+// countingHook returns a touch hook that tallies calls and bytes.
+func countingHook(calls *int, spans *[][2]int64) wasm.TouchFunc {
+	return func(off, n int64) {
+		*calls++
+		if spans != nil {
+			*spans = append(*spans, [2]int64{off, n})
+		}
+	}
+}
+
+func newTestMemory(t *testing.T, pages uint32) *wasm.Memory {
+	t.Helper()
+	m, err := wasm.NewMemory(wasm.Limits{Min: pages, Max: 4 * pages, HasMax: true}, 0)
+	if err != nil {
+		t.Fatalf("NewMemory: %v", err)
+	}
+	return m
+}
+
+// TestTLBElidesRepeatedTouches is the core TLB property: with a
+// generation word installed, only the first access of a page reaches the
+// hook; the rest are proven no-ops.
+func TestTLBElidesRepeatedTouches(t *testing.T) {
+	m := newTestMemory(t, 1)
+	var calls int
+	gen := uint64(1)
+	m.SetTouchGen(countingHook(&calls, nil), &gen)
+
+	for i := uint32(0); i < 100; i++ {
+		if err := m.Range(i*8, 8); err != nil {
+			t.Fatalf("Range: %v", err)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("hook calls = %d for 100 same-page accesses, want 1", calls)
+	}
+
+	// A different page in the same generation costs exactly one more.
+	if err := m.Range(epcPage+8, 8); err != nil {
+		t.Fatalf("Range: %v", err)
+	}
+	if calls != 2 {
+		t.Errorf("hook calls = %d after second page, want 2", calls)
+	}
+}
+
+// TestTLBGenerationInvalidates: moving the generation word re-arms every
+// cached page.
+func TestTLBGenerationInvalidates(t *testing.T) {
+	m := newTestMemory(t, 1)
+	var calls int
+	gen := uint64(1)
+	m.SetTouchGen(countingHook(&calls, nil), &gen)
+
+	_ = m.Range(0, 8)
+	_ = m.Range(8, 8)
+	if calls != 1 {
+		t.Fatalf("hook calls = %d, want 1", calls)
+	}
+	gen++ // the provider swept or evicted
+	_ = m.Range(16, 8)
+	if calls != 2 {
+		t.Errorf("hook calls = %d after generation bump, want 2", calls)
+	}
+	_ = m.Range(24, 8)
+	if calls != 2 {
+		t.Errorf("hook calls = %d, want 2 (page re-cached at new generation)", calls)
+	}
+}
+
+// TestTLBMultiPageSpansForwarded: spans crossing a page boundary are
+// never cached and always reach the hook unchanged, preserving the
+// provider's view of bulk accesses.
+func TestTLBMultiPageSpansForwarded(t *testing.T) {
+	m := newTestMemory(t, 1)
+	var calls int
+	var spans [][2]int64
+	gen := uint64(1)
+	m.SetTouchGen(countingHook(&calls, &spans), &gen)
+
+	for i := 0; i < 3; i++ {
+		if err := m.Range(epcPage-4, 8); err != nil {
+			t.Fatalf("Range: %v", err)
+		}
+	}
+	if calls != 3 {
+		t.Errorf("hook calls = %d for 3 boundary-crossing accesses, want 3", calls)
+	}
+	for _, s := range spans {
+		if s != [2]int64{epcPage - 4, 8} {
+			t.Errorf("span %v reached the hook, want [%d 8]", s, epcPage-4)
+		}
+	}
+}
+
+// TestPlainTouchSeesEveryAccess: without a generation word the hook
+// semantics are unchanged — every access calls it.
+func TestPlainTouchSeesEveryAccess(t *testing.T) {
+	m := newTestMemory(t, 1)
+	var calls int
+	m.SetTouch(countingHook(&calls, nil))
+	for i := uint32(0); i < 10; i++ {
+		_ = m.Range(0, 8)
+	}
+	if calls != 10 {
+		t.Errorf("hook calls = %d, want 10 with plain SetTouch", calls)
+	}
+}
+
+// TestTLBThroughInterpreter checks the elision end to end: guest loads
+// and stores in a hot loop must reach the hook once per page, under both
+// engines.
+func TestTLBThroughInterpreter(t *testing.T) {
+	eachEngine(t, func(t *testing.T, e wasm.Engine) {
+		m := wasmgen.NewModule()
+		m.Memory(1, 1)
+		// sum += mem[i*8] for i in 0..512, all within page 0..1.
+		f := m.Func(wasmgen.Sig().Returns(wasmgen.F64))
+		i, sum := f.AddLocal(wasmgen.I32), f.AddLocal(wasmgen.F64)
+		f.Block(wasmgen.BlockVoid)
+		f.Loop(wasmgen.BlockVoid)
+		f.LocalGet(i).I32Const(512).I32GeS().BrIf(1)
+		f.LocalGet(sum)
+		f.LocalGet(i).I32Const(8).I32Mul().F64Load(0)
+		f.F64Add().LocalSet(sum)
+		f.LocalGet(i).I32Const(1).I32Add().LocalSet(i)
+		f.Br(0)
+		f.End()
+		f.End()
+		f.LocalGet(sum)
+		f.End()
+		m.Export("run", f)
+
+		mod, err := wasm.Decode(m.Bytes())
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		c, err := wasm.Compile(mod)
+		if err != nil {
+			t.Fatalf("Compile: %v", err)
+		}
+		var calls int
+		gen := uint64(7)
+		in, err := wasm.Instantiate(c, nil, wasm.Config{
+			Engine:   e,
+			Touch:    countingHook(&calls, nil),
+			TouchGen: &gen,
+		})
+		if err != nil {
+			t.Fatalf("Instantiate: %v", err)
+		}
+		calls = 0
+		if _, err := in.Invoke("run"); err != nil {
+			t.Fatalf("Invoke: %v", err)
+		}
+		// 512 8-byte loads cover exactly one 4 KiB page... plus the first
+		// byte of the next (offset 4088 + 8 ends at 4096; offset 4088 is
+		// in page 0). 512*8 = 4096 bytes = page 0 only.
+		if calls != 1 {
+			t.Errorf("engine %v: hook calls = %d for 512 same-page loads, want 1", e, calls)
+		}
+	})
+}
+
+// TestGrowReturnsOldPagesAndZeroFills covers the spec behaviour across
+// the in-place and reallocating growth paths.
+func TestGrowReturnsOldPagesAndZeroFills(t *testing.T) {
+	m := newTestMemory(t, 1) // min 1, max 4
+	b, err := m.Bytes(0, 8)
+	if err != nil {
+		t.Fatalf("Bytes: %v", err)
+	}
+	copy(b, "westwind")
+
+	if got := m.Grow(1); got != 1 {
+		t.Fatalf("Grow(1) = %d, want 1", got)
+	}
+	if m.Pages() != 2 {
+		t.Fatalf("Pages = %d, want 2", m.Pages())
+	}
+	// Old data survives growth.
+	if s, _ := m.ReadString(0, 8); s != "westwind" {
+		t.Errorf("data after grow = %q", s)
+	}
+	// The grown region reads as zero.
+	v, err := m.ReadU64(wasm.PageSize + 8)
+	if err != nil {
+		t.Fatalf("ReadU64 in grown region: %v", err)
+	}
+	if v != 0 {
+		t.Errorf("grown region = %#x, want 0", v)
+	}
+
+	if got := m.Grow(2); got != 2 {
+		t.Fatalf("Grow(2) = %d, want 2", got)
+	}
+	if s, _ := m.ReadString(0, 8); s != "westwind" {
+		t.Errorf("data after second grow = %q", s)
+	}
+	// At the limit now; any further growth must fail without side
+	// effects.
+	if got := m.Grow(1); got != -1 {
+		t.Errorf("Grow past max = %d, want -1", got)
+	}
+	if m.Pages() != 4 {
+		t.Errorf("Pages after failed grow = %d, want 4", m.Pages())
+	}
+}
+
+// TestGrowKeepsTouchAndTLBConsistent: after growth the hook still fires
+// for the new region, and pages cached before the grow stay elided (the
+// guest→provider page mapping is unchanged by growth).
+func TestGrowKeepsTouchAndTLBConsistent(t *testing.T) {
+	m := newTestMemory(t, 1)
+	var calls int
+	gen := uint64(1)
+	m.SetTouchGen(countingHook(&calls, nil), &gen)
+
+	_ = m.Range(0, 8) // cache page 0
+	if calls != 1 {
+		t.Fatalf("hook calls = %d, want 1", calls)
+	}
+	if got := m.Grow(1); got != 1 {
+		t.Fatalf("Grow = %d", got)
+	}
+	// Old page still cached...
+	_ = m.Range(8, 8)
+	if calls != 1 {
+		t.Errorf("hook calls = %d after grow, want 1 (page 0 still cached)", calls)
+	}
+	// ...and the new region is charged on first use.
+	if err := m.Range(wasm.PageSize, 8); err != nil {
+		t.Fatalf("Range in grown region: %v", err)
+	}
+	if calls != 2 {
+		t.Errorf("hook calls = %d, want 2 (new page charged)", calls)
+	}
+}
+
+// TestGrowZeroDelta is the degenerate case: memory.grow 0 reports the
+// current size and changes nothing.
+func TestGrowZeroDelta(t *testing.T) {
+	m := newTestMemory(t, 2)
+	if got := m.Grow(0); got != 2 {
+		t.Errorf("Grow(0) = %d, want 2", got)
+	}
+	if m.Pages() != 2 {
+		t.Errorf("Pages = %d, want 2", m.Pages())
+	}
+}
