@@ -213,8 +213,8 @@ func TestBreakdownModes(t *testing.T) {
 	if optm.Memset != 0 {
 		t.Errorf("optimized mode still spends %v in memset", optm.Memset)
 	}
-	if std.OCall == 0 || optm.OCall == 0 {
-		t.Error("no OCALL time recorded")
+	if std.Boundary() == 0 || optm.Boundary() == 0 {
+		t.Error("no boundary (OCALL + switchless) time recorded")
 	}
 }
 

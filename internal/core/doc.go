@@ -1,0 +1,33 @@
+// Package core implements TWINE itself (paper §IV): a WebAssembly runtime
+// embedded in an SGX enclave behind a WASI system interface (§IV-B). The
+// Wasm runtime executes entirely inside the enclave; WASI is the bridge
+// between trusted and untrusted worlds (§IV-C), routing each call either
+// to a trusted implementation (Intel protected file system, in-enclave
+// entropy, monotonic-guarded clock) or to a guarded POSIX layer outside
+// the enclave.
+//
+// Modules are supplied through a single ECALL and copied into the
+// enclave's reserved memory (§IV-B), so application code never exists in
+// plaintext outside the enclave once provisioning (see provision.go) is
+// used. The embedded trusted database facade (embed.go) is the paper's
+// flagship workload (§V), executing the SQLite-alike against sandboxed
+// linear memory with file I/O served by the protected FS (§V-F).
+//
+// # Cost-model invariants
+//
+// core is where the per-layer cost models compose, and where their
+// fidelity is enforced (fidelity_test.go, switchless_test.go):
+//
+//   - guest linear memory is charged against the enclave's EPC through a
+//     page-aligned arena, so EPC paging counts are bit-identical with the
+//     software EPC-TLB enabled or disabled (Config.NoEPCTLB);
+//   - OCALL dispatch is adaptive (Config.Switchless, default on): hot
+//     host calls ride the switchless ring, everything else pays the
+//     classic two transitions. With the ring off, boundary counters are
+//     bit-identical to the pre-switchless runtime; with it on,
+//     WASI-visible results are byte-identical and
+//     OCalls_off == OCalls_on + SwitchlessCalls_on holds for unbatched
+//     workloads;
+//   - launch, load and transition times are attributed to the profiling
+//     registry so Tables II/III and Figure 7 can be rebuilt from any run.
+package core

@@ -112,7 +112,7 @@ func (rt *Runtime) OpenDB(cfg DBConfig) (*EmbeddedDB, error) {
 	}
 
 	var db *litedb.DB
-	err = rt.Enclave.ECall("twine_db_open", func() error {
+	err = rt.guestECall("twine_db_open", func() error {
 		var oerr error
 		db, oerr = litedb.Open(vfs, cfg.Name, litedb.Options{
 			CachePages: cfg.CachePages,
@@ -132,7 +132,7 @@ func (rt *Runtime) OpenDB(cfg DBConfig) (*EmbeddedDB, error) {
 // Exec runs SQL inside the enclave.
 func (e *EmbeddedDB) Exec(sql string, args ...litedb.Value) (int64, error) {
 	var n int64
-	err := e.rt.Enclave.ECall("twine_db_exec", func() error {
+	err := e.rt.guestECall("twine_db_exec", func() error {
 		var xerr error
 		n, xerr = e.DB.Exec(sql, args...)
 		return xerr
@@ -143,7 +143,7 @@ func (e *EmbeddedDB) Exec(sql string, args ...litedb.Value) (int64, error) {
 // Query runs a SELECT inside the enclave.
 func (e *EmbeddedDB) Query(sql string, args ...litedb.Value) (*litedb.Rows, error) {
 	var rows *litedb.Rows
-	err := e.rt.Enclave.ECall("twine_db_query", func() error {
+	err := e.rt.guestECall("twine_db_query", func() error {
 		var qerr error
 		rows, qerr = e.DB.Query(sql, args...)
 		return qerr
@@ -153,5 +153,5 @@ func (e *EmbeddedDB) Query(sql string, args ...litedb.Value) (*litedb.Rows, erro
 
 // Close closes the database inside the enclave.
 func (e *EmbeddedDB) Close() error {
-	return e.rt.Enclave.ECall("twine_db_close", func() error { return e.DB.Close() })
+	return e.rt.guestECall("twine_db_close", func() error { return e.DB.Close() })
 }

@@ -1,14 +1,3 @@
-// Package core implements TWINE itself (paper §IV): a WebAssembly runtime
-// embedded in an SGX enclave behind a WASI system interface. The Wasm
-// runtime executes entirely inside the enclave; WASI is the bridge between
-// trusted and untrusted worlds, routing each call either to a trusted
-// implementation (Intel protected file system, in-enclave entropy,
-// monotonic-guarded clock) or to a guarded POSIX layer outside the
-// enclave.
-//
-// Modules are supplied through a single ECALL and copied into the
-// enclave's reserved memory, so application code never exists in plaintext
-// outside the enclave once provisioning (see provision.go) is used.
 package core
 
 import (
@@ -41,6 +30,31 @@ func (k FSKind) String() string {
 		return "host-posix"
 	}
 	return "ipfs"
+}
+
+// SwitchlessMode controls the switchless-OCALL subsystem (PR 2): a shared
+// request ring drained by an untrusted worker, so hot host calls skip the
+// two enclave transitions a classic OCALL pays.
+type SwitchlessMode int
+
+const (
+	// SwitchlessAuto enables the ring — the default for the twine variant,
+	// matching the follow-up paper's runtime. (The sgx-lkl comparison
+	// variant builds its enclave directly and never enables a ring.)
+	SwitchlessAuto SwitchlessMode = iota
+	// SwitchlessOff forces every OCALL through the classic two-transition
+	// path, bit-identical to the pre-switchless runtime — used by ablation
+	// benchmarks and the fidelity tests.
+	SwitchlessOff
+	// SwitchlessOn explicitly enables the ring (same effect as Auto).
+	SwitchlessOn
+)
+
+func (m SwitchlessMode) String() string {
+	if m == SwitchlessOff {
+		return "off"
+	}
+	return "on"
 }
 
 // RuntimeVersion is the enclave code identity string; it determines the
@@ -80,6 +94,12 @@ type Config struct {
 	// exactly semantics-preserving (identical fault/eviction counts), so
 	// this knob exists only for ablation benchmarks and fidelity tests.
 	NoEPCTLB bool
+	// Switchless selects the OCALL dispatch strategy (default: on). With
+	// the ring off, ECALL/OCALL counts are bit-identical to the
+	// pre-switchless runtime; with it on, WASI-visible results are
+	// byte-identical while hot host calls skip the enclave transitions
+	// (see internal/core's differential tests).
+	Switchless SwitchlessMode
 	// Prof collects counters and timers.
 	Prof *prof.Registry
 }
@@ -127,6 +147,9 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		return nil, fmt.Errorf("twine: enclave creation: %w", err)
 	}
 	rt.Enclave = enclave
+	if cfg.Switchless != SwitchlessOff {
+		enclave.EnableSwitchless(sgx.DefaultSwitchlessConfig(cfg.SGX))
+	}
 
 	hostBE := wasi.NewHostBackend(cfg.HostFS, enclave)
 	var backend wasi.Backend
@@ -284,11 +307,25 @@ func (rt *Runtime) NewInstance(mod *Module) (*Instance, error) {
 	return inst, nil
 }
 
+// guestECall enters the enclave, runs fn, then submits any write-behind
+// WASI state (batched small writes) before exiting, so the untrusted
+// store is consistent with eager-write semantics whenever the enclave is
+// not executing — even for guests that never close their descriptors.
+func (rt *Runtime) guestECall(name string, fn func() error) error {
+	return rt.Enclave.ECall(name, func() error {
+		err := fn()
+		if ferr := rt.Sys.FlushFS(); err == nil {
+			err = ferr
+		}
+		return err
+	})
+}
+
 // Run executes the WASI start routine (_start) inside the enclave and
 // returns the guest exit code.
 func (inst *Instance) Run() (uint32, error) {
 	var code uint32
-	err := inst.rt.Enclave.ECall("twine_run", func() error {
+	err := inst.rt.guestECall("twine_run", func() error {
 		_, err := inst.In.Invoke("_start")
 		if err != nil {
 			if tr, ok := err.(*wasm.Trap); ok && tr.Kind == wasm.TrapExit {
@@ -305,7 +342,7 @@ func (inst *Instance) Run() (uint32, error) {
 // Invoke calls an exported guest function inside the enclave.
 func (inst *Instance) Invoke(name string, args ...uint64) ([]uint64, error) {
 	var out []uint64
-	err := inst.rt.Enclave.ECall("twine_invoke", func() error {
+	err := inst.rt.guestECall("twine_invoke", func() error {
 		var ierr error
 		out, ierr = inst.In.Invoke(name, args...)
 		return ierr

@@ -1,0 +1,41 @@
+// Package ipfs reimplements the Intel Protected File System (IPFS) that
+// TWINE maps WASI file operations onto (paper §IV-D/E): files stored on the
+// untrusted host are structured as a Merkle tree of 4 KiB nodes, each node
+// encrypted and authenticated with AES-GCM under a fresh random key kept in
+// its parent node, with the root key/MAC sealed into a metadata node under
+// a key derived from the enclave's sealing identity. Confidentiality and
+// integrity hold at rest; rollback of whole files is (deliberately, as in
+// Intel's design) not detected.
+//
+// The node layout follows Intel's: node 0 is the metadata node; Merkle-hash
+// -tree (MHT) nodes each hold 96 entries for data-node children and 32
+// entries for MHT children; a data node carries 4 KiB of file plaintext.
+//
+// Two operating modes reproduce the paper's §V-F study:
+//
+//   - ModeStandard mirrors the SGX SDK implementation: every node added to
+//     the LRU cache first has its entire structure cleared (memset), the
+//     plaintext buffer is cleared again when a node is dropped, and the
+//     ciphertext read by the OCALL is copied into enclave memory before
+//     being decrypted (the edger8r-generated copy).
+//   - ModeOptimized applies the paper's fixes: no clearing (fields are
+//     simply assigned), and decryption reads directly from the untrusted
+//     buffer, MAC-then-encrypt style, so the enclave keeps no ciphertext
+//     copy at all.
+//
+// # Cost-model invariants
+//
+// Every byte leaving the enclave is ciphertext, and every boundary
+// crossing is visible to the cost model: node reads and writes funnel
+// through one size-aware helper (ocallN with a NodeSize payload), so when
+// the enclave has a switchless ring (§V-F's dominant OCALL share, PR 2)
+// they ride it, and when it does not they pay exactly one classic OCALL
+// each — bit-identical to the pre-switchless runtime. Node-cache EPC
+// residency is charged against the enclave memory arena, so protected-file
+// working sets larger than the EPC page exactly like the paper's Figure 5.
+//
+// Time spent is attributed to the prof registry under "ipfs.memset",
+// "sgx.ocall" (including the edge copy), "sgx.switchless" (ring rides),
+// "ipfs.crypto" and "ipfs.read" / "ipfs.write", from which the Figure 7
+// breakdown is reconstructed.
+package ipfs

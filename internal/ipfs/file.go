@@ -170,7 +170,7 @@ func (f *File) writeMeta() error {
 // readPhys reads the physical node into dst via an OCALL. dst is treated
 // as untrusted memory here; the trusted copy-in happens in loadNode.
 func (f *File) readPhys(phys int64, dst []byte) error {
-	return f.fs.ocall("ipfs.read", func() error {
+	return f.fs.ocallN("ipfs.read", NodeSize, func() error {
 		n, err := f.backing.ReadAt(dst, phys*NodeSize)
 		if err != nil {
 			return err
@@ -186,7 +186,7 @@ func (f *File) readPhys(phys int64, dst []byte) error {
 }
 
 func (f *File) writePhys(phys int64, src []byte) error {
-	return f.fs.ocall("ipfs.write", func() error {
+	return f.fs.ocallN("ipfs.write", NodeSize, func() error {
 		_, err := f.backing.WriteAt(src, phys*NodeSize)
 		return err
 	})
@@ -326,7 +326,7 @@ func (f *File) writeBack(n *node) error {
 			return err
 		}
 		// ...then cross the boundary: edger8r copies it out.
-		if err := f.fs.ocall("ipfs.write", func() error {
+		if err := f.fs.ocallN("ipfs.write", NodeSize, func() error {
 			copy(f.untrusted[:], n.cipher)
 			_, werr := f.backing.WriteAt(f.untrusted[:], n.phys*NodeSize)
 			return werr
@@ -341,7 +341,7 @@ func (f *File) writeBack(n *node) error {
 		if err != nil {
 			return err
 		}
-		if err := f.fs.ocall("ipfs.write", func() error {
+		if err := f.fs.ocallN("ipfs.write", NodeSize, func() error {
 			_, werr := f.backing.WriteAt(f.untrusted[:], n.phys*NodeSize)
 			return werr
 		}); err != nil {
@@ -472,7 +472,7 @@ func (f *File) loadData(d int64) (*node, error) {
 // optimized decrypts directly from the untrusted buffer.
 func (f *File) decryptInto(n *node, key, tag [16]byte) error {
 	if f.fs.opt.Mode == ModeStandard {
-		if err := f.fs.ocall("ipfs.read", func() error {
+		if err := f.fs.ocallN("ipfs.read", NodeSize, func() error {
 			if err := f.readRaw(n.phys); err != nil {
 				return err
 			}
@@ -494,7 +494,7 @@ func (f *File) decryptInto(n *node, key, tag [16]byte) error {
 	// buffer and decrypts from it in place (MAC-then-encrypt rationale in
 	// the paper: authentication is computed over data already inside the
 	// enclave as it decrypts).
-	if err := f.fs.ocall("ipfs.read", func() error { return f.readRaw(n.phys) }); err != nil {
+	if err := f.fs.ocallN("ipfs.read", NodeSize, func() error { return f.readRaw(n.phys) }); err != nil {
 		return err
 	}
 	sp := f.fs.opt.Prof.Start("ipfs.crypto")

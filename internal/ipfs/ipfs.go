@@ -1,31 +1,3 @@
-// Package ipfs reimplements the Intel Protected File System (IPFS) that
-// TWINE maps WASI file operations onto (paper §IV-D/E): files stored on the
-// untrusted host are structured as a Merkle tree of 4 KiB nodes, each node
-// encrypted and authenticated with AES-GCM under a fresh random key kept in
-// its parent node, with the root key/MAC sealed into a metadata node under
-// a key derived from the enclave's sealing identity. Confidentiality and
-// integrity hold at rest; rollback of whole files is (deliberately, as in
-// Intel's design) not detected.
-//
-// The node layout follows Intel's: node 0 is the metadata node; Merkle-hash
-// -tree (MHT) nodes each hold 96 entries for data-node children and 32
-// entries for MHT children; a data node carries 4 KiB of file plaintext.
-//
-// Two operating modes reproduce the paper's §V-F study:
-//
-//   - ModeStandard mirrors the SGX SDK implementation: every node added to
-//     the LRU cache first has its entire structure cleared (memset), the
-//     plaintext buffer is cleared again when a node is dropped, and the
-//     ciphertext read by the OCALL is copied into enclave memory before
-//     being decrypted (the edger8r-generated copy).
-//   - ModeOptimized applies the paper's fixes: no clearing (fields are
-//     simply assigned), and decryption reads directly from the untrusted
-//     buffer, MAC-then-encrypt style, so the enclave keeps no ciphertext
-//     copy at all.
-//
-// Time spent is attributed to the prof registry under "ipfs.memset",
-// "sgx.ocall" (including the edge copy), "ipfs.crypto" and "ipfs.read" /
-// "ipfs.write", from which the Figure 7 breakdown is reconstructed.
 package ipfs
 
 import (
@@ -134,12 +106,22 @@ func New(enclave *sgx.Enclave, backing hostfs.FS, opt Options) *FS {
 func (fs *FS) Mode() Mode { return fs.opt.Mode }
 
 // ocall runs fn outside the enclave, or directly when no enclave is
-// attached.
+// attached. Metadata-sized requests; node I/O uses ocallN with the node
+// payload so the switchless policy sees the real transfer size.
 func (fs *FS) ocall(name string, fn func() error) error {
+	return fs.ocallN(name, 0, fn)
+}
+
+// ocallN crosses the boundary for a request marshalling payload bytes.
+// With a switchless ring enabled on the enclave the request rides it (node
+// reads and writes are TWINE's hottest OCALLs — §V-F measures them as a
+// dominant share of the random-read breakdown); without one this is
+// exactly the classic two-transition OCall.
+func (fs *FS) ocallN(name string, payload int, fn func() error) error {
 	if fs.enclave == nil || !fs.enclave.Inside() {
 		return fn()
 	}
-	return fs.enclave.OCall(name, fn)
+	return fs.enclave.SwitchlessOCall(name, payload, fn)
 }
 
 // fileKey derives the automatic file key: bound to the enclave identity

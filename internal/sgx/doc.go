@@ -1,0 +1,54 @@
+// Package sgx simulates Intel Software Guard Extensions (SGX) enclaves in
+// pure Go, closely following the cost model that drives the TWINE paper's
+// evaluation (ICDE'21, §III-A and §V):
+//
+//   - an enclave page cache (EPC) of limited size (128 MiB on the paper's
+//     SGX1 testbed, ~93 MiB usable); touching a non-resident enclave page
+//     triggers paging whose cost is paid with real AES work over the 4 KiB
+//     page, so workloads larger than the EPC slow down exactly where the
+//     paper's curves bend;
+//   - expensive enclave transitions: ECALLs and OCALLs burn a calibrated
+//     amount of CPU (the paper cites up to 13,100 cycles per crossing);
+//   - switchless OCALLs (PR 2, after the follow-up paper "A Comprehensive
+//     Trusted Runtime for WebAssembly with Intel SGX"): a bounded
+//     request/response ring drained by an untrusted worker goroutine, so
+//     hot host calls pay a small enqueue cost instead of two crossings —
+//     see SwitchlessRing;
+//   - an in-enclave heap allocator whose "system" mode reproduces the
+//     above-linear allocation cost the paper observed (§IV-C), and a
+//     "pool" mode reproducing the preallocated memsys3-style buffer that
+//     TWINE uses to avoid it;
+//   - measurement (MRENCLAVE), sealing keys bound to (platform, enclave)
+//     and remote attestation through a simulated quoting/attestation
+//     service;
+//   - hardware vs simulation modes, mirroring SGX HW/SW builds (Figure 6):
+//     simulation mode performs no memory-protection work.
+//
+// # Cost-model invariants
+//
+// Costs are paid with busy CPU work (never sleeps), so they show up in
+// wall-clock measurements the way hardware costs do. The invariants later
+// layers rely on:
+//
+//   - paging state (faults, evictions, the clock hand) advances only
+//     through Memory.Touch and friends, never as a side effect of timing,
+//     so identical touch sequences give bit-identical Stats regardless of
+//     execution speed — the contract behind the EPC-TLB and switchless
+//     differential tests;
+//   - every boundary crossing is counted: Stats.OCalls counts real
+//     two-transition calls (including switchless fallbacks) and
+//     Stats.SwitchlessCalls counts ring rides, so with switchless disabled
+//     the counters are bit-identical to the pre-switchless runtime and
+//     with it enabled OCalls + SwitchlessCalls is conserved for unbatched
+//     workloads;
+//   - transition time is attributed to the "sgx.ocall" profiler timer and
+//     ring time to "sgx.switchless", from which Figure 7's OCALL series is
+//     reconstructed.
+//
+// The package is intentionally single-threaded per enclave, like the
+// benchmarks in the paper: an Enclave and its Memory must not be used from
+// multiple goroutines concurrently. The switchless worker is the one
+// deliberate exception — it runs host closures on its own goroutine while
+// the enclave thread blocks on the response handshake, which is exactly
+// the synchronisation the hardware feature provides.
+package sgx

@@ -1,27 +1,3 @@
-// Package sgx simulates Intel Software Guard Extensions (SGX) enclaves in
-// pure Go, closely following the cost model that drives the TWINE paper's
-// evaluation (ICDE'21, §III-A and §V):
-//
-//   - an enclave page cache (EPC) of limited size (128 MiB on the paper's
-//     SGX1 testbed, ~93 MiB usable); touching a non-resident enclave page
-//     triggers paging whose cost is paid with real AES work over the 4 KiB
-//     page, so workloads larger than the EPC slow down exactly where the
-//     paper's curves bend;
-//   - expensive enclave transitions: ECALLs and OCALLs burn a calibrated
-//     amount of CPU (the paper cites up to 13,100 cycles per crossing);
-//   - an in-enclave heap allocator whose "system" mode reproduces the
-//     above-linear allocation cost the paper observed (§IV-C), and a
-//     "pool" mode reproducing the preallocated memsys3-style buffer that
-//     TWINE uses to avoid it;
-//   - measurement (MRENCLAVE), sealing keys bound to (platform, enclave)
-//     and remote attestation through a simulated quoting/attestation
-//     service;
-//   - hardware vs simulation modes, mirroring SGX HW/SW builds (Figure 6):
-//     simulation mode performs no memory-protection work.
-//
-// The package is intentionally single-threaded per enclave, like the
-// benchmarks in the paper: an Enclave and its Memory must not be used from
-// multiple goroutines concurrently.
 package sgx
 
 import (
@@ -156,11 +132,26 @@ var (
 )
 
 // Stats reports enclave activity counters.
+//
+// OCalls counts real two-transition boundary crossings, including those
+// taken as switchless fallbacks; SwitchlessCalls counts requests served by
+// the ring without a crossing. For any workload that does not batch
+// requests, OCalls(switchless off) == OCalls + SwitchlessCalls (switchless
+// on) — the conservation law internal/core's differential tests enforce.
 type Stats struct {
 	ECalls     int64
 	OCalls     int64
 	PageFaults int64
 	Evictions  int64
+	// SwitchlessCalls is the number of OCALLs served through the
+	// switchless ring (no enclave transition).
+	SwitchlessCalls int64
+	// FallbackOCalls is the number of would-be switchless calls that took
+	// the classic path (ring full, worker parked, oversized payload). They
+	// are included in OCalls.
+	FallbackOCalls int64
+	// WorkerWakeups counts signals to a parked switchless worker.
+	WorkerWakeups int64
 }
 
 // Enclave is a simulated SGX enclave: a measured, isolated memory region
@@ -177,6 +168,7 @@ type Enclave struct {
 	running     bool
 	destroyed   bool
 	stats       Stats
+	ring        *SwitchlessRing // nil until EnableSwitchless
 }
 
 // NewEnclave creates and initialises an enclave on platform p. The code
@@ -242,6 +234,12 @@ func (e *Enclave) Stats() Stats {
 	s := e.stats
 	s.PageFaults = e.mem.faults
 	s.Evictions = e.mem.evictions
+	if e.ring != nil {
+		rs := e.ring.Stats()
+		s.SwitchlessCalls = rs.Calls
+		s.FallbackOCalls = rs.Fallbacks
+		s.WorkerWakeups = rs.Wakeups
+	}
 	return s
 }
 
@@ -320,5 +318,6 @@ func (e *Enclave) Destroy() {
 	}
 	e.destroyed = true
 	e.running = false
+	e.ring.stop()
 	e.mem.scrub()
 }

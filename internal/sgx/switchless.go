@@ -1,0 +1,367 @@
+package sgx
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Switchless OCALLs (the follow-up paper's transition-killing mechanism).
+//
+// A classic OCALL pays two enclave crossings (§III-A: up to 13,100 cycles
+// each way). A switchless OCALL instead writes a request into a shared ring
+// buffer that an *untrusted worker thread* drains: the enclave thread never
+// leaves the enclave, it only pays a small enqueue cost and then waits for
+// the worker's response. The cost model is:
+//
+//	classic OCALL:    2 × TransitionCost            (≈ 3.4 µs on the testbed)
+//	switchless OCALL: EnqueueCost + handshake       (≪ TransitionCost)
+//	cold worker:      WakeupCost + one classic OCALL (the SDK's fallback)
+//
+// Fidelity invariants, guarded by internal/core's differential tests:
+//
+//   - every request either rides the ring (SwitchlessCalls) or becomes a
+//     real OCall (counted in Stats.OCalls, flagged in FallbackOCalls), so
+//     OCalls_off == OCalls_on + SwitchlessCalls_on for any workload that
+//     does not batch requests;
+//   - the protocol is synchronous (the caller blocks until its request is
+//     served), so observable side-effect ordering is identical to the
+//     two-transition path.
+
+// SwitchlessConfig tunes the ring. The zero value is not useful; start from
+// DefaultSwitchlessConfig.
+type SwitchlessConfig struct {
+	// Slots is the ring capacity. A request that finds the ring full falls
+	// back to a classic OCall.
+	Slots int
+	// MaxPayload is the largest request payload (in bytes) eligible for the
+	// ring. Larger transfers take the classic path: marshalling them
+	// through the shared buffer would cost more than the crossing saves.
+	MaxPayload int
+	// EnqueueCost is the CPU burned inside the enclave to stage a request
+	// in the shared ring (calibrated ≪ TransitionCost).
+	EnqueueCost time.Duration
+	// WakeupCost is the CPU burned signalling a parked worker back to its
+	// polling loop.
+	WakeupCost time.Duration
+	// WorkerIdle is how long the worker polls an empty ring before parking.
+	// While parked it consumes no CPU; the next request pays WakeupCost and
+	// falls back, exactly like the SGX SDK when no worker is available.
+	WorkerIdle time.Duration
+}
+
+// DefaultSwitchlessConfig derives ring costs from the enclave's transition
+// cost: enqueueing is an order of magnitude cheaper than one crossing, and
+// waking a parked worker costs about half a crossing (IPI + scheduler).
+func DefaultSwitchlessConfig(cfg Config) SwitchlessConfig {
+	return SwitchlessConfig{
+		Slots:       8,
+		MaxPayload:  32 << 10,
+		EnqueueCost: cfg.TransitionCost / 8,
+		WakeupCost:  cfg.TransitionCost / 2,
+		WorkerIdle:  50 * time.Millisecond,
+	}
+}
+
+// SwitchlessStats counts ring activity. The counters are also surfaced
+// through Enclave.Stats so figure drivers can reconstruct the OCALL series.
+type SwitchlessStats struct {
+	// Calls is the number of requests served through the ring.
+	Calls int64
+	// Fallbacks is the number of requests that became classic OCalls
+	// because the ring was full, the worker was parked, or the payload
+	// exceeded MaxPayload. Each is also counted in Stats.OCalls.
+	Fallbacks int64
+	// Wakeups is the number of times a request found the worker parked and
+	// had to signal it awake.
+	Wakeups int64
+}
+
+// slreq is one ring slot: a named host-call closure plus the response
+// channel the enclave thread blocks on.
+type slreq struct {
+	fn    func() error
+	done  chan error
+	panic any
+}
+
+var slreqPool = sync.Pool{
+	New: func() any { return &slreq{done: make(chan error, 1)} },
+}
+
+// SwitchlessRing is the shared request/response ring between an enclave and
+// its untrusted worker goroutine. Like the Enclave itself it expects a
+// single enclave-side caller; the worker is the only other goroutine that
+// touches a request, and the done-channel handshake orders their accesses.
+type SwitchlessRing struct {
+	e   *Enclave
+	cfg SwitchlessConfig
+
+	mu      sync.Mutex
+	queue   chan *slreq
+	running bool // worker goroutine alive and polling
+	stopped bool
+
+	stats SwitchlessStats
+}
+
+// EnableSwitchless attaches a switchless ring to the enclave and returns
+// it. The worker is spawned lazily on first use and parks itself after
+// WorkerIdle of inactivity, so an idle ring holds no goroutine. Enabling is
+// idempotent; the existing ring is returned if one is already attached.
+func (e *Enclave) EnableSwitchless(cfg SwitchlessConfig) *SwitchlessRing {
+	if e.ring != nil {
+		return e.ring
+	}
+	if cfg.Slots <= 0 {
+		cfg.Slots = 8
+	}
+	if cfg.MaxPayload <= 0 {
+		cfg.MaxPayload = 32 << 10
+	}
+	if cfg.WorkerIdle <= 0 {
+		cfg.WorkerIdle = 50 * time.Millisecond
+	}
+	e.ring = &SwitchlessRing{e: e, cfg: cfg, queue: make(chan *slreq, cfg.Slots)}
+	return e.ring
+}
+
+// Switchless returns the enclave's ring, or nil when switchless calls are
+// not enabled.
+func (e *Enclave) Switchless() *SwitchlessRing { return e.ring }
+
+// SwitchlessEnabled reports whether OCALLs can ride the ring.
+func (e *Enclave) SwitchlessEnabled() bool { return e.ring != nil && !e.ring.stoppedNow() }
+
+func (r *SwitchlessRing) stoppedNow() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stopped
+}
+
+// Stats returns a copy of the ring counters.
+func (r *SwitchlessRing) Stats() SwitchlessStats {
+	if r == nil {
+		return SwitchlessStats{}
+	}
+	return r.stats
+}
+
+// SwitchlessOCall performs a host call through the ring when possible and
+// falls back to a classic OCall otherwise. payload is the number of bytes
+// the request marshals across the boundary (0 for metadata-only calls);
+// requests above SwitchlessConfig.MaxPayload take the classic path. With no
+// ring enabled this is exactly OCall, so call sites can route through it
+// unconditionally without disturbing the fidelity of the slow path.
+func (e *Enclave) SwitchlessOCall(name string, payload int, fn func() error) error {
+	if e.ring == nil {
+		return e.OCall(name, fn)
+	}
+	if e.destroyed {
+		return ErrDestroyed
+	}
+	if e.depth == 0 {
+		return fmt.Errorf("%w: %s", ErrOutsideEnclave, name)
+	}
+	return e.ring.call(name, payload, fn)
+}
+
+// call implements the adaptive dispatch: ring when hot and small, classic
+// OCall when cold, full, stopped or oversized.
+func (r *SwitchlessRing) call(name string, payload int, fn func() error) error {
+	e := r.e
+	if payload > r.cfg.MaxPayload {
+		r.stats.Fallbacks++
+		e.cfg.Prof.Incr("sgx.switchless.fallback")
+		return e.OCall(name, fn)
+	}
+
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return e.OCall(name, fn)
+	}
+	if !r.running {
+		// Worker parked: signal it awake for subsequent requests, but take
+		// the slow path for this one (the SDK's cold-worker fallback).
+		r.running = true
+		r.stats.Wakeups++
+		r.stats.Fallbacks++
+		go r.worker()
+		r.mu.Unlock()
+		e.cfg.Prof.Incr("sgx.switchless.wakeup")
+		e.cfg.Prof.Incr("sgx.switchless.fallback")
+		if r.cfg.WakeupCost > 0 {
+			burn(r.cfg.WakeupCost)
+		}
+		return e.OCall(name, fn)
+	}
+	req := slreqPool.Get().(*slreq)
+	req.fn = fn
+	req.panic = nil
+	select {
+	case r.queue <- req:
+		r.stats.Calls++
+		r.mu.Unlock()
+	default:
+		// Ring full: classic OCall.
+		r.stats.Fallbacks++
+		r.mu.Unlock()
+		req.fn = nil
+		slreqPool.Put(req)
+		e.cfg.Prof.Incr("sgx.switchless.fallback")
+		return e.OCall(name, fn)
+	}
+
+	e.cfg.Prof.Incr("sgx.switchless")
+	sp := e.cfg.Prof.Start("sgx.switchless")
+	if r.cfg.EnqueueCost > 0 {
+		burn(r.cfg.EnqueueCost)
+	}
+	// Spin for the response first — the hardware mechanism busy-polls the
+	// shared slot, and parking on the channel costs a scheduler round
+	// trip that can exceed the transition cost we are saving. Gosched
+	// keeps the worker runnable on single-CPU hosts.
+	var err error
+	received := false
+	for spins := 0; spins < callerSpins; spins++ {
+		select {
+		case err = <-req.done:
+			received = true
+		default:
+			runtime.Gosched()
+			continue
+		}
+		break
+	}
+	if !received {
+		err = <-req.done
+	}
+	sp.Stop()
+	pan := req.panic
+	req.fn = nil
+	req.panic = nil
+	slreqPool.Put(req)
+	if pan != nil {
+		// Preserve OCall semantics: a panicking host closure unwinds the
+		// enclave thread, not the worker.
+		panic(pan)
+	}
+	return err
+}
+
+// Spin budgets. The worker busy-polls (yielding the processor each miss,
+// so single-CPU hosts make progress) before blocking on its queue, and
+// the caller busy-polls the response slot before blocking — both mirror
+// the hardware mechanism, where enclave and worker sides spin on shared
+// memory and only fall back to sleeping after a calibrated interval. The
+// worker budget is deliberately small: while the enclave thread computes
+// between bursts, every worker poll steals a scheduling slot from it, so
+// the worker should reach its (cheap, channel-blocked) wait quickly;
+// requests still reach a blocked worker in ~1 µs, well under a
+// transition. The caller budget is large because the caller spins only
+// while its request is being served — time it cannot use anyway.
+const (
+	workerSpins = 64
+	callerSpins = 4096
+)
+
+// worker is the untrusted thread draining the ring. It serves requests
+// until the ring stays empty for WorkerIdle, then parks (exits); the next
+// request re-spawns it through the wakeup path.
+func (r *SwitchlessRing) worker() {
+	var idle *time.Timer
+	defer func() {
+		if idle != nil {
+			idle.Stop()
+		}
+	}()
+	spins := 0
+	for {
+		// Hot path: drain by polling, no timers or channel parking.
+		select {
+		case req := <-r.queue:
+			if req.fn == nil { // poison: the ring was stopped
+				r.mu.Lock()
+				r.running = false
+				r.mu.Unlock()
+				return
+			}
+			r.serve(req)
+			spins = 0
+			continue
+		default:
+		}
+		if spins < workerSpins {
+			spins++
+			runtime.Gosched()
+			continue
+		}
+		// Cold: arm the park timer and block.
+		if idle == nil {
+			idle = time.NewTimer(r.cfg.WorkerIdle)
+		} else {
+			if !idle.Stop() {
+				select {
+				case <-idle.C:
+				default:
+				}
+			}
+			idle.Reset(r.cfg.WorkerIdle)
+		}
+		select {
+		case req := <-r.queue:
+			if req.fn == nil {
+				r.mu.Lock()
+				r.running = false
+				r.mu.Unlock()
+				return
+			}
+			r.serve(req)
+			spins = 0
+		case <-idle.C:
+			r.mu.Lock()
+			if len(r.queue) == 0 {
+				r.running = false
+				r.mu.Unlock()
+				return
+			}
+			r.mu.Unlock()
+		}
+	}
+}
+
+// serve runs one request outside the enclave and hands the result back.
+// Panics are captured and re-raised on the enclave thread.
+func (r *SwitchlessRing) serve(req *slreq) {
+	var err error
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				req.panic = p
+			}
+		}()
+		err = req.fn()
+	}()
+	req.done <- err
+}
+
+// stop marks the ring unusable and retires the worker promptly with a
+// poison request (no request can be in flight: the protocol is
+// synchronous, so the single enclave thread cannot call Destroy while one
+// is outstanding). A worker that already parked simply never restarts.
+func (r *SwitchlessRing) stop() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if !r.stopped && r.running {
+		select {
+		case r.queue <- &slreq{}:
+		default:
+		}
+	}
+	r.stopped = true
+	r.mu.Unlock()
+}

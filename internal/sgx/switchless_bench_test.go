@@ -1,0 +1,66 @@
+package sgx
+
+import (
+	"testing"
+	"time"
+)
+
+func benchEnclave(b *testing.B) *Enclave {
+	cfg := TestConfig()
+	cfg.TransitionCost = 1700 * time.Nanosecond
+	e, err := NewPlatform("bench").NewEnclave(cfg, []byte("code"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+func BenchmarkOCall(b *testing.B) {
+	e := benchEnclave(b)
+	_ = e.ECall("main", func() error {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = e.OCall("io", func() error { return nil })
+		}
+		return nil
+	})
+}
+
+func BenchmarkSwitchlessOCall(b *testing.B) {
+	e := benchEnclave(b)
+	e.EnableSwitchless(DefaultSwitchlessConfig(e.Config()))
+	_ = e.ECall("main", func() error {
+		_ = e.SwitchlessOCall("warm", 0, func() error { return nil })
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = e.SwitchlessOCall("io", 0, func() error { return nil })
+		}
+		return nil
+	})
+}
+
+func BenchmarkOCallCopy4K(b *testing.B) {
+	e := benchEnclave(b)
+	src, dst := make([]byte, 4096), make([]byte, 4096)
+	_ = e.ECall("main", func() error {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = e.OCall("io", func() error { copy(dst, src); return nil })
+		}
+		return nil
+	})
+}
+
+func BenchmarkSwitchlessOCallCopy4K(b *testing.B) {
+	e := benchEnclave(b)
+	e.EnableSwitchless(DefaultSwitchlessConfig(e.Config()))
+	src, dst := make([]byte, 4096), make([]byte, 4096)
+	_ = e.ECall("main", func() error {
+		_ = e.SwitchlessOCall("warm", 0, func() error { return nil })
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = e.SwitchlessOCall("io", 4096, func() error { copy(dst, src); return nil })
+		}
+		return nil
+	})
+}

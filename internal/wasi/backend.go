@@ -48,14 +48,38 @@ type Backend interface {
 
 // --- host (untrusted POSIX) backend ---
 
+// Write-batching policy (PR 2). Adjacent small writes — the SQLite journal
+// pattern of header-then-record-then-record — are coalesced into a single
+// ring request instead of one boundary crossing each.
+const (
+	// batchMaxWrite is the largest single write eligible for coalescing.
+	batchMaxWrite = 4 << 10
+	// batchMaxPend caps the coalesced buffer; reaching it submits the
+	// batch.
+	batchMaxPend = 32 << 10
+)
+
 // HostBackend forwards every operation to the untrusted host file system,
 // crossing the enclave boundary each time. This reproduces WAMR's original
 // WASI implementation, which "plainly routes most of the WASI functions to
 // their POSIX equivalent using OCALLs" (§IV-C) — the baseline TWINE's
 // trusted backend is measured against.
+//
+// When the enclave has a switchless ring (sgx.Enclave.EnableSwitchless),
+// small operations ride it instead of paying two enclave transitions, and
+// adjacent small writes are batched into single requests. Both behaviours
+// are disabled — restoring the exact historical OCALL accounting — when
+// the ring is absent.
 type HostBackend struct {
 	FS      hostfs.FS
 	Enclave *sgx.Enclave
+
+	// pending is the one handle allowed to hold batched, not-yet-
+	// submitted writes. Every boundary call — including a batched write
+	// starting on any other handle — flushes it first, so writes always
+	// reach the untrusted store in program order and any operation that
+	// could observe untrusted state sees them as if submitted eagerly.
+	pending *hostHandle
 }
 
 // NewHostBackend wraps fs; enclave may be nil.
@@ -66,17 +90,50 @@ func NewHostBackend(fs hostfs.FS, enclave *sgx.Enclave) *HostBackend {
 // Trusted implements Backend.
 func (h *HostBackend) Trusted() bool { return false }
 
-func (h *HostBackend) ocall(name string, fn func() error) error {
+// call is the single host-call accounting helper shared by the classic
+// OCALL path and the switchless ring path (every Backend method and file
+// handle funnels through it): it flushes batched writes fn could observe,
+// then crosses the boundary. payload is the byte count marshalled by the
+// request; the enclave's adaptive policy sends small payloads through the
+// ring and large ones through a classic OCall.
+func (h *HostBackend) call(name string, payload int, fn func() error) error {
+	if err := h.FlushPending(); err != nil {
+		return err
+	}
+	return h.boundary(name, payload, fn)
+}
+
+// boundary performs the crossing without touching batch state; batch
+// flushes use it directly to avoid recursing into themselves.
+func (h *HostBackend) boundary(name string, payload int, fn func() error) error {
 	if h.Enclave == nil || !h.Enclave.Inside() {
 		return fn()
 	}
-	return h.Enclave.OCall(name, fn)
+	return h.Enclave.SwitchlessOCall(name, payload, fn)
+}
+
+// batching reports whether writes may be deferred into a batch. Only a
+// live switchless ring enables it, so with switchless off every write
+// keeps its historical one-OCALL-per-call accounting.
+func (h *HostBackend) batching() bool {
+	return h.Enclave != nil && h.Enclave.SwitchlessEnabled()
+}
+
+// FlushPending submits the batched writes of the pending handle, if any,
+// making every completed write visible on the untrusted store. The WASI
+// layer calls it at the end of each guest entry and on proc_exit, so
+// batched state never outlives guest execution.
+func (h *HostBackend) FlushPending() error {
+	if h.pending != nil {
+		return h.pending.flush()
+	}
+	return nil
 }
 
 // Open implements Backend.
 func (h *HostBackend) Open(path string, flags int, writable bool) (FileHandle, error) {
 	var f hostfs.File
-	err := h.ocall("posix.open", func() error {
+	err := h.call("posix.open", 0, func() error {
 		var oerr error
 		f, oerr = h.FS.OpenFile(path, flags)
 		return oerr
@@ -89,12 +146,12 @@ func (h *HostBackend) Open(path string, flags int, writable bool) (FileHandle, e
 
 // Mkdir implements Backend.
 func (h *HostBackend) Mkdir(path string) error {
-	return h.ocall("posix.mkdir", func() error { return h.FS.Mkdir(path) })
+	return h.call("posix.mkdir", 0, func() error { return h.FS.Mkdir(path) })
 }
 
 // RemoveFile implements Backend.
 func (h *HostBackend) RemoveFile(path string) error {
-	return h.ocall("posix.unlink", func() error {
+	return h.call("posix.unlink", 0, func() error {
 		info, err := h.FS.Lstat(path)
 		if err != nil {
 			return err
@@ -108,7 +165,7 @@ func (h *HostBackend) RemoveFile(path string) error {
 
 // RemoveDir implements Backend.
 func (h *HostBackend) RemoveDir(path string) error {
-	return h.ocall("posix.rmdir", func() error {
+	return h.call("posix.rmdir", 0, func() error {
 		info, err := h.FS.Lstat(path)
 		if err != nil {
 			return err
@@ -122,13 +179,13 @@ func (h *HostBackend) RemoveDir(path string) error {
 
 // Rename implements Backend.
 func (h *HostBackend) Rename(oldPath, newPath string) error {
-	return h.ocall("posix.rename", func() error { return h.FS.Rename(oldPath, newPath) })
+	return h.call("posix.rename", 0, func() error { return h.FS.Rename(oldPath, newPath) })
 }
 
 // Stat implements Backend.
 func (h *HostBackend) Stat(path string, followLinks bool) (hostfs.FileInfo, error) {
 	var info hostfs.FileInfo
-	err := h.ocall("posix.stat", func() error {
+	err := h.call("posix.stat", 0, func() error {
 		var serr error
 		if followLinks {
 			info, serr = h.FS.Stat(path)
@@ -143,7 +200,7 @@ func (h *HostBackend) Stat(path string, followLinks bool) (hostfs.FileInfo, erro
 // ReadDir implements Backend.
 func (h *HostBackend) ReadDir(path string) ([]hostfs.FileInfo, error) {
 	var out []hostfs.FileInfo
-	err := h.ocall("posix.readdir", func() error {
+	err := h.call("posix.readdir", 0, func() error {
 		var rerr error
 		out, rerr = h.FS.ReadDir(path)
 		return rerr
@@ -153,13 +210,13 @@ func (h *HostBackend) ReadDir(path string) ([]hostfs.FileInfo, error) {
 
 // Symlink implements Backend.
 func (h *HostBackend) Symlink(target, link string) error {
-	return h.ocall("posix.symlink", func() error { return h.FS.Symlink(target, link) })
+	return h.call("posix.symlink", 0, func() error { return h.FS.Symlink(target, link) })
 }
 
 // Readlink implements Backend.
 func (h *HostBackend) Readlink(path string) (string, error) {
 	var out string
-	err := h.ocall("posix.readlink", func() error {
+	err := h.call("posix.readlink", 0, func() error {
 		var rerr error
 		out, rerr = h.FS.Readlink(path)
 		return rerr
@@ -169,25 +226,34 @@ func (h *HostBackend) Readlink(path string) (string, error) {
 
 // Link implements Backend.
 func (h *HostBackend) Link(oldPath, newPath string) error {
-	return h.ocall("posix.link", func() error { return h.FS.Link(oldPath, newPath) })
+	return h.call("posix.link", 0, func() error { return h.FS.Link(oldPath, newPath) })
 }
 
 // UTimes implements Backend.
 func (h *HostBackend) UTimes(path string, atime, mtime time.Time) error {
-	return h.ocall("posix.utimes", func() error { return h.FS.UTimes(path, atime, mtime) })
+	return h.call("posix.utimes", 0, func() error { return h.FS.UTimes(path, atime, mtime) })
 }
 
 // hostHandle adapts a positional hostfs.File to the cursor-based
-// FileHandle, performing one OCALL per operation.
+// FileHandle, performing one boundary crossing per operation — except for
+// adjacent small writes, which are coalesced into a single crossing when
+// the switchless ring is live.
 type hostHandle struct {
 	b      *HostBackend
 	f      hostfs.File
-	offset int64
+	offset int64 // logical cursor, including batched-but-unsubmitted bytes
+
+	// pend accumulates adjacent small writes; pendOff is the file offset
+	// of pend[0]. Invariant: len(pend) > 0 iff b.pending == h. A flush
+	// error surfaces on the boundary call that triggered the flush
+	// (write-behind semantics).
+	pend    []byte
+	pendOff int64
 }
 
 func (h *hostHandle) Read(p []byte) (int, error) {
 	var n int
-	err := h.b.ocall("posix.read", func() error {
+	err := h.b.call("posix.read", len(p), func() error {
 		var rerr error
 		n, rerr = h.f.ReadAt(p, h.offset)
 		return rerr
@@ -200,14 +266,54 @@ func (h *hostHandle) Read(p []byte) (int, error) {
 }
 
 func (h *hostHandle) Write(p []byte) (int, error) {
+	if h.b.batching() && len(p) > 0 && len(p) <= batchMaxWrite {
+		// Another handle's batch must land first, or interleaved writes
+		// to one file could be replayed out of program order.
+		if h.b.pending != nil && h.b.pending != h {
+			if err := h.b.pending.flush(); err != nil {
+				return 0, err
+			}
+		}
+		if len(h.pend) > 0 &&
+			(h.offset != h.pendOff+int64(len(h.pend)) || len(h.pend)+len(p) > batchMaxPend) {
+			// Non-adjacent write or full batch: submit what we have.
+			if err := h.flush(); err != nil {
+				return 0, err
+			}
+		}
+		if len(h.pend) == 0 {
+			h.pendOff = h.offset
+			h.b.pending = h
+		}
+		h.pend = append(h.pend, p...)
+		h.offset += int64(len(p))
+		return len(p), nil
+	}
 	var n int
-	err := h.b.ocall("posix.write", func() error {
+	err := h.b.call("posix.write", len(p), func() error {
 		var werr error
 		n, werr = h.f.WriteAt(p, h.offset)
 		return werr
 	})
 	h.offset += int64(n)
 	return n, err
+}
+
+// flush submits the batched writes as one request. The handle clears its
+// pending state before the crossing so a failing flush cannot loop.
+func (h *hostHandle) flush() error {
+	if len(h.pend) == 0 {
+		return nil
+	}
+	buf, off := h.pend, h.pendOff
+	h.pend = h.pend[:0]
+	if h.b.pending == h {
+		h.b.pending = nil
+	}
+	return h.b.boundary("posix.write", len(buf), func() error {
+		_, err := h.f.WriteAt(buf, off)
+		return err
+	})
 }
 
 func (h *hostHandle) Seek(offset int64, whence int) (int64, error) {
@@ -229,7 +335,9 @@ func (h *hostHandle) Seek(offset int64, whence int) (int64, error) {
 	if target < 0 {
 		return 0, hostfs.ErrInvalid
 	}
-	// POSIX allows seeking past the end; the file extends on write.
+	// POSIX allows seeking past the end; the file extends on write. A
+	// batched run broken by the seek is submitted by the next boundary
+	// call (or immediately by the next non-adjacent write).
 	h.offset = target
 	return target, nil
 }
@@ -238,7 +346,7 @@ func (h *hostHandle) Tell() int64 { return h.offset }
 
 func (h *hostHandle) Size() (int64, error) {
 	var size int64
-	err := h.b.ocall("posix.fstat", func() error {
+	err := h.b.call("posix.fstat", 0, func() error {
 		info, serr := h.f.Stat()
 		size = info.Size
 		return serr
@@ -247,15 +355,15 @@ func (h *hostHandle) Size() (int64, error) {
 }
 
 func (h *hostHandle) Truncate(size int64) error {
-	return h.b.ocall("posix.ftruncate", func() error { return h.f.Truncate(size) })
+	return h.b.call("posix.ftruncate", 0, func() error { return h.f.Truncate(size) })
 }
 
 func (h *hostHandle) Sync() error {
-	return h.b.ocall("posix.fsync", func() error { return h.f.Sync() })
+	return h.b.call("posix.fsync", 0, func() error { return h.f.Sync() })
 }
 
 func (h *hostHandle) Close() error {
-	return h.b.ocall("posix.close", func() error { return h.f.Close() })
+	return h.b.call("posix.close", 0, func() error { return h.f.Close() })
 }
 
 // --- IPFS (trusted) backend ---
@@ -278,6 +386,11 @@ func NewIPFSBackend(pfs *ipfs.FS, host *HostBackend) *IPFSBackend {
 
 // Trusted implements Backend.
 func (b *IPFSBackend) Trusted() bool { return true }
+
+// FlushPending submits any write-behind state of the underlying host
+// backend (protected-file handles write eagerly, so only the namespace
+// side can hold batches).
+func (b *IPFSBackend) FlushPending() error { return b.Host.FlushPending() }
 
 // Open implements Backend.
 func (b *IPFSBackend) Open(path string, flags int, writable bool) (FileHandle, error) {

@@ -3,6 +3,7 @@ package wasi
 import (
 	"crypto/rand"
 	"encoding/binary"
+	"fmt"
 	"time"
 
 	"twine/internal/hostfs"
@@ -167,7 +168,7 @@ func (s *System) clockTimeGet(in *wasm.Instance, a []uint64) Errno {
 			s.logical++
 			now = s.logical
 		} else {
-			_ = s.ocall("clock", func() error { now = s.cfg.Clock.Monotonic(); return nil })
+			_ = s.ocallN("clock", 8, func() error { now = s.cfg.Clock.Monotonic(); return nil })
 			// Sanity check on the untrusted value: never goes backwards.
 			if now <= s.lastMono {
 				now = s.lastMono + 1
@@ -179,7 +180,7 @@ func (s *System) clockTimeGet(in *wasm.Instance, a []uint64) Errno {
 			s.logical++
 			now = s.logical
 		} else {
-			_ = s.ocall("clock", func() error { now = s.cfg.Clock.Now().UnixNano(); return nil })
+			_ = s.ocallN("clock", 8, func() error { now = s.cfg.Clock.Now().UnixNano(); return nil })
 		}
 	default:
 		return ErrnoInval
@@ -475,7 +476,7 @@ func (s *System) fdRead(in *wasm.Instance, a []uint64) Errno {
 		} else {
 			total, errno = iovecs(mem, uint32(a[1]), uint32(a[2]), func(buf []byte) (int, bool, Errno) {
 				var n int
-				_ = s.ocall("stdin", func() error {
+				_ = s.ocallN("stdin", len(buf), func() error {
 					var rerr error
 					n, rerr = s.cfg.Stdin.Read(buf)
 					_ = rerr
@@ -557,7 +558,7 @@ func (s *System) fdWrite(in *wasm.Instance, a []uint64) Errno {
 				return len(buf), false, ErrnoSuccess
 			}
 			var n int
-			err := s.ocall("stdout", func() error {
+			err := s.ocallN("stdout", len(buf), func() error {
 				var werr error
 				n, werr = w.Write(buf)
 				return werr
@@ -1082,6 +1083,14 @@ func writeEvent(mem *wasm.Memory, ptr uint32, userdata uint64, typ byte, nbytes 
 func (s *System) procExit(in *wasm.Instance, a []uint64) (Errno, error) {
 	s.exited = true
 	s.exitCode = uint32(a[0])
+	// The guest will never close its descriptors: submit batched writes
+	// now so the untrusted store matches the eager-write semantics. A
+	// flush failure is surfaced to the embedder instead of the clean
+	// exit — on the eager path the same guest would have seen the write
+	// error at fd_write time.
+	if err := s.FlushFS(); err != nil {
+		return ErrnoIo, fmt.Errorf("wasi: flushing batched writes at proc_exit: %w", err)
+	}
 	return ErrnoSuccess, wasm.ExitError{Code: uint32(a[0])}
 }
 

@@ -1,22 +1,3 @@
-// Package wasi implements the WebAssembly System Interface
-// (snapshot_preview1, the 45-function surface the paper describes in
-// §III-B) as TWINE's bridge between trusted and untrusted worlds (§IV-B/C).
-//
-// Calls are routed in two layers, exactly as the paper describes:
-//
-//   - trusted implementations are used when available: file-system calls go
-//     to the Intel-protected-file-system backend, random_get uses the
-//     in-enclave entropy source, and the clock is monotonic-guarded so the
-//     untrusted host cannot turn time backwards;
-//   - a generic POSIX-like layer outside the enclave handles the rest via
-//     OCALLs, with sanity checks on returned values.
-//
-// A compilation-flag equivalent — Config.DisableUntrustedPOSIX — globally
-// disables the generic layer (§IV-C), so applications can be audited for
-// reliance on external resources.
-//
-// The sandbox follows WASI's capability model: guests see only preopened
-// directory trees and operations allowed by each descriptor's rights.
 package wasi
 
 import (
@@ -249,12 +230,40 @@ func sortedKeys(m map[string]string) []string {
 // Exited reports whether proc_exit ran, and with which code.
 func (s *System) Exited() (bool, uint32) { return s.exited, s.exitCode }
 
-// ocall crosses the enclave boundary for untrusted work.
+// ocall crosses the enclave boundary for untrusted work through the
+// classic two-transition path (used for blocking calls such as sleeps,
+// which must not occupy the switchless worker).
 func (s *System) ocall(name string, fn func() error) error {
 	if s.cfg.Enclave == nil || !s.cfg.Enclave.Inside() {
 		return fn()
 	}
 	return s.cfg.Enclave.OCall(name, fn)
+}
+
+// ocallN is the size-aware variant: hot, small calls (clock reads, stdio
+// traffic) ride the switchless ring when the enclave has one, and fall
+// back to a classic OCall otherwise.
+func (s *System) ocallN(name string, payload int, fn func() error) error {
+	if s.cfg.Enclave == nil || !s.cfg.Enclave.Inside() {
+		return fn()
+	}
+	return s.cfg.Enclave.SwitchlessOCall(name, payload, fn)
+}
+
+// backendFlusher is implemented by backends that can hold write-behind
+// state (the host backend's batched small writes).
+type backendFlusher interface{ FlushPending() error }
+
+// FlushFS submits any write-behind state the file backend holds, making
+// every completed write visible on the untrusted store. It is called on
+// proc_exit and by the runtime at the end of every guest entry, so
+// batched writes can never outlive guest execution — the guarantee the
+// switchless differential tests rely on.
+func (s *System) FlushFS() error {
+	if f, ok := s.cfg.FS.(backendFlusher); ok {
+		return f.FlushPending()
+	}
+	return nil
 }
 
 // fsDenied reports whether the generic untrusted layer is disabled for

@@ -1,0 +1,29 @@
+// Package wasm implements a WebAssembly 1.0 (MVP) runtime in pure Go: a
+// binary decoder, a validating compiler that lowers structured control flow
+// to branch-resolved internal code, and two execution engines mirroring the
+// WAMR modes the paper uses — a plain interpreter and an "AoT" engine that
+// runs a pre-translated, peephole-fused form of the code (§III-B, Table I;
+// the runtime TWINE embeds in the enclave is §IV-B).
+//
+// TWINE embeds this runtime inside the SGX enclave simulator; the runtime
+// itself is host-agnostic and reports linear-memory accesses through an
+// optional touch hook so the enclave's EPC model can charge paging costs.
+//
+// # Cost-model invariants
+//
+// The hot path between guest code and the EPC model is contractual:
+//
+//   - every linear-memory access is either reported through the touch
+//     hook or proven redundant by the software EPC-TLB (PR 1): Memory
+//     keeps a direct-mapped TLB of guest pages keyed by the enclave's
+//     paging generation, and a hit is taken only where the touch would
+//     have been a no-op — fault/eviction counts are bit-identical with
+//     the TLB on or off (internal/core/fidelity_test.go);
+//   - guest pages and enclave EPC pages coincide: the arena backing
+//     linear memory is 4 KiB-aligned, so one guest page touch charges
+//     exactly one enclave page;
+//   - the AoT fusion pass may merge address arithmetic and adjacent
+//     loads/stores into superinstructions, but never elides or reorders
+//     the memory accesses themselves, so the touch sequence an
+//     instruction stream produces is engine-independent.
+package wasm

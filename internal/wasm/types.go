@@ -1,12 +1,3 @@
-// Package wasm implements a WebAssembly 1.0 (MVP) runtime in pure Go: a
-// binary decoder, a validating compiler that lowers structured control flow
-// to branch-resolved internal code, and two execution engines mirroring the
-// WAMR modes the paper uses — a plain interpreter and an "AoT" engine that
-// runs a pre-translated, peephole-fused form of the code (§III-B, Table I).
-//
-// TWINE embeds this runtime inside the SGX enclave simulator; the runtime
-// itself is host-agnostic and reports linear-memory accesses through an
-// optional touch hook so the enclave's EPC model can charge paging costs.
 package wasm
 
 import (

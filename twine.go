@@ -16,6 +16,10 @@
 // attestation (the paper's Figure 1 workflow): see Provider and
 // Runtime.FetchModule.
 //
+// Hot host calls ride a switchless OCALL ring by default (PR 2), skipping
+// the two enclave transitions a classic OCALL pays; set Config.Switchless
+// to SwitchlessOff to restore the baseline two-transition dispatch.
+//
 // For the paper's flagship use case — a trusted full SQL database — see the
 // tsql subpackage.
 package twine
@@ -35,18 +39,31 @@ import (
 type (
 	// Config assembles a runtime; the zero value is a working default
 	// (fresh in-memory host, IPFS-backed trusted storage, AoT engine,
-	// paper-testbed SGX geometry).
+	// switchless OCALLs, paper-testbed SGX geometry).
 	Config = core.Config
-	// Runtime is a live TWINE enclave.
+	// Runtime is a live TWINE enclave: it loads modules (LoadModule,
+	// FetchModule), instantiates them (NewInstance), opens trusted
+	// databases (OpenDB) and exposes the enclave for stats and
+	// attestation.
 	Runtime = core.Runtime
-	// Module is a loaded, AoT-translated application.
+	// Module is a loaded, AoT-translated application, together with its
+	// artefact metrics (binary size, translated instruction count, load
+	// time — Table IIIb).
 	Module = core.Module
-	// Instance is an instantiated module.
+	// Instance is an instantiated module whose linear memory is charged
+	// against the enclave's EPC; Run executes its WASI start routine and
+	// Invoke calls exported functions, each through an ECALL.
 	Instance = core.Instance
-	// Provider serves Wasm modules to attested enclaves.
+	// Provider serves Wasm modules to attested enclaves over a
+	// provisioning channel (the paper's Figure 1 trusted-deployment
+	// workflow).
 	Provider = core.Provider
-	// FSKind selects the WASI file backend.
+	// FSKind selects the WASI file backend (FSIPFS or FSHost).
 	FSKind = core.FSKind
+	// SwitchlessMode selects the OCALL dispatch strategy
+	// (SwitchlessAuto/SwitchlessOn ride the ring, SwitchlessOff pays two
+	// transitions per call).
+	SwitchlessMode = core.SwitchlessMode
 )
 
 // File-system kinds.
@@ -57,19 +74,41 @@ const (
 	FSHost = core.FSHost
 )
 
+// Switchless OCALL modes (Config.Switchless, PR 2).
+const (
+	// SwitchlessAuto — the default — enables the switchless ring: hot
+	// host calls are served by an untrusted worker without enclave
+	// transitions.
+	SwitchlessAuto = core.SwitchlessAuto
+	// SwitchlessOff forces classic two-transition OCALLs, bit-identical
+	// to the pre-switchless runtime (used by ablations and fidelity
+	// tests).
+	SwitchlessOff = core.SwitchlessOff
+	// SwitchlessOn explicitly enables the ring (same as SwitchlessAuto).
+	SwitchlessOn = core.SwitchlessOn
+)
+
 // IPFS modes (paper §V-F).
 const (
-	IPFSStandard  = ipfs.ModeStandard
+	// IPFSStandard mirrors Intel's SGX SDK node lifecycle, including the
+	// memset clearing and the edge ciphertext copy Figure 7 measures.
+	IPFSStandard = ipfs.ModeStandard
+	// IPFSOptimized applies the paper's §V-F fixes: no clearing and
+	// zero-copy decryption from the untrusted buffer.
 	IPFSOptimized = ipfs.ModeOptimized
 )
 
-// Engines.
+// Engines (Config.Engine).
 const (
-	EngineAOT    = wasm.EngineAOT
+	// EngineAOT runs the pre-translated, fused instruction stream — the
+	// default, matching TWINE's ahead-of-time compiled modules.
+	EngineAOT = wasm.EngineAOT
+	// EngineInterp runs the plain interpreter (Table I's slower mode).
 	EngineInterp = wasm.EngineInterp
 )
 
-// NewRuntime builds the enclave and WASI plumbing.
+// NewRuntime builds the enclave and WASI plumbing. The zero Config is a
+// working default; the returned Runtime is ready for LoadModule.
 func NewRuntime(cfg Config) (*Runtime, error) { return core.NewRuntime(cfg) }
 
 // NewProvider builds the application-provider side of the provisioning
@@ -79,7 +118,9 @@ func NewProvider(svc *AttestationService, expected [32]byte, wasmModule []byte) 
 	return core.NewProvider(svc, expected, wasmModule)
 }
 
-// AttestationService simulates the remote attestation authority.
+// AttestationService simulates the remote attestation authority (Intel
+// IAS): it verifies quotes produced by registered platforms and reports
+// whether an enclave is genuine and non-debug.
 type AttestationService = sgx.AttestationService
 
 // NewAttestationService returns an empty attestation service; register
@@ -94,17 +135,21 @@ func NewMemHostFS() hostfs.FS { return hostfs.NewMemFS() }
 // directory.
 func NewDirHostFS(dir string) (hostfs.FS, error) { return hostfs.NewDirFS(dir) }
 
-// NewProfRegistry returns a profiling registry to pass in Config.Prof.
+// NewProfRegistry returns a profiling registry to pass in Config.Prof; its
+// counters and timers reconstruct the paper's figure series ("sgx.ocall",
+// "sgx.switchless", "ipfs.memset", ...).
 func NewProfRegistry() *prof.Registry { return prof.NewRegistry() }
 
 // SGXDefaultConfig returns the paper-testbed enclave geometry (128 MiB
-// EPC, 93 MiB usable).
+// EPC, 93 MiB usable, ~1.7 µs one-way transition cost).
 func SGXDefaultConfig() sgx.Config { return sgx.DefaultConfig() }
 
-// SGXTestConfig returns a small, fast enclave for tests.
+// SGXTestConfig returns a small, fast enclave for tests: a tiny EPC so
+// paging is easy to provoke, and free transitions.
 func SGXTestConfig() sgx.Config { return sgx.TestConfig() }
 
-// Discard is a convenient stdout sink.
+// Discard is a convenient stdout sink for guests whose output does not
+// matter (benchmarks, smoke tests).
 var Discard io.Writer = discard{}
 
 type discard struct{}
