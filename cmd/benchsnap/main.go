@@ -14,12 +14,16 @@
 //   - the Figure 7 protected-FS read-path time during the file-backed
 //     random-read workload (optimised IPFS) under the same two dispatch
 //     modes;
+//   - the PR 3 fig-throughput grid: requests/sec of the serving pool
+//     (one CPU-bound kernel plus one untrusted transport wait per
+//     request) for every (TCS, workers) pair in {1,2,4,8}², showing
+//     throughput scaling with the TCS pool until the CPU saturates;
 //
 // each with warmup and a minimum measurement window, then writes a JSON
 // document. The committed BENCH_<n>.json snapshots at the repository root
 // were generated with the defaults:
 //
-//	go run ./cmd/benchsnap -o BENCH_2.json
+//	go run ./cmd/benchsnap -o BENCH_3.json
 //
 // See BENCHMARKS.md for the snapshot workflow and the figure mapping.
 package main
@@ -127,6 +131,10 @@ func main() {
 	fig4Scale := flag.Int("fig4-scale", 8, "Fig4 Speedtest1 scale (0 disables the fig4 series)")
 	fig7Records := flag.Int("fig7-records", 400, "Fig7 database records (0 disables the fig7 series)")
 	fig7Reads := flag.Int("fig7-reads", 300, "Fig7 random point reads per op")
+	thrRequests := flag.Int("thr-requests", 64, "fig-throughput requests per point (0 disables the series)")
+	thrKernel := flag.String("thr-kernel", "gemm", "fig-throughput kernel")
+	thrKernelN := flag.Int("thr-n", 16, "fig-throughput kernel problem size")
+	thrIO := flag.Duration("thr-io", 500*time.Microsecond, "fig-throughput untrusted transport wait per request")
 	flag.Parse()
 
 	snap := Snapshot{
@@ -141,11 +149,16 @@ func main() {
 			"fig4_scale":      *fig4Scale,
 			"fig7_records":    *fig7Records,
 			"fig7_reads":      *fig7Reads,
+			"thr_requests":    *thrRequests,
+			"thr_kernel":      *thrKernel,
+			"thr_kernel_n":    *thrKernelN,
+			"thr_io_us":       thrIO.Microseconds(),
 		},
 		Notes: map[string]string{
-			"fig3": "PolyBench kernels, ns/op per full kernel run (incl. checksum)",
-			"fig4": "Speedtest1 file-storage penalty on twine (file suite minus mem suite, median); '-switchless' = PR 2 ring on",
-			"fig7": "protected-FS read-path time during the Fig7 random-read workload (optimized IPFS, median); '-switchless' = PR 2 ring on",
+			"fig3":           "PolyBench kernels, ns/op per full kernel run (incl. checksum)",
+			"fig4":           "Speedtest1 file-storage penalty on twine (file suite minus mem suite, median); '-switchless' = PR 2 ring on",
+			"fig7":           "protected-FS read-path time during the Fig7 random-read workload (optimized IPFS, median); '-switchless' = PR 2 ring on",
+			"fig-throughput": "PR 3 serving pool: ns/request (median) for w concurrent workers at a given TCS count; each request = one CPU-bound kernel run in-enclave + one untrusted transport wait (classic OCALL). req/s = 1e9/ns_per_op.",
 		},
 	}
 
@@ -284,6 +297,44 @@ func main() {
 			// A record count that fits the SQL page cache never touches
 			// the protected FS; the series is then vacuous.
 			fmt.Fprintf(os.Stderr, "%-16s no protected-FS reads (records fit the page cache)\n", "fig7/readpath")
+		}
+	}
+
+	// fig-throughput (PR 3): requests/sec vs workers at 1/2/4/8 TCS. Each
+	// measured op serves thr-requests requests through the pool; the
+	// reported ns/op is per request. The runtime (enclave, module, pool)
+	// is rebuilt per op so every sample includes a cold TCS pool — the
+	// steady-state serving rate is what the median captures, since the
+	// per-request cost dwarfs the amortised setup inside one op.
+	if *thrRequests > 0 {
+		var base float64
+		for _, tcs := range []int{1, 2, 4, 8} {
+			for _, workers := range []int{1, 2, 4, 8} {
+				cfg := bench.ThroughputConfig{
+					TCS:         tcs,
+					Workers:     workers,
+					Requests:    *thrRequests,
+					Kernel:      *thrKernel,
+					KernelN:     *thrKernelN,
+					HostIODelay: *thrIO,
+					SGX:         figSGX(),
+				}
+				nsOp, ops, err := measureDur(func() (time.Duration, error) {
+					res, rerr := bench.RunThroughput(cfg)
+					if rerr != nil {
+						return 0, rerr
+					}
+					return res.Elapsed / time.Duration(res.Requests), nil
+				}, 1, 3, *window/2)
+				name := fmt.Sprintf("fig-throughput/%s/tcs%d/w%d", *thrKernel, tcs, workers)
+				die(name, err)
+				snap.Results = append(snap.Results, Result{name, nsOp, ops})
+				if tcs == 1 && workers == 1 {
+					base = nsOp
+				}
+				fmt.Fprintf(os.Stderr, "%-28s %10.0f ns/req  %8.0f req/s  (x%.2f vs 1 TCS/1 worker)\n",
+					name, nsOp, 1e9/nsOp, base/nsOp)
+			}
 		}
 	}
 

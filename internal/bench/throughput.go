@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"twine/internal/core"
+	"twine/internal/polybench"
+	"twine/internal/prof"
+	"twine/internal/sgx"
+)
+
+// The fig-throughput workload (PR 3): a serving scenario over the
+// concurrent enclave runtime. Each request runs a CPU-bound PolyBench
+// kernel inside the enclave plus one untrusted host interaction
+// (receiving the request / delivering the response through host memory —
+// a classic OCALL whose body waits on the simulated transport). With one
+// TCS every request serialises end to end, transport wait included; with
+// N TCS the waits overlap, which is exactly the capacity a TCS pool buys
+// a server: requests/sec scales with TCS until the CPU (the kernel time)
+// saturates.
+
+// ThroughputConfig parameterises one fig-throughput point.
+type ThroughputConfig struct {
+	// TCS is the enclave's thread-control-structure count.
+	TCS int
+	// Workers is the pool size (default: TCS).
+	Workers int
+	// Requests is the number of requests served (default 64).
+	Requests int
+	// Kernel is the PolyBench kernel run per request (default "gemm");
+	// KernelN is its problem size (default 16).
+	Kernel  string
+	KernelN int
+	// HostIODelay is the untrusted transport wait per request (default
+	// 500µs — a LAN round trip plus host-side queueing).
+	HostIODelay time.Duration
+	// SGX overrides the enclave geometry (zero = DefaultConfig).
+	SGX sgx.Config
+	// Switchless selects the OCALL dispatch (transport I/O is blocking
+	// and always classic; this only affects incidental host calls).
+	Switchless core.SwitchlessMode
+	// Prof receives counters.
+	Prof *prof.Registry
+}
+
+// ThroughputResult is one measured fig-throughput point.
+type ThroughputResult struct {
+	TCS       int
+	Workers   int
+	Requests  int
+	Elapsed   time.Duration
+	ReqPerSec float64
+	// Enclave-side saturation counters for the run.
+	TCSWaits   int64
+	TCSMaxBusy int64
+	// PoolWaits is the pool-level queueing count.
+	PoolWaits int64
+	// LaunchTime and SnapshotWorkers document the instantiation side:
+	// how long runtime+module setup took and how many workers were
+	// stamped from the snapshot instead of fully instantiated.
+	LaunchTime      time.Duration
+	SnapshotWorkers int
+}
+
+// RunThroughput builds a concurrent Twine runtime with cfg.TCS thread
+// slots, a pool of cfg.Workers kernel instances, and serves
+// cfg.Requests requests, reporting wall-clock throughput.
+func RunThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
+	if cfg.TCS <= 0 {
+		cfg.TCS = 1
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = cfg.TCS
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 64
+	}
+	if cfg.Kernel == "" {
+		cfg.Kernel = "gemm"
+	}
+	if cfg.KernelN <= 0 {
+		cfg.KernelN = 16
+	}
+	if cfg.HostIODelay == 0 {
+		cfg.HostIODelay = 500 * time.Microsecond
+	}
+	if cfg.SGX.EPCSize == 0 {
+		cfg.SGX = sgx.DefaultConfig()
+	}
+	cfg.SGX.TCSNum = cfg.TCS
+	cfg.SGX.Prof = cfg.Prof
+
+	k, ok := polybench.ByName(cfg.Kernel)
+	if !ok {
+		return ThroughputResult{}, fmt.Errorf("bench: unknown kernel %q", cfg.Kernel)
+	}
+
+	setup := time.Now()
+	rt, err := core.NewRuntime(core.Config{
+		PlatformSeed: "bench-throughput",
+		SGX:          cfg.SGX,
+		Switchless:   cfg.Switchless,
+		Prof:         cfg.Prof,
+	})
+	if err != nil {
+		return ThroughputResult{}, err
+	}
+	defer rt.Enclave.Destroy()
+	mod, err := rt.LoadModule(k.Build(cfg.KernelN))
+	if err != nil {
+		return ThroughputResult{}, err
+	}
+
+	delay := cfg.HostIODelay
+	pool, err := rt.NewPool(mod, core.PoolConfig{
+		Workers: cfg.Workers,
+		Entry:   "run",
+		HostIO: func() error {
+			time.Sleep(delay)
+			return nil
+		},
+	})
+	if err != nil {
+		return ThroughputResult{}, err
+	}
+	defer pool.Close()
+	launch := time.Since(setup)
+
+	start := time.Now()
+	if err := pool.Serve(cfg.Requests, nil, nil); err != nil {
+		return ThroughputResult{}, err
+	}
+	elapsed := time.Since(start)
+
+	es := rt.Enclave.Stats()
+	ps := pool.Stats()
+	return ThroughputResult{
+		TCS:             cfg.TCS,
+		Workers:         cfg.Workers,
+		Requests:        cfg.Requests,
+		Elapsed:         elapsed,
+		ReqPerSec:       float64(cfg.Requests) / elapsed.Seconds(),
+		TCSWaits:        es.TCSWaits,
+		TCSMaxBusy:      es.TCSMaxBusy,
+		PoolWaits:       ps.Waits,
+		LaunchTime:      launch,
+		SnapshotWorkers: cfg.Workers - 1,
+	}, nil
+}

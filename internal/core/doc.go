@@ -30,4 +30,27 @@
 //     workloads;
 //   - launch, load and transition times are attributed to the profiling
 //     registry so Tables II/III and Figure 7 can be rebuilt from any run.
+//
+// # Concurrency and the serving pool (PR 3)
+//
+// A Module is the immutable half of the split: decoded and AoT-translated
+// code and link tables are shared by every instance. An Instance is the
+// mutable half — guest memory (its own enclave arena), globals, table and
+// its own WASI System (fd table, args, clock guards) over the shared
+// storage backend. Distinct instances run concurrently, bounded by the
+// enclave's TCS pool (sgx.Config.TCSNum); a single Instance stays
+// single-threaded.
+//
+// Pool is the serving front door: N worker instances of one module,
+// stamped out by copy-from-snapshot (the first worker's post-
+// initialisation memory/globals/table are captured once; further workers
+// cost one memory copy instead of decode+translate+link+segments+start).
+// Submit serves one request on a free worker; Serve fans a batch across
+// all of them. Pool-level saturation shows up in PoolStats.Waits,
+// enclave-level saturation in sgx Stats.TCSWaits.
+//
+// Concurrency fidelity invariant: with TCSNum == 1 and SwitchlessOff, a
+// sequential workload's ECALL/OCALL/fault/eviction counters are
+// bit-identical to the pre-concurrency runtime (fidelity_test.go); the
+// cost models gained locks, not new costs.
 package core

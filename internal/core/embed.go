@@ -16,10 +16,18 @@ import (
 
 // EmbeddedDB bundles the shim instance and the database handle.
 type EmbeddedDB struct {
-	rt  *Runtime
-	In  *wasm.Instance
-	DB  *litedb.DB
-	mod *Module
+	rt   *Runtime
+	inst *Instance
+	In   *wasm.Instance
+	DB   *litedb.DB
+	mod  *Module
+}
+
+// guestECall enters the enclave for database work and flushes the shim
+// instance's own WASI state on exit (each instance carries its own
+// write-batch state since PR 3).
+func (e *EmbeddedDB) guestECall(name string, fn func() error) error {
+	return e.rt.guestECallSys(name, e.inst.Sys, fn)
 }
 
 // DBConfig sizes an embedded database.
@@ -111,8 +119,9 @@ func (rt *Runtime) OpenDB(cfg DBConfig) (*EmbeddedDB, error) {
 		vfs = wvfs
 	}
 
+	edb := &EmbeddedDB{rt: rt, inst: inst, In: inst.In, mod: mod}
 	var db *litedb.DB
-	err = rt.guestECall("twine_db_open", func() error {
+	err = edb.guestECall("twine_db_open", func() error {
 		var oerr error
 		db, oerr = litedb.Open(vfs, cfg.Name, litedb.Options{
 			CachePages: cfg.CachePages,
@@ -126,13 +135,14 @@ func (rt *Runtime) OpenDB(cfg DBConfig) (*EmbeddedDB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &EmbeddedDB{rt: rt, In: inst.In, DB: db, mod: mod}, nil
+	edb.DB = db
+	return edb, nil
 }
 
 // Exec runs SQL inside the enclave.
 func (e *EmbeddedDB) Exec(sql string, args ...litedb.Value) (int64, error) {
 	var n int64
-	err := e.rt.guestECall("twine_db_exec", func() error {
+	err := e.guestECall("twine_db_exec", func() error {
 		var xerr error
 		n, xerr = e.DB.Exec(sql, args...)
 		return xerr
@@ -143,7 +153,7 @@ func (e *EmbeddedDB) Exec(sql string, args ...litedb.Value) (int64, error) {
 // Query runs a SELECT inside the enclave.
 func (e *EmbeddedDB) Query(sql string, args ...litedb.Value) (*litedb.Rows, error) {
 	var rows *litedb.Rows
-	err := e.rt.guestECall("twine_db_query", func() error {
+	err := e.guestECall("twine_db_query", func() error {
 		var qerr error
 		rows, qerr = e.DB.Query(sql, args...)
 		return qerr
@@ -153,5 +163,5 @@ func (e *EmbeddedDB) Query(sql string, args ...litedb.Value) (*litedb.Rows, erro
 
 // Close closes the database inside the enclave.
 func (e *EmbeddedDB) Close() error {
-	return e.rt.guestECall("twine_db_close", func() error { return e.DB.Close() })
+	return e.guestECall("twine_db_close", func() error { return e.DB.Close() })
 }

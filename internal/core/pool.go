@@ -1,0 +1,255 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"twine/internal/wasi"
+)
+
+// The serving front door (PR 3). TWINE's evaluation drives one instance
+// at a time; a runtime serving real traffic multiplexes many requests
+// over a fixed set of enclave resources. Pool is that front door: N
+// instances of one module, each with isolated guest memory and WASI
+// state, served concurrently through the enclave's TCS pool.
+//
+// Worker instantiation is copy-from-snapshot: the first worker is built
+// the expensive way (decode, AoT translation, linking, data segments,
+// start function — all inside an ECALL), its post-initialisation state is
+// snapshotted once, and every further worker is stamped out as a memory
+// copy. Workers are long-lived and stateful across requests, the standard
+// serving trade: per-request isolation costs a re-instantiation, per-
+// worker isolation costs nothing.
+
+// PoolConfig sizes a serving pool.
+type PoolConfig struct {
+	// Workers is the number of concurrent instances (default: the
+	// enclave's TCS count — more workers than TCS just queue on entry).
+	Workers int
+	// Entry is the exported guest function invoked per request
+	// (default "run").
+	Entry string
+	// Init, when set, names an exported function invoked once on the
+	// first worker before the snapshot is taken, so one-time guest
+	// initialisation (a WASI _start, a warmup routine) is shared by every
+	// worker instead of re-run per instance.
+	Init string
+	// HostIO, when set, is executed outside the enclave (a classic OCALL)
+	// at the start of every request, modelling the untrusted transport a
+	// server pays per request — receiving the request and delivering the
+	// response through host memory. Blocking work belongs here, not on
+	// the switchless ring.
+	HostIO func() error
+	// Stdout/Stderr receive the workers' guest output (default: discard;
+	// a shared writer would interleave concurrent workers' output).
+	Stdout io.Writer
+	Stderr io.Writer
+}
+
+// PoolStats counts serving activity.
+type PoolStats struct {
+	// Requests is the number of completed Submit calls.
+	Requests int64
+	// Waits is the number of Submits that found every worker busy and had
+	// to queue — the pool-level saturation signal (the enclave-level one
+	// is Stats.TCSWaits).
+	Waits int64
+}
+
+// Pool serves concurrent requests over N instances of one module.
+// Submit and Serve are safe for concurrent use; Close is not (quiesce
+// first, like any server shutdown).
+type Pool struct {
+	rt      *Runtime
+	mod     *Module
+	entry   string
+	hostIO  func() error
+	workers chan *Instance
+	size    int
+
+	requests int64 // atomic
+	waits    int64 // atomic
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// ErrPoolClosed is returned by Submit after Close.
+var ErrPoolClosed = errors.New("twine: pool closed")
+
+// NewPool builds a serving pool of cfg.Workers instances of mod. The
+// first instance is fully instantiated (and optionally initialised via
+// cfg.Init); the rest are copied from its snapshot.
+func (rt *Runtime) NewPool(mod *Module, cfg PoolConfig) (*Pool, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = rt.Enclave.TCSCount()
+	}
+	if cfg.Entry == "" {
+		cfg.Entry = "run"
+	}
+	stdout, stderr := cfg.Stdout, cfg.Stderr
+	if stdout == nil {
+		stdout = io.Discard
+	}
+	if stderr == nil {
+		stderr = io.Discard
+	}
+
+	p := &Pool{
+		rt:     rt,
+		mod:    mod,
+		entry:  cfg.Entry,
+		hostIO: cfg.HostIO,
+		size:   cfg.Workers,
+		closed: make(chan struct{}),
+	}
+	p.workers = make(chan *Instance, cfg.Workers)
+
+	newSys := func(i int) (*wasi.System, error) {
+		return rt.Sys.Clone(wasi.CloneOptions{
+			Args:   []string{fmt.Sprintf("worker-%d", i)},
+			Stdout: stdout,
+			Stderr: stderr,
+		})
+	}
+
+	// Worker 0: the expensive path, once.
+	sys0, err := newSys(0)
+	if err != nil {
+		return nil, err
+	}
+	first, err := rt.newInstance(mod, sys0, nil)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Init != "" {
+		if _, err := first.Invoke(cfg.Init); err != nil {
+			return nil, fmt.Errorf("twine: pool init %q: %w", cfg.Init, err)
+		}
+	}
+	snap := first.In.Snapshot()
+	p.workers <- first
+
+	// Workers 1..N-1: copy-from-snapshot.
+	for i := 1; i < cfg.Workers; i++ {
+		sys, err := newSys(i)
+		if err != nil {
+			return nil, err
+		}
+		w, err := rt.newInstance(mod, sys, snap)
+		if err != nil {
+			return nil, err
+		}
+		p.workers <- w
+	}
+	return p, nil
+}
+
+// Size returns the number of worker instances.
+func (p *Pool) Size() int { return p.size }
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Requests: atomic.LoadInt64(&p.requests),
+		Waits:    atomic.LoadInt64(&p.waits),
+	}
+}
+
+// Submit serves one request: it binds a free worker (blocking while all
+// are busy), enters the enclave, runs the per-request host I/O (if any)
+// and the entry function against args, and returns the results. Safe for
+// any number of concurrent callers.
+func (p *Pool) Submit(args ...uint64) ([]uint64, error) {
+	select {
+	case <-p.closed:
+		return nil, ErrPoolClosed
+	default:
+	}
+	var w *Instance
+	select {
+	case w = <-p.workers:
+	default:
+		atomic.AddInt64(&p.waits, 1)
+		select {
+		case w = <-p.workers:
+		case <-p.closed:
+			return nil, ErrPoolClosed
+		}
+	}
+	defer func() { p.workers <- w }()
+
+	var out []uint64
+	err := p.rt.guestECallSys("twine_serve", w.Sys, func() error {
+		if p.hostIO != nil {
+			if err := p.rt.Enclave.OCall("serve.io", p.hostIO); err != nil {
+				return err
+			}
+		}
+		var ierr error
+		out, ierr = w.In.Invoke(p.entry, args...)
+		return ierr
+	})
+	if err != nil {
+		return nil, err
+	}
+	atomic.AddInt64(&p.requests, 1)
+	return out, nil
+}
+
+// Serve runs n requests across the pool's workers and blocks until all
+// have completed. args(i) supplies request i's arguments (nil means no
+// arguments); done(i, out, err), when non-nil, receives each result and
+// may be called from multiple goroutines concurrently. Serve returns the
+// first error encountered (remaining requests still run to completion).
+func (p *Pool) Serve(n int, args func(i int) []uint64, done func(i int, out []uint64, err error)) error {
+	if n <= 0 {
+		return nil
+	}
+	var (
+		next     int64 = -1
+		firstErr error
+		errOnce  sync.Once
+		wg       sync.WaitGroup
+	)
+	workers := p.size
+	if workers > n {
+		workers = n
+	}
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				var a []uint64
+				if args != nil {
+					a = args(i)
+				}
+				out, err := p.Submit(a...)
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+				}
+				if done != nil {
+					done(i, out, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Close retires the pool. In-flight Submits complete; queued Submits fail
+// with ErrPoolClosed. The runtime and its enclave stay alive (they may
+// serve other pools); destroying the enclave is the runtime owner's call.
+func (p *Pool) Close() error {
+	p.closeOnce.Do(func() { close(p.closed) })
+	return nil
+}

@@ -247,10 +247,16 @@ func (rt *Runtime) LoadModule(wasmBytes []byte) (*Module, error) {
 }
 
 // Instance is an instantiated module whose linear memory is charged
-// against the enclave's EPC.
+// against the enclave's EPC. Each Instance owns its WASI state (Sys) — a
+// clone of the runtime's primary System with its own descriptor table,
+// clock guards and write-batch state over the shared storage — so
+// distinct instances never share mutable WASI state. A single Instance
+// is not safe for concurrent use; run distinct instances concurrently
+// instead (the TCS pool bounds how many execute at once).
 type Instance struct {
 	rt  *Runtime
 	In  *wasm.Instance
+	Sys *wasi.System
 	mem *sgx.Memory
 	// arena is the enclave region backing the guest linear memory. It is
 	// aligned to the enclave page size so guest 4 KiB pages and enclave
@@ -258,9 +264,23 @@ type Instance struct {
 	arena int64
 }
 
-// NewInstance instantiates mod inside the enclave.
+// NewInstance instantiates mod inside the enclave with its own WASI
+// state (a clone of the runtime's primary System — same args, stdio,
+// preopens and storage, fresh descriptor table).
 func (rt *Runtime) NewInstance(mod *Module) (*Instance, error) {
-	inst := &Instance{rt: rt, mem: rt.Enclave.Memory()}
+	sys, err := rt.Sys.Clone(wasi.CloneOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return rt.newInstance(mod, sys, nil)
+}
+
+// newInstance carves a guest arena out of the enclave and instantiates
+// mod over sys. With a snapshot, the instance's memory, globals and table
+// are copied from it (no data-segment replay, no start function) — the
+// cheap path the serving pool stamps workers out with.
+func (rt *Runtime) newInstance(mod *Module, sys *wasi.System, snap *wasm.Snapshot) (*Instance, error) {
+	inst := &Instance{rt: rt, Sys: sys, mem: rt.Enclave.Memory()}
 
 	// Reserve enclave memory for the guest's maximum linear memory so
 	// EPC pressure reflects guest usage.
@@ -289,15 +309,21 @@ func (rt *Runtime) NewInstance(mod *Module) (*Instance, error) {
 		touchGen = inst.mem.GenRef()
 	}
 
+	cfg := wasm.Config{
+		Engine:         rt.cfg.Engine,
+		MaxMemoryPages: rt.cfg.MaxMemoryPages,
+		Touch:          view.Touch,
+		TouchGen:       touchGen,
+		HostCtx:        sys,
+	}
 	var in *wasm.Instance
 	err = rt.Enclave.ECall("twine_instantiate", func() error {
 		var ierr error
-		in, ierr = wasm.Instantiate(mod.Compiled, rt.Imports, wasm.Config{
-			Engine:         rt.cfg.Engine,
-			MaxMemoryPages: rt.cfg.MaxMemoryPages,
-			Touch:          view.Touch,
-			TouchGen:       touchGen,
-		})
+		if snap != nil {
+			in, ierr = wasm.InstantiateFromSnapshot(mod.Compiled, rt.Imports, snap, cfg)
+		} else {
+			in, ierr = wasm.Instantiate(mod.Compiled, rt.Imports, cfg)
+		}
 		return ierr
 	})
 	if err != nil {
@@ -312,9 +338,15 @@ func (rt *Runtime) NewInstance(mod *Module) (*Instance, error) {
 // store is consistent with eager-write semantics whenever the enclave is
 // not executing — even for guests that never close their descriptors.
 func (rt *Runtime) guestECall(name string, fn func() error) error {
+	return rt.guestECallSys(name, rt.Sys, fn)
+}
+
+// guestECallSys is guestECall for a specific instance's WASI state: the
+// flush covers exactly the System the guest entry could have dirtied.
+func (rt *Runtime) guestECallSys(name string, sys *wasi.System, fn func() error) error {
 	return rt.Enclave.ECall(name, func() error {
 		err := fn()
-		if ferr := rt.Sys.FlushFS(); err == nil {
+		if ferr := sys.FlushFS(); err == nil {
 			err = ferr
 		}
 		return err
@@ -325,7 +357,7 @@ func (rt *Runtime) guestECall(name string, fn func() error) error {
 // returns the guest exit code.
 func (inst *Instance) Run() (uint32, error) {
 	var code uint32
-	err := inst.rt.guestECall("twine_run", func() error {
+	err := inst.rt.guestECallSys("twine_run", inst.Sys, func() error {
 		_, err := inst.In.Invoke("_start")
 		if err != nil {
 			if tr, ok := err.(*wasm.Trap); ok && tr.Kind == wasm.TrapExit {
@@ -342,7 +374,7 @@ func (inst *Instance) Run() (uint32, error) {
 // Invoke calls an exported guest function inside the enclave.
 func (inst *Instance) Invoke(name string, args ...uint64) ([]uint64, error) {
 	var out []uint64
-	err := inst.rt.guestECall("twine_invoke", func() error {
+	err := inst.rt.guestECallSys("twine_invoke", inst.Sys, func() error {
 		var ierr error
 		out, ierr = inst.In.Invoke(name, args...)
 		return ierr

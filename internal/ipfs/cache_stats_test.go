@@ -1,0 +1,70 @@
+package ipfs
+
+import (
+	"sync"
+	"testing"
+
+	"twine/internal/hostfs"
+)
+
+// TestCacheStatsConcurrentFiles exercises the FS-level node-cache
+// counters from several concurrently open files (the PR 3 latent-race
+// satellite: counters shared across handles must be atomic). Run under
+// -race this is the regression test; functionally, hits+misses must
+// cover every node lookup and hits must be non-zero for a re-read.
+func TestCacheStatsConcurrentFiles(t *testing.T) {
+	host := hostfs.NewMemFS()
+	fs := New(nil, host, Options{CacheNodes: 16})
+
+	payload := make([]byte, 4*NodeSize)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+
+	const files = 4
+	var wg sync.WaitGroup
+	for i := 0; i < files; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			name := string(rune('a'+i)) + ".bin"
+			f, err := fs.Open(name, hostfs.OCreate|hostfs.OWrite|hostfs.ORead)
+			if err != nil {
+				t.Errorf("Open %s: %v", name, err)
+				return
+			}
+			if _, err := f.Write(payload); err != nil {
+				t.Errorf("Write %s: %v", name, err)
+				return
+			}
+			// Re-read from the front: the nodes are cached, so this is
+			// the hit path.
+			if _, err := f.Seek(0, SeekStart); err != nil {
+				t.Errorf("Seek %s: %v", name, err)
+				return
+			}
+			buf := make([]byte, len(payload))
+			if _, err := f.Read(buf); err != nil {
+				t.Errorf("Read %s: %v", name, err)
+				return
+			}
+			if err := f.Close(); err != nil {
+				t.Errorf("Close %s: %v", name, err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	hits, misses := fs.CacheStats()
+	if hits == 0 {
+		t.Error("no cache hits recorded for a cached re-read")
+	}
+	if misses == 0 {
+		t.Error("no cache misses recorded for first-touch nodes")
+	}
+	// Every file materialises at least its data nodes once.
+	if wantMiss := int64(files * 4); misses < wantMiss {
+		t.Errorf("misses = %d, want at least %d", misses, wantMiss)
+	}
+}

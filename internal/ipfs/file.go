@@ -381,9 +381,11 @@ func (f *File) storeEntry(n *node, key, tag [16]byte) error {
 func (f *File) loadMHT(k int64) (*node, error) {
 	phys := mhtPhys(k)
 	if n, ok := f.cache[phys]; ok {
+		f.fs.cacheHit()
 		f.touchLRU(n)
 		return n, nil
 	}
+	f.fs.cacheMiss()
 	// Resolve the parent entry before inserting, so the eviction the
 	// insert may trigger cannot race with the parent lookup.
 	var key, tag [16]byte
@@ -433,9 +435,11 @@ func (f *File) loadMHT(k int64) (*node, error) {
 func (f *File) loadData(d int64) (*node, error) {
 	phys := dataPhys(d)
 	if n, ok := f.cache[phys]; ok {
+		f.fs.cacheHit()
 		f.touchLRU(n)
 		return n, nil
 	}
+	f.fs.cacheMiss()
 	parentIdx, slot := dataParent(d)
 	parent, err := f.loadMHT(parentIdx)
 	if err != nil {

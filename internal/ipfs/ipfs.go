@@ -6,6 +6,7 @@ import (
 	"crypto/rand"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"twine/internal/hostfs"
 	"twine/internal/prof"
@@ -64,6 +65,12 @@ type Options struct {
 
 // FS is a protected file system living partly inside an enclave (trusted
 // library) and partly outside (untrusted backing store reached via OCALLs).
+//
+// The FS value itself is immutable after New and may be shared by any
+// number of concurrently open Files (a concurrent runtime's instances
+// each open their own handles); per-handle state lives in File. The
+// node-cache counters are atomics so concurrent handles account without
+// racing.
 type FS struct {
 	enclave *sgx.Enclave // nil means "no enclave" (plain library use)
 	backing hostfs.FS
@@ -74,6 +81,28 @@ type FS struct {
 	epcArena     int64
 	epcArenaOK   bool
 	epcSlotBytes int64
+
+	// Node-cache accounting across every File of this FS (atomic): a hit
+	// serves a node from the in-enclave LRU, a miss walks the Merkle path
+	// through the boundary. The ratio is the §V-F knob CacheNodes turns.
+	cacheHits   int64
+	cacheMisses int64
+}
+
+// CacheStats returns the node-cache hit/miss totals across all files.
+func (fs *FS) CacheStats() (hits, misses int64) {
+	return atomic.LoadInt64(&fs.cacheHits), atomic.LoadInt64(&fs.cacheMisses)
+}
+
+// cacheHit/cacheMiss account one lookup; safe from concurrent Files.
+func (fs *FS) cacheHit() {
+	atomic.AddInt64(&fs.cacheHits, 1)
+	fs.opt.Prof.Incr("ipfs.cache.hit")
+}
+
+func (fs *FS) cacheMiss() {
+	atomic.AddInt64(&fs.cacheMisses, 1)
+	fs.opt.Prof.Incr("ipfs.cache.miss")
 }
 
 // New builds a protected FS over the untrusted backing store. enclave may

@@ -3,6 +3,7 @@ package sgx
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 )
 
 // Allocator manages the enclave heap (the region of Memory above the
@@ -18,9 +19,15 @@ import (
 //
 // Blocks carry a 16-byte header written into enclave memory itself
 // ({size, state}), so invalid frees and double frees are detectable.
+//
+// The allocator is safe for concurrent use: instances of a concurrent
+// runtime carve their arenas (and the protected FS its node-buffer
+// arena) while other enclave threads run.
 type Allocator struct {
 	mem  *Memory
 	mode HeapMode
+
+	mu sync.Mutex
 
 	base int64 // first heap byte (after reserved region)
 	end  int64 // one past last heap byte
@@ -78,6 +85,8 @@ func (a *Allocator) Alloc(n int64) (int64, error) {
 	if n <= 0 {
 		return 0, fmt.Errorf("sgx: alloc of %d bytes", n)
 	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	n = align8(n)
 	// First fit from the free list.
 	for off, size := range a.free {
@@ -129,6 +138,8 @@ func (a *Allocator) commit(off, n int64) {
 
 // Free releases the block whose payload starts at off.
 func (a *Allocator) Free(off int64) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	hdr := off - allocHeaderSize
 	if hdr < a.base || off >= a.brk {
 		return fmt.Errorf("%w: offset %d outside heap", ErrBadFree, off)
@@ -152,11 +163,17 @@ func (a *Allocator) Free(off int64) error {
 
 // Stats returns (allocations, frees, bytes in use).
 func (a *Allocator) Stats() (allocs, frees, inUse int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	return a.allocs, a.frees, a.inUse
 }
 
 // CommittedPages returns the number of heap pages committed so far.
-func (a *Allocator) CommittedPages() int64 { return a.committedPages }
+func (a *Allocator) CommittedPages() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.committedPages
+}
 
 // Base returns the first usable heap offset (useful for carving a single
 // large arena out of the enclave, as the database variants do).

@@ -45,10 +45,38 @@
 //     ring time to "sgx.switchless", from which Figure 7's OCALL series is
 //     reconstructed.
 //
-// The package is intentionally single-threaded per enclave, like the
-// benchmarks in the paper: an Enclave and its Memory must not be used from
-// multiple goroutines concurrently. The switchless worker is the one
-// deliberate exception — it runs host closures on its own goroutine while
-// the enclave thread blocks on the response handshake, which is exactly
-// the synchronisation the hardware feature provides.
+// # Concurrency: the TCS pool (PR 3)
+//
+// Real SGX enclaves multiplex concurrent ECALLs over a fixed set of
+// thread control structures (TCS): each ECALL binds one TCS for its whole
+// duration (including its OCALLs — the outstanding frame keeps the TCS
+// reserved for re-entry), and an ECALL that finds every TCS busy waits.
+// The simulation models exactly that with Config.TCSNum: ECalls from
+// distinct goroutines execute concurrently up to the TCS bound, excess
+// callers park FIFO-ish on the pool, and Stats gains TCSWaits (saturated
+// entries), TCSBusy and TCSMaxBusy (occupancy high-water mark).
+//
+// Concurrency invariants the concurrent runtime relies on:
+//
+//   - Enclave entry points (ECall, OCall, SwitchlessOCall) and all
+//     counters are safe for concurrent use; paging is serialised by a
+//     per-Memory lock (the EPC and its reclaim path are one shared
+//     resource per enclave on hardware too) while the paging generation
+//     is published atomically, so internal/wasm's EPC-TLB fast path
+//     remains a single lock-free load;
+//   - with TCSNum == 1 every entry serialises and the ECALL/OCALL/fault/
+//     eviction counters of a sequential workload are bit-identical to
+//     the pre-concurrency runtime (guarded by internal/core's fidelity
+//     tests);
+//   - the switchless ring admits requests from any number of enclave
+//     threads, arrival-ordered under the ring lock; a request admitted
+//     to the ring is always served, even when Destroy races the enqueue
+//     (the poison request queues behind all admitted work);
+//   - Destroy drains: it rejects new entries, wakes TCS waiters with
+//     ErrDestroyed, and blocks until in-flight ECALLs exit before
+//     scrubbing memory.
+//
+// Same-goroutine re-entry is still rejected (TWINE exposes a single entry
+// point, §IV-C); nested ECALLs require distinct goroutines, each paying
+// its own TCS.
 package sgx

@@ -4,6 +4,8 @@ import (
 	"crypto/aes"
 	"crypto/cipher"
 	"fmt"
+	"sync"
+	"sync/atomic"
 )
 
 // Memory is the enclave's protected linear memory. Its layout is:
@@ -28,6 +30,11 @@ type Memory struct {
 	// is built.
 	reservedBytes int64
 
+	// mu serialises the paging state machine (pageState, resident, hand)
+	// so concurrent ECALLs can touch memory safely. The TLB fast path in
+	// internal/wasm never takes it: a page proven referenced at the
+	// current generation is skipped on a single atomic load of gen.
+	mu          sync.Mutex
 	mode        Mode
 	pageState   []uint8 // pageAbsent / pageResident / pageReferenced
 	maxResident int
@@ -41,13 +48,17 @@ type Memory struct {
 	// page referenced at generation g may skip further touches of that page
 	// for as long as Gen() == g: those touches would be no-ops. This is what
 	// lets the Wasm interpreter keep a software EPC-TLB of hot pages.
+	//
+	// Written only under mu (with atomic stores); read lock-free with
+	// atomic loads, so the EPC-TLB hot path costs one load even while
+	// other enclave threads page.
 	gen uint64
 
-	faults    int64
-	evictions int64
+	faults    int64 // atomic
+	evictions int64 // atomic
 
 	block   cipher.Block
-	scratch [PageSize]byte
+	scratch [PageSize]byte // guarded by mu (paging cost cipher buffer)
 }
 
 const (
@@ -85,20 +96,25 @@ func newMemory(cfg Config) (*Memory, error) {
 func (m *Memory) Size() int64 { return int64(len(m.data)) }
 
 // Faults returns the number of EPC page faults so far.
-func (m *Memory) Faults() int64 { return m.faults }
+func (m *Memory) Faults() int64 { return atomic.LoadInt64(&m.faults) }
 
 // Evictions returns the number of EPC page evictions so far.
-func (m *Memory) Evictions() int64 { return m.evictions }
+func (m *Memory) Evictions() int64 { return atomic.LoadInt64(&m.evictions) }
 
 // Resident returns the number of currently resident EPC pages.
-func (m *Memory) Resident() int { return m.resident }
+func (m *Memory) Resident() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.resident
+}
 
 // Gen returns the current paging generation (see the field comment).
-func (m *Memory) Gen() uint64 { return m.gen }
+func (m *Memory) Gen() uint64 { return atomic.LoadUint64(&m.gen) }
 
 // GenRef returns a stable pointer to the paging generation so hot paths
-// can poll it with a single load instead of a call. The word is only ever
-// written by the enclave's own (single-threaded) execution.
+// can poll it with a single atomic load instead of a call. The word is
+// only written under the paging lock; concurrent readers must use atomic
+// loads (internal/wasm's EPC-TLB does).
 func (m *Memory) GenRef() *uint64 { return &m.gen }
 
 // Referenced reports whether enclave page p currently holds a second
@@ -106,6 +122,8 @@ func (m *Memory) GenRef() *uint64 { return &m.gen }
 // referenced page is a no-op; combined with Gen this lets callers prove a
 // touch redundant.
 func (m *Memory) Referenced(p int64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	return p >= 0 && p < int64(len(m.pageState)) && m.pageState[p] == pageReferenced
 }
 
@@ -115,6 +133,8 @@ func (m *Memory) PageState(p int64) string {
 	if p < 0 || p >= int64(len(m.pageState)) {
 		return "out-of-range"
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	switch m.pageState[p] {
 	case pageReferenced:
 		return "referenced"
@@ -127,7 +147,10 @@ func (m *Memory) PageState(p int64) string {
 
 // Touch marks the byte range [off, off+n) as accessed, faulting in any
 // non-resident pages and paying the associated paging cost. It returns
-// ErrBounds if the range falls outside enclave memory.
+// ErrBounds if the range falls outside enclave memory. Touch is safe for
+// concurrent use; the paging state machine is serialised, mirroring the
+// EPC (and its reclaim path) being a shared per-enclave resource on
+// hardware.
 func (m *Memory) Touch(off, n int64) error {
 	if n <= 0 {
 		return nil
@@ -137,6 +160,7 @@ func (m *Memory) Touch(off, n int64) error {
 	}
 	first := off / PageSize
 	last := (off + n - 1) / PageSize
+	m.mu.Lock()
 	for p := first; p <= last; p++ {
 		switch m.pageState[p] {
 		case pageReferenced:
@@ -147,12 +171,14 @@ func (m *Memory) Touch(off, n int64) error {
 			m.fault(int(p))
 		}
 	}
+	m.mu.Unlock()
 	return nil
 }
 
 // fault brings page p into the EPC, evicting a victim if the EPC is full.
+// Called with mu held.
 func (m *Memory) fault(p int) {
-	m.faults++
+	atomic.AddInt64(&m.faults, 1)
 	if m.resident >= m.maxResident {
 		m.evict()
 	}
@@ -167,9 +193,11 @@ func (m *Memory) fault(p int) {
 // (encrypt + write back) cost for it. Both things the sweep does — the
 // referenced→resident downgrade and the eviction itself — can regress
 // page state, so the paging generation is bumped here (once per sweep,
-// before any state changes).
+// before any state changes). Called with mu held; the bump is an atomic
+// store so lock-free TLB readers observe it before any regressed state
+// can matter to them.
 func (m *Memory) evict() {
-	m.gen++
+	atomic.AddUint64(&m.gen, 1)
 	for {
 		if m.hand >= len(m.pageState) {
 			m.hand = 0
@@ -181,7 +209,7 @@ func (m *Memory) evict() {
 			victim := m.hand
 			m.pageState[victim] = pageAbsent
 			m.resident--
-			m.evictions++
+			atomic.AddInt64(&m.evictions, 1)
 			if m.mode == ModeHardware {
 				m.pageWork(victim)
 			}
@@ -193,12 +221,15 @@ func (m *Memory) evict() {
 }
 
 // pageWork performs one page's worth of AES as the paging cost. ECB over
-// the page into a scratch buffer: no allocation, deterministic, and close
-// in magnitude to the MEE work per 4 KiB.
+// the scratch buffer, in place: no allocation, deterministic, and close
+// in magnitude to the MEE work per 4 KiB. The live page bytes are
+// deliberately not read — the data value is irrelevant to the cost model,
+// and an evicted victim may belong to another enclave thread's arena that
+// is being written concurrently. Called with mu held.
 func (m *Memory) pageWork(p int) {
-	src := m.data[p*PageSize : (p+1)*PageSize]
+	_ = p
 	for i := 0; i < PageSize; i += aes.BlockSize {
-		m.block.Encrypt(m.scratch[i:i+aes.BlockSize], src[i:i+aes.BlockSize])
+		m.block.Encrypt(m.scratch[i:i+aes.BlockSize], m.scratch[i:i+aes.BlockSize])
 	}
 }
 
@@ -244,9 +275,12 @@ func (m *Memory) Zero(off, n int64) error {
 	return nil
 }
 
-// scrub wipes all memory on destroy.
+// scrub wipes all memory on destroy. The caller (Destroy) has already
+// drained the TCS pool, so no enclave thread is executing.
 func (m *Memory) scrub() {
-	m.gen++
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	atomic.AddUint64(&m.gen, 1)
 	for i := range m.data {
 		m.data[i] = 0
 	}

@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"twine/internal/prof"
@@ -80,6 +82,12 @@ type Config struct {
 	// TransitionCost is the one-way cost of crossing the enclave boundary.
 	// An ECALL or OCALL pays it twice (exit + re-enter).
 	TransitionCost time.Duration
+	// TCSNum is the number of thread control structures: the bound on
+	// concurrently executing ECALLs. Extra callers block until a TCS
+	// frees (counted in Stats.TCSWaits). 0 selects DefaultTCSNum. A TCS
+	// stays bound across the OCALLs of its ECALL, exactly as the SGX SDK
+	// reserves the TCS for the outstanding enclave frame.
+	TCSNum int
 	// HeapMode selects the allocator strategy.
 	HeapMode HeapMode
 	// Debug marks the enclave as debuggable; it is reflected in reports
@@ -120,7 +128,6 @@ func TestConfig() Config {
 
 // Package errors.
 var (
-	ErrNotRunning     = errors.New("sgx: enclave is not running")
 	ErrDestroyed      = errors.New("sgx: enclave destroyed")
 	ErrOutsideEnclave = errors.New("sgx: OCALL issued from outside the enclave")
 	ErrInsideEnclave  = errors.New("sgx: ECALL issued from inside the enclave")
@@ -138,6 +145,9 @@ var (
 // the ring without a crossing. For any workload that does not batch
 // requests, OCalls(switchless off) == OCalls + SwitchlessCalls (switchless
 // on) — the conservation law internal/core's differential tests enforce.
+//
+// All counters are maintained with atomic operations, so Stats stays
+// coherent while concurrent ECALLs execute on the TCS pool.
 type Stats struct {
 	ECalls     int64
 	OCalls     int64
@@ -152,10 +162,21 @@ type Stats struct {
 	FallbackOCalls int64
 	// WorkerWakeups counts signals to a parked switchless worker.
 	WorkerWakeups int64
+	// TCSWaits counts ECALLs that found every TCS busy and had to park
+	// until a slot freed — the enclave's saturation signal.
+	TCSWaits int64
+	// TCSBusy is the number of TCS bound at the instant of the snapshot.
+	TCSBusy int64
+	// TCSMaxBusy is the high-water mark of simultaneously bound TCS.
+	TCSMaxBusy int64
 }
 
 // Enclave is a simulated SGX enclave: a measured, isolated memory region
-// with explicit entry/exit points.
+// with explicit entry/exit points. ECalls from distinct goroutines execute
+// concurrently, bounded by the TCS pool; ECalls, OCalls and Stats are safe
+// for concurrent use. EnableSwitchless and Destroy are lifecycle
+// operations: enable the ring before spinning up concurrent callers, and
+// Destroy blocks until every in-flight ECALL has drained.
 type Enclave struct {
 	cfg         Config
 	platform    *Platform
@@ -164,11 +185,20 @@ type Enclave struct {
 	reserved    *Reserved
 	measurement [32]byte
 	sealRoot    [32]byte
-	depth       int // >0 while executing inside the enclave
-	running     bool
-	destroyed   bool
-	stats       Stats
-	ring        *SwitchlessRing // nil until EnableSwitchless
+
+	tcs  *tcsPool
+	gate goroutineGate // rejects same-goroutine ECALL re-entry
+
+	inside    int64 // atomic: logical threads currently inside the enclave
+	destroyed int32 // atomic flag; destroyCh is closed alongside it
+	destroyCh chan struct{}
+
+	destroyOnce sync.Once
+
+	ecalls int64 // atomic
+	ocalls int64 // atomic
+
+	ring *SwitchlessRing // nil until EnableSwitchless
 }
 
 // NewEnclave creates and initialises an enclave on platform p. The code
@@ -181,7 +211,8 @@ func (p *Platform) NewEnclave(cfg Config, code []byte) (*Enclave, error) {
 	if cfg.HeapSize <= 0 {
 		return nil, errors.New("sgx: heap size must be positive")
 	}
-	e := &Enclave{cfg: cfg, platform: p, running: true}
+	e := &Enclave{cfg: cfg, platform: p, destroyCh: make(chan struct{})}
+	e.tcs = newTCSPool(cfg.TCSNum)
 	e.measurement = measure(cfg, code)
 	e.sealRoot = p.deriveSealRoot(e.measurement)
 	mem, err := newMemory(cfg)
@@ -229,11 +260,17 @@ func (e *Enclave) Allocator() *Allocator { return e.alloc }
 // Reserved returns the reserved-memory region used for loading code.
 func (e *Enclave) Reserved() *Reserved { return e.reserved }
 
-// Stats returns a copy of the enclave activity counters.
+// Stats returns a coherent copy of the enclave activity counters.
 func (e *Enclave) Stats() Stats {
-	s := e.stats
-	s.PageFaults = e.mem.faults
-	s.Evictions = e.mem.evictions
+	s := Stats{
+		ECalls:     atomic.LoadInt64(&e.ecalls),
+		OCalls:     atomic.LoadInt64(&e.ocalls),
+		PageFaults: e.mem.Faults(),
+		Evictions:  e.mem.Evictions(),
+		TCSWaits:   atomic.LoadInt64(&e.tcs.waits),
+		TCSBusy:    atomic.LoadInt64(&e.tcs.busy),
+		TCSMaxBusy: atomic.LoadInt64(&e.tcs.maxBusy),
+	}
 	if e.ring != nil {
 		rs := e.ring.Stats()
 		s.SwitchlessCalls = rs.Calls
@@ -243,51 +280,72 @@ func (e *Enclave) Stats() Stats {
 	return s
 }
 
-// Inside reports whether execution is currently inside the enclave.
-func (e *Enclave) Inside() bool { return e.depth > 0 }
+// TCSCount returns the size of the enclave's TCS pool.
+func (e *Enclave) TCSCount() int { return e.tcs.size }
+
+// Inside reports whether any logical thread is currently executing inside
+// the enclave. (With concurrent ECALLs this is a global property, not a
+// per-goroutine one; the per-goroutine re-entry check lives in ECall.)
+func (e *Enclave) Inside() bool { return atomic.LoadInt64(&e.inside) > 0 }
+
+func (e *Enclave) isDestroyed() bool { return atomic.LoadInt32(&e.destroyed) != 0 }
 
 // ECall enters the enclave, runs fn inside it, and exits. It pays the
 // transition cost in both directions and is the only way in, mirroring
-// SGX's ECALL mechanism. ECalls may not be nested (SGX enclaves in the
-// paper's setting expose a single entry and do not re-enter).
+// SGX's ECALL mechanism. ECalls may not be nested on one goroutine (TWINE
+// enclaves expose a single entry and do not re-enter, §IV-C), but ECalls
+// from distinct goroutines run concurrently, each bound to a TCS; when
+// every TCS is busy the call blocks until one frees.
 func (e *Enclave) ECall(name string, fn func() error) error {
-	if e.destroyed {
+	if e.isDestroyed() {
 		return ErrDestroyed
 	}
-	if !e.running {
-		return ErrNotRunning
-	}
-	if e.depth > 0 {
+	id := goid()
+	if !e.gate.enter(id) {
 		return fmt.Errorf("%w: %s", ErrInsideEnclave, name)
 	}
-	e.stats.ECalls++
+	defer e.gate.exit(id)
+	if err := e.tcs.acquire(e.destroyCh); err != nil {
+		return err
+	}
+	defer e.tcs.release()
+	if e.isDestroyed() {
+		// Destroy won the race while we were parked on the TCS pool.
+		return ErrDestroyed
+	}
+	atomic.AddInt64(&e.ecalls, 1)
 	e.cfg.Prof.Incr("sgx.ecall")
 	e.transition()
-	e.depth++
+	atomic.AddInt64(&e.inside, 1)
 	err := fn()
-	e.depth--
+	atomic.AddInt64(&e.inside, -1)
 	e.transition()
 	return err
 }
 
 // OCall exits the enclave, runs fn outside it, and re-enters. It must be
-// issued from inside the enclave and pays the transition cost in both
-// directions. The time spent crossing is attributed to the "sgx.ocall"
-// timer so Figure 7's OCALL series can be reconstructed.
+// issued from a goroutine currently executing inside an ECall — that is
+// the whole contract: a goroutine that never entered must not call OCall
+// (the guard below is a global any-thread-inside check, kept deliberately
+// cheap for the hot path, so it catches the no-one-inside misuse but not
+// a wrong-goroutine one). It pays the transition cost in both directions;
+// the TCS stays bound to the outstanding enclave frame while fn runs
+// outside, as on hardware. The time spent crossing is attributed to the
+// "sgx.ocall" timer so Figure 7's OCALL series can be reconstructed.
 func (e *Enclave) OCall(name string, fn func() error) error {
-	if e.destroyed {
+	if e.isDestroyed() {
 		return ErrDestroyed
 	}
-	if e.depth == 0 {
+	if atomic.LoadInt64(&e.inside) == 0 {
 		return fmt.Errorf("%w: %s", ErrOutsideEnclave, name)
 	}
-	e.stats.OCalls++
+	atomic.AddInt64(&e.ocalls, 1)
 	e.cfg.Prof.Incr("sgx.ocall")
 	sp := e.cfg.Prof.Start("sgx.ocall")
 	e.transition()
-	e.depth--
+	atomic.AddInt64(&e.inside, -1)
 	err := fn()
-	e.depth++
+	atomic.AddInt64(&e.inside, 1)
 	e.transition()
 	sp.Stop()
 	return err
@@ -311,13 +369,20 @@ func burn(d time.Duration) {
 }
 
 // Destroy terminates the enclave and scrubs its memory. Any later entry
-// attempt fails with ErrDestroyed.
+// attempt fails with ErrDestroyed, callers parked on the TCS pool are
+// woken with ErrDestroyed, and in-flight ECALLs see their next boundary
+// crossing fail. Destroy blocks until every in-flight ECALL has drained,
+// so memory is never scrubbed under a running enclave thread. It must not
+// be called from inside an ECALL.
 func (e *Enclave) Destroy() {
-	if e.destroyed {
-		return
-	}
-	e.destroyed = true
-	e.running = false
-	e.ring.stop()
-	e.mem.scrub()
+	e.destroyOnce.Do(func() {
+		atomic.StoreInt32(&e.destroyed, 1)
+		close(e.destroyCh)
+		// Retire the switchless worker first: queued requests are still
+		// served (FIFO ahead of the poison), so enclave threads blocked on
+		// a ring response are released before we wait for them to exit.
+		e.ring.stop()
+		e.tcs.drain()
+		e.mem.scrub()
+	})
 }

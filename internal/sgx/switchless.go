@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -90,10 +91,14 @@ var slreqPool = sync.Pool{
 	New: func() any { return &slreq{done: make(chan error, 1)} },
 }
 
-// SwitchlessRing is the shared request/response ring between an enclave and
-// its untrusted worker goroutine. Like the Enclave itself it expects a
-// single enclave-side caller; the worker is the only other goroutine that
-// touches a request, and the done-channel handshake orders their accesses.
+// SwitchlessRing is the shared request/response ring between an enclave
+// and its untrusted worker goroutine. Any number of enclave threads may
+// enqueue concurrently (the TCS pool bounds them): requests are admitted
+// under the ring lock and served FIFO, so contending enqueuers are
+// ordered fairly by arrival, and a request admitted to the ring is always
+// served — Destroy retires the worker with a poison request queued
+// *behind* every admitted request, so none is lost. Counters are atomic;
+// Stats is safe to read while enqueuers run.
 type SwitchlessRing struct {
 	e   *Enclave
 	cfg SwitchlessConfig
@@ -103,7 +108,7 @@ type SwitchlessRing struct {
 	running bool // worker goroutine alive and polling
 	stopped bool
 
-	stats SwitchlessStats
+	stats SwitchlessStats // atomic fields
 }
 
 // EnableSwitchless attaches a switchless ring to the enclave and returns
@@ -140,12 +145,16 @@ func (r *SwitchlessRing) stoppedNow() bool {
 	return r.stopped
 }
 
-// Stats returns a copy of the ring counters.
+// Stats returns a coherent copy of the ring counters.
 func (r *SwitchlessRing) Stats() SwitchlessStats {
 	if r == nil {
 		return SwitchlessStats{}
 	}
-	return r.stats
+	return SwitchlessStats{
+		Calls:     atomic.LoadInt64(&r.stats.Calls),
+		Fallbacks: atomic.LoadInt64(&r.stats.Fallbacks),
+		Wakeups:   atomic.LoadInt64(&r.stats.Wakeups),
+	}
 }
 
 // SwitchlessOCall performs a host call through the ring when possible and
@@ -158,21 +167,24 @@ func (e *Enclave) SwitchlessOCall(name string, payload int, fn func() error) err
 	if e.ring == nil {
 		return e.OCall(name, fn)
 	}
-	if e.destroyed {
+	if e.isDestroyed() {
 		return ErrDestroyed
 	}
-	if e.depth == 0 {
+	if atomic.LoadInt64(&e.inside) == 0 {
 		return fmt.Errorf("%w: %s", ErrOutsideEnclave, name)
 	}
 	return e.ring.call(name, payload, fn)
 }
 
 // call implements the adaptive dispatch: ring when hot and small, classic
-// OCall when cold, full, stopped or oversized.
+// OCall when cold, full, stopped or oversized. Safe for any number of
+// concurrent enclave-side callers: admission happens under the ring lock
+// (arrival-ordered, so contending enqueuers are served fairly FIFO) and
+// each request carries its own response channel.
 func (r *SwitchlessRing) call(name string, payload int, fn func() error) error {
 	e := r.e
 	if payload > r.cfg.MaxPayload {
-		r.stats.Fallbacks++
+		atomic.AddInt64(&r.stats.Fallbacks, 1)
 		e.cfg.Prof.Incr("sgx.switchless.fallback")
 		return e.OCall(name, fn)
 	}
@@ -186,8 +198,8 @@ func (r *SwitchlessRing) call(name string, payload int, fn func() error) error {
 		// Worker parked: signal it awake for subsequent requests, but take
 		// the slow path for this one (the SDK's cold-worker fallback).
 		r.running = true
-		r.stats.Wakeups++
-		r.stats.Fallbacks++
+		atomic.AddInt64(&r.stats.Wakeups, 1)
+		atomic.AddInt64(&r.stats.Fallbacks, 1)
 		go r.worker()
 		r.mu.Unlock()
 		e.cfg.Prof.Incr("sgx.switchless.wakeup")
@@ -202,11 +214,11 @@ func (r *SwitchlessRing) call(name string, payload int, fn func() error) error {
 	req.panic = nil
 	select {
 	case r.queue <- req:
-		r.stats.Calls++
+		atomic.AddInt64(&r.stats.Calls, 1)
 		r.mu.Unlock()
 	default:
 		// Ring full: classic OCall.
-		r.stats.Fallbacks++
+		atomic.AddInt64(&r.stats.Fallbacks, 1)
 		r.mu.Unlock()
 		req.fn = nil
 		slreqPool.Put(req)
@@ -347,21 +359,29 @@ func (r *SwitchlessRing) serve(req *slreq) {
 	req.done <- err
 }
 
-// stop marks the ring unusable and retires the worker promptly with a
-// poison request (no request can be in flight: the protocol is
-// synchronous, so the single enclave thread cannot call Destroy while one
-// is outstanding). A worker that already parked simply never restarts.
+// stop marks the ring unusable and retires the worker with a poison
+// request. Admission is serialised with stopping under the ring lock, so
+// every admitted request sits ahead of the poison in the FIFO queue and
+// is served before the worker exits — an enqueuer racing Destroy either
+// loses admission (and falls back to a classic OCall, which reports
+// ErrDestroyed) or has its response delivered; no enqueuer is left
+// blocked on a response that will never come. A worker that already
+// parked simply never restarts.
 func (r *SwitchlessRing) stop() {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
-	if !r.stopped && r.running {
-		select {
-		case r.queue <- &slreq{}:
-		default:
-		}
-	}
+	alreadyStopped := r.stopped
+	wasRunning := r.running
 	r.stopped = true
 	r.mu.Unlock()
+	if alreadyStopped || !wasRunning {
+		return
+	}
+	// Blocking send: the queue may be full of admitted requests, which
+	// the live worker is draining. Bounded by Slots serves. If the worker
+	// parked between the check above and this send, the poison simply
+	// stays queued — the stopped flag already prevents any respawn.
+	r.queue <- &slreq{}
 }

@@ -1,0 +1,132 @@
+package sgx
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Thread control structures (TCS).
+//
+// A hardware enclave exposes a fixed number of TCS pages, each of which
+// admits exactly one logical thread at a time: an ECALL binds a TCS on
+// entry and releases it when the call returns. OCALLs do NOT release the
+// TCS — the outstanding enclave frame keeps it reserved so the thread can
+// re-enter through ORET, which is why the SGX SDK sizes its thread pool to
+// the TCS count. When every TCS is busy a new ECALL blocks until one
+// frees up (the SDK's sgx_ecall behaviour with SGX_ERROR_OUT_OF_TCS
+// retries).
+//
+// The reproduction models exactly that: Config.TCSNum bounds the number
+// of concurrently executing ECALLs; excess callers park on the pool and
+// are admitted FIFO-ish as slots free. Stats counts how many ECALLs had
+// to wait (TCSWaits) and the high-water mark of simultaneously busy TCS
+// (TCSMaxBusy), the two numbers a capacity planner needs.
+
+// DefaultTCSNum is the TCS count of enclaves whose Config does not set
+// one — the follow-up paper's multi-threaded runtime configuration.
+const DefaultTCSNum = 8
+
+// tcsPool is the bounded entry gate of one enclave.
+type tcsPool struct {
+	slots chan struct{} // send = acquire, receive = release
+	size  int
+
+	busy    int64 // currently bound TCS (atomic)
+	maxBusy int64 // high-water mark (atomic)
+	waits   int64 // ECALLs that found every TCS busy (atomic)
+}
+
+func newTCSPool(n int) *tcsPool {
+	if n <= 0 {
+		n = DefaultTCSNum
+	}
+	return &tcsPool{slots: make(chan struct{}, n), size: n}
+}
+
+// acquire binds a TCS, blocking while all are busy. destroyed is closed
+// when the enclave is torn down so parked callers fail with ErrDestroyed
+// instead of waiting forever.
+func (p *tcsPool) acquire(destroyed <-chan struct{}) error {
+	select {
+	case p.slots <- struct{}{}:
+	default:
+		atomic.AddInt64(&p.waits, 1)
+		select {
+		case p.slots <- struct{}{}:
+		case <-destroyed:
+			return ErrDestroyed
+		}
+	}
+	busy := atomic.AddInt64(&p.busy, 1)
+	for {
+		max := atomic.LoadInt64(&p.maxBusy)
+		if busy <= max || atomic.CompareAndSwapInt64(&p.maxBusy, max, busy) {
+			break
+		}
+	}
+	return nil
+}
+
+func (p *tcsPool) release() {
+	atomic.AddInt64(&p.busy, -1)
+	<-p.slots
+}
+
+// drain claims every TCS, waiting for in-flight ECALLs to exit. Used by
+// Destroy so memory is never scrubbed under a running enclave thread.
+// The slots are deliberately not released: the enclave is dead.
+func (p *tcsPool) drain() {
+	for i := 0; i < p.size; i++ {
+		p.slots <- struct{}{}
+	}
+}
+
+// goroutineGate tracks which goroutines are currently executing an ECALL,
+// so re-entry on the same logical thread can be rejected (TWINE exposes a
+// single entry point and does not re-enter, §IV-C) while independent
+// goroutines enter freely through their own TCS.
+type goroutineGate struct {
+	mu sync.Mutex
+	in map[uint64]struct{}
+}
+
+// enter registers the calling goroutine; it reports false when the
+// goroutine is already inside the enclave.
+func (g *goroutineGate) enter(id uint64) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.in == nil {
+		g.in = make(map[uint64]struct{})
+	}
+	if _, ok := g.in[id]; ok {
+		return false
+	}
+	g.in[id] = struct{}{}
+	return true
+}
+
+func (g *goroutineGate) exit(id uint64) {
+	g.mu.Lock()
+	delete(g.in, id)
+	g.mu.Unlock()
+}
+
+// goid returns the current goroutine's id. The runtime does not expose
+// it, so it is parsed from the first stack-trace line ("goroutine N [...")
+// — the standard trick, paid once per ECALL (not per OCALL: entry is the
+// rare edge, host calls are the hot one).
+func goid() uint64 {
+	var buf [32]byte
+	n := runtime.Stack(buf[:], false)
+	// Skip "goroutine ".
+	var id uint64
+	for i := 10; i < n; i++ {
+		c := buf[i]
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}

@@ -366,6 +366,23 @@ func (h *hostHandle) Close() error {
 	return h.b.call("posix.close", 0, func() error { return h.f.Close() })
 }
 
+// CloneBackend returns a backend for another instance over the same
+// storage. Host backends get fresh write-batching state (the pending
+// handle is per-instance, so concurrent instances never interleave their
+// batches); the protected FS is shared as-is — its mutable state lives in
+// per-open file handles. Unknown backend types are returned unchanged and
+// must be concurrency-safe themselves.
+func CloneBackend(b Backend) Backend {
+	switch b := b.(type) {
+	case *HostBackend:
+		return NewHostBackend(b.FS, b.Enclave)
+	case *IPFSBackend:
+		return &IPFSBackend{PFS: b.PFS, Host: NewHostBackend(b.Host.FS, b.Host.Enclave)}
+	default:
+		return b
+	}
+}
+
 // --- IPFS (trusted) backend ---
 
 // IPFSBackend serves file contents from the Intel protected file system:

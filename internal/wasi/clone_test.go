@@ -1,0 +1,98 @@
+package wasi
+
+import (
+	"bytes"
+	"testing"
+
+	"twine/internal/hostfs"
+	"twine/internal/ipfs"
+)
+
+// TestCloneIsolatesState: a cloned System gets its own descriptor table,
+// stdio and backend batching state while sharing the underlying storage.
+func TestCloneIsolatesState(t *testing.T) {
+	host := hostfs.NewMemFS()
+	var out1, out2 bytes.Buffer
+	s1, err := NewSystem(Config{
+		Args:     []string{"one"},
+		Stdout:   &out1,
+		FS:       NewHostBackend(host, nil),
+		Preopens: map[string]string{"/": ""},
+	})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	s2, err := s1.Clone(CloneOptions{Args: []string{"two"}, Stdout: &out2})
+	if err != nil {
+		t.Fatalf("Clone: %v", err)
+	}
+
+	if s1 == s2 {
+		t.Fatal("Clone returned the same System")
+	}
+	if &s1.fds == &s2.fds || len(s2.fds) != len(s1.fds) {
+		t.Errorf("clone fd table not fresh: %d entries vs %d", len(s2.fds), len(s1.fds))
+	}
+	if s1.cfg.FS == s2.cfg.FS {
+		t.Error("clone shares the backend value; batching state would interleave")
+	}
+	if s1.cfg.Args[0] != "one" || s2.cfg.Args[0] != "two" {
+		t.Errorf("args not per-clone: %v / %v", s1.cfg.Args, s2.cfg.Args)
+	}
+
+	// Mutating one table must not show in the other.
+	s2.fds[99] = &fdEntry{kind: kindFile}
+	if _, ok := s1.fds[99]; ok {
+		t.Error("fd table shared between clones")
+	}
+
+	// The storage itself is shared: a file created through one backend is
+	// visible through the other.
+	h1 := s1.cfg.FS.(*HostBackend)
+	h2 := s2.cfg.FS.(*HostBackend)
+	if h1.FS != h2.FS {
+		t.Fatal("clones do not share the untrusted store")
+	}
+	f, err := h1.Open("shared.txt", hostfs.OCreate|hostfs.OWrite|hostfs.ORead, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := h2.Open("shared.txt", hostfs.ORead, false)
+	if err != nil {
+		t.Fatalf("clone backend cannot see shared file: %v", err)
+	}
+	buf := make([]byte, 5)
+	if _, err := g.Read(buf); err != nil || string(buf) != "hello" {
+		t.Errorf("clone read %q (%v), want \"hello\"", buf, err)
+	}
+	_ = g.Close()
+}
+
+// TestCloneBackendKinds pins the per-kind cloning rules.
+func TestCloneBackendKinds(t *testing.T) {
+	host := hostfs.NewMemFS()
+	hb := NewHostBackend(host, nil)
+	c1 := CloneBackend(hb)
+	if c1 == Backend(hb) {
+		t.Error("HostBackend clone must be a fresh value (pending-batch state)")
+	}
+	if c1.(*HostBackend).FS != host {
+		t.Error("HostBackend clone lost the shared store")
+	}
+
+	pfs := ipfs.New(nil, host, ipfs.Options{})
+	ib := NewIPFSBackend(pfs, hb)
+	c2 := CloneBackend(ib).(*IPFSBackend)
+	if c2.PFS != pfs {
+		t.Error("IPFS backend clone must share the protected FS")
+	}
+	if c2.Host == hb {
+		t.Error("IPFS backend clone must get its own host namespace backend")
+	}
+}

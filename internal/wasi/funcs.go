@@ -18,18 +18,25 @@ var (
 	i64 = wasm.I64
 )
 
-// Register installs all 45 snapshot_preview1 functions into imp, bound to
-// this System.
+// Register installs all 45 snapshot_preview1 functions into imp.
+//
+// Calls are dispatched per instance: when the calling wasm.Instance
+// carries a *System in its HostCtx, that System serves the call (its own
+// fd table, args, clocks); otherwise the registering System does. One
+// ImportObject therefore backs any number of concurrently executing
+// instances, each with isolated WASI state over the shared backend — the
+// wiring the serving pool relies on.
 func (s *System) Register(imp *wasm.ImportObject) {
 	reg := func(name string, params []wasm.ValueType, results []wasm.ValueType,
-		fn func(in *wasm.Instance, a []uint64) (Errno, error)) {
+		fn func(s *System, in *wasm.Instance, a []uint64) (Errno, error)) {
 		imp.AddFunc(wasm.HostFunc{
 			Module: ModuleName,
 			Name:   name,
 			Type:   wasm.FuncType{Params: params, Results: results},
 			Fn: func(in *wasm.Instance, a []uint64) ([]uint64, error) {
-				sp := s.count(name)
-				errno, err := fn(in, a)
+				sys := s.forInstance(in)
+				sp := sys.count(name)
+				errno, err := fn(sys, in, a)
 				sp.Stop()
 				if err != nil {
 					return nil, err
@@ -41,58 +48,58 @@ func (s *System) Register(imp *wasm.ImportObject) {
 			},
 		})
 	}
-	e := func(fn func(in *wasm.Instance, a []uint64) Errno) func(*wasm.Instance, []uint64) (Errno, error) {
-		return func(in *wasm.Instance, a []uint64) (Errno, error) { return fn(in, a), nil }
+	e := func(fn func(s *System, in *wasm.Instance, a []uint64) Errno) func(*System, *wasm.Instance, []uint64) (Errno, error) {
+		return func(s *System, in *wasm.Instance, a []uint64) (Errno, error) { return fn(s, in, a), nil }
 	}
 
 	p := func(ts ...wasm.ValueType) []wasm.ValueType { return ts }
 	r1 := p(i32)
 
-	reg("args_get", p(i32, i32), r1, e(s.argsGet))
-	reg("args_sizes_get", p(i32, i32), r1, e(s.argsSizesGet))
-	reg("environ_get", p(i32, i32), r1, e(s.environGet))
-	reg("environ_sizes_get", p(i32, i32), r1, e(s.environSizesGet))
-	reg("clock_res_get", p(i32, i32), r1, e(s.clockResGet))
-	reg("clock_time_get", p(i32, i64, i32), r1, e(s.clockTimeGet))
-	reg("fd_advise", p(i32, i64, i64, i32), r1, e(s.fdAdvise))
-	reg("fd_allocate", p(i32, i64, i64), r1, e(s.fdAllocate))
-	reg("fd_close", p(i32), r1, e(s.fdClose))
-	reg("fd_datasync", p(i32), r1, e(s.fdDatasync))
-	reg("fd_fdstat_get", p(i32, i32), r1, e(s.fdFdstatGet))
-	reg("fd_fdstat_set_flags", p(i32, i32), r1, e(s.fdFdstatSetFlags))
-	reg("fd_fdstat_set_rights", p(i32, i64, i64), r1, e(s.fdFdstatSetRights))
-	reg("fd_filestat_get", p(i32, i32), r1, e(s.fdFilestatGet))
-	reg("fd_filestat_set_size", p(i32, i64), r1, e(s.fdFilestatSetSize))
-	reg("fd_filestat_set_times", p(i32, i64, i64, i32), r1, e(s.fdFilestatSetTimes))
-	reg("fd_pread", p(i32, i32, i32, i64, i32), r1, e(s.fdPread))
-	reg("fd_prestat_get", p(i32, i32), r1, e(s.fdPrestatGet))
-	reg("fd_prestat_dir_name", p(i32, i32, i32), r1, e(s.fdPrestatDirName))
-	reg("fd_pwrite", p(i32, i32, i32, i64, i32), r1, e(s.fdPwrite))
-	reg("fd_read", p(i32, i32, i32, i32), r1, e(s.fdRead))
-	reg("fd_readdir", p(i32, i32, i32, i64, i32), r1, e(s.fdReaddir))
-	reg("fd_renumber", p(i32, i32), r1, e(s.fdRenumber))
-	reg("fd_seek", p(i32, i64, i32, i32), r1, e(s.fdSeek))
-	reg("fd_sync", p(i32), r1, e(s.fdSync))
-	reg("fd_tell", p(i32, i32), r1, e(s.fdTell))
-	reg("fd_write", p(i32, i32, i32, i32), r1, e(s.fdWrite))
-	reg("path_create_directory", p(i32, i32, i32), r1, e(s.pathCreateDirectory))
-	reg("path_filestat_get", p(i32, i32, i32, i32, i32), r1, e(s.pathFilestatGet))
-	reg("path_filestat_set_times", p(i32, i32, i32, i32, i64, i64, i32), r1, e(s.pathFilestatSetTimes))
-	reg("path_link", p(i32, i32, i32, i32, i32, i32, i32), r1, e(s.pathLink))
-	reg("path_open", p(i32, i32, i32, i32, i32, i64, i64, i32, i32), r1, e(s.pathOpen))
-	reg("path_readlink", p(i32, i32, i32, i32, i32, i32), r1, e(s.pathReadlink))
-	reg("path_remove_directory", p(i32, i32, i32), r1, e(s.pathRemoveDirectory))
-	reg("path_rename", p(i32, i32, i32, i32, i32, i32), r1, e(s.pathRename))
-	reg("path_symlink", p(i32, i32, i32, i32, i32), r1, e(s.pathSymlink))
-	reg("path_unlink_file", p(i32, i32, i32), r1, e(s.pathUnlinkFile))
-	reg("poll_oneoff", p(i32, i32, i32, i32), r1, e(s.pollOneoff))
-	reg("proc_exit", p(i32), nil, s.procExit)
-	reg("proc_raise", p(i32), r1, e(s.procRaise))
-	reg("random_get", p(i32, i32), r1, e(s.randomGet))
-	reg("sched_yield", nil, r1, e(s.schedYield))
-	reg("sock_recv", p(i32, i32, i32, i32, i32, i32), r1, e(s.sockRecv))
-	reg("sock_send", p(i32, i32, i32, i32, i32), r1, e(s.sockSend))
-	reg("sock_shutdown", p(i32, i32), r1, e(s.sockShutdown))
+	reg("args_get", p(i32, i32), r1, e((*System).argsGet))
+	reg("args_sizes_get", p(i32, i32), r1, e((*System).argsSizesGet))
+	reg("environ_get", p(i32, i32), r1, e((*System).environGet))
+	reg("environ_sizes_get", p(i32, i32), r1, e((*System).environSizesGet))
+	reg("clock_res_get", p(i32, i32), r1, e((*System).clockResGet))
+	reg("clock_time_get", p(i32, i64, i32), r1, e((*System).clockTimeGet))
+	reg("fd_advise", p(i32, i64, i64, i32), r1, e((*System).fdAdvise))
+	reg("fd_allocate", p(i32, i64, i64), r1, e((*System).fdAllocate))
+	reg("fd_close", p(i32), r1, e((*System).fdClose))
+	reg("fd_datasync", p(i32), r1, e((*System).fdDatasync))
+	reg("fd_fdstat_get", p(i32, i32), r1, e((*System).fdFdstatGet))
+	reg("fd_fdstat_set_flags", p(i32, i32), r1, e((*System).fdFdstatSetFlags))
+	reg("fd_fdstat_set_rights", p(i32, i64, i64), r1, e((*System).fdFdstatSetRights))
+	reg("fd_filestat_get", p(i32, i32), r1, e((*System).fdFilestatGet))
+	reg("fd_filestat_set_size", p(i32, i64), r1, e((*System).fdFilestatSetSize))
+	reg("fd_filestat_set_times", p(i32, i64, i64, i32), r1, e((*System).fdFilestatSetTimes))
+	reg("fd_pread", p(i32, i32, i32, i64, i32), r1, e((*System).fdPread))
+	reg("fd_prestat_get", p(i32, i32), r1, e((*System).fdPrestatGet))
+	reg("fd_prestat_dir_name", p(i32, i32, i32), r1, e((*System).fdPrestatDirName))
+	reg("fd_pwrite", p(i32, i32, i32, i64, i32), r1, e((*System).fdPwrite))
+	reg("fd_read", p(i32, i32, i32, i32), r1, e((*System).fdRead))
+	reg("fd_readdir", p(i32, i32, i32, i64, i32), r1, e((*System).fdReaddir))
+	reg("fd_renumber", p(i32, i32), r1, e((*System).fdRenumber))
+	reg("fd_seek", p(i32, i64, i32, i32), r1, e((*System).fdSeek))
+	reg("fd_sync", p(i32), r1, e((*System).fdSync))
+	reg("fd_tell", p(i32, i32), r1, e((*System).fdTell))
+	reg("fd_write", p(i32, i32, i32, i32), r1, e((*System).fdWrite))
+	reg("path_create_directory", p(i32, i32, i32), r1, e((*System).pathCreateDirectory))
+	reg("path_filestat_get", p(i32, i32, i32, i32, i32), r1, e((*System).pathFilestatGet))
+	reg("path_filestat_set_times", p(i32, i32, i32, i32, i64, i64, i32), r1, e((*System).pathFilestatSetTimes))
+	reg("path_link", p(i32, i32, i32, i32, i32, i32, i32), r1, e((*System).pathLink))
+	reg("path_open", p(i32, i32, i32, i32, i32, i64, i64, i32, i32), r1, e((*System).pathOpen))
+	reg("path_readlink", p(i32, i32, i32, i32, i32, i32), r1, e((*System).pathReadlink))
+	reg("path_remove_directory", p(i32, i32, i32), r1, e((*System).pathRemoveDirectory))
+	reg("path_rename", p(i32, i32, i32, i32, i32, i32), r1, e((*System).pathRename))
+	reg("path_symlink", p(i32, i32, i32, i32, i32), r1, e((*System).pathSymlink))
+	reg("path_unlink_file", p(i32, i32, i32), r1, e((*System).pathUnlinkFile))
+	reg("poll_oneoff", p(i32, i32, i32, i32), r1, e((*System).pollOneoff))
+	reg("proc_exit", p(i32), nil, (*System).procExit)
+	reg("proc_raise", p(i32), r1, e((*System).procRaise))
+	reg("random_get", p(i32, i32), r1, e((*System).randomGet))
+	reg("sched_yield", nil, r1, e((*System).schedYield))
+	reg("sock_recv", p(i32, i32, i32, i32, i32, i32), r1, e((*System).sockRecv))
+	reg("sock_send", p(i32, i32, i32, i32, i32), r1, e((*System).sockSend))
+	reg("sock_shutdown", p(i32, i32), r1, e((*System).sockShutdown))
 }
 
 // --- args / environ ---

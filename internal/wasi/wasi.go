@@ -9,6 +9,7 @@ import (
 	"twine/internal/ipfs"
 	"twine/internal/prof"
 	"twine/internal/sgx"
+	"twine/internal/wasm"
 )
 
 // Errno is a WASI errno value.
@@ -229,6 +230,59 @@ func sortedKeys(m map[string]string) []string {
 
 // Exited reports whether proc_exit ran, and with which code.
 func (s *System) Exited() (bool, uint32) { return s.exited, s.exitCode }
+
+// forInstance resolves the System serving a call from in: the instance's
+// own System when one was bound through the wasm HostCtx, the registering
+// System otherwise. This is what lets a single registered ImportObject
+// back many concurrent instances with isolated WASI state.
+func (s *System) forInstance(in *wasm.Instance) *System {
+	if in != nil {
+		if sys, ok := in.HostCtx().(*System); ok && sys != nil {
+			return sys
+		}
+	}
+	return s
+}
+
+// CloneOptions overrides per-instance state when cloning a System.
+type CloneOptions struct {
+	// Args, when non-nil, replaces the program arguments.
+	Args []string
+	// Env, when non-nil, replaces the environment.
+	Env []string
+	// Stdin/Stdout/Stderr, when non-nil, replace the stdio channels.
+	Stdin  io.Reader
+	Stdout io.Writer
+	Stderr io.Writer
+}
+
+// Clone builds a sibling System for another instance of the same runtime:
+// a fresh descriptor table, preopens re-established, its own clock guards
+// and exit state — over the same storage, enclave and profiling registry.
+// The file backend is cloned too (CloneBackend), so write-behind batching
+// state is per-instance while the underlying store stays shared. This is
+// the WASI half of multi-instance serving: state that POSIX scopes
+// per-process is per-System, everything else is shared.
+func (s *System) Clone(opt CloneOptions) (*System, error) {
+	cfg := s.cfg
+	cfg.FS = CloneBackend(cfg.FS)
+	if opt.Args != nil {
+		cfg.Args = opt.Args
+	}
+	if opt.Env != nil {
+		cfg.Env = opt.Env
+	}
+	if opt.Stdin != nil {
+		cfg.Stdin = opt.Stdin
+	}
+	if opt.Stdout != nil {
+		cfg.Stdout = opt.Stdout
+	}
+	if opt.Stderr != nil {
+		cfg.Stderr = opt.Stderr
+	}
+	return NewSystem(cfg)
+}
 
 // ocall crosses the enclave boundary for untrusted work through the
 // classic two-transition path (used for blocking calls such as sleeps,

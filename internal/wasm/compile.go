@@ -3,6 +3,7 @@ package wasm
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 )
 
 // ins is one lowered instruction. Immediates are pre-decoded; branch
@@ -29,11 +30,31 @@ type compiledFunc struct {
 }
 
 // Compiled is a fully validated module with lowered function bodies, ready
-// to instantiate under either engine.
+// to instantiate under either engine. It is the immutable half of the
+// module split: code (interpreter and AoT forms alike) is never written
+// after compilation, so one Compiled can back any number of concurrently
+// executing instances.
 type Compiled struct {
 	Module *Module
 	Funcs  []compiledFunc // module-defined functions only
-	fused  bool
+
+	// The AoT translation is derived lazily, once, and shared by every
+	// AoT instance — instantiation no longer re-fuses per instance.
+	aotOnce  sync.Once
+	aotFuncs []compiledFunc
+}
+
+// aot returns the fused (AoT) form of the function bodies, translating on
+// first use. The result is immutable and shared across instances.
+func (c *Compiled) aot() []compiledFunc {
+	c.aotOnce.Do(func() {
+		fused := make([]compiledFunc, len(c.Funcs))
+		for i := range c.Funcs {
+			fused[i] = fuseFunc(c.Funcs[i])
+		}
+		c.aotFuncs = fused
+	})
+	return c.aotFuncs
 }
 
 // NumInstructions reports the total lowered instruction count across all

@@ -80,8 +80,11 @@ type Config struct {
 	HostCtx any
 }
 
-// Instance is an instantiated module ready for invocation. Not safe for
-// concurrent use.
+// Instance is an instantiated module ready for invocation. A single
+// Instance is not safe for concurrent use, but distinct instances of the
+// same Compiled module execute concurrently: all shared state (the module,
+// its lowered and AoT-translated code, the link tables) is immutable, and
+// everything mutable (memory, globals, table, stack) is per-instance.
 type Instance struct {
 	c   *Compiled
 	m   *Module
@@ -101,9 +104,12 @@ type Instance struct {
 	hostArgBuf []uint64
 }
 
-// Instantiate links, allocates and initialises a compiled module, then
-// runs its start function.
-func Instantiate(c *Compiled, imports *ImportObject, cfg Config) (*Instance, error) {
+// newInstance builds the per-instance shell: resolved imports, shared
+// code, fresh memory with the touch hook wired — everything except the
+// initial memory/global/table contents, which either come from the
+// module's segments (Instantiate) or from a snapshot
+// (InstantiateFromSnapshot).
+func newInstance(c *Compiled, imports *ImportObject, cfg Config) (*Instance, error) {
 	if cfg.StackSlots == 0 {
 		cfg.StackSlots = 64 << 10
 	}
@@ -135,13 +141,10 @@ func Instantiate(c *Compiled, imports *ImportObject, cfg Config) (*Instance, err
 		}
 	}
 
-	// Functions: AoT pre-translates (fuses) every body.
+	// Functions: the AoT form is translated once per Compiled and shared.
 	in.funcs = c.Funcs
 	if cfg.Engine == EngineAOT {
-		in.funcs = make([]compiledFunc, len(c.Funcs))
-		for i := range c.Funcs {
-			in.funcs[i] = fuseFunc(c.Funcs[i])
-		}
+		in.funcs = c.aot()
 	}
 
 	// Memory.
@@ -157,6 +160,17 @@ func Instantiate(c *Compiled, imports *ImportObject, cfg Config) (*Instance, err
 		}
 		in.mem = mem
 	}
+	return in, nil
+}
+
+// Instantiate links, allocates and initialises a compiled module, then
+// runs its start function.
+func Instantiate(c *Compiled, imports *ImportObject, cfg Config) (*Instance, error) {
+	in, err := newInstance(c, imports, cfg)
+	if err != nil {
+		return nil, err
+	}
+	m := c.Module
 
 	// Globals.
 	for _, g := range m.Globals {

@@ -3,6 +3,7 @@ package wasm
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 )
 
 // TouchFunc observes linear-memory accesses. TWINE installs a hook that
@@ -100,7 +101,11 @@ func (m *Memory) touchRange(addr, n uint64) {
 		p := addr >> tlbPageBits
 		if (addr+n-1)>>tlbPageBits == p {
 			e := &m.tlb[p&tlbMask]
-			if e.tag == p+1 && e.gen == *m.gen {
+			// The generation is written by the provider under its paging
+			// lock but read here lock-free; the atomic load keeps the TLB
+			// fast path a single plain load on amd64 while other enclave
+			// threads page concurrently.
+			if e.tag == p+1 && e.gen == atomic.LoadUint64(m.gen) {
 				return // proven referenced at this generation: a no-op touch
 			}
 		}
@@ -112,7 +117,11 @@ func (m *Memory) touchRange(addr, n uint64) {
 // enabled, records the page as hot. The entry is stamped after the hook
 // runs: if the touch itself swept or evicted, *m.gen has already moved
 // on and the entry carries the new generation, at which the page is
-// (re-)referenced.
+// (re-)referenced. (If a *concurrent* enclave thread evicts this very
+// page in the stamp window the entry can over-approximate hotness for
+// one generation — a modelling approximation only possible under
+// concurrency; single-threaded accounting stays exact, which is what the
+// fidelity tests pin.)
 func (m *Memory) touchMiss(addr, n uint64) {
 	m.touch(int64(addr), int64(n))
 	if m.gen != nil {
@@ -120,7 +129,7 @@ func (m *Memory) touchMiss(addr, n uint64) {
 		if (addr+n-1)>>tlbPageBits == p {
 			e := &m.tlb[p&tlbMask]
 			e.tag = p + 1
-			e.gen = *m.gen
+			e.gen = atomic.LoadUint64(m.gen)
 		}
 	}
 }
@@ -158,6 +167,26 @@ func (m *Memory) Grow(delta uint32) int32 {
 	copy(grown, m.data)
 	m.data = grown
 	return int32(cur)
+}
+
+// restore replaces the memory contents with a snapshot copy. The byte
+// length must be page-aligned and within the instance's limits; spare
+// capacity is reused so repeated pool instantiations do not reallocate.
+func (m *Memory) restore(b []byte) error {
+	if len(b)%PageSize != 0 {
+		return fmt.Errorf("wasm: snapshot memory size %d is not page aligned", len(b))
+	}
+	if pages := uint32(len(b) / PageSize); pages > m.maxPages {
+		return fmt.Errorf("wasm: snapshot memory %d pages exceeds limit %d", pages, m.maxPages)
+	}
+	if cap(m.data) >= len(b) {
+		m.data = m.data[:len(b)]
+	} else {
+		m.data = make([]byte, len(b))
+	}
+	copy(m.data, b)
+	m.tlb = [tlbSlots]tlbEntry{}
+	return nil
 }
 
 // Range checks and touches [off, off+n), returning an error out of bounds.

@@ -1,0 +1,68 @@
+package wasm
+
+import "fmt"
+
+// Snapshot is a frozen copy of an instance's mutable state — linear
+// memory, globals and the indirect-call table — taken after the module's
+// data segments and start function have run (the "ready to serve" point).
+// Instantiating from a snapshot replays none of that work: the copy *is*
+// the initialisation. One snapshot can stamp out any number of instances,
+// which is how the serving pool (internal/core) gets cheap per-worker
+// instantiation: decode, validation, AoT translation and linking happen
+// once per module; a new worker costs one memory copy.
+//
+// A Snapshot is immutable after capture and safe to share between
+// goroutines.
+type Snapshot struct {
+	module  *Module
+	mem     []byte
+	globals []uint64
+	globTs  []GlobalType
+	table   []int32
+}
+
+// MemBytes returns the snapshot's linear-memory size in bytes.
+func (s *Snapshot) MemBytes() int { return len(s.mem) }
+
+// Snapshot captures the instance's current mutable state. The instance
+// must be quiescent (no invocation in flight).
+func (in *Instance) Snapshot() *Snapshot {
+	s := &Snapshot{
+		module:  in.m,
+		globals: append([]uint64(nil), in.globals...),
+		globTs:  append([]GlobalType(nil), in.globTs...),
+		table:   append([]int32(nil), in.table...),
+	}
+	if in.mem != nil {
+		s.mem = append([]byte(nil), in.mem.data...)
+	}
+	return s
+}
+
+// InstantiateFromSnapshot builds a fresh instance of c whose memory,
+// globals and table start as copies of snap, skipping data-segment
+// replay, linking re-validation work and the start function. The snapshot
+// must come from an instance of the same module.
+func InstantiateFromSnapshot(c *Compiled, imports *ImportObject, snap *Snapshot, cfg Config) (*Instance, error) {
+	if snap == nil {
+		return Instantiate(c, imports, cfg)
+	}
+	if snap.module != c.Module {
+		return nil, fmt.Errorf("%w: snapshot belongs to a different module", ErrLink)
+	}
+	in, err := newInstance(c, imports, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if in.mem != nil {
+		if err := in.mem.restore(snap.mem); err != nil {
+			return nil, err
+		}
+	} else if len(snap.mem) > 0 {
+		return nil, fmt.Errorf("%w: snapshot has memory but module defines none", ErrValidation)
+	}
+	in.globals = append([]uint64(nil), snap.globals...)
+	in.globTs = append([]GlobalType(nil), snap.globTs...)
+	in.table = append([]int32(nil), snap.table...)
+	return in, nil
+}

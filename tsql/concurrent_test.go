@@ -1,0 +1,121 @@
+package tsql
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"twine/internal/hostfs"
+	"twine/internal/litedb"
+)
+
+// The PR 3 litedb-vfs concurrency satellite: N goroutines query the same
+// sealed database concurrently, each through its own trusted runtime
+// (the read-only replica pattern — one sealed store, many serving
+// enclaves on the same platform). Every replica must decrypt, verify and
+// compute exactly what a sequential reader computes.
+
+// replicaCfg is the small, fast enclave geometry the replicas run on.
+func replicaCfg(host hostfs.FS, seed string) Config {
+	cfg := Config{Path: "sealed.db", HostFS: host, PlatformSeed: seed, CacheKiB: 256}
+	cfg.SGX.EPCSize = 16 << 20
+	cfg.SGX.EPCUsable = 12 << 20
+	cfg.SGX.HeapSize = 96 << 20
+	cfg.SGX.ReservedSize = 4 << 20
+	return cfg
+}
+
+// sealBenchDB creates and populates a protected database on host,
+// returning the queries' expected results from a sequential reader.
+func sealBenchDB(t *testing.T, host hostfs.FS, seed string) map[string][][]litedb.Value {
+	t.Helper()
+	db, err := Open(replicaCfg(host, seed))
+	if err != nil {
+		t.Fatalf("Open (writer): %v", err)
+	}
+	if _, err := db.Exec(`CREATE TABLE inv (id INTEGER PRIMARY KEY, sku TEXT, qty INTEGER)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`BEGIN`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := db.Exec(`INSERT INTO inv (sku, qty) VALUES (?, ?)`,
+			Text(fmt.Sprintf("sku-%03d", i)), Int(int64(i*i%97))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.Exec(`COMMIT`); err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []string{
+		`SELECT COUNT(*), SUM(qty) FROM inv`,
+		`SELECT sku, qty FROM inv WHERE qty > 80 ORDER BY sku`,
+		`SELECT qty FROM inv WHERE id = 42`,
+	}
+	want := make(map[string][][]litedb.Value)
+	for _, q := range queries {
+		rows, err := db.Query(q)
+		if err != nil {
+			t.Fatalf("reference query %q: %v", q, err)
+		}
+		want[q] = rows.All()
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close (writer): %v", err)
+	}
+	return want
+}
+
+// TestConcurrentReadOnlyReplicas opens the sealed database from several
+// goroutines at once and checks byte-for-byte result equality with the
+// sequential reference.
+func TestConcurrentReadOnlyReplicas(t *testing.T) {
+	host := hostfs.NewMemFS()
+	const seed = "replica-platform"
+	want := sealBenchDB(t, host, seed)
+
+	const readers = 4
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			db, err := Open(replicaCfg(host, seed))
+			if err != nil {
+				t.Errorf("replica %d Open: %v", r, err)
+				return
+			}
+			defer db.Close()
+			for q, expect := range want {
+				rows, err := db.Query(q)
+				if err != nil {
+					t.Errorf("replica %d %q: %v", r, q, err)
+					return
+				}
+				if got := rows.All(); !reflect.DeepEqual(got, expect) {
+					t.Errorf("replica %d %q:\n got %v\nwant %v", r, q, got, expect)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestConcurrentReplicaWrongPlatform: a replica on a different platform
+// must fail to unseal (the protection survives concurrency).
+func TestConcurrentReplicaWrongPlatform(t *testing.T) {
+	host := hostfs.NewMemFS()
+	sealBenchDB(t, host, "platform-a")
+	db, err := Open(replicaCfg(host, "platform-b"))
+	if err == nil {
+		_, qerr := db.Query(`SELECT COUNT(*) FROM inv`)
+		_ = db.Close()
+		if qerr == nil {
+			t.Fatal("wrong-platform replica read the sealed database")
+		}
+	}
+}

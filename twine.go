@@ -20,6 +20,15 @@
 // the two enclave transitions a classic OCALL pays; set Config.Switchless
 // to SwitchlessOff to restore the baseline two-transition dispatch.
 //
+// The runtime is concurrent (PR 3): ECALLs from distinct goroutines
+// multiplex over a bounded pool of thread control structures
+// (sgx.Config.TCSNum), so many instances of one module serve requests in
+// parallel. The serving front door is Runtime.NewPool:
+//
+//	pool, err := rt.NewPool(mod, twine.PoolConfig{Workers: 4})
+//	out, err := pool.Submit(args...)          // one request, any goroutine
+//	err = pool.Serve(n, argsFn, doneFn)       // a batch across all workers
+//
 // For the paper's flagship use case — a trusted full SQL database — see the
 // tsql subpackage.
 package twine
@@ -52,8 +61,18 @@ type (
 	Module = core.Module
 	// Instance is an instantiated module whose linear memory is charged
 	// against the enclave's EPC; Run executes its WASI start routine and
-	// Invoke calls exported functions, each through an ECALL.
+	// Invoke calls exported functions, each through an ECALL. Distinct
+	// instances execute concurrently, bounded by the enclave's TCS pool.
 	Instance = core.Instance
+	// Pool is the serving front door (PR 3): N worker instances of one
+	// module, stamped out by copy-from-snapshot, serving concurrent
+	// requests through Submit/Serve. See Runtime.NewPool.
+	Pool = core.Pool
+	// PoolConfig sizes a Pool (workers, entry function, optional one-time
+	// init and per-request untrusted host I/O).
+	PoolConfig = core.PoolConfig
+	// PoolStats counts completed requests and pool-level waits.
+	PoolStats = core.PoolStats
 	// Provider serves Wasm modules to attested enclaves over a
 	// provisioning channel (the paper's Figure 1 trusted-deployment
 	// workflow).
