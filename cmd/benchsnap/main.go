@@ -4,9 +4,10 @@
 //
 // It times:
 //
-//   - the Figure 3 PolyBench kernels under the three execution variants
-//     (native Go, plain Wasm AoT ("wamr"), and Wasm-in-enclave
-//     ("twine"));
+//   - the Figure 3 PolyBench kernels under native Go, plain Wasm
+//     ("wamr") and Wasm-in-enclave ("twine"), the Wasm variants each at
+//     the fused AoT tier and the PR 4 register tier ("-reg" suffix; the
+//     register-vs-fused geomeans land in the snapshot's notes);
 //   - the Figure 4 Speedtest1 file-storage penalty (file-backed minus
 //     memory-backed suite time) on in-enclave Wasm over the untrusted
 //     POSIX WASI backend, with switchless OCALLs off ("twine", the PR 1
@@ -32,6 +33,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strings"
@@ -122,6 +124,7 @@ func measureDur(fn func() (time.Duration, error), warmup, minOps int, minWindow 
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	verbose := flag.Bool("v", false, "print register-tier translation counters and instructions retired per tier")
 	kernels := flag.String("kernels", "gemm,2mm,atax,jacobi-2d,cholesky,floyd-warshall",
 		"comma-separated Fig3 kernels")
 	n := flag.Int("n", 32, "kernel problem size")
@@ -162,6 +165,12 @@ func main() {
 		},
 	}
 
+	// fig3: each kernel under native Go, plain Wasm (fused AoT and the
+	// PR 4 register tier), and the same two tiers inside the enclave.
+	// The "-reg" series' geomean against the fused series is the PR 4
+	// acceptance number (BENCH_4.json).
+	geoFused, geoReg := map[string]float64{}, map[string]float64{}
+	nKernels := 0
 	for _, name := range strings.Split(*kernels, ",") {
 		name = strings.TrimSpace(name)
 		k, ok := polybench.ByName(name)
@@ -169,6 +178,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchsnap: unknown kernel %q\n", name)
 			os.Exit(1)
 		}
+		nKernels++
 
 		// native
 		nsNative, ops, err := measure(func() error {
@@ -178,39 +188,78 @@ func main() {
 		die(name+"/native", err)
 		snap.Results = append(snap.Results, Result{"fig3/" + name + "/native", nsNative, ops})
 
-		// wamr: plain AoT Wasm, no enclave
 		bin := k.Build(*n)
+		var ns = map[string]float64{}
+
+		// wamr / wamr-reg: plain Wasm, no enclave.
 		mod, err := wasm.Decode(bin)
 		die(name+"/wamr decode", err)
 		c, err := wasm.Compile(mod)
 		die(name+"/wamr compile", err)
-		imp := wasm.NewImportObject()
-		polybench.MathImports(imp)
-		in, err := wasm.Instantiate(c, imp, wasm.Config{Engine: wasm.EngineAOT})
-		die(name+"/wamr instantiate", err)
-		nsWamr, ops, err := measure(func() error {
-			_, err := in.Invoke("run")
-			return err
-		}, *warmup, *minOps, *window)
-		die(name+"/wamr", err)
-		snap.Results = append(snap.Results, Result{"fig3/" + name + "/wamr", nsWamr, ops})
+		for _, tier := range []struct {
+			suffix string
+			engine wasm.Engine
+		}{{"wamr", wasm.EngineAOT}, {"wamr-reg", wasm.EngineRegister}} {
+			imp := wasm.NewImportObject()
+			polybench.MathImports(imp)
+			in, err := wasm.Instantiate(c, imp, wasm.Config{Engine: tier.engine})
+			die(name+"/"+tier.suffix+" instantiate", err)
+			nsOp, ops, err := measure(func() error {
+				_, err := in.Invoke("run")
+				return err
+			}, *warmup, *minOps, *window)
+			die(name+"/"+tier.suffix, err)
+			snap.Results = append(snap.Results, Result{"fig3/" + name + "/" + tier.suffix, nsOp, ops})
+			ns[tier.suffix] = nsOp
+			if *verbose {
+				fmt.Fprintf(os.Stderr, "    %-10s %12d instructions retired (%d timed runs)\n",
+					tier.suffix, in.InsRetired(), ops)
+			}
+		}
 
-		// twine: the same module inside the enclave
-		rt, err := core.NewRuntime(core.Config{PlatformSeed: "benchsnap", SGX: benchSGX()})
-		die(name+"/twine runtime", err)
-		tmod, err := rt.LoadModule(bin)
-		die(name+"/twine load", err)
-		inst, err := rt.NewInstance(tmod)
-		die(name+"/twine instantiate", err)
-		nsTwine, ops, err := measure(func() error {
-			_, err := inst.Invoke("run")
-			return err
-		}, *warmup, *minOps, *window)
-		die(name+"/twine", err)
-		snap.Results = append(snap.Results, Result{"fig3/" + name + "/twine", nsTwine, ops})
+		// twine / twine-reg: the same module inside the enclave.
+		for _, tier := range []struct {
+			suffix string
+			engine wasm.Engine
+		}{{"twine", wasm.EngineAOT}, {"twine-reg", wasm.EngineRegister}} {
+			rt, err := core.NewRuntime(core.Config{PlatformSeed: "benchsnap", SGX: benchSGX(), Engine: tier.engine})
+			die(name+"/"+tier.suffix+" runtime", err)
+			tmod, err := rt.LoadModule(bin)
+			die(name+"/"+tier.suffix+" load", err)
+			inst, err := rt.NewInstance(tmod)
+			die(name+"/"+tier.suffix+" instantiate", err)
+			nsOp, ops, err := measure(func() error {
+				_, err := inst.Invoke("run")
+				return err
+			}, *warmup, *minOps, *window)
+			die(name+"/"+tier.suffix, err)
+			snap.Results = append(snap.Results, Result{"fig3/" + name + "/" + tier.suffix, nsOp, ops})
+			ns[tier.suffix] = nsOp
+			if *verbose {
+				fmt.Fprintf(os.Stderr, "    %-10s %12d instructions retired (%d timed runs)\n",
+					tier.suffix, inst.In.InsRetired(), ops)
+				if tier.engine == wasm.EngineRegister {
+					st := tmod.Compiled.RegStats()
+					fmt.Fprintf(os.Stderr, "    %-10s translate: %d funcs, %d folds, %d props, %d dead stores, %d fused, %d hoisted windows, %d bailouts\n",
+						tier.suffix, st.Funcs, st.Folds, st.Props, st.DeadStores, st.Fused, st.Hoists, st.Bailouts)
+				}
+			}
+		}
 
-		fmt.Fprintf(os.Stderr, "%-16s native %10.0f ns  wamr %12.0f ns  twine %12.0f ns  (twine/wamr %.2fx)\n",
-			name, nsNative, nsWamr, nsTwine, nsTwine/nsWamr)
+		geoFused["wamr"] += lg(ns["wamr"])
+		geoReg["wamr"] += lg(ns["wamr-reg"])
+		geoFused["twine"] += lg(ns["twine"])
+		geoReg["twine"] += lg(ns["twine-reg"])
+		fmt.Fprintf(os.Stderr, "%-16s native %10.0f ns  wamr %11.0f/%11.0f ns  twine %11.0f/%11.0f ns  (reg speedup %.2fx/%.2fx)\n",
+			name, nsNative, ns["wamr"], ns["wamr-reg"], ns["twine"], ns["twine-reg"],
+			ns["wamr"]/ns["wamr-reg"], ns["twine"]/ns["twine-reg"])
+	}
+	if nKernels > 0 {
+		for _, v := range []string{"wamr", "twine"} {
+			sp := math.Exp((geoFused[v] - geoReg[v]) / float64(nKernels))
+			snap.Notes["fig3-reg-geomean-"+v] = fmt.Sprintf("%.3fx", sp)
+			fmt.Fprintf(os.Stderr, "%-16s register-tier geomean speedup over fused: %.3fx\n", v, sp)
+		}
 	}
 
 	// Fig4/Fig7 file-backed series, switchless off ("twine", the PR 1
@@ -347,6 +396,9 @@ func main() {
 	}
 	die("write", os.WriteFile(*out, enc, 0o644))
 }
+
+// lg is the natural log used for the geomean accumulators.
+func lg(x float64) float64 { return math.Log(x) }
 
 func die(what string, err error) {
 	if err != nil {

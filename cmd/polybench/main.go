@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	polybench [-n size] [-kernels a,b,c] [-memsweep kernel]
+//	polybench [-n size] [-kernels a,b,c] [-memsweep kernel] [-engine aot|reg|interp]
 package main
 
 import (
@@ -24,7 +24,21 @@ func main() {
 	n := flag.Int("n", 48, "problem size per kernel")
 	names := flag.String("kernels", "", "comma-separated kernel subset (default: all 30)")
 	memsweep := flag.String("memsweep", "", "report the memory floor sweep for one kernel (paper §V-B)")
+	engineName := flag.String("engine", "aot", "Wasm execution tier: aot (fused, default), reg (PR 4 register IR), interp")
 	flag.Parse()
+
+	var engine wasm.Engine
+	switch *engineName {
+	case "aot":
+		engine = wasm.EngineAOT
+	case "reg":
+		engine = wasm.EngineRegister
+	case "interp":
+		engine = wasm.EngineInterp
+	default:
+		fmt.Fprintf(os.Stderr, "polybench: unknown engine %q\n", *engineName)
+		os.Exit(1)
+	}
 
 	if *memsweep != "" {
 		if err := runMemSweep(*memsweep, *n); err != nil {
@@ -48,15 +62,15 @@ func main() {
 		kernels = subset
 	}
 
-	cfg := core.Config{PlatformSeed: "fig3", SGX: sgx.DefaultConfig()}
+	cfg := core.Config{PlatformSeed: "fig3", SGX: sgx.DefaultConfig(), Engine: engine}
 	cfg.SGX.ReservedSize = 64 << 20
 	cfg.SGX.HeapSize = 512 << 20
 
-	fmt.Printf("Figure 3 — PolyBench/C, run time normalised to native (n=%d)\n", *n)
+	fmt.Printf("Figure 3 — PolyBench/C, run time normalised to native (n=%d, engine=%v)\n", *n, engine)
 	fmt.Printf("%-16s %12s %10s %10s\n", "kernel", "native", "wamr", "twine")
 	for _, k := range kernels {
 		sumN, tn := polybench.RunNative(k, *n)
-		sumW, tw, err := polybench.RunWasm(k, *n, wasm.EngineAOT)
+		sumW, tw, err := polybench.RunWasm(k, *n, engine)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "polybench: %s (wamr): %v\n", k.Name, err)
 			os.Exit(1)

@@ -135,8 +135,11 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		cfg.Preopens = map[string]string{"/": ""}
 	}
 	// Normalize out-of-range engine values; EngineAOT is already the zero
-	// value, so only an explicit EngineInterp selects the interpreter.
-	if cfg.Engine != wasm.EngineInterp {
+	// value, so only an explicit EngineInterp or EngineRegister selects
+	// another tier. The register tier (PR 4) is wired like Switchless: a
+	// plain Config knob, with the fused AoT path as the bit-identical
+	// default.
+	if cfg.Engine != wasm.EngineInterp && cfg.Engine != wasm.EngineRegister {
 		cfg.Engine = wasm.EngineAOT
 	}
 
@@ -196,11 +199,11 @@ func registerMathImports(imp *wasm.ImportObject) {
 	f64x2 := wasm.FuncType{Params: []wasm.ValueType{wasm.F64, wasm.F64}, Results: []wasm.ValueType{wasm.F64}}
 	imp.AddFunc(wasm.HostFunc{Module: "math", Name: "exp", Type: f64f64,
 		Fn: func(in *wasm.Instance, a []uint64) ([]uint64, error) {
-			return []uint64{pf64(mexp(f64(a[0])))}, nil
+			return in.Ret1(pf64(mexp(f64(a[0])))), nil
 		}})
 	imp.AddFunc(wasm.HostFunc{Module: "math", Name: "pow", Type: f64x2,
 		Fn: func(in *wasm.Instance, a []uint64) ([]uint64, error) {
-			return []uint64{pf64(mpow(f64(a[0]), f64(a[1])))}, nil
+			return in.Ret1(pf64(mpow(f64(a[0]), f64(a[1])))), nil
 		}})
 }
 
@@ -240,6 +243,18 @@ func (rt *Runtime) LoadModule(wasmBytes []byte) (*Module, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	// The register tier translates at load time (AoT, like wamrc); its
+	// translation counters are part of the load profile.
+	if rt.cfg.Engine == wasm.EngineRegister {
+		st := mod.Compiled.RegStats()
+		rt.prof.Add("wasm.reg.funcs", st.Funcs)
+		rt.prof.Add("wasm.reg.bailouts", st.Bailouts)
+		rt.prof.Add("wasm.reg.folds", st.Folds)
+		rt.prof.Add("wasm.reg.props", st.Props)
+		rt.prof.Add("wasm.reg.deadstores", st.DeadStores)
+		rt.prof.Add("wasm.reg.fused", st.Fused)
+		rt.prof.Add("wasm.reg.hoists", st.Hoists)
 	}
 	mod.LoadTime = time.Since(start)
 	rt.prof.AddTime("twine.load", mod.LoadTime)

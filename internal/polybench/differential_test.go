@@ -1,0 +1,59 @@
+package polybench
+
+import (
+	"math"
+	"testing"
+
+	"twine/internal/wasm"
+)
+
+// TestTierDifferential runs every PolyBench kernel under all three
+// execution tiers — interpreter, fused AoT, and the PR 4 register tier —
+// and requires bit-identical checksums. The interpreter is the reference
+// semantics; the register tier's folding, propagation and fusion must
+// never change a result bit (floats are deliberately never folded at
+// translation time for exactly this reason).
+func TestTierDifferential(t *testing.T) {
+	const n = 12
+	for _, k := range All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			bin := k.Build(n)
+			mod, err := wasm.Decode(bin)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := wasm.Compile(mod)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sums [3]uint64
+			for i, eng := range []wasm.Engine{wasm.EngineInterp, wasm.EngineAOT, wasm.EngineRegister} {
+				imp := wasm.NewImportObject()
+				MathImports(imp)
+				in, err := wasm.Instantiate(c, imp, wasm.Config{Engine: eng})
+				if err != nil {
+					t.Fatalf("%v: %v", eng, err)
+				}
+				// Two invocations: the second runs over dirtied memory,
+				// exercising re-initialisation under each tier.
+				for r := 0; r < 2; r++ {
+					out, err := in.Invoke("run")
+					if err != nil {
+						t.Fatalf("%v: %v", eng, err)
+					}
+					sums[i] = out[0]
+				}
+			}
+			if sums[0] != sums[1] || sums[0] != sums[2] {
+				t.Errorf("checksum mismatch: interp=%x (%v) aot=%x reg=%x",
+					sums[0], math.Float64frombits(sums[0]), sums[1], sums[2])
+			}
+			// The register tier must actually have engaged (no silent
+			// wholesale bailout to the fused form).
+			if st := c.RegStats(); st.Funcs == 0 {
+				t.Errorf("register translation bailed out entirely: %+v", st)
+			}
+		})
+	}
+}

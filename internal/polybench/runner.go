@@ -16,11 +16,11 @@ func MathImports(imp *wasm.ImportObject) {
 	f2 := wasm.FuncType{Params: []wasm.ValueType{wasm.F64, wasm.F64}, Results: []wasm.ValueType{wasm.F64}}
 	imp.AddFunc(wasm.HostFunc{Module: "math", Name: "exp", Type: f1,
 		Fn: func(in *wasm.Instance, a []uint64) ([]uint64, error) {
-			return []uint64{math.Float64bits(math.Exp(math.Float64frombits(a[0])))}, nil
+			return in.Ret1(math.Float64bits(math.Exp(math.Float64frombits(a[0])))), nil
 		}})
 	imp.AddFunc(wasm.HostFunc{Module: "math", Name: "pow", Type: f2,
 		Fn: func(in *wasm.Instance, a []uint64) ([]uint64, error) {
-			return []uint64{math.Float64bits(math.Pow(math.Float64frombits(a[0]), math.Float64frombits(a[1])))}, nil
+			return in.Ret1(math.Float64bits(math.Pow(math.Float64frombits(a[0]), math.Float64frombits(a[1])))), nil
 		}})
 }
 

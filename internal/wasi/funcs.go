@@ -44,7 +44,10 @@ func (s *System) Register(imp *wasm.ImportObject) {
 				if len(results) == 0 {
 					return nil, nil
 				}
-				return []uint64{uint64(errno)}, nil
+				// The per-instance result buffer keeps the hot WASI path
+				// allocation-free (one []uint64 per call adds up at
+				// millions of host calls; see BenchmarkHostCallAllocs).
+				return in.Ret1(uint64(errno)), nil
 			},
 		})
 	}

@@ -1,0 +1,164 @@
+package wasm
+
+import (
+	"testing"
+
+	"twine/wasmgen"
+)
+
+// Fusion-boundary coverage: the AoT peephole must never merge a window
+// that a branch target (plain branch, loop back-edge, or br_table
+// destination) lands inside. Because block/end emit no lowered
+// instructions, a branched-to block end can sit exactly between two
+// otherwise fusable instructions — jumping into a fused window would
+// execute a remapped-to-zero pc or replay the window prefix.
+
+// runAllEngines instantiates the module under every engine and asserts
+// they agree on the single result of "run".
+func runAllEngines(t *testing.T, bytes []byte, args ...uint64) uint64 {
+	t.Helper()
+	mod, err := Decode(bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got [3]uint64
+	for i, eng := range []Engine{EngineInterp, EngineAOT, EngineRegister} {
+		in, err := Instantiate(c, nil, Config{Engine: eng})
+		if err != nil {
+			t.Fatalf("%v: %v", eng, err)
+		}
+		out, err := in.Invoke("run", args...)
+		if err != nil {
+			t.Fatalf("%v: %v", eng, err)
+		}
+		got[i] = out[0]
+	}
+	if got[0] != got[1] || got[0] != got[2] {
+		t.Fatalf("engines disagree: interp=%d aot=%d reg=%d", got[0], got[1], got[2])
+	}
+	return got[0]
+}
+
+// noGet2Across asserts the fused body contains no local_get2 merging
+// locals a and b — the pair the test module lays out across a boundary.
+func noGet2Across(t *testing.T, bytes []byte, a, b int32) {
+	t.Helper()
+	mod, err := Decode(bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range c.aot()[0].code {
+		if i.op == opFusedLocalGet2 && i.a == a && i.b == b {
+			t.Fatalf("local.get %d/%d fused across a branch-target boundary", a, b)
+		}
+	}
+}
+
+// TestFuseBackEdgeBoundary pins that a loop back-edge target between two
+// otherwise fusable instructions is never fused across: the loop header
+// sits exactly between "local.get 0" and "local.get 1".
+func TestFuseBackEdgeBoundary(t *testing.T) {
+	m := wasmgen.NewModule()
+	f := m.Func(wasmgen.Sig(wasmgen.I32, wasmgen.I32).Returns(wasmgen.I32))
+	sum := f.AddLocal(wasmgen.I32)
+	i := f.AddLocal(wasmgen.I32)
+	f.LocalGet(0) // candidate first half of a local_get2 window
+	f.Block(wasmgen.BlockVoid)
+	f.Loop(wasmgen.BlockVoid) // back-edge target lands here
+	f.LocalGet(1)             // candidate second half
+	f.LocalGet(sum).I32Add().LocalSet(sum)
+	f.LocalGet(i).I32Const(1).I32Add().LocalTee(i)
+	f.I32Const(3).I32GeS().BrIf(1)
+	f.Br(0)
+	f.End()
+	f.End()
+	f.Drop() // the carried local.get 0
+	f.LocalGet(sum)
+	f.End()
+	m.Export("run", f)
+
+	noGet2Across(t, m.Bytes(), 0, 1)
+	// Three iterations of sum += p1.
+	if got := runAllEngines(t, m.Bytes(), 7, 14); got != 42 {
+		t.Fatalf("sum = %d, want 42", got)
+	}
+}
+
+// TestFuseBrTableBoundary pins that br_table destinations are fusion
+// boundaries. The branched-to end of block B2 sits between "local.get 0"
+// (B2's final instruction) and "local.get 1" (the instruction after it),
+// an otherwise fusable pair.
+func TestFuseBrTableBoundary(t *testing.T) {
+	m := wasmgen.NewModule()
+	// Params: p0 = condition/fallback value, p1 = branched value, p2 = index.
+	f := m.Func(wasmgen.Sig(wasmgen.I32, wasmgen.I32, wasmgen.I32).Returns(wasmgen.I32))
+	f.Block(wasmgen.BlockI32) // B1
+	f.Block(wasmgen.BlockI32) // B2
+	f.LocalGet(0)
+	f.If(wasmgen.BlockVoid)
+	f.LocalGet(1)
+	f.LocalGet(2)
+	f.BrTable(1, 2) // case 0 -> B2 end, default -> B1 end (both carry one i32)
+	f.End()
+	f.LocalGet(2) // X: B2's result on the fallthrough path
+	f.End()       // <- br_table case target, between X and Y
+	f.LocalGet(1) // Y: fusable with X were the boundary ignored
+	f.I32Add()
+	f.End()
+	f.End()
+	m.Export("run", f)
+
+	noGet2Across(t, m.Bytes(), 2, 1)
+	// cond=0: if skipped, B2 = p2, result p2+p1.
+	if got := runAllEngines(t, m.Bytes(), 0, 30, 7); got != 37 {
+		t.Fatalf("fallthrough = %d, want 37", got)
+	}
+	// cond=1, idx=0: br_table case -> B2 end with p1, result p1+p1.
+	if got := runAllEngines(t, m.Bytes(), 1, 30, 0); got != 60 {
+		t.Fatalf("case 0 = %d, want 60", got)
+	}
+	// cond=1, idx>=1: default -> B1 end with p1, skipping the add.
+	if got := runAllEngines(t, m.Bytes(), 1, 30, 3); got != 30 {
+		t.Fatalf("default = %d, want 30", got)
+	}
+}
+
+// TestFuseBranchIntoWindow is the regression case: a conditional branch
+// whose target lands in the middle of a previously-fused window shape
+// (the local_get2 pair introduced in PR 1). The br_if target is block
+// B2's end, which sits exactly between the two local.gets.
+func TestFuseBranchIntoWindow(t *testing.T) {
+	m := wasmgen.NewModule()
+	// Params: p0 = condition (also fallback value), p1 = branched value.
+	f := m.Func(wasmgen.Sig(wasmgen.I32, wasmgen.I32).Returns(wasmgen.I32))
+	f.Block(wasmgen.BlockI32) // B1
+	f.Block(wasmgen.BlockI32) // B2
+	f.LocalGet(1)             // value carried by the taken branch
+	f.LocalGet(0)             // condition
+	f.BrIf(0)                 // jumps between X and Y below
+	f.Drop()
+	f.LocalGet(0) // X
+	f.End()       // <- br_if target
+	f.LocalGet(1) // Y
+	f.I32Add()
+	f.End()
+	f.End()
+	m.Export("run", f)
+
+	noGet2Across(t, m.Bytes(), 0, 1)
+	// cond=0: B2 = p0 -> p0+p1; cond!=0: branch carries p1 -> p1+p1.
+	if got := runAllEngines(t, m.Bytes(), 4, 25); got != 50 {
+		t.Fatalf("taken branch = %d, want 50", got)
+	}
+	if got := runAllEngines(t, m.Bytes(), 0, 25); got != 25 {
+		t.Fatalf("fallthrough = %d, want 25", got)
+	}
+}

@@ -27,6 +27,11 @@ type compiledFunc struct {
 	localTypes []ValueType
 	code       []ins
 	brTables   [][]brTarget
+	// reg marks a register-form body (PR 4): code is three-address over
+	// the frame register file and executes through runRegBody. The frame
+	// footprint is unchanged — operand-slot homes reuse the maxStack
+	// area — so stack-overflow traps fire at the same call depths.
+	reg bool
 }
 
 // Compiled is a fully validated module with lowered function bodies, ready
@@ -42,6 +47,17 @@ type Compiled struct {
 	// AoT instance — instantiation no longer re-fuses per instance.
 	aotOnce  sync.Once
 	aotFuncs []compiledFunc
+
+	// The register-IR translation (PR 4) is likewise derived once and
+	// shared. Functions the translator cannot prove fall back to their
+	// fused form, so a register-tier instance may mix both body kinds.
+	// Two forms exist: index 1 carries hoisted memory guards (for
+	// instances whose accesses are EPC-accounted through a touch hook),
+	// index 0 omits them (a guard is pure dispatch overhead when there
+	// is no touch to elide).
+	regOnce  [2]sync.Once
+	regFuncs [2][]compiledFunc
+	regStats [2]RegStats
 }
 
 // aot returns the fused (AoT) form of the function bodies, translating on
@@ -55,6 +71,43 @@ func (c *Compiled) aot() []compiledFunc {
 		c.aotFuncs = fused
 	})
 	return c.aotFuncs
+}
+
+// reg returns the register-IR form of the function bodies, translating
+// on first use. The result is immutable and shared across instances.
+func (c *Compiled) reg(guarded bool) []compiledFunc {
+	v := 0
+	if guarded {
+		v = 1
+	}
+	c.regOnce[v].Do(func() {
+		fused := c.aot()
+		out := make([]compiledFunc, len(c.Funcs))
+		for i := range c.Funcs {
+			// Per-function counters merge only on success, so a bailed
+			// function's discarded optimisations never inflate the
+			// module's reported stats.
+			var fs RegStats
+			rf, ok := translateReg(c.Module, &c.Funcs[i], &fs, guarded)
+			if ok {
+				out[i] = rf
+				c.regStats[v].merge(fs)
+				c.regStats[v].Funcs++
+			} else {
+				out[i] = fused[i]
+				c.regStats[v].Bailouts++
+			}
+		}
+		c.regFuncs[v] = out
+	})
+	return c.regFuncs[v]
+}
+
+// RegStats reports the register-tier translation counters of the guarded
+// (EPC-accounted) form, forcing the translation if it has not run yet.
+func (c *Compiled) RegStats() RegStats {
+	c.reg(true)
+	return c.regStats[1]
 }
 
 // NumInstructions reports the total lowered instruction count across all

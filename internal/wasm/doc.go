@@ -1,9 +1,12 @@
 // Package wasm implements a WebAssembly 1.0 (MVP) runtime in pure Go: a
 // binary decoder, a validating compiler that lowers structured control flow
-// to branch-resolved internal code, and two execution engines mirroring the
-// WAMR modes the paper uses — a plain interpreter and an "AoT" engine that
-// runs a pre-translated, peephole-fused form of the code (§III-B, Table I;
-// the runtime TWINE embeds in the enclave is §IV-B).
+// to branch-resolved internal code, and three execution engines — a plain
+// interpreter and an "AoT" engine that runs a pre-translated,
+// peephole-fused form of the code, mirroring the WAMR modes the paper uses
+// (§III-B, Table I; the runtime TWINE embeds in the enclave is §IV-B), plus
+// a second AoT stage (PR 4, EngineRegister) that rewrites each function
+// into a basic-block register IR with constant folding, copy propagation
+// and hoisted bounds checks.
 //
 // TWINE embeds this runtime inside the SGX enclave simulator; the runtime
 // itself is host-agnostic and reports linear-memory accesses through an
@@ -26,4 +29,41 @@
 //     loads/stores into superinstructions, but never elides or reorders
 //     the memory accesses themselves, so the touch sequence an
 //     instruction stream produces is engine-independent.
+//
+// # Register-IR invariants (PR 4)
+//
+// The register tier adds translation-time optimisation, under rules that
+// keep every tier bit-exact against the interpreter:
+//
+//   - Folding is integer-only and excludes trapping ops. Floats are
+//     NEVER folded (not even int→float conversions): a value computed at
+//     translation time by the Go compiler could legally differ from the
+//     runtime arms in NaN bit patterns or contraction, so every float
+//     result comes from runtime arithmetic on every tier. Non-NaN float
+//     results are bit-identical across tiers (fusions preserve operand
+//     order, and IEEE add/mul are bitwise commutative on non-NaN
+//     values); NaN payload bits are nondeterministic across tiers —
+//     exactly the latitude the wasm spec gives — because the stack
+//     tiers share one set of arithmetic arms while the register tier
+//     has its own, and hardware NaN propagation follows the operand
+//     order each compiled arm happens to use.
+//   - CSE (local value numbering) covers pure register computations
+//     only — never loads, globals, or trapping ops — so no trap and no
+//     memory access is ever elided by reuse; dead-store elimination
+//     removes only side-effect-free local stores that are overwritten
+//     before any read, branch, call boundary or block end.
+//   - Memory accesses are never reordered or elided: the checked access
+//     ops route through the same memLoad*/memStore* helpers as the
+//     stack tiers (identical bounds traps, messages and touch order).
+//   - Hoisting a bounds check is legal only for a window, inside one
+//     basic block, in which EVERY access is covered by a guard: each
+//     guard proves — per execution — that its accesses' whole span is
+//     in bounds and that every touch would be a no-op (no hook, or one
+//     EPC-TLB-hot page at the current paging generation), and no call,
+//     memory.grow, base-register write or inbound branch target breaks
+//     the window. Only then do raw (check-free, touch-free) accesses
+//     run; any failed guard transfers to a verbatim checked copy of the
+//     window suffix, so paging counters and trap sites are identical on
+//     every path (internal/core/tier_test.go pins this under eviction
+//     pressure and with the working set resident).
 package wasm

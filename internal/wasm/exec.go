@@ -30,7 +30,11 @@ func (in *Instance) invokeFunc(fi int) {
 	for i := range locals {
 		locals[i] = 0
 	}
-	in.runBody(fn, base)
+	if fn.reg {
+		in.runRegBody(fn, base)
+	} else {
+		in.runBody(fn, base)
+	}
 	in.depth--
 }
 
@@ -68,9 +72,11 @@ func (in *Instance) runBody(fn *compiledFunc, bp int) {
 	mem := in.mem
 	sp := bp + fn.numParams + fn.numLocals
 	pc := 0
+	var retired int64
 
 	for {
 		i := &code[pc]
+		retired++
 		switch i.op {
 
 		// --- control ---
@@ -109,6 +115,7 @@ func (in *Instance) runBody(fn *compiledFunc, bp int) {
 			keep := int(i.c)
 			copy(stack[bp:bp+keep], stack[sp-keep:sp])
 			in.sp = bp + keep
+			in.insRetired += retired
 			return
 		case opFusedCmpBr:
 			// Fused i32 compare + conditional branch (AoT engine).

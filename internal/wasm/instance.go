@@ -17,13 +17,23 @@ const (
 	EngineAOT Engine = iota
 	// EngineInterp executes the lowered code directly.
 	EngineInterp
+	// EngineRegister executes the second AoT stage (PR 4): per-function
+	// register IR with constant folding, copy propagation and hoisted
+	// bounds checks. Semantics are bit-identical to the other engines
+	// (same results, traps, and EPC fault/eviction counts); functions
+	// the translator cannot prove run in their fused AoT form.
+	EngineRegister
 )
 
 func (e Engine) String() string {
-	if e == EngineAOT {
+	switch e {
+	case EngineAOT:
 		return "aot"
+	case EngineRegister:
+		return "reg"
+	default:
+		return "interp"
 	}
-	return "interp"
 }
 
 // HostFunc is a native function exposed to guest code.
@@ -102,6 +112,11 @@ type Instance struct {
 	depth int
 
 	hostArgBuf []uint64
+	hostRetBuf []uint64
+
+	// insRetired counts guest instructions dispatched by this instance
+	// (all engines), surfaced per tier by benchsnap -v.
+	insRetired int64
 }
 
 // newInstance builds the per-instance shell: resolved imports, shared
@@ -141,10 +156,20 @@ func newInstance(c *Compiled, imports *ImportObject, cfg Config) (*Instance, err
 		}
 	}
 
-	// Functions: the AoT form is translated once per Compiled and shared.
-	in.funcs = c.Funcs
-	if cfg.Engine == EngineAOT {
+	// Functions: the AoT and register forms are translated once per
+	// Compiled and shared across instances.
+	switch cfg.Engine {
+	case EngineAOT:
 		in.funcs = c.aot()
+	case EngineRegister:
+		// The guarded form pays one guard dispatch per hoisted window to
+		// skip per-access EPC-TLB probes; worth it only when the TLB is
+		// live (a guard can never pass without a generation to validate
+		// against, so a touch hook without TouchGen — the NoEPCTLB
+		// ablation — takes the unguarded form).
+		in.funcs = c.reg(cfg.TouchGen != nil)
+	default:
+		in.funcs = c.Funcs
 	}
 
 	// Memory.
@@ -242,6 +267,28 @@ func (in *Instance) evalInit(e InitExpr) (uint64, error) {
 
 // Memory returns the instance memory (nil when the module has none).
 func (in *Instance) Memory() *Memory { return in.mem }
+
+// InsRetired reports the guest instructions dispatched by this instance.
+func (in *Instance) InsRetired() int64 { return in.insRetired }
+
+// RetBuf returns the instance's host-call result buffer sized to n
+// slots. Host functions use it (directly or via Ret1) so returning
+// results does not allocate on every call; the buffer is consumed by
+// invokeHost before the next host call can run.
+func (in *Instance) RetBuf(n int) []uint64 {
+	if cap(in.hostRetBuf) < n {
+		in.hostRetBuf = make([]uint64, n)
+	}
+	return in.hostRetBuf[:n]
+}
+
+// Ret1 returns a single-result slice backed by the instance's reusable
+// host-call result buffer.
+func (in *Instance) Ret1(v uint64) []uint64 {
+	r := in.RetBuf(1)
+	r[0] = v
+	return r
+}
 
 // HostCtx returns the opaque context configured at instantiation.
 func (in *Instance) HostCtx() any { return in.cfg.HostCtx }

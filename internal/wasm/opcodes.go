@@ -234,3 +234,110 @@ const (
 	opFusedF64LoadCmp       uint16 = 0x210 // pop addr; top = b2u(cmp_b(top, mem[addr+imm]))
 	opFusedI32LoadLocal     uint16 = 0x211 // push u32 mem[local[a] + offset imm]
 )
+
+// Register-IR opcodes (PR 4). The register tier rewrites each function's
+// lowered stack code into three-address instructions over a register file
+// that reuses the frame layout: registers 0..numParams+numLocals-1 are the
+// locals, and register numParams+numLocals+i is the canonical home of
+// operand-stack slot i. Plain value-typed wasm opcodes (arithmetic,
+// compares, conversions) are reused verbatim in register code interpreted
+// three-address — dst in .a, sources in .b/.c — so only control flow,
+// moves, memory and immediate-fused forms need dedicated encodings.
+const (
+	// Moves and constants.
+	rOpConst uint16 = 0x300 // r[a] = imm
+	rOpCopy  uint16 = 0x301 // r[a] = r[b]
+
+	// Control. Branch targets (.a) are absolute register-code indexes.
+	rOpBr      uint16 = 0x302 // pc = a
+	rOpBrIf    uint16 = 0x303 // if u32(r[b]) != 0: pc = a
+	rOpBrIfZ   uint16 = 0x304 // if u32(r[b]) == 0: pc = a
+	rOpBrTable uint16 = 0x305 // a=table idx, b=index reg, c=frame offset of operand top
+	rOpReturn  uint16 = 0x306 // copy r[a:a+c] to r[0:c]; c=nresults
+	rOpUnreach uint16 = 0x307
+
+	// Calls. b is the frame offset of the operand-stack top (args
+	// included) so the callee frame can be placed without tracking sp.
+	rOpCall         uint16 = 0x308 // a=function index
+	rOpCallIndirect uint16 = 0x309 // a=type idx, b=top offset after elem pop, c=elem reg
+
+	// Parametric. select: r[a] = u32(r[imm]) != 0 ? r[b] : r[c].
+	rOpSelect uint16 = 0x30A
+
+	// Globals.
+	rOpGlobalGet uint16 = 0x30B // r[a] = globals[b]
+	rOpGlobalSet uint16 = 0x30C // globals[a] = r[b]
+
+	// Memory management.
+	rOpMemSize uint16 = 0x30D // r[a] = pages
+	rOpMemGrow uint16 = 0x30E // r[a] = grow(u32(r[b]))
+
+	// Checked memory accesses, 0x310..0x31F. Loads are
+	// r[a] = mem[u32(r[b]) + imm]; stores are mem[u32(r[a]) + imm] = r[b].
+	// All go through the same memLoad*/memStore* helpers the stack tiers
+	// use: identical bounds checks, trap messages and EPC touch sequences.
+	rOpLoad32U   uint16 = 0x310 // i32.load / f32.load / i64.load32_u
+	rOpLoad64    uint16 = 0x311 // i64.load / f64.load
+	rOpLoad8U    uint16 = 0x312 // i32.load8_u / i64.load8_u
+	rOpLoad16U   uint16 = 0x313 // i32.load16_u / i64.load16_u
+	rOpLoad8S32  uint16 = 0x314 // i32.load8_s
+	rOpLoad16S32 uint16 = 0x315 // i32.load16_s
+	rOpLoad8S64  uint16 = 0x316 // i64.load8_s
+	rOpLoad16S64 uint16 = 0x317 // i64.load16_s
+	rOpLoad32S64 uint16 = 0x318 // i64.load32_s
+	rOpStore8    uint16 = 0x319
+	rOpStore16   uint16 = 0x31A
+	rOpStore32   uint16 = 0x31B
+	rOpStore64   uint16 = 0x31C
+	// mem[u32(r[a]) + uint32(c)] = imm (64-bit const store, init loops).
+	rOpStore64Imm uint16 = 0x31D
+	// Affine accesses: addr = u32(u32(r)*m + A) with imm = m<<32|A and
+	// the wasm offset in c. Loads (index in r[b]): r[a] = mem[addr+c];
+	// the store (index in r[a]) does mem[addr+c] = r[b]. One dispatch for
+	// the "scale index, add array base, access" tail of every
+	// array-element access.
+	rOpLoadAff64  uint16 = 0x31E
+	rOpLoadAff32  uint16 = 0x31F
+	rOpStoreAff64 uint16 = 0x320
+
+	// Hoisted per-window memory guards. rOpMemGuard: base = u32(r[b]),
+	// span = [base+minOff, base+maxEnd) with imm = minOff<<32|maxEnd.
+	// rOpMemGuardAff: base = u32(u32(r[b])*m + A) with imm = m<<32|A and
+	// c = minOff<<16|maxEnd. If the span is in bounds and either no touch
+	// hook is installed or the whole span lies on one already-hot EPC-TLB
+	// page (at the current paging generation), execution falls through
+	// into the raw window; otherwise pc = a (the checked copy of the
+	// window). The guard itself never traps and never touches, so
+	// counters, trap sites and trap messages are bit-identical either way.
+	rOpMemGuard    uint16 = 0x330
+	rOpMemGuardAff uint16 = 0x331
+
+	// Raw twins of the checked 0x310..0x320 block: same operands, no
+	// bounds check, no touch. Only ever emitted inside a window proven
+	// safe by a preceding guard (see regalloc.go for the legality
+	// argument).
+	rawDelta    uint16 = 0x40
+	rOpRawFirst uint16 = rOpLoad32U + rawDelta // 0x350
+	rOpRawLast  uint16 = rOpStoreAff64 + rawDelta
+
+	// Immediate-fused ALU forms (the register tier's superinstructions).
+	rOpI32AddImm   uint16 = 0x380 // r[a] = u32(r[b]) + u32(imm)
+	rOpI32MulImm   uint16 = 0x381 // r[a] = u32(r[b]) * u32(imm)
+	rOpI64AddImm   uint16 = 0x382 // r[a] = r[b] + imm
+	rOpI32MulAdd   uint16 = 0x383 // r[a] = u32(r[b])*u32(imm) + u32(r[c])
+	rOpI32MulAddII uint16 = 0x384 // r[a] = u32(r[b])*u32(imm>>32) + u32(imm)
+	rOpF64MulAdd   uint16 = 0x385 // r[a] = f64(r[imm]) + f64(r[b])*f64(r[c]), both roundings kept
+
+	// f64 multiply with an immediate operand (NOT constant folding —
+	// the multiply runs at execution with the exact constant bits).
+	// c = 0: r[a] = f64(r[b]) * f64(imm); c = 1: the constant was the
+	// left operand, r[a] = f64(imm) * f64(r[b]) — order is preserved
+	// because NaN payload propagation makes it observable.
+	rOpF64MulImm uint16 = 0x386
+
+	// Fused compare-and-branch. The low 32 bits of imm hold the i32
+	// compare opcode; rhs is r[c] (rOpBrCmp) or the constant in imm's
+	// high 32 bits (rOpBrCmpImm). Only emitted for drop-free branches.
+	rOpBrCmp    uint16 = 0x390 // if cmp(r[b], r[c]): pc = a
+	rOpBrCmpImm uint16 = 0x391 // if cmp(r[b], u32(imm>>32)): pc = a
+)

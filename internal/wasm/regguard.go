@@ -1,0 +1,372 @@
+package wasm
+
+// regguard.go — block finalisation for the register tier: dead-store
+// compaction and hoisted memory-check windows.
+//
+// Hoisting legality: a window is a run of instructions inside one basic
+// block containing two or more checked accesses that share a base (the
+// same base register for plain accesses, or the same (index register,
+// scale, base constant) triple for affine ones) with constant offsets,
+// where
+//
+//   - the base/index register is not written between the first and last
+//     access (any write closes the group),
+//   - no call, indirect call or memory.grow intervenes (calls can evict
+//     EPC pages and advance the paging generation; grow moves the data),
+//   - no intra-block branch target lands inside the window (nothing can
+//     jump past the guard into raw code), and
+//   - the combined span fits the guard encoding.
+//
+// The guard re-derives the base at run time, so the proof is per
+// execution, not per compilation: it checks the whole span is in bounds
+// and that every touch inside it would provably be a no-op — either no
+// touch hook is installed, or the span lies on a single EPC-TLB page
+// that is hot at the current paging generation. Only then does the raw
+// window run; otherwise control transfers to a verbatim checked copy of
+// the window appended after the function body, which jumps back to the
+// instruction after the window. Bounds traps (message included), touch
+// sequences and fault/eviction counters are therefore bit-identical to
+// the stack tiers on every path.
+
+type guardGroupKey struct {
+	aff bool
+	reg int32
+	mA  uint64
+}
+
+// regAccess describes one checked memory access instruction.
+func regAccess(i *ins) (key guardGroupKey, off, width uint64, ok bool) {
+	switch i.op {
+	case rOpLoad32U:
+		return guardGroupKey{reg: i.b}, i.imm, 4, true
+	case rOpLoad64:
+		return guardGroupKey{reg: i.b}, i.imm, 8, true
+	case rOpLoad8U, rOpLoad8S32, rOpLoad8S64:
+		return guardGroupKey{reg: i.b}, i.imm, 1, true
+	case rOpLoad16U, rOpLoad16S32, rOpLoad16S64:
+		return guardGroupKey{reg: i.b}, i.imm, 2, true
+	case rOpLoad32S64:
+		return guardGroupKey{reg: i.b}, i.imm, 4, true
+	case rOpStore8:
+		return guardGroupKey{reg: i.a}, i.imm, 1, true
+	case rOpStore16:
+		return guardGroupKey{reg: i.a}, i.imm, 2, true
+	case rOpStore32:
+		return guardGroupKey{reg: i.a}, i.imm, 4, true
+	case rOpStore64:
+		return guardGroupKey{reg: i.a}, i.imm, 8, true
+	case rOpStore64Imm:
+		return guardGroupKey{reg: i.a}, uint64(uint32(i.c)), 8, true
+	case rOpLoadAff64:
+		return guardGroupKey{aff: true, reg: i.b, mA: i.imm}, uint64(uint32(i.c)), 8, true
+	case rOpLoadAff32:
+		return guardGroupKey{aff: true, reg: i.b, mA: i.imm}, uint64(uint32(i.c)), 4, true
+	case rOpStoreAff64:
+		return guardGroupKey{aff: true, reg: i.a, mA: i.imm}, uint64(uint32(i.c)), 8, true
+	}
+	return guardGroupKey{}, 0, 0, false
+}
+
+// regWritesDst reports whether the instruction writes register .a.
+func regWritesDst(op uint16) bool {
+	switch op {
+	case rOpConst, rOpCopy, rOpGlobalGet, rOpMemSize, rOpMemGrow, rOpSelect,
+		rOpI32AddImm, rOpI32MulImm, rOpI64AddImm,
+		rOpI32MulAdd, rOpI32MulAddII, rOpF64MulAdd, rOpF64MulImm,
+		rOpLoad32U, rOpLoad64, rOpLoad8U, rOpLoad16U, rOpLoad8S32,
+		rOpLoad16S32, rOpLoad8S64, rOpLoad16S64, rOpLoad32S64,
+		rOpLoadAff64, rOpLoadAff32:
+		return true
+	}
+	return regBinaryOp(op) || regUnaryOp(op)
+}
+
+// regSideEffectFree reports instructions DSE may remove outright.
+func regSideEffectFree(op uint16) bool {
+	switch op {
+	case rOpConst, rOpCopy, rOpSelect,
+		rOpI32AddImm, rOpI32MulImm, rOpI64AddImm,
+		rOpI32MulAdd, rOpI32MulAddII, rOpF64MulAdd, rOpF64MulImm:
+		return true
+	}
+	return regPure(op)
+}
+
+// closeBlock compacts the just-finished block (dropping DSE'd stores),
+// hoists guard windows, and fixes intra-block branch targets.
+//
+// A window is accepted only when EVERY checked access inside it can be
+// guarded: each access belongs to a run (same base, base not rewritten
+// across the run, no barrier), each run gets one guard before its first
+// in-window access, and all members become raw. When every guard passes,
+// the window performs no touches at all — and on the checked path every
+// one of those touches would have been a TLB-hit no-op (the pages are
+// hot, single-span, and the generation cannot move because nothing
+// inside the window touches) — so paging state is bit-identical. If any
+// guard fails, control transfers to a checked copy of the window suffix
+// from that guard's position; everything before it ran raw under proofs
+// that held, so the checked path would have reached the same state.
+func (t *regTranslator) closeBlock() {
+	start := t.blockStart
+	blk := t.out[start:]
+	deadBlk := t.dead[start:]
+	n := len(blk)
+	t.clearPendingLocals()
+	if n == 0 {
+		return
+	}
+
+	// --- pass 1: partition checked accesses into base-stable runs ---
+	type runInfo struct {
+		key     guardGroupKey
+		members []int
+	}
+	var runs []*runInfo
+	open := map[guardGroupKey]*runInfo{}
+	closeAllRuns := func() {
+		for k := range open {
+			delete(open, k)
+		}
+	}
+	for idx := 0; idx < n; idx++ {
+		if deadBlk[idx] {
+			continue
+		}
+		i := &blk[idx]
+		switch i.op {
+		case rOpCall, rOpCallIndirect, rOpMemGrow:
+			closeAllRuns()
+		}
+		if key, _, _, ok := regAccess(i); ok {
+			r := open[key]
+			if r == nil {
+				r = &runInfo{key: key}
+				open[key] = r
+				runs = append(runs, r)
+			}
+			r.members = append(r.members, idx)
+		}
+		if regWritesDst(i.op) {
+			for k := range open {
+				if k.reg == i.a {
+					delete(open, k)
+				}
+			}
+		}
+	}
+
+	// --- pass 2: select windows ---
+	// A candidate window is the span of a run with >= 2 accesses. It is
+	// accepted when no intra-block branch target lands inside, it does
+	// not overlap an accepted window, and every run intersecting it has
+	// a packable guard span for its in-window members.
+	spanOf := func(members []int) (minOff, maxEnd uint64) {
+		for mi, m := range members {
+			_, off, w, _ := regAccess(&blk[m])
+			if mi == 0 || off < minOff {
+				minOff = off
+			}
+			if off+w > maxEnd {
+				maxEnd = off + w
+			}
+		}
+		return minOff, maxEnd
+	}
+	packable := func(key guardGroupKey, minOff, maxEnd uint64) bool {
+		if key.aff {
+			return minOff <= 0xFFFF && maxEnd <= 0xFFFF
+		}
+		return minOff <= 0xFFFFFFFF && maxEnd <= 0xFFFFFFFF
+	}
+	type guardPlan struct {
+		key            guardGroupKey
+		pos            int // original index of first in-window member
+		minOff, maxEnd uint64
+		members        []int
+	}
+	type windowPlan struct {
+		first, last int
+		guards      []guardPlan
+	}
+	var windows []windowPlan
+	if !t.guarded {
+		runs = nil
+	}
+	overlaps := func(f, l int) bool {
+		for _, w := range windows {
+			if f <= w.last && w.first <= l {
+				return true
+			}
+		}
+		for _, tg := range t.intraTargets {
+			if tg >= start+f && tg <= start+l {
+				return true
+			}
+		}
+		return false
+	}
+	for _, cand := range runs {
+		if len(cand.members) < 2 {
+			continue
+		}
+		f := cand.members[0]
+		l := cand.members[len(cand.members)-1]
+		if overlaps(f, l) {
+			continue
+		}
+		w := windowPlan{first: f, last: l}
+		ok := true
+		nAccesses := 0
+		for _, r := range runs {
+			var inW []int
+			for _, m := range r.members {
+				if m >= f && m <= l {
+					inW = append(inW, m)
+				}
+			}
+			if len(inW) == 0 {
+				continue
+			}
+			minOff, maxEnd := spanOf(inW)
+			if !packable(r.key, minOff, maxEnd) {
+				ok = false
+				break
+			}
+			nAccesses += len(inW)
+			w.guards = append(w.guards, guardPlan{
+				key: r.key, pos: inW[0], minOff: minOff, maxEnd: maxEnd, members: inW,
+			})
+		}
+		// Each guard is an extra dispatch, and the per-access check it
+		// replaces is an open-coded compare pair — hoisting only pays
+		// when each guard covers two accesses on average (the pure
+		// read-modify-write window: load and store through one base).
+		if ok && nAccesses >= 2*len(w.guards) && nAccesses > len(w.guards) {
+			windows = append(windows, w)
+		}
+	}
+
+	// --- rebuild the block ---
+	insertBefore := map[int]*guardPlan{}
+	nGuards := 0
+	for wi := range windows {
+		for gi := range windows[wi].guards {
+			insertBefore[windows[wi].guards[gi].pos] = &windows[wi].guards[gi]
+			nGuards++
+		}
+	}
+	newBlk := make([]ins, 0, n+nGuards)
+	mapIdx := make([]int, n+1)
+	guardAt := map[*guardPlan]int{}
+	for idx := 0; idx < n; idx++ {
+		if g := insertBefore[idx]; g != nil {
+			guardAt[g] = len(newBlk)
+			newBlk = append(newBlk, ins{}) // guard placeholder
+		}
+		mapIdx[idx] = len(newBlk)
+		if deadBlk[idx] {
+			continue
+		}
+		newBlk = append(newBlk, blk[idx])
+	}
+	mapIdx[n] = len(newBlk)
+
+	remapIntra := func(code []ins) {
+		for ci := range code {
+			c := &code[ci]
+			switch c.op {
+			case rOpBr, rOpBrIf, rOpBrIfZ, rOpBrCmp, rOpBrCmpImm:
+				if c.a >= int32(start) {
+					c.a = int32(start + mapIdx[int(c.a)-start])
+				}
+			}
+		}
+	}
+	remapIntra(newBlk)
+
+	// --- emit guards, fallback copies, raw conversions ---
+	for wi := range windows {
+		w := &windows[wi]
+		for gi := range w.guards {
+			g := &w.guards[gi]
+			// Fallback: a checked copy of the window suffix from this
+			// guard's position, returning after the window.
+			fid := len(t.fallbacks)
+			var blob []ins
+			for idx := g.pos; idx <= w.last; idx++ {
+				if !deadBlk[idx] {
+					blob = append(blob, blk[idx])
+				}
+			}
+			remapIntra(blob)
+			blob = append(blob, ins{op: rOpBr, a: int32(start + mapIdx[w.last+1])})
+			t.fallbacks = append(t.fallbacks, blob)
+
+			var guard ins
+			if g.key.aff {
+				guard = ins{op: rOpMemGuardAff, a: int32(^fid), b: g.key.reg,
+					c: int32(g.minOff<<16 | g.maxEnd), imm: g.key.mA}
+			} else {
+				guard = ins{op: rOpMemGuard, a: int32(^fid), b: g.key.reg,
+					imm: g.minOff<<32 | g.maxEnd}
+			}
+			newBlk[guardAt[g]] = guard
+			for _, m := range g.members {
+				newBlk[mapIdx[m]].op += rawDelta
+			}
+		}
+		t.stats.Hoists++
+	}
+
+	t.out = append(t.out[:start], newBlk...)
+	t.dead = t.dead[:start]
+	for range newBlk {
+		t.dead = append(t.dead, false)
+	}
+}
+
+// finalize appends the checked fallback windows, resolves branch targets
+// from old-pc space to register-code indexes, and remaps the br_table
+// destinations.
+func (t *regTranslator) finalize() (compiledFunc, bool) {
+	fbStart := make([]int32, len(t.fallbacks))
+	for i, blob := range t.fallbacks {
+		fbStart[i] = int32(len(t.out))
+		t.out = append(t.out, blob...)
+	}
+	for idx := range t.out {
+		ii := &t.out[idx]
+		switch ii.op {
+		case rOpBr, rOpBrIf, rOpBrIfZ, rOpBrCmp, rOpBrCmpImm:
+			if ii.a < 0 {
+				np, ok := t.labels[int(-ii.a-1)]
+				if !ok {
+					return compiledFunc{}, false
+				}
+				ii.a = np
+			}
+		case rOpMemGuard, rOpMemGuardAff:
+			ii.a = fbStart[int(^ii.a)]
+		}
+	}
+	var tables [][]brTarget
+	if len(t.src.brTables) > 0 {
+		tables = make([][]brTarget, len(t.src.brTables))
+		for ti, tbl := range t.src.brTables {
+			nt := make([]brTarget, len(tbl))
+			for i, tg := range tbl {
+				np, ok := t.labels[int(tg.pc)]
+				if !ok {
+					return compiledFunc{}, false
+				}
+				nt[i] = brTarget{pc: np, drop: tg.drop, keep: tg.keep}
+			}
+			tables[ti] = nt
+		}
+	}
+	out := *t.src
+	out.code = t.out
+	out.brTables = tables
+	out.reg = true
+	return out, true
+}

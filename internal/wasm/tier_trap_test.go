@@ -1,0 +1,265 @@
+package wasm
+
+import (
+	"errors"
+	"testing"
+
+	"twine/wasmgen"
+)
+
+// Trap parity: every tier must produce the same trap kind AND message
+// (messages embed the faulting address or operation, so equality pins
+// the trap site, the closest thing to a trap PC across code forms).
+func trapAllEngines(t *testing.T, bytes []byte, args ...uint64) *Trap {
+	t.Helper()
+	mod, err := Decode(bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traps [3]*Trap
+	for i, eng := range []Engine{EngineInterp, EngineAOT, EngineRegister} {
+		in, err := Instantiate(c, nil, Config{Engine: eng})
+		if err != nil {
+			t.Fatalf("%v: %v", eng, err)
+		}
+		_, err = in.Invoke("run", args...)
+		if err == nil {
+			t.Fatalf("%v: expected a trap", eng)
+		}
+		var tr *Trap
+		if !errors.As(err, &tr) {
+			t.Fatalf("%v: non-trap error %v", eng, err)
+		}
+		traps[i] = tr
+	}
+	for i := 1; i < 3; i++ {
+		if traps[i].Kind != traps[0].Kind || traps[i].Msg != traps[0].Msg {
+			t.Fatalf("trap divergence: interp={%v %q} other[%d]={%v %q}",
+				traps[0].Kind, traps[0].Msg, i, traps[i].Kind, traps[i].Msg)
+		}
+	}
+	return traps[0]
+}
+
+func TestTierTrapOOB(t *testing.T) {
+	m := wasmgen.NewModule()
+	m.Memory(1, 1)
+	f := m.Func(wasmgen.Sig(wasmgen.I32).Returns(wasmgen.F64))
+	// (p0*8 + 64) as an affine access — out of bounds for large p0, so
+	// the register tier's affine load and the stack tiers' load must
+	// report the identical resolved address range.
+	f.LocalGet(0).I32Const(8).I32Mul().I32Const(64).I32Add().F64Load(0)
+	f.End()
+	m.Export("run", f)
+	tr := trapAllEngines(t, m.Bytes(), 1<<20)
+	if tr.Kind != TrapOOB {
+		t.Fatalf("kind = %v, want OOB", tr.Kind)
+	}
+}
+
+func TestTierTrapDivZero(t *testing.T) {
+	m := wasmgen.NewModule()
+	f := m.Func(wasmgen.Sig(wasmgen.I32, wasmgen.I32).Returns(wasmgen.I32))
+	f.LocalGet(0).LocalGet(1).I32DivS()
+	f.End()
+	m.Export("run", f)
+	if tr := trapAllEngines(t, m.Bytes(), 7, 0); tr.Kind != TrapDivZero {
+		t.Fatalf("kind = %v, want div-zero", tr.Kind)
+	}
+	// Overflow case: MinInt32 / -1.
+	if tr := trapAllEngines(t, m.Bytes(), 0x80000000, 0xFFFFFFFF); tr.Kind != TrapIntOverflow {
+		t.Fatalf("kind = %v, want overflow", tr.Kind)
+	}
+}
+
+func TestTierTrapUnreachable(t *testing.T) {
+	// Condition-dependent unreachable.
+	m2 := wasmgen.NewModule()
+	g := m2.Func(wasmgen.Sig(wasmgen.I32).Returns(wasmgen.I32))
+	g.LocalGet(0)
+	g.If(wasmgen.BlockVoid)
+	g.Unreachable()
+	g.End()
+	g.I32Const(9)
+	g.End()
+	m2.Export("run", g)
+	if tr := trapAllEngines(t, m2.Bytes(), 1); tr.Kind != TrapUnreachable {
+		t.Fatalf("kind = %v, want unreachable", tr.Kind)
+	}
+}
+
+func TestTierTrapCallDepth(t *testing.T) {
+	m := wasmgen.NewModule()
+	f := m.Func(wasmgen.Sig().Returns(wasmgen.I32))
+	f.Call(f).End() // infinite recursion
+	m.Export("run", f)
+	if tr := trapAllEngines(t, m.Bytes()); tr.Kind != TrapCallDepth {
+		t.Fatalf("kind = %v, want call-depth", tr.Kind)
+	}
+}
+
+// TestTierTrapMidLoop traps after observable side effects: the store
+// preceding the trapping iteration must be visible identically, pinning
+// that the register tier's guards/fallbacks never reorder or elide
+// accesses relative to a trap.
+func TestTierTrapMidLoop(t *testing.T) {
+	m := wasmgen.NewModule()
+	m.Memory(1, 1)
+	m.ExportMemory("memory")
+	f := m.Func(wasmgen.Sig(wasmgen.I32).Returns(wasmgen.F64))
+	i := f.AddLocal(wasmgen.I32)
+	f.I32Const(0).LocalSet(i)
+	f.Block(wasmgen.BlockVoid)
+	f.Loop(wasmgen.BlockVoid)
+	f.LocalGet(i).I32Const(1 << 20).I32GeS().BrIf(1)
+	// A[i] += 1.0 at p0-scaled stride: runs off the end eventually.
+	f.LocalGet(i).LocalGet(0).I32Mul().I32Const(64).I32Add()
+	f.LocalGet(i).LocalGet(0).I32Mul().I32Const(64).I32Add().F64Load(0)
+	f.F64Const(1).F64Add()
+	f.F64Store(0)
+	f.LocalGet(i).I32Const(1).I32Add().LocalSet(i)
+	f.Br(0)
+	f.End()
+	f.End()
+	f.F64Const(0)
+	f.End()
+	m.Export("run", f)
+
+	mod, err := Decode(m.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mems [3][]byte
+	var traps [3]*Trap
+	for ei, eng := range []Engine{EngineInterp, EngineAOT, EngineRegister} {
+		in, err := Instantiate(c, nil, Config{Engine: eng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = in.Invoke("run", 4096)
+		var tr *Trap
+		if !errors.As(err, &tr) {
+			t.Fatalf("%v: want trap, got %v", eng, err)
+		}
+		traps[ei] = tr
+		b, _ := in.Memory().Bytes(0, PageSize)
+		mems[ei] = append([]byte(nil), b...)
+	}
+	for i := 1; i < 3; i++ {
+		if traps[i].Kind != traps[0].Kind || traps[i].Msg != traps[0].Msg {
+			t.Fatalf("trap divergence: %v %q vs %v %q", traps[0].Kind, traps[0].Msg, traps[i].Kind, traps[i].Msg)
+		}
+		if string(mems[i]) != string(mems[0]) {
+			t.Fatalf("memory state diverged before the trap (engine %d)", i)
+		}
+	}
+}
+
+// TestTierCSEPoppedDescriptor is the regression for the popped-descriptor
+// clobber: the br_if condition CSE-aliases home(0) (the first add's
+// result), while slot 0 holds an unmaterialised constant. Homing that
+// constant must not overwrite the condition — materialisation now runs
+// before the condition is popped, so the protection machinery re-homes
+// it first.
+func TestTierCSEPoppedDescriptor(t *testing.T) {
+	m := wasmgen.NewModule()
+	f := m.Func(wasmgen.Sig(wasmgen.I32, wasmgen.I32).Returns(wasmgen.I32))
+	f.Block(wasmgen.BlockI32)
+	f.LocalGet(0).LocalGet(1).I32Add().Drop() // establishes CSE value in home(0)
+	f.I32Const(5)                             // unmaterialised const at slot 0
+	f.LocalGet(0).LocalGet(1).I32Add()        // CSE hit: condition aliases home(0)
+	f.BrIf(0)                                 // carries the 5 when taken
+	f.Drop()
+	f.I32Const(7)
+	f.End()
+	f.End()
+	m.Export("run", f)
+
+	if got := runAllEngines(t, m.Bytes(), 0, 0); got != 7 {
+		t.Fatalf("fallthrough = %d, want 7", got)
+	}
+	if got := runAllEngines(t, m.Bytes(), 1, 0); got != 5 {
+		t.Fatalf("taken = %d, want 5", got)
+	}
+	if got := runAllEngines(t, m.Bytes(), 0, 3); got != 5 {
+		t.Fatalf("taken = %d, want 5", got)
+	}
+}
+
+// TestTierNaNOperandOrder pins the float determinism contract: every
+// tier must agree bit-for-bit on non-NaN results and on NaN-ness, while
+// NaN payload bits are nondeterministic across tiers (the wasm spec
+// itself leaves them unspecified, and Go's register allocation decides
+// hardware operand order per expression instance — the stack tiers
+// share one set of arithmetic arms, the register tier has its own).
+// Fusion still never swaps operand order where it controls it: the
+// mul-add fusion only fires order-preserving and f64 mul-imm records
+// which side its constant came from.
+func TestTierNaNOperandOrder(t *testing.T) {
+	build := func(f func(*wasmgen.Func)) []byte {
+		m := wasmgen.NewModule()
+		g := m.Func(wasmgen.Sig(wasmgen.I64, wasmgen.I64).Returns(wasmgen.I64))
+		f(g)
+		g.End()
+		m.Export("run", g)
+		return m.Bytes()
+	}
+	nan1 := uint64(0x7FF8000000000001) // quiet NaN, payload 1
+	nan2 := uint64(0x7FF8000000000002) // quiet NaN, payload 2
+
+	// prod-as-lhs add: (p0 * 1.0) + p1 — mul result is the LEFT operand.
+	addMulLHS := build(func(g *wasmgen.Func) {
+		g.LocalGet(0).F64ReinterpretI64()
+		g.F64Const(1).F64Mul()
+		g.LocalGet(1).F64ReinterpretI64()
+		g.F64Add()
+		g.I64ReinterpretF64()
+	})
+	// const-lhs mul: 1.0 * p0.
+	mulConstLHS := build(func(g *wasmgen.Func) {
+		g.F64Const(1)
+		g.LocalGet(0).F64ReinterpretI64()
+		g.F64Mul()
+		g.I64ReinterpretF64()
+	})
+	for _, bin := range [][]byte{addMulLHS, mulConstLHS} {
+		mod, err := Decode(bin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := Compile(mod)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got [3]uint64
+		for i, eng := range []Engine{EngineInterp, EngineAOT, EngineRegister} {
+			in, err := Instantiate(c, nil, Config{Engine: eng})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := in.Invoke("run", nan1, nan2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got[i] = out[0]
+		}
+		// The stack tiers share arms: exact equality.
+		if got[0] != got[1] {
+			t.Errorf("interp/aot diverge: %#x vs %#x", got[0], got[1])
+		}
+		// All tiers: the result must be a NaN (payload unspecified).
+		for i, g := range got {
+			if g&0x7FF0000000000000 != 0x7FF0000000000000 || g&0x000FFFFFFFFFFFFF == 0 {
+				t.Errorf("engine %d produced a non-NaN %#x from NaN inputs", i, g)
+			}
+		}
+	}
+}

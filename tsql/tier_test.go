@@ -1,0 +1,70 @@
+package tsql
+
+import (
+	"fmt"
+	"testing"
+
+	"twine/internal/sgx"
+	"twine/internal/wasm"
+)
+
+// TestRegisterTierSmoke runs the trusted-database workload under the
+// fused AoT tier and the PR 4 register tier and requires byte-identical
+// query results — the tsql leg of the tier differential harness.
+func TestRegisterTierSmoke(t *testing.T) {
+	run := func(eng wasm.Engine) []string {
+		cfg := sgx.TestConfig()
+		cfg.HeapSize = 64 << 20
+		db, err := Open(Config{
+			Path:         "tier.db",
+			PlatformSeed: "tier-smoke",
+			CacheKiB:     256,
+			SGX:          cfg,
+			Engine:       eng,
+		})
+		if err != nil {
+			t.Fatalf("%v: open: %v", eng, err)
+		}
+		defer db.Close()
+		mustExec := func(sql string, args ...Value) {
+			if _, err := db.Exec(sql, args...); err != nil {
+				t.Fatalf("%v: %s: %v", eng, sql, err)
+			}
+		}
+		mustExec(`CREATE TABLE accounts (id INTEGER PRIMARY KEY, owner TEXT, balance INTEGER)`)
+		mustExec(`BEGIN`)
+		for i := 0; i < 50; i++ {
+			mustExec(`INSERT INTO accounts (owner, balance) VALUES (?, ?)`,
+				Text(fmt.Sprintf("acct-%02d", i)), Int(int64(i*13%97)))
+		}
+		mustExec(`COMMIT`)
+		mustExec(`UPDATE accounts SET balance = balance + 5 WHERE id % 3 = 0`)
+
+		var out []string
+		for _, q := range []string{
+			`SELECT COUNT(*), SUM(balance) FROM accounts`,
+			`SELECT owner, balance FROM accounts WHERE balance > 50 ORDER BY balance DESC, owner`,
+			`SELECT MIN(balance), MAX(balance) FROM accounts WHERE id <= 25`,
+		} {
+			rows, err := db.Query(q)
+			if err != nil {
+				t.Fatalf("%v: %s: %v", eng, q, err)
+			}
+			for _, row := range rows.All() {
+				out = append(out, fmt.Sprint(row))
+			}
+		}
+		return out
+	}
+
+	aot := run(wasm.EngineAOT)
+	reg := run(wasm.EngineRegister)
+	if len(aot) != len(reg) {
+		t.Fatalf("row counts differ: aot=%d reg=%d", len(aot), len(reg))
+	}
+	for i := range aot {
+		if aot[i] != reg[i] {
+			t.Errorf("row %d differs:\n  aot: %s\n  reg: %s", i, aot[i], reg[i])
+		}
+	}
+}
