@@ -239,7 +239,9 @@ func main() {
 				fmt.Fprintf(os.Stderr, "    %-10s %12d instructions retired (%d timed runs)\n",
 					tier.suffix, inst.In.InsRetired(), ops)
 				if tier.engine == wasm.EngineRegister {
-					st := tmod.Compiled.RegStats()
+					// Enclave instances run with the EPC-TLB on (default
+					// config), i.e. the guarded translation form.
+					st := tmod.Compiled.RegStats(true)
 					fmt.Fprintf(os.Stderr, "    %-10s translate: %d funcs, %d folds, %d props, %d dead stores, %d fused, %d hoisted windows, %d bailouts\n",
 						tier.suffix, st.Funcs, st.Folds, st.Props, st.DeadStores, st.Fused, st.Hoists, st.Bailouts)
 				}

@@ -245,9 +245,11 @@ func (rt *Runtime) LoadModule(wasmBytes []byte) (*Module, error) {
 		return nil, err
 	}
 	// The register tier translates at load time (AoT, like wamrc); its
-	// translation counters are part of the load profile.
+	// translation counters are part of the load profile. Instances run
+	// the guarded (touch-hook) form exactly when the EPC-TLB is on, so
+	// report that form — not a second translation that never executes.
 	if rt.cfg.Engine == wasm.EngineRegister {
-		st := mod.Compiled.RegStats()
+		st := mod.Compiled.RegStats(!rt.cfg.NoEPCTLB)
 		rt.prof.Add("wasm.reg.funcs", st.Funcs)
 		rt.prof.Add("wasm.reg.bailouts", st.Bailouts)
 		rt.prof.Add("wasm.reg.folds", st.Folds)

@@ -51,7 +51,8 @@ func TestTierDifferential(t *testing.T) {
 			}
 			// The register tier must actually have engaged (no silent
 			// wholesale bailout to the fused form).
-			if st := c.RegStats(); st.Funcs == 0 {
+			// Instantiated without a touch hook above: unguarded form.
+			if st := c.RegStats(false); st.Funcs == 0 {
 				t.Errorf("register translation bailed out entirely: %+v", st)
 			}
 		})

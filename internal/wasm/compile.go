@@ -104,10 +104,16 @@ func (c *Compiled) reg(guarded bool) []compiledFunc {
 }
 
 // RegStats reports the register-tier translation counters of the guarded
-// (EPC-accounted) form, forcing the translation if it has not run yet.
-func (c *Compiled) RegStats() RegStats {
-	c.reg(true)
-	return c.regStats[1]
+// (EPC-accounted) or unguarded form — pass the same guarded value the
+// instances run with (Config.TouchGen != nil), so the counters describe
+// the code that actually executes and the other form is never translated
+// just for reporting. Forces the translation if it has not run yet.
+func (c *Compiled) RegStats(guarded bool) RegStats {
+	c.reg(guarded)
+	if guarded {
+		return c.regStats[1]
+	}
+	return c.regStats[0]
 }
 
 // NumInstructions reports the total lowered instruction count across all

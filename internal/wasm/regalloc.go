@@ -118,6 +118,7 @@ type regTranslator struct {
 	blockStart   int
 	intraTargets []int         // absolute out indexes of skip labels
 	pendingLocal map[int32]int // local reg -> out index of unread store
+	homing       map[int]bool  // slots mid-materialisation (cycle detection)
 
 	// Function-level bookkeeping.
 	labels    map[int]int32 // old pc -> new pc of block start
@@ -139,6 +140,7 @@ func translateReg(m *Module, src *compiledFunc, stats *RegStats, guarded bool) (
 		exprs:        make(map[exprKey]uint32),
 		avail:        make(map[uint32]int32),
 		pendingLocal: make(map[int32]int),
+		homing:       make(map[int]bool),
 		labels:       make(map[int]int32),
 		expect:       make(map[int]int),
 	}
@@ -253,8 +255,20 @@ func (t *regTranslator) constNum(val uint64) uint32 {
 }
 
 func (t *regTranslator) vnOfDesc(d rdesc) uint32 {
-	if d.kind == rdConst {
+	switch d.kind {
+	case rdConst:
 		return t.constNum(d.val)
+	case rdAff:
+		// The descriptor's own number identifies u32(r*m+A); the index
+		// register's number would alias expressions over the bare index
+		// (homeSlot likewise materialises under d.vn). Affine pushes
+		// always carry the vn of their defining add, but guard anyway: a
+		// fresh number is merely a missed CSE, never a false hit.
+		if d.vn != 0 {
+			return d.vn
+		}
+		t.nextVN++
+		return t.nextVN
 	}
 	return t.vnOfReg(d.reg)
 }
@@ -310,12 +324,30 @@ func (t *regTranslator) noteWrite(reg int32, idx int) uint32 {
 
 // homeSlot forces slot s's value into its canonical home register.
 func (t *regTranslator) homeSlot(s int) {
+	if t.bailed {
+		return
+	}
 	d := t.stk[s]
 	h := t.home(s)
 	if d.kind == rdReg && d.reg == h {
 		return
 	}
+	// CSE reuse can leave slots living in each other's homes (compute
+	// two expressions, drop both, recompute them in swapped slots): then
+	// homing one slot needs its home's current tenant homed first, and
+	// vice versa — an unbreakable cycle, since the frame has no scratch
+	// register (the footprint must match the stack tiers). Detect the
+	// re-entry and bail to the fused form instead of recursing forever.
+	if t.homing[s] {
+		t.bail()
+		return
+	}
+	t.homing[s] = true
+	defer delete(t.homing, s)
 	t.prepWrite(h, s)
+	if t.bailed {
+		return
+	}
 	var vn uint32
 	switch d.kind {
 	case rdConst:
@@ -487,9 +519,9 @@ func (t *regTranslator) instr(i *ins) bool {
 			t.bail()
 			return false
 		}
-		t.callCommon(len(ft.Params), len(ft.Results))
+		t.callCommon(len(ft.Params))
 		t.emit(ins{op: rOpCall, a: i.a, b: t.homeOffTop() + int32(len(ft.Params))})
-		t.pushResults(len(ft.Params), len(ft.Results))
+		t.pushResults(len(ft.Results))
 
 	case uint16(OpCallIndirect):
 		ft := t.m.Types[i.a]
@@ -498,10 +530,10 @@ func (t *regTranslator) instr(i *ins) bool {
 		t.materializeAll()
 		elemReg := t.pop().reg
 		t.readReg(elemReg)
-		t.callCommon(len(ft.Params), len(ft.Results))
+		t.callCommon(len(ft.Params))
 		t.emit(ins{op: rOpCallIndirect, a: i.a,
 			b: t.homeOffTop() + int32(len(ft.Params)), c: elemReg})
-		t.pushResults(len(ft.Params), len(ft.Results))
+		t.pushResults(len(ft.Results))
 
 	case uint16(OpDrop):
 		t.pop()
@@ -711,7 +743,7 @@ func (t *regTranslator) condBranch(op uint16, target, drop, keep int) {
 
 // callCommon homes the nargs argument slots and any surviving descriptor
 // that aliases a register the callee frame will clobber.
-func (t *regTranslator) callCommon(nargs, nres int) {
+func (t *regTranslator) callCommon(nargs int) {
 	d := len(t.stk)
 	if d < nargs {
 		t.bail()
@@ -735,7 +767,7 @@ func (t *regTranslator) callCommon(nargs, nres int) {
 	}
 }
 
-func (t *regTranslator) pushResults(nargs, nres int) {
+func (t *regTranslator) pushResults(nres int) {
 	for i := 0; i < nres; i++ {
 		h := t.home(len(t.stk))
 		vn := t.freshVN(h)
@@ -755,9 +787,11 @@ func (t *regTranslator) localSet(x int32, tee bool) {
 	// Invalidate CSE entries that read the local's old value via vnOf.
 	switch {
 	case v.kind == rdReg && v.reg == x:
-		// local.get x; local.set x — a no-op.
+		// local.get x; local.set x — a no-op: nothing is emitted, so the
+		// dead-store bookkeeping must not run. A pending store to x is
+		// still the local's definition (with tee, the only one) and stays
+		// a DSE candidate only for a genuine later overwrite.
 		t.stats.Props++
-		t.noteWrite(x, -1)
 		t.vnOf[x] = v.vn
 	case v.kind == rdReg && v.reg == t.home(len(t.stk)) && t.refs(v.reg) == 0 && t.canTouchLast(1) &&
 		t.out[len(t.out)-1].a == v.reg && regRetargetable(t.out[len(t.out)-1].op):

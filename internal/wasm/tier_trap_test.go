@@ -263,3 +263,95 @@ func TestTierNaNOperandOrder(t *testing.T) {
 		}
 	}
 }
+
+// TestTierAffineCSEVN is the regression for the affine-descriptor value
+// number: an rdAff operand u32(i*m+A) must carry its own value number
+// into LVN keys, not the index register's. With the collision,
+// (i+k)+((i*8+16)+k) CSE-reused the earlier i+k for the second addend.
+func TestTierAffineCSEVN(t *testing.T) {
+	m := wasmgen.NewModule()
+	f := m.Func(wasmgen.Sig(wasmgen.I32, wasmgen.I32).Returns(wasmgen.I32))
+	f.LocalGet(0).LocalGet(1).I32Add() // i+k, live in home(0)
+	f.LocalGet(0).I32Const(8).I32Mul().I32Const(16).I32Add() // affine i*8+16
+	f.LocalGet(1).I32Add() // must NOT CSE-match i+k
+	f.I32Add()
+	f.End()
+	m.Export("run", f)
+	// i=1, k=2: (1+2) + ((1*8+16)+2) = 3 + 26 = 29.
+	if got := runAllEngines(t, m.Bytes(), 1, 2); got != 29 {
+		t.Fatalf("got %d, want 29", got)
+	}
+
+	// Reverse poisoning direction: the affine sum computed first must not
+	// be reused as a later genuine i+k.
+	m2 := wasmgen.NewModule()
+	g := m2.Func(wasmgen.Sig(wasmgen.I32, wasmgen.I32).Returns(wasmgen.I32))
+	g.LocalGet(0).I32Const(8).I32Mul().I32Const(16).I32Add()
+	g.LocalGet(1).I32Add()             // (i*8+16)+k
+	g.LocalGet(0).LocalGet(1).I32Add() // genuine i+k
+	g.I32Add()
+	g.End()
+	m2.Export("run", g)
+	if got := runAllEngines(t, m2.Bytes(), 1, 2); got != 29 {
+		t.Fatalf("reverse order: got %d, want 29", got)
+	}
+}
+
+// TestTierCrossAliasedHomes is the regression for the materialisation
+// cycle: CSE reuse can leave two slots living in each other's canonical
+// homes (compute two expressions, drop both, recompute them in swapped
+// slots), which used to send homeSlot/prepWrite into unbounded mutual
+// recursion — a fatal stack overflow at translation time. The translator
+// now detects the cycle and bails the function to the fused stack form.
+func TestTierCrossAliasedHomes(t *testing.T) {
+	m := wasmgen.NewModule()
+	f := m.Func(wasmgen.Sig(wasmgen.I32, wasmgen.I32).Returns(wasmgen.I32))
+	f.Block(wasmgen.BlockVoid)
+	f.LocalGet(0).LocalGet(1).I32Sub() // E1 computed into home(0)
+	f.LocalGet(0).LocalGet(1).I32Add() // E2 computed into home(1)
+	f.Drop().Drop()
+	f.LocalGet(0).LocalGet(1).I32Add() // CSE hit: slot 0 aliases home(1)
+	f.LocalGet(0).LocalGet(1).I32Sub() // CSE hit: slot 1 aliases home(0)
+	f.LocalGet(0).BrIf(0)              // materializeAll hits the cycle
+	f.Drop().Drop()
+	f.End()
+	f.I32Const(7)
+	f.End()
+	m.Export("run", f)
+	for _, args := range [][]uint64{{10, 3}, {0, 0}} {
+		if got := runAllEngines(t, m.Bytes(), args...); got != 7 {
+			t.Fatalf("args %v: got %d, want 7", args, got)
+		}
+	}
+}
+
+// TestTierTeeSetNoopDSE is the regression for the no-op local.set: with
+// `local.tee x; local.set x`, the set pops a descriptor already living
+// in x and emits nothing — it used to run the overwrite bookkeeping
+// anyway, marking the tee's copy (the local's only definition) dead.
+func TestTierTeeSetNoopDSE(t *testing.T) {
+	m := wasmgen.NewModule()
+	f := m.Func(wasmgen.Sig(wasmgen.I32).Returns(wasmgen.I32))
+	x := f.AddLocal(wasmgen.I32)
+	f.LocalGet(0).LocalTee(x).LocalSet(x)
+	f.LocalGet(x)
+	f.End()
+	m.Export("run", f)
+	if got := runAllEngines(t, m.Bytes(), 42); got != 42 {
+		t.Fatalf("got %d, want 42", got)
+	}
+
+	// A genuine later overwrite must still DSE the tee's copy without
+	// changing the result.
+	m2 := wasmgen.NewModule()
+	g := m2.Func(wasmgen.Sig(wasmgen.I32).Returns(wasmgen.I32))
+	y := g.AddLocal(wasmgen.I32)
+	g.LocalGet(0).LocalTee(y).LocalSet(y)
+	g.I32Const(5).LocalSet(y)
+	g.LocalGet(y)
+	g.End()
+	m2.Export("run", g)
+	if got := runAllEngines(t, m2.Bytes(), 42); got != 5 {
+		t.Fatalf("overwrite: got %d, want 5", got)
+	}
+}
