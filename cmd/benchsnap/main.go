@@ -19,12 +19,17 @@
 //     (one CPU-bound kernel plus one untrusted transport wait per
 //     request) for every (TCS, workers) pair in {1,2,4,8}², showing
 //     throughput scaling with the TCS pool until the CPU saturates;
+//   - the PR 6 fig-faults pair: the same serving workload at 4 TCS / 4
+//     workers with seeded transport faults injected into ~1% of
+//     requests (each driving worker quarantine + snapshot repair) vs
+//     0%, pricing fault containment in requests/sec (the ratio lands
+//     in the fig-faults-overhead note);
 //
 // each with warmup and a minimum measurement window, then writes a JSON
 // document. The committed BENCH_<n>.json snapshots at the repository root
 // were generated with the defaults:
 //
-//	go run ./cmd/benchsnap -o BENCH_3.json
+//	go run ./cmd/benchsnap -o BENCH_5.json
 //
 // See BENCHMARKS.md for the snapshot workflow and the figure mapping.
 package main
@@ -138,6 +143,7 @@ func main() {
 	thrKernel := flag.String("thr-kernel", "gemm", "fig-throughput kernel")
 	thrKernelN := flag.Int("thr-n", 16, "fig-throughput kernel problem size")
 	thrIO := flag.Duration("thr-io", 500*time.Microsecond, "fig-throughput untrusted transport wait per request")
+	faultRate := flag.Float64("fault-rate", 0.01, "fig-faults injected transport-fault probability (0 disables the series)")
 	flag.Parse()
 
 	snap := Snapshot{
@@ -156,12 +162,14 @@ func main() {
 			"thr_kernel":      *thrKernel,
 			"thr_kernel_n":    *thrKernelN,
 			"thr_io_us":       thrIO.Microseconds(),
+			"fault_rate":      *faultRate,
 		},
 		Notes: map[string]string{
 			"fig3":           "PolyBench kernels, ns/op per full kernel run (incl. checksum)",
 			"fig4":           "Speedtest1 file-storage penalty on twine (file suite minus mem suite, median); '-switchless' = PR 2 ring on",
 			"fig7":           "protected-FS read-path time during the Fig7 random-read workload (optimized IPFS, median); '-switchless' = PR 2 ring on",
 			"fig-throughput": "PR 3 serving pool: ns/request (median) for w concurrent workers at a given TCS count; each request = one CPU-bound kernel run in-enclave + one untrusted transport wait (classic OCALL). req/s = 1e9/ns_per_op.",
+			"fig-faults":     "PR 6 fault containment: ns/request (median) of the 4-TCS/4-worker serving pool with seeded transport faults injected at 0% vs the configured rate; each faulted request costs its failure plus a worker quarantine + snapshot repair. The pair bounds the containment overhead.",
 		},
 	}
 
@@ -387,6 +395,56 @@ func main() {
 					name, nsOp, 1e9/nsOp, base/nsOp)
 			}
 		}
+	}
+
+	// fig-faults (PR 6): the same serving workload at a fixed 4 TCS / 4
+	// workers, with the chaos harness failing a seeded fraction of the
+	// per-request transport calls. Each faulted request drives the full
+	// containment path — failure classification, worker quarantine,
+	// snapshot repair — so the 0%-vs-rate pair prices fault containment
+	// in requests/sec.
+	if *thrRequests > 0 && *faultRate > 0 {
+		var ns [2]float64
+		for i, rate := range []float64{0, *faultRate} {
+			// 4x the fig-throughput batch so a ~1% seeded rate selects a
+			// meaningful number of requests per run (the chosen seed hits
+			// 3 of 256 at the defaults; the guard below rejects a
+			// silently fault-free "faulted" series).
+			cfg := bench.ThroughputConfig{
+				TCS:         4,
+				Workers:     4,
+				Requests:    *thrRequests * 4,
+				Kernel:      *thrKernel,
+				KernelN:     *thrKernelN,
+				HostIODelay: *thrIO,
+				SGX:         figSGX(),
+				FaultRate:   rate,
+				FaultSeed:   3,
+			}
+			var failed, repaired int64
+			nsOp, ops, err := measureDur(func() (time.Duration, error) {
+				res, rerr := bench.RunThroughput(cfg)
+				if rerr != nil {
+					return 0, rerr
+				}
+				failed, repaired = res.Failed, res.Repaired
+				return res.Elapsed / time.Duration(res.Requests), nil
+			}, 1, 3, *window/2)
+			name := fmt.Sprintf("fig-faults/%s/tcs4/w4/rate%g", *thrKernel, rate*100)
+			die(name, err)
+			snap.Results = append(snap.Results, Result{name, nsOp, ops})
+			ns[i] = nsOp
+			fmt.Fprintf(os.Stderr, "%-28s %10.0f ns/req  %8.0f req/s  (%d failed, %d repaired in last op)\n",
+				name, nsOp, 1e9/nsOp, failed, repaired)
+			if rate == 0 && (failed != 0 || repaired != 0) {
+				die(name, fmt.Errorf("fault-free run failed %d requests, repaired %d workers", failed, repaired))
+			}
+			if rate > 0 && (failed == 0 || repaired == 0) {
+				die(name, fmt.Errorf("faulted run exercised no containment (failed %d, repaired %d)", failed, repaired))
+			}
+		}
+		snap.Notes["fig-faults-overhead"] = fmt.Sprintf("%.3fx ns/req at %g%% faults vs 0%%", ns[1]/ns[0], *faultRate*100)
+		fmt.Fprintf(os.Stderr, "%-28s containment overhead %.3fx at %g%% faults\n", "fig-faults", ns[1]/ns[0], *faultRate*100)
 	}
 
 	enc, err := json.MarshalIndent(snap, "", "  ")

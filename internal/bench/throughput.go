@@ -1,9 +1,12 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
+	"twine/internal/chaos"
 	"twine/internal/core"
 	"twine/internal/polybench"
 	"twine/internal/prof"
@@ -35,6 +38,13 @@ type ThroughputConfig struct {
 	// HostIODelay is the untrusted transport wait per request (default
 	// 500µs — a LAN round trip plus host-side queueing).
 	HostIODelay time.Duration
+	// FaultRate injects a permanent fault into the per-request host I/O
+	// with this probability (PR 6's fig-faults series): the request fails
+	// and its worker rides the pool's quarantine + snapshot-repair path.
+	// The decision is a seeded hash of (FaultSeed, request ordinal), so a
+	// series is replayable. 0 disables injection entirely.
+	FaultRate float64
+	FaultSeed int64
 	// SGX overrides the enclave geometry (zero = DefaultConfig).
 	SGX sgx.Config
 	// Switchless selects the OCALL dispatch (transport I/O is blocking
@@ -56,6 +66,11 @@ type ThroughputResult struct {
 	TCSMaxBusy int64
 	// PoolWaits is the pool-level queueing count.
 	PoolWaits int64
+	// Failed/Quarantined/Repaired count the fault-containment activity of
+	// the run (all zero when FaultRate is 0 — the fidelity rule).
+	Failed      int64
+	Quarantined int64
+	Repaired    int64
 	// LaunchTime and SnapshotWorkers document the instantiation side:
 	// how long runtime+module setup took and how many workers were
 	// stamped from the snapshot instead of fully instantiated.
@@ -112,11 +127,22 @@ func RunThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
 		return ThroughputResult{}, err
 	}
 
+	var inj *chaos.Injector
+	if cfg.FaultRate > 0 {
+		inj = chaos.New(chaos.Plan{
+			Seed: cfg.FaultSeed,
+			Prob: cfg.FaultRate,
+			Err:  errors.New("bench: injected transport fault"),
+		})
+	}
 	delay := cfg.HostIODelay
 	pool, err := rt.NewPool(mod, core.PoolConfig{
 		Workers: cfg.Workers,
 		Entry:   "run",
 		HostIO: func() error {
+			if err := inj.Op(); err != nil { // nil injector: strict no-op
+				return err
+			}
 			time.Sleep(delay)
 			return nil
 		},
@@ -127,11 +153,19 @@ func RunThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
 	defer pool.Close()
 	launch := time.Since(setup)
 
+	var failed int64
 	start := time.Now()
-	if err := pool.Serve(cfg.Requests, nil, nil); err != nil {
-		return ThroughputResult{}, err
-	}
+	serr := pool.Serve(cfg.Requests, nil, func(i int, out []uint64, err error) {
+		if err != nil {
+			atomic.AddInt64(&failed, 1)
+		}
+	})
 	elapsed := time.Since(start)
+	if serr != nil && inj == nil {
+		// With injection on, request failures are the workload; without
+		// it, any failure is a real error.
+		return ThroughputResult{}, serr
+	}
 
 	es := rt.Enclave.Stats()
 	ps := pool.Stats()
@@ -144,6 +178,9 @@ func RunThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
 		TCSWaits:        es.TCSWaits,
 		TCSMaxBusy:      es.TCSMaxBusy,
 		PoolWaits:       ps.Waits,
+		Failed:          atomic.LoadInt64(&failed),
+		Quarantined:     ps.Quarantined,
+		Repaired:        ps.Repaired,
 		LaunchTime:      launch,
 		SnapshotWorkers: cfg.Workers - 1,
 	}, nil

@@ -53,4 +53,28 @@
 // sequential workload's ECALL/OCALL/fault/eviction counters are
 // bit-identical to the pre-concurrency runtime (fidelity_test.go); the
 // cost models gained locks, not new costs.
+//
+// # Fault containment (PR 6)
+//
+// The serving pool bounds and contains failure instead of letting it
+// spread. Admission control first: PoolConfig.MaxQueue caps how many
+// submits may wait for a worker and PoolConfig.SubmitTimeout (or a
+// context deadline via SubmitCtx/ServeCtx) bounds how long they wait;
+// work the pool cannot take fails fast with ErrOverloaded, leaving no
+// side effect. Containment second: a request that returns an error has
+// run arbitrary guest code against its worker's memory, so the pool
+// assumes the worker is corrupt, quarantines it, and repairs it from the
+// instantiation snapshot (memory/globals/table restored in-place, a
+// fresh WASI System) before it serves again. Two error classes are
+// exempt: sgx.ErrDestroyed (the enclave is gone — nothing to repair)
+// and chaos-transient errors ("the call never happened" — guest state
+// is intact, and the WASI boundary retries them under
+// Config.HostRetryMax before the pool ever sees one). PoolStats counts
+// all of it: Rejected, TimedOut, QueueDepth, Quarantined, Repaired.
+//
+// Fault-containment fidelity invariant: on a fault-free run the whole
+// machinery is inert — a 1-worker pool's ECALL/OCALL/fault/eviction
+// counters and results are bit-identical to a sequential NewInstance
+// run (pool_chaos_test.go), and a zero chaos.Plan or nil Injector is a
+// strict no-op at every hook.
 package core

@@ -1,20 +1,26 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"twine/internal/chaos"
+	"twine/internal/sgx"
 	"twine/internal/wasi"
+	"twine/internal/wasm"
 )
 
-// The serving front door (PR 3). TWINE's evaluation drives one instance
-// at a time; a runtime serving real traffic multiplexes many requests
-// over a fixed set of enclave resources. Pool is that front door: N
-// instances of one module, each with isolated guest memory and WASI
-// state, served concurrently through the enclave's TCS pool.
+// The serving front door (PR 3, hardened in PR 6). TWINE's evaluation
+// drives one instance at a time; a runtime serving real traffic
+// multiplexes many requests over a fixed set of enclave resources. Pool
+// is that front door: N instances of one module, each with isolated
+// guest memory and WASI state, served concurrently through the enclave's
+// TCS pool.
 //
 // Worker instantiation is copy-from-snapshot: the first worker is built
 // the expensive way (decode, AoT translation, linking, data segments,
@@ -23,6 +29,17 @@ import (
 // copy. Workers are long-lived and stateful across requests, the standard
 // serving trade: per-request isolation costs a re-instantiation, per-
 // worker isolation costs nothing.
+//
+// PR 6 adds fault containment on both sides of that trade:
+//
+//   - Admission control. An overloaded pool fails fast (ErrOverloaded)
+//     instead of queueing without bound: MaxQueue caps how many Submits
+//     may wait, SubmitTimeout / a context deadline bounds how long.
+//   - Quarantine and repair. A request failure can leave a long-lived
+//     worker with corrupted guest state (a trap aborts mid-mutation).
+//     Failed workers are quarantined and repaired from the pool snapshot
+//     — the same bytes a fresh worker is stamped from — before they serve
+//     again, so one poisoned request cannot poison its successors.
 
 // PoolConfig sizes a serving pool.
 type PoolConfig struct {
@@ -43,6 +60,16 @@ type PoolConfig struct {
 	// response through host memory. Blocking work belongs here, not on
 	// the switchless ring.
 	HostIO func() error
+	// MaxQueue caps how many Submits may wait for a worker at once
+	// (0 = unbounded). A Submit arriving with the queue full fails
+	// immediately with ErrOverloaded instead of joining it — admission
+	// control, so overload surfaces as fast rejections rather than
+	// unbounded latency.
+	MaxQueue int
+	// SubmitTimeout bounds how long a queued Submit waits for a worker
+	// (0 = forever). On expiry the Submit fails with an error wrapping
+	// ErrOverloaded. A tighter context deadline passed to SubmitCtx wins.
+	SubmitTimeout time.Duration
 	// Stdout/Stderr receive the workers' guest output (default: discard;
 	// a shared writer would interleave concurrent workers' output).
 	Stdout io.Writer
@@ -57,28 +84,65 @@ type PoolStats struct {
 	// to queue — the pool-level saturation signal (the enclave-level one
 	// is Stats.TCSWaits).
 	Waits int64
+	// Rejected counts Submits refused at admission because the queue was
+	// already MaxQueue deep.
+	Rejected int64
+	// TimedOut counts queued Submits abandoned on SubmitTimeout or a
+	// context deadline.
+	TimedOut int64
+	// QueueDepth is the number of Submits currently waiting for a worker
+	// (a gauge, not a counter).
+	QueueDepth int64
+	// Quarantined counts workers pulled from service after a request
+	// failure; Repaired counts those successfully reset from the pool
+	// snapshot (the difference is repairs that themselves failed and will
+	// be retried on the worker's next failure).
+	Quarantined int64
+	Repaired    int64
 }
 
 // Pool serves concurrent requests over N instances of one module.
-// Submit and Serve are safe for concurrent use; Close is not (quiesce
-// first, like any server shutdown).
+// Submit and Serve are safe for concurrent use; Close may race them (a
+// queued Submit observes ErrPoolClosed deterministically).
 type Pool struct {
-	rt      *Runtime
-	mod     *Module
-	entry   string
-	hostIO  func() error
-	workers chan *Instance
-	size    int
+	rt            *Runtime
+	mod           *Module
+	entry         string
+	hostIO        func() error
+	workers       chan *Instance
+	size          int
+	maxQueue      int
+	submitTimeout time.Duration
 
-	requests int64 // atomic
-	waits    int64 // atomic
+	// snap is the post-init state every worker was stamped from; repair
+	// resets a quarantined worker to it. ids gives each worker its stable
+	// identity (for the repaired WASI clone's argv); read-only after
+	// NewPool.
+	snap   *wasm.Snapshot
+	ids    map[*Instance]int
+	newSys func(i int) (*wasi.System, error)
+
+	requests    int64 // atomic
+	waits       int64 // atomic
+	rejected    int64 // atomic
+	timedOut    int64 // atomic
+	queued      int64 // atomic gauge
+	quarantined int64 // atomic
+	repaired    int64 // atomic
 
 	closeOnce sync.Once
 	closed    chan struct{}
 }
 
-// ErrPoolClosed is returned by Submit after Close.
-var ErrPoolClosed = errors.New("twine: pool closed")
+var (
+	// ErrPoolClosed is returned by Submit after Close.
+	ErrPoolClosed = errors.New("twine: pool closed")
+	// ErrOverloaded is returned (possibly wrapped) when admission control
+	// refuses or abandons a Submit: the queue is MaxQueue deep, or no
+	// worker freed up within SubmitTimeout / the context deadline. It is
+	// the caller's backpressure signal — shed load or retry later.
+	ErrOverloaded = errors.New("twine: pool overloaded")
+)
 
 // NewPool builds a serving pool of cfg.Workers instances of mod. The
 // first instance is fully instantiated (and optionally initialised via
@@ -99,16 +163,18 @@ func (rt *Runtime) NewPool(mod *Module, cfg PoolConfig) (*Pool, error) {
 	}
 
 	p := &Pool{
-		rt:     rt,
-		mod:    mod,
-		entry:  cfg.Entry,
-		hostIO: cfg.HostIO,
-		size:   cfg.Workers,
-		closed: make(chan struct{}),
+		rt:            rt,
+		mod:           mod,
+		entry:         cfg.Entry,
+		hostIO:        cfg.HostIO,
+		size:          cfg.Workers,
+		maxQueue:      cfg.MaxQueue,
+		submitTimeout: cfg.SubmitTimeout,
+		ids:           make(map[*Instance]int, cfg.Workers),
+		closed:        make(chan struct{}),
 	}
 	p.workers = make(chan *Instance, cfg.Workers)
-
-	newSys := func(i int) (*wasi.System, error) {
+	p.newSys = func(i int) (*wasi.System, error) {
 		return rt.Sys.Clone(wasi.CloneOptions{
 			Args:   []string{fmt.Sprintf("worker-%d", i)},
 			Stdout: stdout,
@@ -117,7 +183,7 @@ func (rt *Runtime) NewPool(mod *Module, cfg PoolConfig) (*Pool, error) {
 	}
 
 	// Worker 0: the expensive path, once.
-	sys0, err := newSys(0)
+	sys0, err := p.newSys(0)
 	if err != nil {
 		return nil, err
 	}
@@ -130,19 +196,21 @@ func (rt *Runtime) NewPool(mod *Module, cfg PoolConfig) (*Pool, error) {
 			return nil, fmt.Errorf("twine: pool init %q: %w", cfg.Init, err)
 		}
 	}
-	snap := first.In.Snapshot()
+	p.snap = first.In.Snapshot()
+	p.ids[first] = 0
 	p.workers <- first
 
 	// Workers 1..N-1: copy-from-snapshot.
 	for i := 1; i < cfg.Workers; i++ {
-		sys, err := newSys(i)
+		sys, err := p.newSys(i)
 		if err != nil {
 			return nil, err
 		}
-		w, err := rt.newInstance(mod, sys, snap)
+		w, err := rt.newInstance(mod, sys, p.snap)
 		if err != nil {
 			return nil, err
 		}
+		p.ids[w] = i
 		p.workers <- w
 	}
 	return p, nil
@@ -154,36 +222,39 @@ func (p *Pool) Size() int { return p.size }
 // Stats returns a snapshot of the pool counters.
 func (p *Pool) Stats() PoolStats {
 	return PoolStats{
-		Requests: atomic.LoadInt64(&p.requests),
-		Waits:    atomic.LoadInt64(&p.waits),
+		Requests:    atomic.LoadInt64(&p.requests),
+		Waits:       atomic.LoadInt64(&p.waits),
+		Rejected:    atomic.LoadInt64(&p.rejected),
+		TimedOut:    atomic.LoadInt64(&p.timedOut),
+		QueueDepth:  atomic.LoadInt64(&p.queued),
+		Quarantined: atomic.LoadInt64(&p.quarantined),
+		Repaired:    atomic.LoadInt64(&p.repaired),
 	}
 }
 
-// Submit serves one request: it binds a free worker (blocking while all
-// are busy), enters the enclave, runs the per-request host I/O (if any)
-// and the entry function against args, and returns the results. Safe for
-// any number of concurrent callers.
+// Submit serves one request with no deadline beyond the pool's own
+// SubmitTimeout: it binds a free worker (queueing while all are busy,
+// subject to admission control), enters the enclave, runs the
+// per-request host I/O (if any) and the entry function against args, and
+// returns the results. Safe for any number of concurrent callers.
 func (p *Pool) Submit(args ...uint64) ([]uint64, error) {
-	select {
-	case <-p.closed:
-		return nil, ErrPoolClosed
-	default:
+	return p.SubmitCtx(context.Background(), args...)
+}
+
+// SubmitCtx is Submit bounded by ctx: a Submit still waiting for a
+// worker when ctx's deadline expires fails with an error wrapping
+// ErrOverloaded (plain cancellation returns ctx.Err()). The deadline
+// covers admission, not guest execution — once a worker is bound the
+// request runs to completion, the same containment boundary the enclave
+// itself has (an ECALL cannot be interrupted from outside).
+func (p *Pool) SubmitCtx(ctx context.Context, args ...uint64) ([]uint64, error) {
+	w, err := p.acquire(ctx)
+	if err != nil {
+		return nil, err
 	}
-	var w *Instance
-	select {
-	case w = <-p.workers:
-	default:
-		atomic.AddInt64(&p.waits, 1)
-		select {
-		case w = <-p.workers:
-		case <-p.closed:
-			return nil, ErrPoolClosed
-		}
-	}
-	defer func() { p.workers <- w }()
 
 	var out []uint64
-	err := p.rt.guestECallSys("twine_serve", w.Sys, func() error {
+	serr := p.rt.guestECallSys("twine_serve", w.Sys, func() error {
 		if p.hostIO != nil {
 			if err := p.rt.Enclave.OCall("serve.io", p.hostIO); err != nil {
 				return err
@@ -193,11 +264,110 @@ func (p *Pool) Submit(args ...uint64) ([]uint64, error) {
 		out, ierr = w.In.Invoke(p.entry, args...)
 		return ierr
 	})
-	if err != nil {
-		return nil, err
+	if serr != nil && quarantinable(serr) {
+		atomic.AddInt64(&p.quarantined, 1)
+		p.repair(w)
+	}
+	p.workers <- w
+	if serr != nil {
+		return nil, serr
 	}
 	atomic.AddInt64(&p.requests, 1)
 	return out, nil
+}
+
+// acquire binds a free worker under the pool's admission policy.
+func (p *Pool) acquire(ctx context.Context) (*Instance, error) {
+	select {
+	case <-p.closed:
+		return nil, ErrPoolClosed
+	default:
+	}
+	var w *Instance
+	select {
+	case w = <-p.workers:
+	default:
+		// Every worker is busy: join the queue, subject to admission
+		// control. The gauge is incremented before the MaxQueue check so
+		// concurrent arrivals cannot all observe a below-cap depth.
+		atomic.AddInt64(&p.waits, 1)
+		depth := atomic.AddInt64(&p.queued, 1)
+		if p.maxQueue > 0 && depth > int64(p.maxQueue) {
+			atomic.AddInt64(&p.queued, -1)
+			atomic.AddInt64(&p.rejected, 1)
+			return nil, fmt.Errorf("%w: queue full (%d waiting)", ErrOverloaded, p.maxQueue)
+		}
+		var expire <-chan time.Time
+		if p.submitTimeout > 0 {
+			t := time.NewTimer(p.submitTimeout)
+			defer t.Stop()
+			expire = t.C
+		}
+		select {
+		case w = <-p.workers:
+			atomic.AddInt64(&p.queued, -1)
+		case <-expire:
+			atomic.AddInt64(&p.queued, -1)
+			atomic.AddInt64(&p.timedOut, 1)
+			return nil, fmt.Errorf("%w: no worker within %v", ErrOverloaded, p.submitTimeout)
+		case <-ctx.Done():
+			atomic.AddInt64(&p.queued, -1)
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				atomic.AddInt64(&p.timedOut, 1)
+				return nil, fmt.Errorf("%w: %w", ErrOverloaded, ctx.Err())
+			}
+			return nil, ctx.Err()
+		case <-p.closed:
+			atomic.AddInt64(&p.queued, -1)
+			return nil, ErrPoolClosed
+		}
+	}
+	// Close may have raced the bind: a worker handed to a Submit that
+	// loses that race goes straight back, so every queued Submit observes
+	// ErrPoolClosed deterministically and no worker is leaked out of the
+	// free list.
+	select {
+	case <-p.closed:
+		p.workers <- w
+		return nil, ErrPoolClosed
+	default:
+	}
+	return w, nil
+}
+
+// quarantinable classifies a request failure (PR 6). A guest trap or an
+// unclassified host error aborted the request at an arbitrary point: the
+// worker's memory may hold a half-applied mutation, so it must be
+// repaired before serving again. Two classes are exempt: a destroyed
+// enclave (sgx.ErrDestroyed — every worker is dead and there is nothing
+// to reset them into), and a transient host fault that escaped the WASI
+// boundary's bounded retry (chaos.IsTransient — the fault was outside
+// the enclave; by the transient contract the guest-visible operation
+// never happened, so the worker's state is the pre-request state).
+func quarantinable(err error) bool {
+	return !errors.Is(err, sgx.ErrDestroyed) && !chaos.IsTransient(err)
+}
+
+// repair rebuilds a quarantined worker in place: guest memory, globals
+// and table are reset to the pool snapshot inside an ECALL (the reset
+// mutates in-enclave state, so it is accounted like any enclave entry)
+// and the WASI system is re-cloned, discarding descriptor state the
+// failed request may have dirtied. On failure the worker is returned to
+// service unrepaired — never leaking free-list capacity — and the next
+// failure retries.
+func (p *Pool) repair(w *Instance) {
+	sys, err := p.newSys(p.ids[w])
+	if err != nil {
+		return
+	}
+	if err := p.rt.Enclave.ECall("twine_repair", func() error {
+		return w.In.ResetFromSnapshot(p.snap)
+	}); err != nil {
+		return
+	}
+	w.Sys = sys
+	w.In.SetHostCtx(sys)
+	atomic.AddInt64(&p.repaired, 1)
 }
 
 // Serve runs n requests across the pool's workers and blocks until all
@@ -206,6 +376,11 @@ func (p *Pool) Submit(args ...uint64) ([]uint64, error) {
 // may be called from multiple goroutines concurrently. Serve returns the
 // first error encountered (remaining requests still run to completion).
 func (p *Pool) Serve(n int, args func(i int) []uint64, done func(i int, out []uint64, err error)) error {
+	return p.ServeCtx(context.Background(), n, args, done)
+}
+
+// ServeCtx is Serve with every request bounded by ctx (see SubmitCtx).
+func (p *Pool) ServeCtx(ctx context.Context, n int, args func(i int) []uint64, done func(i int, out []uint64, err error)) error {
 	if n <= 0 {
 		return nil
 	}
@@ -232,7 +407,7 @@ func (p *Pool) Serve(n int, args func(i int) []uint64, done func(i int, out []ui
 				if args != nil {
 					a = args(i)
 				}
-				out, err := p.Submit(a...)
+				out, err := p.SubmitCtx(ctx, a...)
 				if err != nil {
 					errOnce.Do(func() { firstErr = err })
 				}
@@ -247,8 +422,10 @@ func (p *Pool) Serve(n int, args func(i int) []uint64, done func(i int, out []ui
 }
 
 // Close retires the pool. In-flight Submits complete; queued Submits fail
-// with ErrPoolClosed. The runtime and its enclave stay alive (they may
-// serve other pools); destroying the enclave is the runtime owner's call.
+// with ErrPoolClosed (deterministically — a Submit that wins the race for
+// a freed worker after Close re-checks and returns it, see acquire). The
+// runtime and its enclave stay alive (they may serve other pools);
+// destroying the enclave is the runtime owner's call.
 func (p *Pool) Close() error {
 	p.closeOnce.Do(func() { close(p.closed) })
 	return nil

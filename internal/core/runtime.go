@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"twine/internal/chaos"
 	"twine/internal/hostfs"
 	"twine/internal/ipfs"
 	"twine/internal/prof"
@@ -94,6 +95,18 @@ type Config struct {
 	// exactly semantics-preserving (identical fault/eviction counts), so
 	// this knob exists only for ablation benchmarks and fidelity tests.
 	NoEPCTLB bool
+	// Chaos, when set, injects faults at the WASI/host boundary (PR 6):
+	// each boundary crossing consults the injector's plan before the host
+	// operation runs. The zero/nil value is a strict no-op — the fidelity
+	// rule the chaos tests enforce.
+	Chaos *chaos.Injector
+	// HostRetryMax bounds transient-fault recovery at the WASI boundary:
+	// a crossing failing with a chaos.ErrTransient-wrapped error is
+	// re-issued up to this many times (0 = no retries, every error
+	// surfaces). HostRetryBackoff is slept before the first retry and
+	// doubles on each further one.
+	HostRetryMax     int
+	HostRetryBackoff time.Duration
 	// Switchless selects the OCALL dispatch strategy (default: on). With
 	// the ring off, ECALL/OCALL counts are bit-identical to the
 	// pre-switchless runtime; with it on, WASI-visible results are
@@ -116,9 +129,19 @@ type Runtime struct {
 
 	prof *prof.Registry
 
+	// hostBE is the primary host backend; clones (one per instance) share
+	// its fault plan and retry counters.
+	hostBE *wasi.HostBackend
+
 	// LaunchTime is the wall time spent creating the enclave and wiring
 	// the runtime (Table IIIa "Launch").
 	LaunchTime time.Duration
+}
+
+// HostRetryStats reports WASI-boundary retry activity aggregated across
+// the runtime's primary WASI system and every per-instance clone.
+func (rt *Runtime) HostRetryStats() wasi.RetryStats {
+	return rt.hostBE.RetryCounters()
 }
 
 // NewRuntime builds the enclave and the WASI plumbing.
@@ -155,6 +178,9 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	}
 
 	hostBE := wasi.NewHostBackend(cfg.HostFS, enclave)
+	hostBE.Chaos = cfg.Chaos
+	hostBE.Retry = wasi.RetryPolicy{Max: cfg.HostRetryMax, Backoff: cfg.HostRetryBackoff}
+	rt.hostBE = hostBE
 	var backend wasi.Backend
 	if cfg.FS == FSIPFS {
 		rt.PFS = ipfs.New(enclave, cfg.HostFS, ipfs.Options{

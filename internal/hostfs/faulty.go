@@ -9,10 +9,32 @@ import (
 // successful operations, every subsequent operation fails with Err. It is
 // used by tests to verify that higher layers (IPFS, WASI, the database)
 // surface untrusted-host failures instead of corrupting state.
+//
+// Two optional schedules refine the default fail-forever-after mode
+// (PR 6), so recovery paths — not just first-failure paths — are
+// testable:
+//
+//   - Window > 0 bounds the failure run: only the Window operations
+//     after the first FailAfter succeed — ops (FailAfter,
+//     FailAfter+Window] — fail; later operations succeed again.
+//   - EveryK > 0 selects every Kth operation instead, at a phase within
+//     the stride derived from Seed, modelling a persistently flaky host
+//     rather than a one-off outage. FailAfter/Window are ignored in this
+//     mode.
+//
+// With both zero the schedule is exactly the historical FailAfter
+// behaviour. For arbitrary plans (probabilities, stalls, composed
+// windows) use the internal/chaos harness, which generalises this
+// wrapper.
 type Faulty struct {
 	FS        FS
 	Err       error
 	FailAfter int64
+	// Window, when > 0, fails only ops (FailAfter, FailAfter+Window].
+	Window int64
+	// EveryK, when > 0, fails every Kth op at a Seed-derived phase.
+	EveryK int64
+	Seed   int64
 
 	ops atomic.Int64
 }
@@ -26,7 +48,25 @@ func NewFaulty(fs FS, failAfter int64, err error) *Faulty {
 // Ops returns the number of operations attempted so far.
 func (f *Faulty) Ops() int64 { return f.ops.Load() }
 
-func (f *Faulty) fail() bool { return f.ops.Add(1) > f.FailAfter }
+func (f *Faulty) fail() bool {
+	op := f.ops.Add(1)
+	if f.EveryK > 0 {
+		return (op-1)%f.EveryK == f.phase()
+	}
+	if f.Window > 0 {
+		return op > f.FailAfter && op <= f.FailAfter+f.Window
+	}
+	return op > f.FailAfter
+}
+
+// phase maps the seed into [0, EveryK) with a SplitMix64 mix, so distinct
+// seeds fault distinct ordinals while each seed stays replayable.
+func (f *Faulty) phase() int64 {
+	x := uint64(f.Seed) + 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return int64((x ^ (x >> 31)) % uint64(f.EveryK))
+}
 
 // OpenFile implements FS.
 func (f *Faulty) OpenFile(name string, flag int) (File, error) {

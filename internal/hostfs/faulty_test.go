@@ -1,0 +1,101 @@
+package hostfs
+
+import (
+	"errors"
+	"testing"
+)
+
+// faultyOps runs n Stat operations against f and returns the 1-based
+// ordinals that failed.
+func faultyOps(t *testing.T, f *Faulty, n int64) []int64 {
+	t.Helper()
+	var failed []int64
+	for op := int64(1); op <= n; op++ {
+		if _, err := f.Stat("/"); err != nil {
+			if !errors.Is(err, f.Err) {
+				t.Fatalf("op %d failed with %v, want the injected error", op, err)
+			}
+			failed = append(failed, op)
+		}
+	}
+	return failed
+}
+
+// TestFaultyFailAfterUnchanged pins the historical schedule: ops 1..N
+// succeed, everything after fails forever.
+func TestFaultyFailAfterUnchanged(t *testing.T) {
+	boom := errors.New("boom")
+	f := NewFaulty(NewMemFS(), 3, boom)
+	failed := faultyOps(t, f, 8)
+	if want := []int64{4, 5, 6, 7, 8}; len(failed) != len(want) {
+		t.Fatalf("failed ops %v, want %v", failed, want)
+	}
+	if failed[0] != 4 {
+		t.Errorf("first failure at op %d, want 4", failed[0])
+	}
+	if f.Ops() != 8 {
+		t.Errorf("Ops = %d, want 8", f.Ops())
+	}
+}
+
+// TestFaultyWindow: with a window the FS recovers — exactly ops
+// (FailAfter, FailAfter+Window] fail, later ones succeed, which is what
+// retry/repair paths need to be provable.
+func TestFaultyWindow(t *testing.T) {
+	boom := errors.New("boom")
+	f := &Faulty{FS: NewMemFS(), Err: boom, FailAfter: 2, Window: 3}
+	failed := faultyOps(t, f, 10)
+	want := []int64{3, 4, 5}
+	if len(failed) != len(want) {
+		t.Fatalf("failed ops %v, want %v", failed, want)
+	}
+	for i := range want {
+		if failed[i] != want[i] {
+			t.Fatalf("failed ops %v, want %v", failed, want)
+		}
+	}
+}
+
+// TestFaultyEveryK: the stride schedule fails one op per K at a seeded
+// phase; the same seed replays identically and a different seed
+// (generally) moves the phase but keeps the rate.
+func TestFaultyEveryK(t *testing.T) {
+	boom := errors.New("boom")
+	const k, n = 5, 40
+	record := func(seed int64) []int64 {
+		f := &Faulty{FS: NewMemFS(), Err: boom, EveryK: k, Seed: seed}
+		return faultyOps(t, f, n)
+	}
+	a, b := record(1), record(1)
+	if len(a) != len(b) || len(a) != n/k {
+		t.Fatalf("seed 1 failed %d/%d ops twice (%d), want %d each", len(a), len(b), n, n/k)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged: %v vs %v", a, b)
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i]-a[i-1] != k {
+			t.Errorf("stride %d between failures %d and %d, want %d", a[i]-a[i-1], a[i-1], a[i], k)
+		}
+	}
+}
+
+// TestFaultyWindowRecoveryOnHandles: data-plane ops (ReadAt/WriteAt)
+// share the schedule with path ops, and a write that failed inside the
+// window succeeds on retry after it closes.
+func TestFaultyWindowRecoveryOnHandles(t *testing.T) {
+	boom := errors.New("boom")
+	f := &Faulty{FS: NewMemFS(), Err: boom, FailAfter: 1, Window: 1}
+	h, err := f.OpenFile("/data", OWrite|OCreate) // op 1: ok
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	if _, err := h.WriteAt([]byte("x"), 0); !errors.Is(err, boom) { // op 2: fails
+		t.Fatalf("WriteAt = %v, want injected fault", err)
+	}
+	if _, err := h.WriteAt([]byte("x"), 0); err != nil { // op 3: recovered
+		t.Fatalf("retry WriteAt = %v, want success", err)
+	}
+}

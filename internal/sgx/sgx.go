@@ -88,6 +88,12 @@ type Config struct {
 	// stays bound across the OCALLs of its ECALL, exactly as the SGX SDK
 	// reserves the TCS for the outstanding enclave frame.
 	TCSNum int
+	// TCSWaitTimeout bounds how long an ECALL parks waiting for a free
+	// TCS (0 = forever, the historical behaviour). On expiry the ECALL
+	// fails with ErrTCSTimeout instead of queueing without bound — the
+	// enclave-level half of PR 6's admission control (the pool-level half
+	// is core.PoolConfig.MaxQueue/SubmitTimeout).
+	TCSWaitTimeout time.Duration
 	// HeapMode selects the allocator strategy.
 	HeapMode HeapMode
 	// Debug marks the enclave as debuggable; it is reflected in reports
@@ -129,6 +135,7 @@ func TestConfig() Config {
 // Package errors.
 var (
 	ErrDestroyed      = errors.New("sgx: enclave destroyed")
+	ErrTCSTimeout     = errors.New("sgx: no TCS freed within the wait bound")
 	ErrOutsideEnclave = errors.New("sgx: OCALL issued from outside the enclave")
 	ErrInsideEnclave  = errors.New("sgx: ECALL issued from inside the enclave")
 	ErrOutOfMemory    = errors.New("sgx: enclave out of memory")
@@ -165,6 +172,8 @@ type Stats struct {
 	// TCSWaits counts ECALLs that found every TCS busy and had to park
 	// until a slot freed — the enclave's saturation signal.
 	TCSWaits int64
+	// TCSTimeouts counts parked ECALLs abandoned on TCSWaitTimeout.
+	TCSTimeouts int64
 	// TCSBusy is the number of TCS bound at the instant of the snapshot.
 	TCSBusy int64
 	// TCSMaxBusy is the high-water mark of simultaneously bound TCS.
@@ -267,9 +276,10 @@ func (e *Enclave) Stats() Stats {
 		OCalls:     atomic.LoadInt64(&e.ocalls),
 		PageFaults: e.mem.Faults(),
 		Evictions:  e.mem.Evictions(),
-		TCSWaits:   atomic.LoadInt64(&e.tcs.waits),
-		TCSBusy:    atomic.LoadInt64(&e.tcs.busy),
-		TCSMaxBusy: atomic.LoadInt64(&e.tcs.maxBusy),
+		TCSWaits:    atomic.LoadInt64(&e.tcs.waits),
+		TCSBusy:     atomic.LoadInt64(&e.tcs.busy),
+		TCSMaxBusy:  atomic.LoadInt64(&e.tcs.maxBusy),
+		TCSTimeouts: atomic.LoadInt64(&e.tcs.timeouts),
 	}
 	if e.ring != nil {
 		rs := e.ring.Stats()
@@ -305,7 +315,7 @@ func (e *Enclave) ECall(name string, fn func() error) error {
 		return fmt.Errorf("%w: %s", ErrInsideEnclave, name)
 	}
 	defer e.gate.exit(id)
-	if err := e.tcs.acquire(e.destroyCh); err != nil {
+	if err := e.tcs.acquire(e.destroyCh, e.cfg.TCSWaitTimeout); err != nil {
 		return err
 	}
 	defer e.tcs.release()

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"twine/internal/chaos"
 )
 
 // Switchless OCALLs (the follow-up paper's transition-killing mechanism).
@@ -50,6 +52,13 @@ type SwitchlessConfig struct {
 	// While parked it consumes no CPU; the next request pays WakeupCost and
 	// falls back, exactly like the SGX SDK when no worker is available.
 	WorkerIdle time.Duration
+	// DrainChaos, when set, is consulted once per request the drain worker
+	// serves (PR 6's fault harness). Only the plan's stall applies — a
+	// descheduled or preempted untrusted worker delays responses but must
+	// not corrupt them, so a plan error here is ignored: the request's own
+	// closure still runs and its genuine result is delivered. nil disables
+	// injection with zero cost.
+	DrainChaos *chaos.Injector
 }
 
 // DefaultSwitchlessConfig derives ring costs from the enclave's transition
@@ -347,6 +356,10 @@ func (r *SwitchlessRing) worker() {
 // serve runs one request outside the enclave and hands the result back.
 // Panics are captured and re-raised on the enclave thread.
 func (r *SwitchlessRing) serve(req *slreq) {
+	// Injected drain stalls happen before the closure runs: the worker was
+	// descheduled holding the request, exactly the window Destroy's poison
+	// protocol must tolerate (see TestSwitchlessDestroyDuringStalledDrain).
+	_ = r.cfg.DrainChaos.Op()
 	var err error
 	func() {
 		defer func() {

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Thread control structures (TCS).
@@ -32,9 +33,10 @@ type tcsPool struct {
 	slots chan struct{} // send = acquire, receive = release
 	size  int
 
-	busy    int64 // currently bound TCS (atomic)
-	maxBusy int64 // high-water mark (atomic)
-	waits   int64 // ECALLs that found every TCS busy (atomic)
+	busy     int64 // currently bound TCS (atomic)
+	maxBusy  int64 // high-water mark (atomic)
+	waits    int64 // ECALLs that found every TCS busy (atomic)
+	timeouts int64 // parked ECALLs abandoned on the wait bound (atomic)
 }
 
 func newTCSPool(n int) *tcsPool {
@@ -46,14 +48,25 @@ func newTCSPool(n int) *tcsPool {
 
 // acquire binds a TCS, blocking while all are busy. destroyed is closed
 // when the enclave is torn down so parked callers fail with ErrDestroyed
-// instead of waiting forever.
-func (p *tcsPool) acquire(destroyed <-chan struct{}) error {
+// instead of waiting forever; timeout > 0 additionally bounds the wait
+// (Config.TCSWaitTimeout), failing the caller with ErrTCSTimeout so a
+// saturated enclave surfaces backpressure instead of unbounded latency.
+func (p *tcsPool) acquire(destroyed <-chan struct{}, timeout time.Duration) error {
 	select {
 	case p.slots <- struct{}{}:
 	default:
 		atomic.AddInt64(&p.waits, 1)
+		var expire <-chan time.Time
+		if timeout > 0 {
+			t := time.NewTimer(timeout)
+			defer t.Stop()
+			expire = t.C
+		}
 		select {
 		case p.slots <- struct{}{}:
+		case <-expire:
+			atomic.AddInt64(&p.timeouts, 1)
+			return ErrTCSTimeout
 		case <-destroyed:
 			return ErrDestroyed
 		}

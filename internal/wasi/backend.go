@@ -4,6 +4,7 @@ import (
 	"io"
 	"time"
 
+	"twine/internal/chaos"
 	"twine/internal/hostfs"
 	"twine/internal/ipfs"
 	"twine/internal/sgx"
@@ -74,6 +75,20 @@ type HostBackend struct {
 	FS      hostfs.FS
 	Enclave *sgx.Enclave
 
+	// Chaos, when set, is consulted once per boundary crossing (PR 6's
+	// fault harness): a selected crossing stalls and/or fails before the
+	// host operation runs, so an injected fault never leaves a partial
+	// side effect — which is what makes retrying it sound. nil disables
+	// injection with zero cost.
+	Chaos *chaos.Injector
+	// Retry bounds transient-fault recovery at this boundary (see
+	// RetryPolicy); the zero value surfaces every error immediately.
+	Retry RetryPolicy
+
+	// retryStats aggregates retry activity across this backend and every
+	// clone (each pool worker's WASI system shares the pointer).
+	retryStats *retryCounters
+
 	// pending is the one handle allowed to hold batched, not-yet-
 	// submitted writes. Every boundary call — including a batched write
 	// starting on any other handle — flushes it first, so writes always
@@ -84,8 +99,12 @@ type HostBackend struct {
 
 // NewHostBackend wraps fs; enclave may be nil.
 func NewHostBackend(fs hostfs.FS, enclave *sgx.Enclave) *HostBackend {
-	return &HostBackend{FS: fs, Enclave: enclave}
+	return &HostBackend{FS: fs, Enclave: enclave, retryStats: &retryCounters{}}
 }
+
+// RetryCounters returns the retry activity aggregated across this backend
+// and all its clones.
+func (h *HostBackend) RetryCounters() RetryStats { return h.retryStats.snapshot() }
 
 // Trusted implements Backend.
 func (h *HostBackend) Trusted() bool { return false }
@@ -104,8 +123,25 @@ func (h *HostBackend) call(name string, payload int, fn func() error) error {
 }
 
 // boundary performs the crossing without touching batch state; batch
-// flushes use it directly to avoid recursing into themselves.
+// flushes use it directly to avoid recursing into themselves. The fault
+// harness hooks in here — injection fires before the host operation, and
+// a transiently failed crossing is re-issued within the retry budget,
+// each attempt a full crossing with its own transition accounting.
 func (h *HostBackend) boundary(name string, payload int, fn func() error) error {
+	call := fn
+	if h.Chaos != nil {
+		call = func() error {
+			if err := h.Chaos.Op(); err != nil {
+				return err
+			}
+			return fn()
+		}
+	}
+	return h.Retry.retry(h.retryStats, func() error { return h.cross(name, payload, call) })
+}
+
+// cross is one physical boundary crossing.
+func (h *HostBackend) cross(name string, payload int, fn func() error) error {
 	if h.Enclave == nil || !h.Enclave.Inside() {
 		return fn()
 	}
@@ -375,12 +411,23 @@ func (h *hostHandle) Close() error {
 func CloneBackend(b Backend) Backend {
 	switch b := b.(type) {
 	case *HostBackend:
-		return NewHostBackend(b.FS, b.Enclave)
+		return b.clone()
 	case *IPFSBackend:
-		return &IPFSBackend{PFS: b.PFS, Host: NewHostBackend(b.Host.FS, b.Host.Enclave)}
+		return &IPFSBackend{PFS: b.PFS, Host: b.Host.clone()}
 	default:
 		return b
 	}
+}
+
+// clone builds a per-instance host backend over the same storage: fresh
+// batch state, shared fault plan and retry counters — every clone sees
+// the same injected operation stream and aggregates into one RetryStats.
+func (h *HostBackend) clone() *HostBackend {
+	nb := NewHostBackend(h.FS, h.Enclave)
+	nb.Chaos = h.Chaos
+	nb.Retry = h.Retry
+	nb.retryStats = h.retryStats
+	return nb
 }
 
 // --- IPFS (trusted) backend ---

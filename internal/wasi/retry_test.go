@@ -1,0 +1,118 @@
+package wasi
+
+import (
+	"errors"
+	"testing"
+
+	"twine/internal/chaos"
+	"twine/internal/hostfs"
+)
+
+// Boundary-retry coverage (PR 6). The backends here have no enclave, so
+// each boundary crossing runs the host closure directly — the retry logic
+// under test is identical on the enclave path (retry wraps cross).
+
+func retryBackend(plan chaos.Plan, policy RetryPolicy) *HostBackend {
+	h := NewHostBackend(hostfs.NewMemFS(), nil)
+	h.Chaos = chaos.New(plan)
+	h.Retry = policy
+	return h
+}
+
+// TestBoundaryRetryRecoversTransient: a single injected transient fault
+// is absorbed by one retry — the guest never sees it, and the counters
+// record the recovery.
+func TestBoundaryRetryRecoversTransient(t *testing.T) {
+	h := retryBackend(
+		chaos.Plan{At: 2, Err: chaos.Transient(errors.New("host stall"))},
+		RetryPolicy{Max: 2},
+	)
+	if _, err := h.Stat("/", true); err != nil { // crossing 1: clean
+		t.Fatalf("Stat 1: %v", err)
+	}
+	// Crossing 2 is injected; the retry's crossing 3 succeeds.
+	if _, err := h.Stat("/", true); err != nil {
+		t.Fatalf("Stat 2 after retry: %v", err)
+	}
+	if s := h.RetryCounters(); s.Retries != 1 || s.Recovered != 1 || s.Exhausted != 0 {
+		t.Errorf("counters = %+v, want 1 retry, 1 recovered", s)
+	}
+}
+
+// TestBoundaryRetryExhaustsBudget: a persistent transient fault stops
+// being absorbed once the budget is spent — the transient error surfaces
+// and is classifiable by the caller.
+func TestBoundaryRetryExhaustsBudget(t *testing.T) {
+	h := retryBackend(
+		chaos.Plan{At: 1, Window: 1000, Err: chaos.Transient(errors.New("host down"))},
+		RetryPolicy{Max: 3},
+	)
+	_, err := h.Stat("/", true)
+	if !chaos.IsTransient(err) {
+		t.Fatalf("Stat = %v, want a transient error after budget exhaustion", err)
+	}
+	if s := h.RetryCounters(); s.Retries != 3 || s.Recovered != 0 || s.Exhausted != 1 {
+		t.Errorf("counters = %+v, want 3 retries, 1 exhausted", s)
+	}
+	if ops := h.Chaos.Stats().Ops; ops != 4 {
+		t.Errorf("crossings = %d, want 4 (1 + Max retries)", ops)
+	}
+}
+
+// TestBoundaryPermanentErrorNotRetried: only transient-classified errors
+// are re-issued; a permanent fault surfaces on the first attempt.
+func TestBoundaryPermanentErrorNotRetried(t *testing.T) {
+	boom := errors.New("permanent corruption")
+	h := retryBackend(
+		chaos.Plan{At: 1, Window: 1000, Err: boom},
+		RetryPolicy{Max: 5},
+	)
+	if _, err := h.Stat("/", true); !errors.Is(err, boom) {
+		t.Fatalf("Stat = %v, want the permanent error", err)
+	}
+	if s := h.RetryCounters(); s.Retries != 0 {
+		t.Errorf("retried a permanent error: %+v", s)
+	}
+	if ops := h.Chaos.Stats().Ops; ops != 1 {
+		t.Errorf("crossings = %d, want exactly 1", ops)
+	}
+}
+
+// TestZeroPolicySurfacesTransients: with no retry budget the transient
+// error surfaces immediately — the historical behaviour.
+func TestZeroPolicySurfacesTransients(t *testing.T) {
+	h := retryBackend(
+		chaos.Plan{At: 1, Err: chaos.Transient(nil)},
+		RetryPolicy{},
+	)
+	if _, err := h.Stat("/", true); !chaos.IsTransient(err) {
+		t.Fatalf("Stat = %v, want the transient error to surface", err)
+	}
+	if ops := h.Chaos.Stats().Ops; ops != 1 {
+		t.Errorf("crossings = %d, want 1 (no retry)", ops)
+	}
+}
+
+// TestCloneSharesFaultPlanAndCounters: clones (the pool's per-worker
+// systems) consume the same injected operation stream and aggregate into
+// the parent's RetryStats.
+func TestCloneSharesFaultPlanAndCounters(t *testing.T) {
+	h := retryBackend(
+		chaos.Plan{At: 1, Err: chaos.Transient(errors.New("glitch"))},
+		RetryPolicy{Max: 1},
+	)
+	cl, ok := CloneBackend(h).(*HostBackend)
+	if !ok {
+		t.Fatal("CloneBackend changed the backend type")
+	}
+	// The clone's crossing 1 is injected; its retry (crossing 2) succeeds.
+	if _, err := cl.Stat("/", true); err != nil {
+		t.Fatalf("clone Stat: %v", err)
+	}
+	if s := h.RetryCounters(); s.Retries != 1 || s.Recovered != 1 {
+		t.Errorf("parent counters = %+v, want the clone's recovery visible", s)
+	}
+	if ops := h.Chaos.Stats().Ops; ops != 2 {
+		t.Errorf("shared injector saw %d ops, want 2", ops)
+	}
+}

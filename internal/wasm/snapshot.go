@@ -39,6 +39,38 @@ func (in *Instance) Snapshot() *Snapshot {
 	return s
 }
 
+// ResetFromSnapshot restores the instance's mutable state — linear
+// memory, globals and the indirect-call table — to snap, in place. It is
+// the repair half of worker quarantine (PR 6): a worker whose request
+// trapped or aborted mid-execution may hold arbitrarily corrupted guest
+// state, and resetting it to the snapshot is exactly as strong as
+// stamping out a new worker (the snapshot is the same bytes) without
+// re-allocating the enclave arena or re-linking. The memory buffer is
+// reused when capacity allows and the software EPC-TLB is dropped, so
+// stale hot-page entries cannot survive the reset. The instance must be
+// quiescent (no invocation in flight).
+func (in *Instance) ResetFromSnapshot(snap *Snapshot) error {
+	if snap == nil {
+		return fmt.Errorf("%w: reset from nil snapshot", ErrValidation)
+	}
+	if snap.module != in.m {
+		return fmt.Errorf("%w: snapshot belongs to a different module", ErrLink)
+	}
+	if in.mem != nil {
+		if err := in.mem.restore(snap.mem); err != nil {
+			return err
+		}
+	} else if len(snap.mem) > 0 {
+		return fmt.Errorf("%w: snapshot has memory but module defines none", ErrValidation)
+	}
+	in.globals = append(in.globals[:0], snap.globals...)
+	in.globTs = append(in.globTs[:0], snap.globTs...)
+	in.table = append(in.table[:0], snap.table...)
+	in.sp = 0
+	in.depth = 0
+	return nil
+}
+
 // InstantiateFromSnapshot builds a fresh instance of c whose memory,
 // globals and table start as copies of snap, skipping data-segment
 // replay, linking re-validation work and the start function. The snapshot

@@ -29,6 +29,15 @@
 //	out, err := pool.Submit(args...)          // one request, any goroutine
 //	err = pool.Serve(n, argsFn, doneFn)       // a batch across all workers
 //
+// Serving is fault-contained (PR 6): PoolConfig.MaxQueue and SubmitTimeout
+// bound admission (rejected work fails fast with ErrOverloaded),
+// Pool.SubmitCtx honours context deadlines, and a request that corrupts its
+// worker — a Wasm trap, a failed host interaction — quarantines that worker
+// and repairs it from the instantiation snapshot before it serves again.
+// Transient host faults are retried at the WASI boundary
+// (Config.HostRetryMax) and never quarantine. The seeded fault-injection
+// harness behind the fault tests is exported as FaultPlan/FaultInjector.
+//
 // For the paper's flagship use case — a trusted full SQL database — see the
 // tsql subpackage.
 package twine
@@ -36,6 +45,7 @@ package twine
 import (
 	"io"
 
+	"twine/internal/chaos"
 	"twine/internal/core"
 	"twine/internal/hostfs"
 	"twine/internal/ipfs"
@@ -69,10 +79,21 @@ type (
 	// requests through Submit/Serve. See Runtime.NewPool.
 	Pool = core.Pool
 	// PoolConfig sizes a Pool (workers, entry function, optional one-time
-	// init and per-request untrusted host I/O).
+	// init and per-request untrusted host I/O) and bounds its admission:
+	// MaxQueue caps waiting submits, SubmitTimeout bounds the wait for a
+	// free worker (PR 6).
 	PoolConfig = core.PoolConfig
-	// PoolStats counts completed requests and pool-level waits.
+	// PoolStats counts completed requests, pool-level waits, and the
+	// fault-containment activity: rejected/timed-out admissions and
+	// quarantined/repaired workers.
 	PoolStats = core.PoolStats
+	// FaultPlan describes a deterministic, seeded fault-injection plan
+	// (PR 6): which operations of a stream fail, with what error, after
+	// what stall. The zero plan injects nothing.
+	FaultPlan = chaos.Plan
+	// FaultInjector applies a FaultPlan to an operation stream. A nil
+	// injector is a strict no-op, so fault hooks cost nothing when unused.
+	FaultInjector = chaos.Injector
 	// Provider serves Wasm modules to attested enclaves over a
 	// provisioning channel (the paper's Figure 1 trusted-deployment
 	// workflow).
@@ -125,6 +146,31 @@ const (
 	// EngineInterp runs the plain interpreter (Table I's slower mode).
 	EngineInterp = wasm.EngineInterp
 )
+
+// Serving-pool admission errors (PR 6).
+var (
+	// ErrOverloaded reports an admission-control rejection: the pool's
+	// wait queue was full, or the submit's deadline expired before a
+	// worker freed up. Overloaded requests left no side effect and are
+	// safe to resubmit (typically after client-side backoff).
+	ErrOverloaded = core.ErrOverloaded
+	// ErrPoolClosed reports a submit against a closed pool, including
+	// submits that were queued when Close began.
+	ErrPoolClosed = core.ErrPoolClosed
+)
+
+// NewFaultInjector compiles a FaultPlan into a FaultInjector for use in
+// fault hooks (Config.Chaos, PoolConfig.HostIO wrappers, chaos tests).
+func NewFaultInjector(p FaultPlan) *FaultInjector { return chaos.New(p) }
+
+// TransientFault marks err as transient — "the call never happened, no
+// side effect" — which makes it retryable at the WASI boundary and exempt
+// from worker quarantine.
+func TransientFault(err error) error { return chaos.Transient(err) }
+
+// IsTransientFault reports whether err is transient in the sense of
+// TransientFault.
+func IsTransientFault(err error) bool { return chaos.IsTransient(err) }
 
 // NewRuntime builds the enclave and WASI plumbing. The zero Config is a
 // working default; the returned Runtime is ready for LoadModule.
