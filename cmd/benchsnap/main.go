@@ -6,8 +6,10 @@
 //
 //   - the Figure 3 PolyBench kernels under native Go, plain Wasm
 //     ("wamr") and Wasm-in-enclave ("twine"), the Wasm variants each at
-//     the fused AoT tier and the PR 4 register tier ("-reg" suffix; the
-//     register-vs-fused geomeans land in the snapshot's notes);
+//     the fused AoT tier, the PR 4 register tier ("-reg" suffix) and the
+//     PR 7 superblock tier ("-super" suffix; the per-tier geomeans and
+//     the superblock translation/bailout counts land in the snapshot's
+//     notes);
 //   - the Figure 4 Speedtest1 file-storage penalty (file-backed minus
 //     memory-backed suite time) on in-enclave Wasm over the untrusted
 //     POSIX WASI backend, with switchless OCALLs off ("twine", the PR 1
@@ -29,7 +31,7 @@
 // document. The committed BENCH_<n>.json snapshots at the repository root
 // were generated with the defaults:
 //
-//	go run ./cmd/benchsnap -o BENCH_5.json
+//	go run ./cmd/benchsnap -o BENCH_6.json
 //
 // See BENCHMARKS.md for the snapshot workflow and the figure mapping.
 package main
@@ -129,7 +131,7 @@ func measureDur(fn func() (time.Duration, error), warmup, minOps int, minWindow 
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
-	verbose := flag.Bool("v", false, "print register-tier translation counters and instructions retired per tier")
+	verbose := flag.Bool("v", false, "print register/superblock translation counters and instructions retired per tier")
 	kernels := flag.String("kernels", "gemm,2mm,atax,jacobi-2d,cholesky,floyd-warshall",
 		"comma-separated Fig3 kernels")
 	n := flag.Int("n", 32, "kernel problem size")
@@ -178,6 +180,8 @@ func main() {
 	// The "-reg" series' geomean against the fused series is the PR 4
 	// acceptance number (BENCH_4.json).
 	geoFused, geoReg := map[string]float64{}, map[string]float64{}
+	geoSuper, geoNative := map[string]float64{}, 0.0
+	superBailouts := map[string]string{}
 	nKernels := 0
 	for _, name := range strings.Split(*kernels, ",") {
 		name = strings.TrimSpace(name)
@@ -207,7 +211,7 @@ func main() {
 		for _, tier := range []struct {
 			suffix string
 			engine wasm.Engine
-		}{{"wamr", wasm.EngineAOT}, {"wamr-reg", wasm.EngineRegister}} {
+		}{{"wamr", wasm.EngineAOT}, {"wamr-reg", wasm.EngineRegister}, {"wamr-super", wasm.EngineSuperblock}} {
 			imp := wasm.NewImportObject()
 			polybench.MathImports(imp)
 			in, err := wasm.Instantiate(c, imp, wasm.Config{Engine: tier.engine})
@@ -229,7 +233,7 @@ func main() {
 		for _, tier := range []struct {
 			suffix string
 			engine wasm.Engine
-		}{{"twine", wasm.EngineAOT}, {"twine-reg", wasm.EngineRegister}} {
+		}{{"twine", wasm.EngineAOT}, {"twine-reg", wasm.EngineRegister}, {"twine-super", wasm.EngineSuperblock}} {
 			rt, err := core.NewRuntime(core.Config{PlatformSeed: "benchsnap", SGX: benchSGX(), Engine: tier.engine})
 			die(name+"/"+tier.suffix+" runtime", err)
 			tmod, err := rt.LoadModule(bin)
@@ -253,22 +257,40 @@ func main() {
 					fmt.Fprintf(os.Stderr, "    %-10s translate: %d funcs, %d folds, %d props, %d dead stores, %d fused, %d hoisted windows, %d bailouts\n",
 						tier.suffix, st.Funcs, st.Folds, st.Props, st.DeadStores, st.Fused, st.Hoists, st.Bailouts)
 				}
+				if tier.engine == wasm.EngineSuperblock {
+					st := tmod.Compiled.SuperStats(true)
+					fmt.Fprintf(os.Stderr, "    %-10s translate: %d funcs (%d reg-bail), %d loops -> %d idiom + %d step traces, %d bailouts\n",
+						tier.suffix, st.Funcs, st.RegBail, st.Loops, st.Idioms, st.StepLoops, st.Bailouts)
+				}
 			}
 		}
 
+		st := c.SuperStats(false)
+		superBailouts[name] = fmt.Sprintf("%d loops, %d idiom, %d step, %d bailouts", st.Loops, st.Idioms, st.StepLoops, st.Bailouts)
 		geoFused["wamr"] += lg(ns["wamr"])
 		geoReg["wamr"] += lg(ns["wamr-reg"])
+		geoSuper["wamr"] += lg(ns["wamr-super"])
 		geoFused["twine"] += lg(ns["twine"])
 		geoReg["twine"] += lg(ns["twine-reg"])
-		fmt.Fprintf(os.Stderr, "%-16s native %10.0f ns  wamr %11.0f/%11.0f ns  twine %11.0f/%11.0f ns  (reg speedup %.2fx/%.2fx)\n",
-			name, nsNative, ns["wamr"], ns["wamr-reg"], ns["twine"], ns["twine-reg"],
-			ns["wamr"]/ns["wamr-reg"], ns["twine"]/ns["twine-reg"])
+		geoSuper["twine"] += lg(ns["twine-super"])
+		geoNative += lg(nsNative)
+		fmt.Fprintf(os.Stderr, "%-16s native %10.0f ns  wamr %10.0f/%10.0f/%10.0f ns  twine %10.0f/%10.0f/%10.0f ns  (super speedup %.2fx/%.2fx)\n",
+			name, nsNative, ns["wamr"], ns["wamr-reg"], ns["wamr-super"], ns["twine"], ns["twine-reg"], ns["twine-super"],
+			ns["wamr"]/ns["wamr-super"], ns["twine"]/ns["twine-super"])
 	}
 	if nKernels > 0 {
 		for _, v := range []string{"wamr", "twine"} {
 			sp := math.Exp((geoFused[v] - geoReg[v]) / float64(nKernels))
 			snap.Notes["fig3-reg-geomean-"+v] = fmt.Sprintf("%.3fx", sp)
 			fmt.Fprintf(os.Stderr, "%-16s register-tier geomean speedup over fused: %.3fx\n", v, sp)
+			sps := math.Exp((geoReg[v] - geoSuper[v]) / float64(nKernels))
+			snap.Notes["fig3-super-geomean-"+v] = fmt.Sprintf("%.3fx", sps)
+			ratio := math.Exp((geoSuper[v] - geoNative) / float64(nKernels))
+			snap.Notes["fig3-super-vs-native-"+v] = fmt.Sprintf("%.2fx", ratio)
+			fmt.Fprintf(os.Stderr, "%-16s superblock geomean speedup over reg: %.3fx (%.2fx native)\n", v, sps, ratio)
+		}
+		for name, bl := range superBailouts {
+			snap.Notes["fig3-super-translate-"+name] = bl
 		}
 	}
 

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	polybench [-n size] [-kernels a,b,c] [-memsweep kernel] [-engine aot|reg|interp]
+//	polybench [-n size] [-kernels a,b,c] [-memsweep kernel] [-engine aot|reg|super|interp]
 package main
 
 import (
@@ -24,7 +24,7 @@ func main() {
 	n := flag.Int("n", 48, "problem size per kernel")
 	names := flag.String("kernels", "", "comma-separated kernel subset (default: all 30)")
 	memsweep := flag.String("memsweep", "", "report the memory floor sweep for one kernel (paper §V-B)")
-	engineName := flag.String("engine", "aot", "Wasm execution tier: aot (fused, default), reg (PR 4 register IR), interp")
+	engineName := flag.String("engine", "aot", "Wasm execution tier: aot (fused, default), reg (PR 4 register IR), super (PR 7 superblock traces), interp")
 	flag.Parse()
 
 	var engine wasm.Engine
@@ -33,6 +33,8 @@ func main() {
 		engine = wasm.EngineAOT
 	case "reg":
 		engine = wasm.EngineRegister
+	case "super":
+		engine = wasm.EngineSuperblock
 	case "interp":
 		engine = wasm.EngineInterp
 	default:

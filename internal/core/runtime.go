@@ -162,7 +162,8 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	// another tier. The register tier (PR 4) is wired like Switchless: a
 	// plain Config knob, with the fused AoT path as the bit-identical
 	// default.
-	if cfg.Engine != wasm.EngineInterp && cfg.Engine != wasm.EngineRegister {
+	if cfg.Engine != wasm.EngineInterp && cfg.Engine != wasm.EngineRegister &&
+		cfg.Engine != wasm.EngineSuperblock {
 		cfg.Engine = wasm.EngineAOT
 	}
 
@@ -283,6 +284,19 @@ func (rt *Runtime) LoadModule(wasmBytes []byte) (*Module, error) {
 		rt.prof.Add("wasm.reg.deadstores", st.DeadStores)
 		rt.prof.Add("wasm.reg.fused", st.Fused)
 		rt.prof.Add("wasm.reg.hoists", st.Hoists)
+	}
+	// The superblock tier (PR 7) stacks on the register form: its
+	// translation counters describe how many innermost loops became
+	// idiom or step traces, and how many bailed back to the register
+	// interpreter. Same guarded/unguarded reporting rule as above.
+	if rt.cfg.Engine == wasm.EngineSuperblock {
+		st := mod.Compiled.SuperStats(!rt.cfg.NoEPCTLB)
+		rt.prof.Add("wasm.super.funcs", int64(st.Funcs))
+		rt.prof.Add("wasm.super.regbail", int64(st.RegBail))
+		rt.prof.Add("wasm.super.loops", int64(st.Loops))
+		rt.prof.Add("wasm.super.idioms", int64(st.Idioms))
+		rt.prof.Add("wasm.super.steploops", int64(st.StepLoops))
+		rt.prof.Add("wasm.super.bailouts", int64(st.Bailouts))
 	}
 	mod.LoadTime = time.Since(start)
 	rt.prof.AddTime("twine.load", mod.LoadTime)

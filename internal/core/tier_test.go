@@ -41,7 +41,7 @@ func runTierSweep(t *testing.T, eng wasm.Engine, elems, rounds int, epcUsable in
 }
 
 // TestTierFidelityPaging is the register-tier acceptance guard for SGX
-// accounting: under a paging-heavy sweep all three engines must report
+// accounting: under a paging-heavy sweep all four engines must report
 // bit-identical fault and eviction counts and checksums. The register
 // tier's hoisted guards only run raw windows where every touch would
 // have been a no-op; under eviction pressure the guards keep failing
@@ -51,12 +51,16 @@ func TestTierFidelityPaging(t *testing.T) {
 	interp := runTierSweep(t, wasm.EngineInterp, 32<<10, 3, 64<<10)
 	aot := runTierSweep(t, wasm.EngineAOT, 32<<10, 3, 64<<10)
 	reg := runTierSweep(t, wasm.EngineRegister, 32<<10, 3, 64<<10)
+	super := runTierSweep(t, wasm.EngineSuperblock, 32<<10, 3, 64<<10)
 
 	if aot != interp {
 		t.Errorf("aot diverged from interp: %+v vs %+v", aot, interp)
 	}
 	if reg != interp {
 		t.Errorf("register tier diverged from interp: %+v vs %+v", reg, interp)
+	}
+	if super != interp {
+		t.Errorf("superblock tier diverged from interp: %+v vs %+v", super, interp)
 	}
 	if interp.evictions == 0 {
 		t.Fatal("sweep caused no evictions; enlarge the workload")
@@ -71,12 +75,16 @@ func TestTierFidelityHotEPC(t *testing.T) {
 	interp := runTierSweep(t, wasm.EngineInterp, 2<<10, 3, 24<<20)
 	aot := runTierSweep(t, wasm.EngineAOT, 2<<10, 3, 24<<20)
 	reg := runTierSweep(t, wasm.EngineRegister, 2<<10, 3, 24<<20)
+	super := runTierSweep(t, wasm.EngineSuperblock, 2<<10, 3, 24<<20)
 
 	if aot != interp {
 		t.Errorf("aot diverged from interp: %+v vs %+v", aot, interp)
 	}
 	if reg != interp {
 		t.Errorf("register tier diverged from interp: %+v vs %+v", reg, interp)
+	}
+	if super != interp {
+		t.Errorf("superblock tier diverged from interp: %+v vs %+v", super, interp)
 	}
 	if interp.evictions != 0 {
 		t.Fatalf("resident working set evicted (%d); shrink the workload", interp.evictions)

@@ -7,10 +7,11 @@ import (
 	"twine/internal/wasm"
 )
 
-// TestTierDifferential runs every PolyBench kernel under all three
-// execution tiers — interpreter, fused AoT, and the PR 4 register tier —
-// and requires bit-identical checksums. The interpreter is the reference
-// semantics; the register tier's folding, propagation and fusion must
+// TestTierDifferential runs every PolyBench kernel under all four
+// execution tiers — interpreter, fused AoT, the PR 4 register tier and
+// the PR 7 superblock tier — and requires bit-identical checksums. The
+// interpreter is the reference semantics; the register tier's folding,
+// propagation and fusion, and the superblock tier's loop traces, must
 // never change a result bit (floats are deliberately never folded at
 // translation time for exactly this reason).
 func TestTierDifferential(t *testing.T) {
@@ -27,8 +28,8 @@ func TestTierDifferential(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			var sums [3]uint64
-			for i, eng := range []wasm.Engine{wasm.EngineInterp, wasm.EngineAOT, wasm.EngineRegister} {
+			var sums [4]uint64
+			for i, eng := range []wasm.Engine{wasm.EngineInterp, wasm.EngineAOT, wasm.EngineRegister, wasm.EngineSuperblock} {
 				imp := wasm.NewImportObject()
 				MathImports(imp)
 				in, err := wasm.Instantiate(c, imp, wasm.Config{Engine: eng})
@@ -45,15 +46,19 @@ func TestTierDifferential(t *testing.T) {
 					sums[i] = out[0]
 				}
 			}
-			if sums[0] != sums[1] || sums[0] != sums[2] {
-				t.Errorf("checksum mismatch: interp=%x (%v) aot=%x reg=%x",
-					sums[0], math.Float64frombits(sums[0]), sums[1], sums[2])
+			if sums[0] != sums[1] || sums[0] != sums[2] || sums[0] != sums[3] {
+				t.Errorf("checksum mismatch: interp=%x (%v) aot=%x reg=%x super=%x",
+					sums[0], math.Float64frombits(sums[0]), sums[1], sums[2], sums[3])
 			}
-			// The register tier must actually have engaged (no silent
-			// wholesale bailout to the fused form).
-			// Instantiated without a touch hook above: unguarded form.
+			// The register and superblock tiers must actually have engaged
+			// (no silent wholesale bailout to the fused form / register
+			// interpreter). Instantiated without a touch hook above:
+			// unguarded form.
 			if st := c.RegStats(false); st.Funcs == 0 {
 				t.Errorf("register translation bailed out entirely: %+v", st)
+			}
+			if st := c.SuperStats(false); st.Idioms+st.StepLoops == 0 {
+				t.Errorf("superblock translation traced no loops: %+v", st)
 			}
 		})
 	}

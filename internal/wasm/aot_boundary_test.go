@@ -25,8 +25,8 @@ func runAllEngines(t *testing.T, bytes []byte, args ...uint64) uint64 {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var got [3]uint64
-	for i, eng := range []Engine{EngineInterp, EngineAOT, EngineRegister} {
+	var got [4]uint64
+	for i, eng := range []Engine{EngineInterp, EngineAOT, EngineRegister, EngineSuperblock} {
 		in, err := Instantiate(c, nil, Config{Engine: eng})
 		if err != nil {
 			t.Fatalf("%v: %v", eng, err)
@@ -37,8 +37,8 @@ func runAllEngines(t *testing.T, bytes []byte, args ...uint64) uint64 {
 		}
 		got[i] = out[0]
 	}
-	if got[0] != got[1] || got[0] != got[2] {
-		t.Fatalf("engines disagree: interp=%d aot=%d reg=%d", got[0], got[1], got[2])
+	if got[0] != got[1] || got[0] != got[2] || got[0] != got[3] {
+		t.Fatalf("engines disagree: interp=%d aot=%d reg=%d super=%d", got[0], got[1], got[2], got[3])
 	}
 	return got[0]
 }

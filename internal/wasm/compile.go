@@ -32,6 +32,10 @@ type compiledFunc struct {
 	// footprint is unchanged — operand-slot homes reuse the maxStack
 	// area — so stack-overflow traps fire at the same call depths.
 	reg bool
+	// traces holds the superblock tier's compiled loop traces (PR 7),
+	// indexed by sOpTraceEnter's .a operand. Non-nil only in the
+	// superblock form of a function.
+	traces []superTrace
 }
 
 // Compiled is a fully validated module with lowered function bodies, ready
@@ -58,6 +62,12 @@ type Compiled struct {
 	regOnce  [2]sync.Once
 	regFuncs [2][]compiledFunc
 	regStats [2]RegStats
+
+	// The superblock translation (PR 7) is derived from the register
+	// form, once per guard variant, and shared the same way.
+	superOnce  [2]sync.Once
+	superFuncs [2][]compiledFunc
+	superStats [2]SuperStats
 }
 
 // aot returns the fused (AoT) form of the function bodies, translating on
@@ -101,6 +111,40 @@ func (c *Compiled) reg(guarded bool) []compiledFunc {
 		c.regFuncs[v] = out
 	})
 	return c.regFuncs[v]
+}
+
+// super returns the superblock form of the function bodies (PR 7):
+// register bodies with innermost self-loops patched into compiled traces.
+// Functions without a register form stay fused, untraced. The result is
+// immutable and shared across instances.
+func (c *Compiled) super(guarded bool) []compiledFunc {
+	v := 0
+	if guarded {
+		v = 1
+	}
+	c.superOnce[v].Do(func() {
+		regs := c.reg(guarded)
+		out := make([]compiledFunc, len(regs))
+		var st SuperStats
+		for i := range regs {
+			out[i] = translateSuper(&regs[i], &st)
+		}
+		c.superStats[v] = st
+		c.superFuncs[v] = out
+	})
+	return c.superFuncs[v]
+}
+
+// SuperStats reports the superblock-tier translation counters of the
+// guarded or unguarded form — pass the same guarded value the instances
+// run with (Config.TouchGen != nil). Forces the translation if it has not
+// run yet.
+func (c *Compiled) SuperStats(guarded bool) SuperStats {
+	c.super(guarded)
+	if guarded {
+		return c.superStats[1]
+	}
+	return c.superStats[0]
 }
 
 // RegStats reports the register-tier translation counters of the guarded

@@ -1,12 +1,14 @@
 // Package wasm implements a WebAssembly 1.0 (MVP) runtime in pure Go: a
 // binary decoder, a validating compiler that lowers structured control flow
-// to branch-resolved internal code, and three execution engines — a plain
+// to branch-resolved internal code, and four execution engines — a plain
 // interpreter and an "AoT" engine that runs a pre-translated,
 // peephole-fused form of the code, mirroring the WAMR modes the paper uses
 // (§III-B, Table I; the runtime TWINE embeds in the enclave is §IV-B), plus
 // a second AoT stage (PR 4, EngineRegister) that rewrites each function
 // into a basic-block register IR with constant folding, copy propagation
-// and hoisted bounds checks.
+// and hoisted bounds checks, and a third AoT stage (PR 7,
+// EngineSuperblock) that compiles the register IR's innermost self-loops
+// into single Go closures.
 //
 // TWINE embeds this runtime inside the SGX enclave simulator; the runtime
 // itself is host-agnostic and reports linear-memory accesses through an
@@ -66,4 +68,63 @@
 //     window suffix, so paging counters and trap sites are identical on
 //     every path (internal/core/tier_test.go pins this under eviction
 //     pressure and with the working set resident).
+//
+// # Superblock-tier invariants (PR 7)
+//
+// The superblock tier (EngineSuperblock) stacks on the register form: it
+// finds innermost self-loop regions (a back-edge to a dominating header
+// inside one function) and replaces each header with a trace-enter
+// pseudo-op dispatching to a Go closure. Only the header instruction is
+// patched — interior pcs keep their original instructions, so mid-region
+// branch targets and guard-failure blobs still execute under the
+// register interpreter and re-enter the trace at the next back-edge.
+// Rules, in addition to everything above:
+//
+//   - Two trace forms exist. An IDIOM trace matches a counted loop
+//     (brcmp-ge header over an i32 induction local, constant positive
+//     step; the back-edge increment may also be LVN's copy of a
+//     body-computed L+step temp, proven affine-equal — the jacobi
+//     stencil shape) whose straight-line body is an affine f64 walk — loads and
+//     at most one trailing store at addresses c + cL·i + Σ coeffₖ·invₖ
+//     scaled by a constant stride, combined by one of a fixed set of
+//     templates (fill, copy, binary op, mul-add update, scaled sum,
+//     scalar accumulate). A STEP trace compiles every region instruction
+//     to a per-instruction closure copied expression-for-expression from
+//     the register interpreter's arms; calls, indirect calls, br_table,
+//     return and memory.grow/size exclude a region entirely (a bailout,
+//     counted in SuperStats). Anything unproven stays on the register
+//     interpreter — bailing is always correct.
+//   - Float semantics follow the PR 4 rule: nothing is folded at
+//     translation time, and idiom templates force product rounding
+//     (prod := float64(x*y)) so Go's FMA contraction cannot change bits.
+//     Operand order is preserved exactly as the register IR recorded it.
+//   - An idiom trace amortises the PR 4 guard to once per loop TRIP: an
+//     exact int64 proof (coefficients bounded, index line inside [0,2³²)
+//     so u32 wrap is the identity, byte spans in bounds, induction never
+//     wrapping past MaxInt32, every access width-aligned so it cannot
+//     straddle an EPC-TLB page, and — when a touch hook is installed —
+//     all ≤64 pages of every span hot at a generation read once). Under
+//     that proof the checked path would perform no touch and no trap, so
+//     the raw loop's empty hook sequence is bit-identical. If the proof
+//     fails, a checked fallback replays the loop per-iteration through
+//     the shared memLoad*/memStore* helpers in exact program order,
+//     committing the induction local and accumulator every iteration, so
+//     a mid-loop trap leaves the frame exactly as the interpreter would.
+//   - The trip guard extends PR 4's hot-page stability assumption from a
+//     window to a whole trip. For single-threaded instances — every
+//     fidelity configuration in this repo — the proof is exact. Under
+//     concurrent cross-instance eviction the generation word can move
+//     mid-trip, in which case only touch/fault COUNTS can drift (the
+//     same class of slack PR 4's window guards already accept); guest
+//     results, traps and memory state remain bit-exact regardless.
+//   - Retired-instruction accounting: idiom traces charge one dispatch
+//     per iteration plus the trip entry; step traces count exactly one
+//     per executed instruction, preserving InsRetired parity for
+//     untraced shapes.
+//
+// Correctness of the whole stack is carried by a seeded cross-tier
+// differential fuzzer (fuzz_tier_test.go): structured random modules run
+// under all four engines against a fake EPC pager, comparing results,
+// trap kind+message, memory, globals, the exact touch-call sequence and
+// fault/eviction counts.
 package wasm

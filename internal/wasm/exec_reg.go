@@ -56,6 +56,14 @@ func (in *Instance) runRegBody(fn *compiledFunc, bp int) {
 				pc = int(i.a)
 				continue
 			}
+		case sOpTraceEnter:
+			// Superblock tier: run the compiled loop trace. Its retired
+			// count includes this dispatch, which the loop top already
+			// counted once.
+			next, n := fn.traces[i.a](in, r, mem)
+			retired += n - 1
+			pc = next
+			continue
 		case rOpBrTable:
 			idx := uint32(r[i.b])
 			table := fn.brTables[i.a]

@@ -23,6 +23,13 @@ const (
 	// (same results, traps, and EPC fault/eviction counts); functions
 	// the translator cannot prove run in their fused AoT form.
 	EngineRegister
+	// EngineSuperblock executes the third AoT stage (PR 7): the register
+	// IR with innermost self-loops compiled into single Go closures —
+	// idiom templates whose bounds/EPC-TLB guards are amortised to once
+	// per loop trip, or generic per-instruction step traces. Semantics
+	// are bit-identical to the other engines; loops the translator
+	// cannot prove stay under the register interpreter.
+	EngineSuperblock
 )
 
 func (e Engine) String() string {
@@ -31,6 +38,8 @@ func (e Engine) String() string {
 		return "aot"
 	case EngineRegister:
 		return "reg"
+	case EngineSuperblock:
+		return "super"
 	default:
 		return "interp"
 	}
@@ -168,6 +177,8 @@ func newInstance(c *Compiled, imports *ImportObject, cfg Config) (*Instance, err
 		// against, so a touch hook without TouchGen — the NoEPCTLB
 		// ablation — takes the unguarded form).
 		in.funcs = c.reg(cfg.TouchGen != nil)
+	case EngineSuperblock:
+		in.funcs = c.super(cfg.TouchGen != nil)
 	default:
 		in.funcs = c.Funcs
 	}

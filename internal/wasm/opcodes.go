@@ -340,4 +340,13 @@ const (
 	// high 32 bits (rOpBrCmpImm). Only emitted for drop-free branches.
 	rOpBrCmp    uint16 = 0x390 // if cmp(r[b], r[c]): pc = a
 	rOpBrCmpImm uint16 = 0x391 // if cmp(r[b], u32(imm>>32)): pc = a
+
+	// Superblock tier (PR 7). In the superblock form of a function the
+	// header instruction of every compiled self-loop trace is replaced by
+	// sOpTraceEnter; a = index into compiledFunc.traces. Interior pcs of
+	// the region keep their original register instructions, so branches
+	// into the middle of a traced loop (guard-fail blobs, forward jumps)
+	// still execute correctly through runRegBody and re-enter the trace
+	// at the next back-edge.
+	sOpTraceEnter uint16 = 0x3A0
 )

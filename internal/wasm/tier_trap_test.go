@@ -2,6 +2,7 @@ package wasm
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 
 	"twine/wasmgen"
@@ -20,8 +21,8 @@ func trapAllEngines(t *testing.T, bytes []byte, args ...uint64) *Trap {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var traps [3]*Trap
-	for i, eng := range []Engine{EngineInterp, EngineAOT, EngineRegister} {
+	var traps [4]*Trap
+	for i, eng := range []Engine{EngineInterp, EngineAOT, EngineRegister, EngineSuperblock} {
 		in, err := Instantiate(c, nil, Config{Engine: eng})
 		if err != nil {
 			t.Fatalf("%v: %v", eng, err)
@@ -36,7 +37,7 @@ func trapAllEngines(t *testing.T, bytes []byte, args ...uint64) *Trap {
 		}
 		traps[i] = tr
 	}
-	for i := 1; i < 3; i++ {
+	for i := 1; i < 4; i++ {
 		if traps[i].Kind != traps[0].Kind || traps[i].Msg != traps[0].Msg {
 			t.Fatalf("trap divergence: interp={%v %q} other[%d]={%v %q}",
 				traps[0].Kind, traps[0].Msg, i, traps[i].Kind, traps[i].Msg)
@@ -137,9 +138,9 @@ func TestTierTrapMidLoop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var mems [3][]byte
-	var traps [3]*Trap
-	for ei, eng := range []Engine{EngineInterp, EngineAOT, EngineRegister} {
+	var mems [4][]byte
+	var traps [4]*Trap
+	for ei, eng := range []Engine{EngineInterp, EngineAOT, EngineRegister, EngineSuperblock} {
 		in, err := Instantiate(c, nil, Config{Engine: eng})
 		if err != nil {
 			t.Fatal(err)
@@ -153,7 +154,7 @@ func TestTierTrapMidLoop(t *testing.T) {
 		b, _ := in.Memory().Bytes(0, PageSize)
 		mems[ei] = append([]byte(nil), b...)
 	}
-	for i := 1; i < 3; i++ {
+	for i := 1; i < 4; i++ {
 		if traps[i].Kind != traps[0].Kind || traps[i].Msg != traps[0].Msg {
 			t.Fatalf("trap divergence: %v %q vs %v %q", traps[0].Kind, traps[0].Msg, traps[i].Kind, traps[i].Msg)
 		}
@@ -239,8 +240,8 @@ func TestTierNaNOperandOrder(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var got [3]uint64
-		for i, eng := range []Engine{EngineInterp, EngineAOT, EngineRegister} {
+		var got [4]uint64
+		for i, eng := range []Engine{EngineInterp, EngineAOT, EngineRegister, EngineSuperblock} {
 			in, err := Instantiate(c, nil, Config{Engine: eng})
 			if err != nil {
 				t.Fatal(err)
@@ -271,9 +272,9 @@ func TestTierNaNOperandOrder(t *testing.T) {
 func TestTierAffineCSEVN(t *testing.T) {
 	m := wasmgen.NewModule()
 	f := m.Func(wasmgen.Sig(wasmgen.I32, wasmgen.I32).Returns(wasmgen.I32))
-	f.LocalGet(0).LocalGet(1).I32Add() // i+k, live in home(0)
+	f.LocalGet(0).LocalGet(1).I32Add()                       // i+k, live in home(0)
 	f.LocalGet(0).I32Const(8).I32Mul().I32Const(16).I32Add() // affine i*8+16
-	f.LocalGet(1).I32Add() // must NOT CSE-match i+k
+	f.LocalGet(1).I32Add()                                   // must NOT CSE-match i+k
 	f.I32Add()
 	f.End()
 	m.Export("run", f)
@@ -353,5 +354,233 @@ func TestTierTeeSetNoopDSE(t *testing.T) {
 	m2.Export("run", g)
 	if got := runAllEngines(t, m2.Bytes(), 42); got != 5 {
 		t.Fatalf("overwrite: got %d, want 5", got)
+	}
+}
+
+// TestSuperTrapParityAllKinds walks every TrapKind in trap.go through
+// all four engines and requires identical kind, message and exit code.
+// Trapping sites sit inside counted self-loops where possible, so the
+// superblock tier reaches them through its traces (idiom checked
+// fallback or step runner) rather than through untraced code.
+func TestSuperTrapParityAllKinds(t *testing.T) {
+	// loopBody wraps a body in the canonical counted loop over local 0.
+	loopMod := func(n int32, mem bool, build func(f *wasmgen.Func, i uint32)) []byte {
+		m := wasmgen.NewModule()
+		if mem {
+			m.Memory(1, 1)
+		}
+		f := m.Func(wasmgen.Sig().Returns(wasmgen.I64))
+		i := f.AddLocal(wasmgen.I32)
+		acc := f.AddLocal(wasmgen.I64)
+		f.I32Const(0).LocalSet(i)
+		f.Block(wasmgen.BlockVoid)
+		f.Loop(wasmgen.BlockVoid)
+		f.LocalGet(i).I32Const(n).I32GeS().BrIf(1)
+		build(f, i)
+		f.LocalGet(acc).I64Add().LocalSet(acc)
+		f.LocalGet(i).I32Const(1).I32Add().LocalSet(i)
+		f.Br(0)
+		f.End()
+		f.End()
+		f.LocalGet(acc)
+		f.End()
+		m.Export("run", f)
+		return m.Bytes()
+	}
+
+	failImports := NewImportObject()
+	failImports.AddFunc(HostFunc{
+		Module: "env", Name: "fail",
+		Type: FuncType{Params: []ValueType{I32}, Results: []ValueType{I64}},
+		Fn: func(in *Instance, args []uint64) ([]uint64, error) {
+			if args[0] >= 3 {
+				return nil, fmt.Errorf("boom at %d", args[0])
+			}
+			return in.Ret1(args[0]), nil
+		},
+	})
+	exitImports := NewImportObject()
+	exitImports.AddFunc(HostFunc{
+		Module: "env", Name: "exit",
+		Type: FuncType{Params: []ValueType{I32}, Results: []ValueType{I64}},
+		Fn: func(in *Instance, args []uint64) ([]uint64, error) {
+			if args[0] >= 2 {
+				return nil, ExitError{Code: uint32(args[0])}
+			}
+			return in.Ret1(0), nil
+		},
+	})
+
+	cases := []struct {
+		name    string
+		kind    TrapKind
+		bytes   []byte
+		imports *ImportObject
+		cfg     func(*Config)
+	}{
+		{name: "unreachable", kind: TrapUnreachable, bytes: loopMod(8, false, func(f *wasmgen.Func, i uint32) {
+			f.LocalGet(i).I32Const(5).I32Eq()
+			f.If(wasmgen.BlockVoid)
+			f.Unreachable()
+			f.End()
+			f.LocalGet(i).I64ExtendI32S()
+		})},
+		{name: "oob-load", kind: TrapOOB, bytes: loopMod(1<<17, true, func(f *wasmgen.Func, i uint32) {
+			f.LocalGet(i).I32Const(8).I32Mul().I32Const(64).I32Add()
+			f.F64Load(0)
+			f.I64TruncF64S()
+		})},
+		{name: "oob-store", kind: TrapOOB, bytes: loopMod(1<<17, true, func(f *wasmgen.Func, i uint32) {
+			f.LocalGet(i).I32Const(8).I32Mul()
+			f.F64Const(1.5)
+			f.F64Store(0)
+			f.I64Const(1)
+		})},
+		{name: "div-zero-i32", kind: TrapDivZero, bytes: loopMod(8, false, func(f *wasmgen.Func, i uint32) {
+			f.I32Const(100)
+			f.I32Const(3).LocalGet(i).I32Sub()
+			f.I32DivS()
+			f.I64ExtendI32S()
+		})},
+		{name: "rem-zero-i64", kind: TrapDivZero, bytes: loopMod(8, false, func(f *wasmgen.Func, i uint32) {
+			f.I64Const(100)
+			f.I64Const(4)
+			f.LocalGet(i).I64ExtendI32S().I64Sub()
+			f.I64RemU()
+		})},
+		{name: "int-overflow", kind: TrapIntOverflow, bytes: loopMod(8, false, func(f *wasmgen.Func, i uint32) {
+			f.I32Const(-0x80000000)
+			f.I32Const(3).LocalGet(i).I32Sub().I32Const(-1).I32Or()
+			f.I32DivS() // hits MinInt32 / -1 once i reaches 4
+			f.I64ExtendI32S()
+		})},
+		{name: "trunc-overflow", kind: TrapIntOverflow, bytes: loopMod(8, false, func(f *wasmgen.Func, i uint32) {
+			f.LocalGet(i).F64ConvertI32S()
+			f.F64Const(1e300).F64Mul() // out of i32 range once i > 0
+			f.I32TruncF64S()
+			f.I64ExtendI32S()
+		})},
+		{name: "bad-conversion", kind: TrapBadConversion, bytes: loopMod(8, false, func(f *wasmgen.Func, i uint32) {
+			f.I32Const(3).LocalGet(i).I32Sub().F64ConvertI32S()
+			f.F64Sqrt() // NaN once i > 3
+			f.I32TruncF64S()
+			f.I64ExtendI32S()
+		})},
+		{name: "stack-overflow", kind: TrapStackOverflow, bytes: loopMod(8, false, func(f *wasmgen.Func, i uint32) {
+			f.LocalGet(i).I64ExtendI32S()
+		}), cfg: func(c *Config) { c.StackSlots = 2 }},
+		{name: "call-depth", kind: TrapCallDepth, bytes: func() []byte {
+			m := wasmgen.NewModule()
+			f := m.Func(wasmgen.Sig().Returns(wasmgen.I64))
+			f.Call(f).End()
+			m.Export("run", f)
+			return m.Bytes()
+		}()},
+		{name: "undefined-elem", kind: TrapUndefinedElem, bytes: func() []byte {
+			m := wasmgen.NewModule()
+			m.Table(4)
+			g := m.Func(wasmgen.Sig().Returns(wasmgen.I64))
+			g.I64Const(1).End()
+			m.Elem(0, g)
+			f := m.Func(wasmgen.Sig().Returns(wasmgen.I64))
+			f.I32Const(2).CallIndirect(wasmgen.Sig().Returns(wasmgen.I64)).End()
+			m.Export("run", f)
+			return m.Bytes()
+		}()},
+		{name: "indirect-type", kind: TrapIndirectType, bytes: func() []byte {
+			m := wasmgen.NewModule()
+			m.Table(4)
+			g := m.Func(wasmgen.Sig(wasmgen.I32).Returns(wasmgen.I32))
+			g.LocalGet(0).End()
+			m.Elem(0, g)
+			f := m.Func(wasmgen.Sig().Returns(wasmgen.I64))
+			f.I32Const(0).CallIndirect(wasmgen.Sig().Returns(wasmgen.I64)).End()
+			m.Export("run", f)
+			return m.Bytes()
+		}()},
+		{name: "host-error", kind: TrapHostError, imports: failImports, bytes: func() []byte {
+			m := wasmgen.NewModule()
+			fail := m.ImportFunc("env", "fail", wasmgen.Sig(wasmgen.I32).Returns(wasmgen.I64))
+			_ = fail
+			f := m.Func(wasmgen.Sig().Returns(wasmgen.I64))
+			i := f.AddLocal(wasmgen.I32)
+			acc := f.AddLocal(wasmgen.I64)
+			f.I32Const(0).LocalSet(i)
+			f.Block(wasmgen.BlockVoid)
+			f.Loop(wasmgen.BlockVoid)
+			f.LocalGet(i).I32Const(8).I32GeS().BrIf(1)
+			f.LocalGet(i).Call(fail)
+			f.LocalGet(acc).I64Add().LocalSet(acc)
+			f.LocalGet(i).I32Const(1).I32Add().LocalSet(i)
+			f.Br(0)
+			f.End()
+			f.End()
+			f.LocalGet(acc)
+			f.End()
+			m.Export("run", f)
+			return m.Bytes()
+		}()},
+		{name: "exit", kind: TrapExit, imports: exitImports, bytes: func() []byte {
+			m := wasmgen.NewModule()
+			exit := m.ImportFunc("env", "exit", wasmgen.Sig(wasmgen.I32).Returns(wasmgen.I64))
+			f := m.Func(wasmgen.Sig().Returns(wasmgen.I64))
+			i := f.AddLocal(wasmgen.I32)
+			f.I32Const(0).LocalSet(i)
+			f.Block(wasmgen.BlockVoid)
+			f.Loop(wasmgen.BlockVoid)
+			f.LocalGet(i).I32Const(8).I32GeS().BrIf(1)
+			f.LocalGet(i).Call(exit).Drop()
+			f.LocalGet(i).I32Const(1).I32Add().LocalSet(i)
+			f.Br(0)
+			f.End()
+			f.End()
+			f.I64Const(0)
+			f.End()
+			m.Export("run", f)
+			return m.Bytes()
+		}()},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mod, err := Decode(tc.bytes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := Compile(mod)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var traps [4]*Trap
+			for ei, eng := range []Engine{EngineInterp, EngineAOT, EngineRegister, EngineSuperblock} {
+				cfg := Config{Engine: eng}
+				if tc.cfg != nil {
+					tc.cfg(&cfg)
+				}
+				in, err := Instantiate(c, tc.imports, cfg)
+				if err != nil {
+					t.Fatalf("%v: %v", eng, err)
+				}
+				_, err = in.Invoke("run")
+				if err == nil {
+					t.Fatalf("%v: expected a %v trap", eng, tc.kind)
+				}
+				var tr *Trap
+				if !errors.As(err, &tr) {
+					t.Fatalf("%v: non-trap error %v", eng, err)
+				}
+				traps[ei] = tr
+			}
+			if traps[0].Kind != tc.kind {
+				t.Fatalf("kind = %v, want %v", traps[0].Kind, tc.kind)
+			}
+			for i := 1; i < 4; i++ {
+				if traps[i].Kind != traps[0].Kind || traps[i].Msg != traps[0].Msg || traps[i].Code != traps[0].Code {
+					t.Fatalf("trap divergence: interp={%v %q code=%d} engine[%d]={%v %q code=%d}",
+						traps[0].Kind, traps[0].Msg, traps[0].Code,
+						i, traps[i].Kind, traps[i].Msg, traps[i].Code)
+				}
+			}
+		})
 	}
 }

@@ -145,6 +145,12 @@ const (
 	EngineAOT = wasm.EngineAOT
 	// EngineInterp runs the plain interpreter (Table I's slower mode).
 	EngineInterp = wasm.EngineInterp
+	// EngineRegister runs the register-IR tier (PR 4): per-function
+	// register code with folding, propagation and hoisted guards.
+	EngineRegister = wasm.EngineRegister
+	// EngineSuperblock runs the superblock tier (PR 7): register IR
+	// with innermost loops compiled to single Go closures.
+	EngineSuperblock = wasm.EngineSuperblock
 )
 
 // Serving-pool admission errors (PR 6).
