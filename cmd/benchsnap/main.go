@@ -26,12 +26,22 @@
 //     requests (each driving worker quarantine + snapshot repair) vs
 //     0%, pricing fault containment in requests/sec (the ratio lands
 //     in the fig-faults-overhead note);
+//   - the PR 8 fig-tenants grid: requests/sec of the multi-tenant
+//     registry at 4 TCS for 1/2/4/8 tenants of one shared module, warm
+//     (free-list reset + switchless batch admission) vs cold
+//     (per-request instantiation, no batching); the warm/cold ratio at
+//     8 tenants lands in the fig-tenants-speedup-t8 note, and a warm
+//     series where no request hit the warm free list is rejected;
+//   - the PR 8 micro/warmcold triple: ns to provision one
+//     ready-to-serve instance by full Instantiate, by
+//     InstantiateFromSnapshot, and by in-place ResetFromSnapshot (the
+//     warm free-list hot path);
 //
 // each with warmup and a minimum measurement window, then writes a JSON
 // document. The committed BENCH_<n>.json snapshots at the repository root
 // were generated with the defaults:
 //
-//	go run ./cmd/benchsnap -o BENCH_6.json
+//	go run ./cmd/benchsnap -o BENCH_7.json
 //
 // See BENCHMARKS.md for the snapshot workflow and the figure mapping.
 package main
@@ -146,6 +156,8 @@ func main() {
 	thrKernelN := flag.Int("thr-n", 16, "fig-throughput kernel problem size")
 	thrIO := flag.Duration("thr-io", 500*time.Microsecond, "fig-throughput untrusted transport wait per request")
 	faultRate := flag.Float64("fault-rate", 0.01, "fig-faults injected transport-fault probability (0 disables the series)")
+	tenRequests := flag.Int("ten-requests", 64, "fig-tenants requests per tenant per point (0 disables the series)")
+	warmColdPages := flag.Int("warmcold-pages", 16, "micro/warmcold guest memory pages (0 disables the series)")
 	flag.Parse()
 
 	snap := Snapshot{
@@ -165,6 +177,8 @@ func main() {
 			"thr_kernel_n":    *thrKernelN,
 			"thr_io_us":       thrIO.Microseconds(),
 			"fault_rate":      *faultRate,
+			"ten_requests":    *tenRequests,
+			"warmcold_pages":  *warmColdPages,
 		},
 		Notes: map[string]string{
 			"fig3":           "PolyBench kernels, ns/op per full kernel run (incl. checksum)",
@@ -172,6 +186,8 @@ func main() {
 			"fig7":           "protected-FS read-path time during the Fig7 random-read workload (optimized IPFS, median); '-switchless' = PR 2 ring on",
 			"fig-throughput": "PR 3 serving pool: ns/request (median) for w concurrent workers at a given TCS count; each request = one CPU-bound kernel run in-enclave + one untrusted transport wait (classic OCALL). req/s = 1e9/ns_per_op.",
 			"fig-faults":     "PR 6 fault containment: ns/request (median) of the 4-TCS/4-worker serving pool with seeded transport faults injected at 0% vs the configured rate; each faulted request costs its failure plus a worker quarantine + snapshot repair. The pair bounds the containment overhead.",
+			"fig-tenants":    "PR 8 multi-tenant front door: ns/request (median) for t tenants of one shared module at 4 TCS, each tenant a one-worker pool driven by its own client. 'warm' = free-list reset + switchless batch admission; 'cold' = per-request instantiation, batching off. req/s = 1e9/ns_per_op.",
+			"micro-warmcold": "PR 8 instance provisioning (wasm layer, mean ns): full Instantiate vs InstantiateFromSnapshot vs in-place ResetFromSnapshot over a 16-page module.",
 		},
 	}
 
@@ -467,6 +483,86 @@ func main() {
 		}
 		snap.Notes["fig-faults-overhead"] = fmt.Sprintf("%.3fx ns/req at %g%% faults vs 0%%", ns[1]/ns[0], *faultRate*100)
 		fmt.Fprintf(os.Stderr, "%-28s containment overhead %.3fx at %g%% faults\n", "fig-faults", ns[1]/ns[0], *faultRate*100)
+	}
+
+	// fig-tenants (PR 8): requests/sec vs tenant count at a fixed 4 TCS,
+	// every tenant registering the SAME module bytes so the registry
+	// compiles once and the grid prices the serving path alone. The warm
+	// series is the PR 8 machinery (free-list reset + batch admission);
+	// the cold series the per-request-instantiation ablation. Guards
+	// reject vacuous runs: a warm point where no request was served off
+	// the warm free list, or where the shared binary compiled more than
+	// once, is a regression in the front door, not a slow machine.
+	if *tenRequests > 0 {
+		var nsWarm, nsCold map[int]float64 = map[int]float64{}, map[int]float64{}
+		for _, tenants := range []int{1, 2, 4, 8} {
+			for _, mode := range []struct {
+				suffix string
+				cold   bool
+			}{{"warm", false}, {"cold", true}} {
+				cfg := bench.TenantsConfig{
+					TCS:      4,
+					Tenants:  tenants,
+					Requests: *tenRequests * tenants,
+					Cold:     mode.cold,
+					SGX:      figSGX(),
+				}
+				var last bench.TenantsResult
+				nsOp, ops, err := measureDur(func() (time.Duration, error) {
+					res, rerr := bench.RunTenants(cfg)
+					if rerr != nil {
+						return 0, rerr
+					}
+					last = res
+					return res.Elapsed / time.Duration(res.Requests), nil
+				}, 1, 3, *window/2)
+				name := fmt.Sprintf("fig-tenants/tcs4/t%d/%s", tenants, mode.suffix)
+				die(name, err)
+				if last.CompiledModules != 1 || last.CompileHits != int64(tenants-1) {
+					die(name, fmt.Errorf("shared binary not shared: %d compiled, %d cache hits for %d tenants",
+						last.CompiledModules, last.CompileHits, tenants))
+				}
+				if !mode.cold && (last.WarmResets == 0 || last.ColdStarts != 0) {
+					die(name, fmt.Errorf("no request hit the warm free list (%d warm resets, %d cold starts)",
+						last.WarmResets, last.ColdStarts))
+				}
+				if mode.cold && last.ColdStarts == 0 {
+					die(name, fmt.Errorf("cold series served no cold starts"))
+				}
+				snap.Results = append(snap.Results, Result{name, nsOp, ops})
+				if mode.cold {
+					nsCold[tenants] = nsOp
+				} else {
+					nsWarm[tenants] = nsOp
+				}
+				fmt.Fprintf(os.Stderr, "%-28s %10.0f ns/req  %8.0f req/s  (%d batched wakeups in last op)\n",
+					name, nsOp, 1e9/nsOp, last.BatchedWakeups)
+			}
+		}
+		sp := nsCold[8] / nsWarm[8]
+		snap.Notes["fig-tenants-speedup-t8"] = fmt.Sprintf("%.2fx req/s warm vs cold at 8 tenants / 4 TCS", sp)
+		fmt.Fprintf(os.Stderr, "%-28s warm-over-cold speedup %.2fx at 8 tenants\n", "fig-tenants", sp)
+	}
+
+	// micro/warmcold (PR 8): what one ready-to-serve instance costs by
+	// provisioning strategy. RunWarmCold reports per-iteration means; the
+	// in-place reset must come out strictly cheaper than instantiating
+	// from the snapshot or the warm free list is not buying anything.
+	if *warmColdPages > 0 {
+		const iters = 100
+		wc, err := bench.RunWarmCold(*warmColdPages, iters)
+		die("micro/warmcold", err)
+		if wc.ResetNs >= wc.SnapshotNs {
+			die("micro/warmcold", fmt.Errorf("warm reset (%.0f ns) not cheaper than snapshot instantiation (%.0f ns)",
+				wc.ResetNs, wc.SnapshotNs))
+		}
+		snap.Results = append(snap.Results,
+			Result{"micro/warmcold/full-instantiate", wc.FullNs, iters},
+			Result{"micro/warmcold/snapshot-instantiate", wc.SnapshotNs, iters},
+			Result{"micro/warmcold/warm-reset", wc.ResetNs, iters})
+		snap.Notes["micro-warmcold-ratio"] = fmt.Sprintf("%.1fx cheaper to reset in place than to instantiate from snapshot", wc.ColdWarmRatio())
+		fmt.Fprintf(os.Stderr, "%-28s full %8.0f ns  snapshot %8.0f ns  reset %8.0f ns  (reset %.1fx cheaper)\n",
+			"micro/warmcold", wc.FullNs, wc.SnapshotNs, wc.ResetNs, wc.ColdWarmRatio())
 	}
 
 	enc, err := json.MarshalIndent(snap, "", "  ")

@@ -1,0 +1,55 @@
+package bench
+
+import "testing"
+
+// TestTenantsWarmAttribution: a warm fig-tenants run must serve every
+// request off the warm free list (WarmResets == Requests, no cold
+// starts) and compile the shared binary exactly once — the counters the
+// CI smoke rejects on.
+func TestTenantsWarmAttribution(t *testing.T) {
+	res, err := RunTenants(TenantsConfig{TCS: 2, Tenants: 4, Requests: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WarmResets != int64(res.Requests) || res.ColdStarts != 0 {
+		t.Fatalf("warm attribution wrong: %+v", res)
+	}
+	if res.CompiledModules != 1 || res.CompileHits != int64(res.Tenants-1) {
+		t.Fatalf("code sharing wrong: %+v", res)
+	}
+	if res.ReqPerSec <= 0 {
+		t.Fatalf("no throughput measured: %+v", res)
+	}
+}
+
+// TestTenantsColdAttribution: the cold ablation instantiates per
+// request and never batches (batch admission is off).
+func TestTenantsColdAttribution(t *testing.T) {
+	res, err := RunTenants(TenantsConfig{TCS: 2, Tenants: 4, Requests: 32, Cold: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ColdStarts != int64(res.Requests) || res.WarmResets != 0 {
+		t.Fatalf("cold attribution wrong: %+v", res)
+	}
+	if res.BatchedWakeups != 0 {
+		t.Fatalf("cold run counted batched wakeups: %+v", res)
+	}
+}
+
+// TestWarmColdOrdering: the three provisioning strategies measure in
+// the order the free-list design assumes — in-place reset strictly
+// cheaper than instantiating from the snapshot.
+func TestWarmColdOrdering(t *testing.T) {
+	res, err := RunWarmCold(16, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FullNs <= 0 || res.SnapshotNs <= 0 || res.ResetNs <= 0 {
+		t.Fatalf("vacuous measurement: %+v", res)
+	}
+	if res.ResetNs >= res.SnapshotNs {
+		t.Fatalf("warm reset (%.0fns) not cheaper than snapshot instantiation (%.0fns)",
+			res.ResetNs, res.SnapshotNs)
+	}
+}

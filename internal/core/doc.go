@@ -77,4 +77,40 @@
 // counters and results are bit-identical to a sequential NewInstance
 // run (pool_chaos_test.go), and a zero chaos.Plan or nil Injector is a
 // strict no-op at every hook.
+//
+// # Multi-tenant serving (PR 8)
+//
+// Registry is the multi-tenant front door over Pool, splitting serving
+// state by what may be shared and what must not:
+//
+//   - Compiled code is content-addressed (SHA-256 of the module bytes)
+//     and shared: each distinct binary is compiled by exactly one
+//     twine_load_module ECALL per enclave, however many tenants register
+//     it, and is immutable thereafter (the reserved region is sealed
+//     execute-only outside load ECALLs). RegistryStats.CompileHits
+//     counts Registers served from the cache.
+//   - Everything mutable is per-tenant: workers, guest memories, WASI
+//     descriptor tables, the golden snapshot (captured after the
+//     tenant's own Init), the admission queue (TenantConfig.MaxQueue is
+//     a per-tenant queue share — one tenant's overload rejects only
+//     that tenant's submits) and the latency histogram behind
+//     TenantStats.Latency.
+//
+// Tenants serve FreshState by default: after a successful request the
+// worker is reset in place from the golden snapshot — inside the same
+// serve ECALL, via the allocation-free Instance.ResetFromSnapshot — so
+// every request observes identical initial state without per-request
+// instantiation (PoolStats.WarmResets). TenantConfig.Stateful opts into
+// PR 3 state-carrying workers; TenantConfig.ColdStart is the ablation
+// that instantiates per request (PoolStats.ColdStarts). Worker handoff
+// is FIFO-fair: a freed worker goes to the longest-waiting submit, so
+// hot tenants or hot submitters cannot starve a patient one.
+//
+// Multi-tenant fidelity invariant: a 1-tenant registry at 1 TCS with
+// switchless and batching off serves with ECALL/OCALL/fault/eviction
+// counters and results bit-identical to a sequential
+// invoke-plus-reset loop over one instance (registry_test.go), and a
+// warm-reset worker is bit-identical to a fresh snapshot instantiation
+// (wasm/reset_test.go) — warm serving is an optimisation, never an
+// observable state change.
 package core

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// latencyHist is a fixed-bucket request-latency histogram (PR 8): bucket i
+// counts completed requests whose wall time fell in [2^(i-1), 2^i)
+// microseconds (bucket 0 is sub-microsecond), so 40 buckets span sub-µs to
+// days. Log-spaced fixed buckets keep recording to one atomic add with no
+// allocation — cheap enough for every request on the serving hot path —
+// while quantile error is bounded by the 2x bucket width, which is plenty
+// for the p50/p95/p99 per-tenant accounting the registry exposes.
+//
+// Recording and reading race benignly: observe is an atomic add, and
+// summary loads each bucket atomically, so a summary taken under load is a
+// coherent-enough snapshot (each counter is exact; the set may straddle a
+// few in-flight requests).
+type latencyHist struct {
+	counts [histBuckets]int64 // atomic
+}
+
+const histBuckets = 40
+
+// observe records one completed request's wall time.
+func (h *latencyHist) observe(d time.Duration) {
+	us := uint64(d / time.Microsecond)
+	b := bits.Len64(us) // 0 for <1µs, else floor(log2(us))+1
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	atomic.AddInt64(&h.counts[b], 1)
+}
+
+// LatencySummary is the per-pool (and, through the registry, per-tenant)
+// latency accounting: completed-request count and upper-bound quantiles
+// from the fixed-bucket histogram. Quantiles are bucket upper bounds, so
+// they over-report by at most 2x — stable for dashboards and regression
+// ratios, not for sub-bucket precision.
+type LatencySummary struct {
+	Count         int64
+	P50, P95, P99 time.Duration
+}
+
+// summary computes the quantile summary from one coherent pass over the
+// buckets.
+func (h *latencyHist) summary() LatencySummary {
+	var counts [histBuckets]int64
+	var total int64
+	for i := range h.counts {
+		counts[i] = atomic.LoadInt64(&h.counts[i])
+		total += counts[i]
+	}
+	s := LatencySummary{Count: total}
+	if total == 0 {
+		return s
+	}
+	s.P50 = quantile(&counts, total, 0.50)
+	s.P95 = quantile(&counts, total, 0.95)
+	s.P99 = quantile(&counts, total, 0.99)
+	return s
+}
+
+// quantile returns the upper bound of the bucket holding the q-quantile
+// observation.
+func quantile(counts *[histBuckets]int64, total int64, q float64) time.Duration {
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(histBuckets - 1)
+}
+
+// bucketUpper is bucket i's exclusive upper bound: 2^i microseconds.
+func bucketUpper(i int) time.Duration {
+	return time.Duration(uint64(1)<<uint(i)) * time.Microsecond
+}

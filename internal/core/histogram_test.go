@@ -1,0 +1,66 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestLatencyHistQuantiles pins the histogram contract: quantiles are
+// bucket upper bounds (2^i µs), ceil-rank selection, so a 90/10 split of
+// 1 ms and 100 ms observations puts p50 in the 1 ms bucket (upper bound
+// 1.024 ms) and p95/p99 in the 100 ms bucket (upper bound ~131 ms).
+func TestLatencyHistQuantiles(t *testing.T) {
+	var h latencyHist
+	if s := h.summary(); s != (LatencySummary{}) {
+		t.Errorf("empty summary = %+v, want zero", s)
+	}
+	for i := 0; i < 90; i++ {
+		h.observe(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.observe(100 * time.Millisecond)
+	}
+	s := h.summary()
+	if s.Count != 100 {
+		t.Errorf("Count = %d, want 100", s.Count)
+	}
+	if want := 1024 * time.Microsecond; s.P50 != want {
+		t.Errorf("P50 = %v, want %v", s.P50, want)
+	}
+	if want := 131072 * time.Microsecond; s.P95 != want || s.P99 != want {
+		t.Errorf("P95/P99 = %v/%v, want both %v", s.P95, s.P99, want)
+	}
+}
+
+// TestLatencyHistEdges: sub-microsecond observations land in bucket 0
+// (upper bound 1 µs) and a single observation is every quantile.
+func TestLatencyHistEdges(t *testing.T) {
+	var h latencyHist
+	h.observe(500 * time.Nanosecond)
+	s := h.summary()
+	if s.Count != 1 || s.P50 != time.Microsecond || s.P99 != time.Microsecond {
+		t.Errorf("summary = %+v, want Count 1 and 1µs quantiles", s)
+	}
+}
+
+// TestLatencyHistConcurrent: observe is one atomic add, so concurrent
+// recorders never lose counts (run under -race in CI).
+func TestLatencyHistConcurrent(t *testing.T) {
+	var h latencyHist
+	var wg sync.WaitGroup
+	const goroutines, each = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := h.summary(); s.Count != goroutines*each {
+		t.Errorf("Count = %d, want %d", s.Count, goroutines*each)
+	}
+}

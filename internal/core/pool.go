@@ -15,20 +15,31 @@ import (
 	"twine/internal/wasm"
 )
 
-// The serving front door (PR 3, hardened in PR 6). TWINE's evaluation
-// drives one instance at a time; a runtime serving real traffic
-// multiplexes many requests over a fixed set of enclave resources. Pool
-// is that front door: N instances of one module, each with isolated
-// guest memory and WASI state, served concurrently through the enclave's
-// TCS pool.
+// The serving front door (PR 3, hardened in PR 6, made multi-tenant-ready
+// in PR 8). TWINE's evaluation drives one instance at a time; a runtime
+// serving real traffic multiplexes many requests over a fixed set of
+// enclave resources. Pool is that front door: N instances of one module,
+// each with isolated guest memory and WASI state, served concurrently
+// through the enclave's TCS pool.
 //
 // Worker instantiation is copy-from-snapshot: the first worker is built
 // the expensive way (decode, AoT translation, linking, data segments,
 // start function — all inside an ECALL), its post-initialisation state is
 // snapshotted once, and every further worker is stamped out as a memory
-// copy. Workers are long-lived and stateful across requests, the standard
-// serving trade: per-request isolation costs a re-instantiation, per-
-// worker isolation costs nothing.
+// copy. Workers are long-lived; whether they are stateful across requests
+// is the pool's serving mode:
+//
+//   - Default (PR 3): workers keep their guest state between requests —
+//     the standard stateful-serving trade.
+//   - FreshState (PR 8): every request sees the golden snapshot. A
+//     completed worker is reset in place (Instance.ResetFromSnapshot —
+//     the PR 6 repair path promoted to the hot path, inside the same
+//     serve ECALL) before re-entering the free list, so per-request
+//     isolation costs one in-place memory copy, not a re-instantiation.
+//   - ColdStart (PR 8, ablation): every request instantiates a fresh
+//     instance from the snapshot and releases it afterwards — what
+//     per-request isolation costs without warm free lists, the baseline
+//     the fig-tenants benchmark prices warm reset against.
 //
 // PR 6 adds fault containment on both sides of that trade:
 //
@@ -40,6 +51,11 @@ import (
 //     Failed workers are quarantined and repaired from the pool snapshot
 //     — the same bytes a fresh worker is stamped from — before they serve
 //     again, so one poisoned request cannot poison its successors.
+//
+// PR 8 also makes acquisition FIFO-fair: waiters queue in arrival order
+// and a freed worker is handed directly to the head waiter, so a stream
+// of hot submitters cannot starve an earlier arrival (the regression the
+// starvation test pins).
 
 // PoolConfig sizes a serving pool.
 type PoolConfig struct {
@@ -70,13 +86,28 @@ type PoolConfig struct {
 	// (0 = forever). On expiry the Submit fails with an error wrapping
 	// ErrOverloaded. A tighter context deadline passed to SubmitCtx wins.
 	SubmitTimeout time.Duration
+	// FreshState serves every request from the golden snapshot (PR 8):
+	// after a successful request the worker is reset in place inside the
+	// same serve ECALL, and its WASI descriptor table is re-cloned when
+	// the request changed its shape. Per-request isolation on warm
+	// workers — the registry's default serving mode.
+	FreshState bool
+	// ColdStart instantiates a fresh instance per request from the
+	// snapshot and releases it afterwards (PR 8). It exists to price
+	// FreshState: same isolation, none of the warm-free-list machinery.
+	// Mutually exclusive with FreshState.
+	ColdStart bool
 	// Stdout/Stderr receive the workers' guest output (default: discard;
 	// a shared writer would interleave concurrent workers' output).
 	Stdout io.Writer
 	Stderr io.Writer
 }
 
-// PoolStats counts serving activity.
+// PoolStats counts serving activity. Stats() captures the admission-side
+// fields (Waits, Rejected, TimedOut, QueueDepth) in one consistent
+// snapshot under the pool lock, so QueueDepth can never be observed above
+// MaxQueue (PR 8 — previously the gauge was sampled non-atomically with
+// the counters).
 type PoolStats struct {
 	// Requests is the number of completed Submit calls.
 	Requests int64
@@ -99,6 +130,31 @@ type PoolStats struct {
 	// be retried on the worker's next failure).
 	Quarantined int64
 	Repaired    int64
+	// WarmResets counts requests whose worker was reset in place from the
+	// warm free list (FreshState serving, PR 8); ColdStarts counts
+	// requests served by a per-request instantiation (ColdStart serving).
+	WarmResets int64
+	ColdStarts int64
+}
+
+// poolWaiter is one queued Submit. A freed worker is handed directly to
+// the head waiter through its buffered channel (a direct handoff, so
+// wakeup order is exactly arrival order); a waiter that abandons the
+// queue (timeout, cancellation, close) removes itself under the pool
+// lock, or — having lost that race to a concurrent handoff — receives the
+// worker and puts it back.
+type poolWaiter struct {
+	ch chan *Instance
+}
+
+// workerMeta is a worker's bind-time identity: its stable index (for the
+// repaired WASI clone's argv) and the baseline WASI descriptor-table
+// fingerprint FreshState serving compares after each request. Mutated
+// only by the goroutine currently holding the worker.
+type workerMeta struct {
+	id     int
+	fdOpen int
+	fdNext int32
 }
 
 // Pool serves concurrent requests over N instances of one module.
@@ -109,26 +165,39 @@ type Pool struct {
 	mod           *Module
 	entry         string
 	hostIO        func() error
-	workers       chan *Instance
 	size          int
 	maxQueue      int
 	submitTimeout time.Duration
+	fresh         bool
+	cold          bool
 
-	// snap is the post-init state every worker was stamped from; repair
-	// resets a quarantined worker to it. ids gives each worker its stable
-	// identity (for the repaired WASI clone's argv); read-only after
-	// NewPool.
+	// snap is the post-init state every worker was stamped from; warm
+	// reset and repair restore it. ids gives each worker its metadata;
+	// the map is read-only after NewPool (values are mutated only by the
+	// worker's current holder). newSys builds a worker's WASI clone.
 	snap   *wasm.Snapshot
-	ids    map[*Instance]int
+	ids    map[*Instance]*workerMeta
 	newSys func(i int) (*wasi.System, error)
 
+	// mu guards the free list, the FIFO waiter queue, the closed flag and
+	// the admission counters, so admission decisions and Stats snapshots
+	// are mutually consistent.
+	mu         sync.Mutex
+	free       []*Instance
+	waiters    []*poolWaiter
+	waits      int64
+	rejected   int64
+	timedOut   int64
+	closedFlag bool
+
 	requests    int64 // atomic
-	waits       int64 // atomic
-	rejected    int64 // atomic
-	timedOut    int64 // atomic
-	queued      int64 // atomic gauge
 	quarantined int64 // atomic
 	repaired    int64 // atomic
+	warmResets  int64 // atomic
+	coldStarts  int64 // atomic
+	coldSeq     int64 // atomic: cold instances' WASI identity sequence
+
+	hist latencyHist
 
 	closeOnce sync.Once
 	closed    chan struct{}
@@ -146,8 +215,13 @@ var (
 
 // NewPool builds a serving pool of cfg.Workers instances of mod. The
 // first instance is fully instantiated (and optionally initialised via
-// cfg.Init); the rest are copied from its snapshot.
+// cfg.Init); the rest are copied from its snapshot. In ColdStart mode the
+// first instance exists only to produce the snapshot: its arena is
+// released and the pool's slots are pure concurrency tokens.
 func (rt *Runtime) NewPool(mod *Module, cfg PoolConfig) (*Pool, error) {
+	if cfg.FreshState && cfg.ColdStart {
+		return nil, errors.New("twine: PoolConfig.FreshState and ColdStart are mutually exclusive")
+	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = rt.Enclave.TCSCount()
 	}
@@ -170,10 +244,12 @@ func (rt *Runtime) NewPool(mod *Module, cfg PoolConfig) (*Pool, error) {
 		size:          cfg.Workers,
 		maxQueue:      cfg.MaxQueue,
 		submitTimeout: cfg.SubmitTimeout,
-		ids:           make(map[*Instance]int, cfg.Workers),
+		fresh:         cfg.FreshState,
+		cold:          cfg.ColdStart,
+		ids:           make(map[*Instance]*workerMeta, cfg.Workers),
+		free:          make([]*Instance, 0, cfg.Workers),
 		closed:        make(chan struct{}),
 	}
-	p.workers = make(chan *Instance, cfg.Workers)
 	p.newSys = func(i int) (*wasi.System, error) {
 		return rt.Sys.Clone(wasi.CloneOptions{
 			Args:   []string{fmt.Sprintf("worker-%d", i)},
@@ -197,8 +273,22 @@ func (rt *Runtime) NewPool(mod *Module, cfg PoolConfig) (*Pool, error) {
 		}
 	}
 	p.snap = first.In.Snapshot()
-	p.ids[first] = 0
-	p.workers <- first
+
+	if p.cold {
+		// The snapshot holds its own copy of the golden state; the
+		// template instance's arena is returned to the enclave and the
+		// free list degenerates to cfg.Workers concurrency tokens.
+		if err := first.Release(); err != nil {
+			return nil, err
+		}
+		for i := 0; i < cfg.Workers; i++ {
+			p.free = append(p.free, nil)
+		}
+		return p, nil
+	}
+
+	p.bind(first, 0)
+	p.free = append(p.free, first)
 
 	// Workers 1..N-1: copy-from-snapshot.
 	for i := 1; i < cfg.Workers; i++ {
@@ -210,27 +300,46 @@ func (rt *Runtime) NewPool(mod *Module, cfg PoolConfig) (*Pool, error) {
 		if err != nil {
 			return nil, err
 		}
-		p.ids[w] = i
-		p.workers <- w
+		p.bind(w, i)
+		p.free = append(p.free, w)
 	}
 	return p, nil
+}
+
+// bind records a worker's identity and its clean WASI fingerprint.
+func (p *Pool) bind(w *Instance, id int) {
+	open, next := w.Sys.FdFingerprint()
+	p.ids[w] = &workerMeta{id: id, fdOpen: open, fdNext: next}
 }
 
 // Size returns the number of worker instances.
 func (p *Pool) Size() int { return p.size }
 
-// Stats returns a snapshot of the pool counters.
+// Stats returns a snapshot of the pool counters. The admission-side
+// fields are captured together under the pool lock, so the reported
+// QueueDepth is the depth the Waits/Rejected/TimedOut counters describe
+// and never exceeds MaxQueue.
 func (p *Pool) Stats() PoolStats {
-	return PoolStats{
-		Requests:    atomic.LoadInt64(&p.requests),
-		Waits:       atomic.LoadInt64(&p.waits),
-		Rejected:    atomic.LoadInt64(&p.rejected),
-		TimedOut:    atomic.LoadInt64(&p.timedOut),
-		QueueDepth:  atomic.LoadInt64(&p.queued),
-		Quarantined: atomic.LoadInt64(&p.quarantined),
-		Repaired:    atomic.LoadInt64(&p.repaired),
+	p.mu.Lock()
+	s := PoolStats{
+		Waits:      p.waits,
+		Rejected:   p.rejected,
+		TimedOut:   p.timedOut,
+		QueueDepth: int64(len(p.waiters)),
 	}
+	p.mu.Unlock()
+	s.Requests = atomic.LoadInt64(&p.requests)
+	s.Quarantined = atomic.LoadInt64(&p.quarantined)
+	s.Repaired = atomic.LoadInt64(&p.repaired)
+	s.WarmResets = atomic.LoadInt64(&p.warmResets)
+	s.ColdStarts = atomic.LoadInt64(&p.coldStarts)
+	return s
 }
+
+// Latency returns the pool's completed-request latency summary
+// (fixed-bucket histogram quantiles; wall time from admission to
+// completion, queueing included).
+func (p *Pool) Latency() LatencySummary { return p.hist.summary() }
 
 // Submit serves one request with no deadline beyond the pool's own
 // SubmitTimeout: it binds a free worker (queueing while all are busy,
@@ -248,11 +357,34 @@ func (p *Pool) Submit(args ...uint64) ([]uint64, error) {
 // request runs to completion, the same containment boundary the enclave
 // itself has (an ECALL cannot be interrupted from outside).
 func (p *Pool) SubmitCtx(ctx context.Context, args ...uint64) ([]uint64, error) {
+	start := time.Now()
 	w, err := p.acquire(ctx)
 	if err != nil {
 		return nil, err
 	}
 
+	var out []uint64
+	var serr error
+	if p.cold {
+		out, serr = p.serveCold(args)
+	} else {
+		out, serr = p.serveWarm(w, args)
+	}
+	p.release(w)
+	p.hist.observe(time.Since(start))
+	if serr != nil {
+		return nil, serr
+	}
+	atomic.AddInt64(&p.requests, 1)
+	return out, nil
+}
+
+// serveWarm serves one request on a long-lived worker. In FreshState mode
+// the worker is reset to the golden snapshot inside the same serve ECALL
+// after a successful invoke — the warm free-list hot path — and its WASI
+// state is re-cloned only when the request changed the descriptor-table
+// shape. Failures quarantine and repair exactly as in stateful mode.
+func (p *Pool) serveWarm(w *Instance, args []uint64) ([]uint64, error) {
 	var out []uint64
 	serr := p.rt.guestECallSys("twine_serve", w.Sys, func() error {
 		if p.hostIO != nil {
@@ -262,77 +394,183 @@ func (p *Pool) SubmitCtx(ctx context.Context, args ...uint64) ([]uint64, error) 
 		}
 		var ierr error
 		out, ierr = w.In.Invoke(p.entry, args...)
-		return ierr
+		if ierr != nil || !p.fresh {
+			return ierr
+		}
+		// Warm reset on the hot path: the worker re-enters the free list
+		// already stamped back to the golden snapshot, for one in-place
+		// copy inside the ECALL the request already paid — no extra
+		// transition, no arena allocation, no re-linking.
+		if rerr := w.In.ResetFromSnapshot(p.snap); rerr != nil {
+			return fmt.Errorf("twine: warm reset: %w", rerr)
+		}
+		atomic.AddInt64(&p.warmResets, 1)
+		return nil
 	})
-	if serr != nil && quarantinable(serr) {
-		atomic.AddInt64(&p.quarantined, 1)
-		p.repair(w)
-	}
-	p.workers <- w
 	if serr != nil {
+		if quarantinable(serr) {
+			atomic.AddInt64(&p.quarantined, 1)
+			p.repair(w)
+		}
 		return nil, serr
 	}
-	atomic.AddInt64(&p.requests, 1)
+	if p.fresh {
+		meta := p.ids[w]
+		if open, next := w.Sys.FdFingerprint(); open != meta.fdOpen || next != meta.fdNext {
+			// The request dirtied the descriptor table: per-request
+			// isolation requires a fresh WASI clone (cheap — a new fd map
+			// over the shared storage; no enclave crossing). On clone
+			// failure the worker keeps serving with the dirty table and
+			// the next failure path re-clones via repair.
+			if sys, err := p.newSys(meta.id); err == nil {
+				w.Sys = sys
+				w.In.SetHostCtx(sys)
+				meta.fdOpen, meta.fdNext = sys.FdFingerprint()
+			}
+		}
+	}
 	return out, nil
 }
 
-// acquire binds a free worker under the pool's admission policy.
-func (p *Pool) acquire(ctx context.Context) (*Instance, error) {
-	select {
-	case <-p.closed:
-		return nil, ErrPoolClosed
-	default:
+// serveCold serves one request on a fresh instance stamped from the pool
+// snapshot and released afterwards — the per-request instantiation
+// baseline FreshState is priced against. The acquired slot only bounds
+// concurrency; no quarantine is needed because nothing outlives the
+// request.
+func (p *Pool) serveCold(args []uint64) ([]uint64, error) {
+	id := int(atomic.AddInt64(&p.coldSeq, 1))
+	sys, err := p.newSys(id)
+	if err != nil {
+		return nil, err
 	}
-	var w *Instance
-	select {
-	case w = <-p.workers:
-	default:
-		// Every worker is busy: join the queue, subject to admission
-		// control. The gauge is incremented before the MaxQueue check so
-		// concurrent arrivals cannot all observe a below-cap depth.
-		atomic.AddInt64(&p.waits, 1)
-		depth := atomic.AddInt64(&p.queued, 1)
-		if p.maxQueue > 0 && depth > int64(p.maxQueue) {
-			atomic.AddInt64(&p.queued, -1)
-			atomic.AddInt64(&p.rejected, 1)
-			return nil, fmt.Errorf("%w: queue full (%d waiting)", ErrOverloaded, p.maxQueue)
-		}
-		var expire <-chan time.Time
-		if p.submitTimeout > 0 {
-			t := time.NewTimer(p.submitTimeout)
-			defer t.Stop()
-			expire = t.C
-		}
-		select {
-		case w = <-p.workers:
-			atomic.AddInt64(&p.queued, -1)
-		case <-expire:
-			atomic.AddInt64(&p.queued, -1)
-			atomic.AddInt64(&p.timedOut, 1)
-			return nil, fmt.Errorf("%w: no worker within %v", ErrOverloaded, p.submitTimeout)
-		case <-ctx.Done():
-			atomic.AddInt64(&p.queued, -1)
-			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-				atomic.AddInt64(&p.timedOut, 1)
-				return nil, fmt.Errorf("%w: %w", ErrOverloaded, ctx.Err())
+	cw, err := p.rt.newInstance(p.mod, sys, p.snap)
+	if err != nil {
+		return nil, err
+	}
+	defer cw.Release()
+	atomic.AddInt64(&p.coldStarts, 1)
+	var out []uint64
+	serr := p.rt.guestECallSys("twine_serve", cw.Sys, func() error {
+		if p.hostIO != nil {
+			if err := p.rt.Enclave.OCall("serve.io", p.hostIO); err != nil {
+				return err
 			}
-			return nil, ctx.Err()
-		case <-p.closed:
-			atomic.AddInt64(&p.queued, -1)
-			return nil, ErrPoolClosed
 		}
+		var ierr error
+		out, ierr = cw.In.Invoke(p.entry, args...)
+		return ierr
+	})
+	if serr != nil {
+		return nil, serr
 	}
-	// Close may have raced the bind: a worker handed to a Submit that
-	// loses that race goes straight back, so every queued Submit observes
-	// ErrPoolClosed deterministically and no worker is leaked out of the
-	// free list.
+	return out, nil
+}
+
+// acquire binds a free worker under the pool's admission policy. Wakeup
+// order is FIFO-fair: a Submit that finds earlier arrivals queued joins
+// the queue behind them even if a worker happens to be free (release
+// prefers waiters, so a free worker coexisting with waiters is a
+// transient), and a freed worker is handed directly to the head waiter.
+func (p *Pool) acquire(ctx context.Context) (*Instance, error) {
+	p.mu.Lock()
+	if p.closedFlag {
+		p.mu.Unlock()
+		return nil, ErrPoolClosed
+	}
+	if len(p.waiters) == 0 && len(p.free) > 0 {
+		w := p.free[len(p.free)-1]
+		p.free = p.free[:len(p.free)-1]
+		p.mu.Unlock()
+		return p.postAcquire(w)
+	}
+	// Every worker is busy (or earlier arrivals are queued): join the
+	// queue, subject to admission control. The depth check and the
+	// enqueue are one critical section, so concurrent arrivals cannot all
+	// observe a below-cap depth and the queue never exceeds MaxQueue.
+	p.waits++
+	if p.maxQueue > 0 && len(p.waiters) >= p.maxQueue {
+		p.rejected++
+		p.mu.Unlock()
+		return nil, fmt.Errorf("%w: queue full (%d waiting)", ErrOverloaded, p.maxQueue)
+	}
+	wtr := &poolWaiter{ch: make(chan *Instance, 1)}
+	p.waiters = append(p.waiters, wtr)
+	p.mu.Unlock()
+
+	var expire <-chan time.Time
+	if p.submitTimeout > 0 {
+		t := time.NewTimer(p.submitTimeout)
+		defer t.Stop()
+		expire = t.C
+	}
+	select {
+	case w := <-wtr.ch:
+		return p.postAcquire(w)
+	case <-expire:
+		p.abandon(wtr)
+		p.mu.Lock()
+		p.timedOut++
+		p.mu.Unlock()
+		return nil, fmt.Errorf("%w: no worker within %v", ErrOverloaded, p.submitTimeout)
+	case <-ctx.Done():
+		p.abandon(wtr)
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			p.mu.Lock()
+			p.timedOut++
+			p.mu.Unlock()
+			return nil, fmt.Errorf("%w: %w", ErrOverloaded, ctx.Err())
+		}
+		return nil, ctx.Err()
+	case <-p.closed:
+		p.abandon(wtr)
+		return nil, ErrPoolClosed
+	}
+}
+
+// postAcquire is the close re-check every successful bind passes through:
+// a worker handed to a Submit that lost the race with Close goes straight
+// back, so every queued Submit observes ErrPoolClosed deterministically
+// and no worker is leaked out of the free list.
+func (p *Pool) postAcquire(w *Instance) (*Instance, error) {
 	select {
 	case <-p.closed:
-		p.workers <- w
+		p.release(w)
 		return nil, ErrPoolClosed
 	default:
 	}
 	return w, nil
+}
+
+// abandon removes a waiter that gave up (timeout, cancellation, close).
+// If a concurrent release already popped it, the handoff is in flight:
+// receive the worker and put it back so pool capacity is not leaked.
+func (p *Pool) abandon(wtr *poolWaiter) {
+	p.mu.Lock()
+	for i, q := range p.waiters {
+		if q == wtr {
+			p.waiters = append(p.waiters[:i], p.waiters[i+1:]...)
+			p.mu.Unlock()
+			return
+		}
+	}
+	p.mu.Unlock()
+	p.release(<-wtr.ch)
+}
+
+// release returns a worker to the pool: a direct handoff to the head
+// waiter when one is queued (FIFO — the handoff, not a broadcast, is
+// what makes wakeup order arrival order), the free list otherwise.
+func (p *Pool) release(w *Instance) {
+	p.mu.Lock()
+	if len(p.waiters) > 0 {
+		wtr := p.waiters[0]
+		p.waiters = p.waiters[1:]
+		p.mu.Unlock()
+		wtr.ch <- w // buffered: a waiter is popped at most once
+		return
+	}
+	p.free = append(p.free, w)
+	p.mu.Unlock()
 }
 
 // quarantinable classifies a request failure (PR 6). A guest trap or an
@@ -356,7 +594,8 @@ func quarantinable(err error) bool {
 // service unrepaired — never leaking free-list capacity — and the next
 // failure retries.
 func (p *Pool) repair(w *Instance) {
-	sys, err := p.newSys(p.ids[w])
+	meta := p.ids[w]
+	sys, err := p.newSys(meta.id)
 	if err != nil {
 		return
 	}
@@ -367,6 +606,7 @@ func (p *Pool) repair(w *Instance) {
 	}
 	w.Sys = sys
 	w.In.SetHostCtx(sys)
+	meta.fdOpen, meta.fdNext = sys.FdFingerprint()
 	atomic.AddInt64(&p.repaired, 1)
 }
 
@@ -423,10 +663,15 @@ func (p *Pool) ServeCtx(ctx context.Context, n int, args func(i int) []uint64, d
 
 // Close retires the pool. In-flight Submits complete; queued Submits fail
 // with ErrPoolClosed (deterministically — a Submit that wins the race for
-// a freed worker after Close re-checks and returns it, see acquire). The
-// runtime and its enclave stay alive (they may serve other pools);
+// a freed worker after Close re-checks and returns it, see postAcquire).
+// The runtime and its enclave stay alive (they may serve other pools);
 // destroying the enclave is the runtime owner's call.
 func (p *Pool) Close() error {
-	p.closeOnce.Do(func() { close(p.closed) })
+	p.closeOnce.Do(func() {
+		p.mu.Lock()
+		p.closedFlag = true
+		p.mu.Unlock()
+		close(p.closed)
+	})
 	return nil
 }

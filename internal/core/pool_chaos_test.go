@@ -42,11 +42,11 @@ func occupy(t *testing.T, pool *Pool) func() {
 	t.Helper()
 	var held []*Instance
 	for i := 0; i < pool.Size(); i++ {
-		held = append(held, <-pool.workers)
+		held = append(held, pool.takeWorker(t))
 	}
 	return func() {
 		for _, w := range held {
-			pool.workers <- w
+			pool.release(w)
 		}
 	}
 }
@@ -222,7 +222,7 @@ func TestPoolCloseReleasesQueuedSubmits(t *testing.T) {
 			t.Errorf("queued Submit %d = %v, want ErrPoolClosed", i, err)
 		}
 	}
-	if got := len(pool.workers); got != pool.Size() {
+	if got := pool.freeLen(); got != pool.Size() {
 		t.Errorf("free list holds %d workers after Close, want %d (worker leaked)", got, pool.Size())
 	}
 	if s := pool.Stats(); s.QueueDepth != 0 {
@@ -300,16 +300,16 @@ func TestPoolRepairIsolatesWASIState(t *testing.T) {
 	}
 	defer pool.Close()
 
-	w := <-pool.workers
+	w := pool.takeWorker(t)
 	sysBefore := w.Sys
-	pool.workers <- w
+	pool.release(w)
 
 	if _, err := pool.Submit(1); err == nil {
 		t.Fatal("poisoned Submit did not fail")
 	}
 
-	w = <-pool.workers
-	defer func() { pool.workers <- w }()
+	w = pool.takeWorker(t)
+	defer pool.release(w)
 	if w.Sys == sysBefore {
 		t.Error("repair kept the failed request's WASI system")
 	}

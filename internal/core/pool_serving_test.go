@@ -1,0 +1,310 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"twine/wasmgen"
+)
+
+// openerModule builds a WASI-dirtying guest: run() opens (creating)
+// "req.txt" against the preopened root (fd 3) without closing it, so each
+// call grows the descriptor table by one. It returns errno*256 + the new
+// fd, which exposes whether WASI state persists across requests: a clean
+// clone always hands out fd 4 (0..2 stdio, 3 preopen), a dirty one counts
+// up.
+func openerModule() []byte {
+	m := wasmgen.NewModule()
+	pathOpen := m.ImportFunc("wasi_snapshot_preview1", "path_open",
+		wasmgen.Sig(wasmgen.I32, wasmgen.I32, wasmgen.I32, wasmgen.I32, wasmgen.I32,
+			wasmgen.I64, wasmgen.I64, wasmgen.I32, wasmgen.I32).Returns(wasmgen.I32))
+	m.Memory(1, 1)
+	path := "req.txt"
+	m.Data(64, []byte(path))
+	f := m.Func(wasmgen.Sig().Returns(wasmgen.I32))
+	f.I32Const(3).I32Const(0).I32Const(64).I32Const(int32(len(path))).
+		I32Const(1).                                     // oflags: CREAT
+		I64Const((1 << 29) - 1).I64Const((1 << 29) - 1). // rights: all
+		I32Const(0).I32Const(128).Call(pathOpen)
+	f.I32Const(256).I32Mul()
+	f.I32Const(128).I32Load(0).I32Add()
+	f.End()
+	m.Export("run", f)
+	m.ExportMemory("memory")
+	return m.Bytes()
+}
+
+// TestPoolFIFONoStarvation is the PR 8 fairness regression: two hot
+// submitters looping against a one-worker pool must not starve a queued
+// third. The episode is fully sequenced — worker held, hot A queued, hot
+// B queued, victim queued, worker released — so FIFO handoff makes the
+// completion order (and, with the counter module, each request's return
+// value) deterministic: the victim sees counter value 3, never more,
+// even though both hot submitters keep re-queueing the moment they
+// complete. The pre-PR 8 pool handed freed workers to whichever Submit
+// won a channel race, which let the hot pair leapfrog the victim
+// arbitrarily long. Run under -race in CI.
+func TestPoolFIFONoStarvation(t *testing.T) {
+	rt := poolRuntime(t, 2)
+	defer rt.Enclave.Destroy()
+	mod, err := rt.LoadModule(counterModule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := rt.NewPool(mod, PoolConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	w := pool.takeWorker(t)
+
+	const hotRounds = 25
+	var wg sync.WaitGroup
+	hot := func() {
+		defer wg.Done()
+		for i := 0; i < hotRounds; i++ {
+			if _, err := pool.Submit(); err != nil {
+				t.Errorf("hot submit: %v", err)
+				return
+			}
+		}
+	}
+	// Sequence the queue: hot A, then hot B, then the victim.
+	wg.Add(1)
+	go hot()
+	waitQueueDepth(t, pool, 1)
+	wg.Add(1)
+	go hot()
+	waitQueueDepth(t, pool, 2)
+
+	victim := make(chan uint64, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		out, err := pool.Submit()
+		if err != nil {
+			t.Errorf("victim submit: %v", err)
+			victim <- 0
+			return
+		}
+		victim <- out[0]
+	}()
+	waitQueueDepth(t, pool, 3)
+
+	pool.release(w)
+	if got := <-victim; got != 3 {
+		t.Errorf("victim served as request %d, want 3 (queued third; FIFO broken)", got)
+	}
+	wg.Wait()
+	if s := pool.Stats(); s.Requests != 2*hotRounds+1 {
+		t.Errorf("Requests = %d, want %d", s.Requests, 2*hotRounds+1)
+	}
+}
+
+// TestPoolQueueDepthCapped (satellite 2): QueueDepth is captured under
+// the pool lock together with the admission counters, so it can never be
+// observed above MaxQueue — here a held worker turns 10 concurrent
+// Submits into a deterministic admission episode (3 queued, 7 rejected)
+// while a sampler hammers Stats() the whole time.
+func TestPoolQueueDepthCapped(t *testing.T) {
+	rt := poolRuntime(t, 2)
+	defer rt.Enclave.Destroy()
+	mod, err := rt.LoadModule(pureModule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxQueue = 3
+	pool, err := rt.NewPool(mod, PoolConfig{Workers: 1, MaxQueue: maxQueue})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	w := pool.takeWorker(t)
+
+	stop := make(chan struct{})
+	var sampler sync.WaitGroup
+	sampler.Add(1)
+	go func() {
+		defer sampler.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if d := pool.Stats().QueueDepth; d > maxQueue {
+				t.Errorf("QueueDepth = %d > MaxQueue = %d", d, maxQueue)
+				return
+			}
+		}
+	}()
+
+	const submits = 10
+	var rejected int64
+	var wg sync.WaitGroup
+	for i := 0; i < submits; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := pool.Submit(1); err != nil {
+				if !errors.Is(err, ErrOverloaded) {
+					t.Errorf("submit failed with %v, want ErrOverloaded", err)
+				}
+				atomic.AddInt64(&rejected, 1)
+			}
+		}()
+	}
+	// All 10 race admission against the held worker: exactly maxQueue are
+	// admitted, the rest bounce. Wait for the episode to settle before
+	// releasing, so the queued trio drains deterministically.
+	waitQueueDepth(t, pool, maxQueue)
+	// The rejected goroutines may still be racing admission; converge on
+	// the counter before releasing so the queued trio drains alone.
+	deadline := time.Now().Add(5 * time.Second)
+	for pool.Stats().Rejected != submits-maxQueue {
+		if time.Now().After(deadline) {
+			t.Fatalf("Rejected never reached %d (now %d)", submits-maxQueue, pool.Stats().Rejected)
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	pool.release(w)
+	wg.Wait()
+	close(stop)
+	sampler.Wait()
+
+	s := pool.Stats()
+	want := PoolStats{Requests: maxQueue, Waits: submits, Rejected: submits - maxQueue}
+	if s != want {
+		t.Errorf("stats = %+v, want %+v", s, want)
+	}
+	if got := atomic.LoadInt64(&rejected); got != submits-maxQueue {
+		t.Errorf("rejected submits = %d, want %d", got, submits-maxQueue)
+	}
+}
+
+// TestPoolFreshStateServing: in FreshState mode every request sees the
+// golden snapshot — the counter module reports 1 on every request, on
+// every worker, because completed workers are reset in place before
+// re-entering the free list. The WarmResets counter proves the hot path
+// (not repair) did the resetting.
+func TestPoolFreshStateServing(t *testing.T) {
+	rt := poolRuntime(t, 2)
+	defer rt.Enclave.Destroy()
+	mod, err := rt.LoadModule(counterModule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := rt.NewPool(mod, PoolConfig{Workers: 2, FreshState: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	const n = 20
+	if err := pool.Serve(n, nil, func(i int, out []uint64, err error) {
+		if err != nil {
+			t.Errorf("request %d: %v", i, err)
+			return
+		}
+		if out[0] != 1 {
+			t.Errorf("request %d saw counter %d; state leaked across requests", i, out[0])
+		}
+	}); err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	s := pool.Stats()
+	if s.Requests != n || s.WarmResets != n || s.ColdStarts != 0 {
+		t.Errorf("stats = %+v, want Requests=WarmResets=%d, ColdStarts=0", s, n)
+	}
+	if l := pool.Latency(); l.Count != n || l.P50 <= 0 || l.P99 < l.P50 {
+		t.Errorf("latency summary inconsistent: %+v", l)
+	}
+}
+
+// TestPoolFreshStateFdIsolation (satellite 4, descriptor-table half):
+// a guest that opens a file per request — without closing it — must see
+// an identical fd table on every one of 100 serve/reset cycles. The
+// opener module returns the fd it was handed: always 4 on a clean clone.
+// After the storm the worker's fingerprint is back at its bind-time
+// baseline, proving the dirty-table re-clone ran.
+func TestPoolFreshStateFdIsolation(t *testing.T) {
+	rt := poolRuntime(t, 1)
+	defer rt.Enclave.Destroy()
+	mod, err := rt.LoadModule(openerModule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := rt.NewPool(mod, PoolConfig{Workers: 1, FreshState: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	for i := 0; i < 100; i++ {
+		out, err := pool.Submit()
+		if err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+		// errno*256 + fd: errno 0 and fd 4 == a pristine table.
+		if out[0] != 4 {
+			t.Fatalf("cycle %d returned %d, want errno 0 / fd 4 (WASI state leaked)", i, out[0])
+		}
+	}
+	w := pool.takeWorker(t)
+	defer pool.release(w)
+	if open, next := w.Sys.FdFingerprint(); open != 4 || next != 4 {
+		t.Errorf("worker fd fingerprint after storm = (%d, %d), want (4, 4)", open, next)
+	}
+}
+
+// TestPoolColdStartServing: ColdStart mode prices per-request isolation
+// without warm free lists — a fresh instance per request, released after.
+// Same observable isolation as FreshState (counter always 1); the
+// allocator must absorb 50 instantiate/release cycles inside an 8 MiB
+// heap (a leaked arena per request would exhaust it in ~14), proving
+// Instance.Release really returns arenas.
+func TestPoolColdStartServing(t *testing.T) {
+	cfg := testConfig(func(c *Config) {
+		c.SGX.TCSNum = 2
+		c.SGX.HeapSize = 8 << 20
+	})
+	rt, err := NewRuntime(cfg)
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	defer rt.Enclave.Destroy()
+	mod, err := rt.LoadModule(counterModule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.NewPool(mod, PoolConfig{FreshState: true, ColdStart: true}); err == nil {
+		t.Fatal("NewPool accepted FreshState+ColdStart")
+	}
+	pool, err := rt.NewPool(mod, PoolConfig{Workers: 2, ColdStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	const n = 50
+	if err := pool.Serve(n, nil, func(i int, out []uint64, err error) {
+		if err != nil {
+			t.Errorf("request %d: %v", i, err)
+			return
+		}
+		if out[0] != 1 {
+			t.Errorf("request %d saw counter %d on a cold instance", i, out[0])
+		}
+	}); err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	s := pool.Stats()
+	if s.Requests != n || s.ColdStarts != n || s.WarmResets != 0 {
+		t.Errorf("stats = %+v, want Requests=ColdStarts=%d, WarmResets=0", s, n)
+	}
+}

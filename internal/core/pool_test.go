@@ -53,6 +53,28 @@ func counterModule() []byte {
 	return m.Bytes()
 }
 
+// White-box free-list access for tests that hold workers out of service
+// or inspect them directly. Workers taken this way go back through
+// p.release, the same path a completing Submit uses.
+func (p *Pool) takeWorker(t *testing.T) *Instance {
+	t.Helper()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free) == 0 {
+		t.Fatal("free list empty")
+	}
+	w := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return w
+}
+
+// freeLen reports the current free-list size.
+func (p *Pool) freeLen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}
+
 func poolRuntime(t *testing.T, tcs int) *Runtime {
 	t.Helper()
 	cfg := testConfig(func(c *Config) {
@@ -141,11 +163,11 @@ func TestPoolWorkersIsolated(t *testing.T) {
 
 	var workers []*Instance
 	for i := 0; i < pool.Size(); i++ {
-		workers = append(workers, <-pool.workers)
+		workers = append(workers, pool.takeWorker(t))
 	}
 	defer func() {
 		for _, w := range workers {
-			pool.workers <- w
+			pool.release(w)
 		}
 	}()
 	for i := 0; i < len(workers); i++ {

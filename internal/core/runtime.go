@@ -113,6 +113,14 @@ type Config struct {
 	// byte-identical while hot host calls skip the enclave transitions
 	// (see internal/core's differential tests).
 	Switchless SwitchlessMode
+	// SwitchlessBatch enables batched cold-start admission on the ring
+	// (PR 8): a request that finds the drain worker parked is staged in
+	// the ring before the worker is signalled, so it rides its own wakeup
+	// instead of falling back to a classic OCall, and adjacent requests
+	// admitted while the ring is non-empty share that wakeup
+	// (sgx.Stats.BatchedWakeups). Off by default — the unbatched ring is
+	// bit-identical to PR 2. Ignored when Switchless is SwitchlessOff.
+	SwitchlessBatch bool
 	// Prof collects counters and timers.
 	Prof *prof.Registry
 }
@@ -175,7 +183,9 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	}
 	rt.Enclave = enclave
 	if cfg.Switchless != SwitchlessOff {
-		enclave.EnableSwitchless(sgx.DefaultSwitchlessConfig(cfg.SGX))
+		scfg := sgx.DefaultSwitchlessConfig(cfg.SGX)
+		scfg.Batch = cfg.SwitchlessBatch
+		enclave.EnableSwitchless(scfg)
 	}
 
 	hostBE := wasi.NewHostBackend(cfg.HostFS, enclave)
@@ -248,11 +258,17 @@ type Module struct {
 // LoadModule supplies a Wasm binary to the enclave through the single
 // ECALL TWINE exposes (§IV-C): the code is copied into reserved memory,
 // decoded, validated and AoT-translated, then the region is sealed
-// execute-only.
+// execute-only. A further module re-opens the region for the duration of
+// its load (SGX2 EMODPE semantics — the flip happens inside the ECALL,
+// so the region is never writable while guest code can run) and appends;
+// loaded code itself is immutable, which is what lets the multi-tenant
+// registry share one compiled module across tenants.
 func (rt *Runtime) LoadModule(wasmBytes []byte) (*Module, error) {
 	start := time.Now()
 	var mod *Module
 	err := rt.Enclave.ECall("twine_load_module", func() error {
+		rt.Enclave.Reserved().Protect(sgx.PermRW)
+		defer rt.Enclave.Reserved().Protect(sgx.PermRX) // reseal on every path
 		if _, err := rt.Enclave.Reserved().Load(wasmBytes); err != nil {
 			return fmt.Errorf("twine: reserved memory: %w", err)
 		}
@@ -264,7 +280,6 @@ func (rt *Runtime) LoadModule(wasmBytes []byte) (*Module, error) {
 		if err != nil {
 			return err
 		}
-		rt.Enclave.Reserved().Protect(sgx.PermRX)
 		mod = &Module{Compiled: c, WasmBytes: int64(len(wasmBytes)), AotIns: c.NumInstructions()}
 		return nil
 	})
@@ -319,6 +334,23 @@ type Instance struct {
 	// aligned to the enclave page size so guest 4 KiB pages and enclave
 	// EPC pages coincide — the alignment the EPC-TLB contract requires.
 	arena int64
+	// allocOff is the raw allocator offset backing arena (arena rounds it
+	// up to a page boundary); Release frees it. -1 once released.
+	allocOff int64
+}
+
+// Release returns the instance's guest arena to the enclave allocator.
+// After Release the instance must not execute again; its pages are
+// reusable by future instantiations. Release is what makes per-request
+// cold instantiation (the warm-reset ablation baseline) sustainable —
+// without it every request would leak a full guest arena. Idempotent.
+func (inst *Instance) Release() error {
+	if inst.allocOff < 0 {
+		return nil
+	}
+	off := inst.allocOff
+	inst.allocOff = -1
+	return inst.rt.Enclave.Allocator().Free(off)
 }
 
 // NewInstance instantiates mod inside the enclave with its own WASI
@@ -356,6 +388,7 @@ func (rt *Runtime) newInstance(mod *Module, sys *wasi.System, snap *wasm.Snapsho
 	if err != nil {
 		return nil, fmt.Errorf("twine: guest memory (%d pages) does not fit the enclave: %w", maxPages, err)
 	}
+	inst.allocOff = off
 	inst.arena = (off + sgx.PageSize - 1) &^ (sgx.PageSize - 1)
 
 	// The arena base is pre-translated into the view once; the per-access

@@ -163,7 +163,7 @@ func TestReferencedMatchesTouchNoOp(t *testing.T) {
 // accessors.
 func TestReferencedOutOfRange(t *testing.T) {
 	m := lifecycleMemory(t)
-	if m.Referenced(-1) || m.Referenced(1 << 30) {
+	if m.Referenced(-1) || m.Referenced(1<<30) {
 		t.Error("out-of-range pages report referenced")
 	}
 	if got := m.PageState(-1); got != "out-of-range" {

@@ -149,9 +149,11 @@ var (
 //
 // OCalls counts real two-transition boundary crossings, including those
 // taken as switchless fallbacks; SwitchlessCalls counts requests served by
-// the ring without a crossing. For any workload that does not batch
-// requests, OCalls(switchless off) == OCalls + SwitchlessCalls (switchless
-// on) — the conservation law internal/core's differential tests enforce.
+// the ring without a crossing. Every request is exactly one of the two, so
+// OCalls(switchless off) == OCalls + SwitchlessCalls (switchless on) — the
+// conservation law internal/core's differential tests enforce. Batched
+// admission (PR 8) preserves it: it only moves cold-start requests from
+// the fallback column to the ring column.
 //
 // All counters are maintained with atomic operations, so Stats stays
 // coherent while concurrent ECALLs execute on the TCS pool.
@@ -169,6 +171,11 @@ type Stats struct {
 	FallbackOCalls int64
 	// WorkerWakeups counts signals to a parked switchless worker.
 	WorkerWakeups int64
+	// BatchedWakeups counts ring admissions that joined requests already
+	// staged in the ring and so shared a wakeup another caller paid
+	// (switchless batched admission, PR 8). 0 unless
+	// SwitchlessConfig.Batch is enabled.
+	BatchedWakeups int64
 	// TCSWaits counts ECALLs that found every TCS busy and had to park
 	// until a slot freed — the enclave's saturation signal.
 	TCSWaits int64
@@ -272,10 +279,10 @@ func (e *Enclave) Reserved() *Reserved { return e.reserved }
 // Stats returns a coherent copy of the enclave activity counters.
 func (e *Enclave) Stats() Stats {
 	s := Stats{
-		ECalls:     atomic.LoadInt64(&e.ecalls),
-		OCalls:     atomic.LoadInt64(&e.ocalls),
-		PageFaults: e.mem.Faults(),
-		Evictions:  e.mem.Evictions(),
+		ECalls:      atomic.LoadInt64(&e.ecalls),
+		OCalls:      atomic.LoadInt64(&e.ocalls),
+		PageFaults:  e.mem.Faults(),
+		Evictions:   e.mem.Evictions(),
 		TCSWaits:    atomic.LoadInt64(&e.tcs.waits),
 		TCSBusy:     atomic.LoadInt64(&e.tcs.busy),
 		TCSMaxBusy:  atomic.LoadInt64(&e.tcs.maxBusy),
@@ -286,6 +293,7 @@ func (e *Enclave) Stats() Stats {
 		s.SwitchlessCalls = rs.Calls
 		s.FallbackOCalls = rs.Fallbacks
 		s.WorkerWakeups = rs.Wakeups
+		s.BatchedWakeups = rs.BatchedWakeups
 	}
 	return s
 }

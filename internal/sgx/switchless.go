@@ -26,8 +26,9 @@ import (
 //
 //   - every request either rides the ring (SwitchlessCalls) or becomes a
 //     real OCall (counted in Stats.OCalls, flagged in FallbackOCalls), so
-//     OCalls_off == OCalls_on + SwitchlessCalls_on for any workload that
-//     does not batch requests;
+//     OCalls_off == OCalls_on + SwitchlessCalls_on. Batched admission
+//     (SwitchlessConfig.Batch, PR 8) preserves the law — it only moves the
+//     cold-start request from the fallback column to the ring column;
 //   - the protocol is synchronous (the caller blocks until its request is
 //     served), so observable side-effect ordering is identical to the
 //     two-transition path.
@@ -59,6 +60,15 @@ type SwitchlessConfig struct {
 	// closure still runs and its genuine result is delivered. nil disables
 	// injection with zero cost.
 	DrainChaos *chaos.Injector
+	// Batch enables batched cold-start admission (PR 8): a request that
+	// finds the worker parked is staged in the ring *before* the worker is
+	// signalled, so the caller rides its own wakeup instead of paying the
+	// SDK's cold-worker fallback (a classic two-transition OCall), and
+	// every request admitted while the ring is non-empty shares that one
+	// wakeup (counted in SwitchlessStats.BatchedWakeups). Off by default:
+	// the unbatched ring is bit-identical to PR 2 and is what the fidelity
+	// tests pin.
+	Batch bool
 }
 
 // DefaultSwitchlessConfig derives ring costs from the enclave's transition
@@ -86,6 +96,11 @@ type SwitchlessStats struct {
 	// Wakeups is the number of times a request found the worker parked and
 	// had to signal it awake.
 	Wakeups int64
+	// BatchedWakeups is the number of ring admissions that joined requests
+	// already staged in the ring and therefore rode a wakeup (or a hot
+	// drain pass) another caller paid — the amortisation batched admission
+	// buys. Always 0 unless SwitchlessConfig.Batch is set.
+	BatchedWakeups int64
 }
 
 // slreq is one ring slot: a named host-call closure plus the response
@@ -160,9 +175,10 @@ func (r *SwitchlessRing) Stats() SwitchlessStats {
 		return SwitchlessStats{}
 	}
 	return SwitchlessStats{
-		Calls:     atomic.LoadInt64(&r.stats.Calls),
-		Fallbacks: atomic.LoadInt64(&r.stats.Fallbacks),
-		Wakeups:   atomic.LoadInt64(&r.stats.Wakeups),
+		Calls:          atomic.LoadInt64(&r.stats.Calls),
+		Fallbacks:      atomic.LoadInt64(&r.stats.Fallbacks),
+		Wakeups:        atomic.LoadInt64(&r.stats.Wakeups),
+		BatchedWakeups: atomic.LoadInt64(&r.stats.BatchedWakeups),
 	}
 }
 
@@ -203,20 +219,28 @@ func (r *SwitchlessRing) call(name string, payload int, fn func() error) error {
 		r.mu.Unlock()
 		return e.OCall(name, fn)
 	}
+	wake := false
 	if !r.running {
-		// Worker parked: signal it awake for subsequent requests, but take
-		// the slow path for this one (the SDK's cold-worker fallback).
-		r.running = true
-		atomic.AddInt64(&r.stats.Wakeups, 1)
-		atomic.AddInt64(&r.stats.Fallbacks, 1)
-		go r.worker()
-		r.mu.Unlock()
-		e.cfg.Prof.Incr("sgx.switchless.wakeup")
-		e.cfg.Prof.Incr("sgx.switchless.fallback")
-		if r.cfg.WakeupCost > 0 {
-			burn(r.cfg.WakeupCost)
+		if !r.cfg.Batch {
+			// Worker parked: signal it awake for subsequent requests, but
+			// take the slow path for this one (the SDK's cold-worker
+			// fallback).
+			r.running = true
+			atomic.AddInt64(&r.stats.Wakeups, 1)
+			atomic.AddInt64(&r.stats.Fallbacks, 1)
+			go r.worker()
+			r.mu.Unlock()
+			e.cfg.Prof.Incr("sgx.switchless.wakeup")
+			e.cfg.Prof.Incr("sgx.switchless.fallback")
+			if r.cfg.WakeupCost > 0 {
+				burn(r.cfg.WakeupCost)
+			}
+			return e.OCall(name, fn)
 		}
-		return e.OCall(name, fn)
+		// Batched cold start: stage the request in the ring *before* the
+		// worker is signalled, so this caller rides its own wakeup and
+		// every caller admitted behind it shares the same one.
+		wake = true
 	}
 	req := slreqPool.Get().(*slreq)
 	req.fn = fn
@@ -224,9 +248,20 @@ func (r *SwitchlessRing) call(name string, payload int, fn func() error) error {
 	select {
 	case r.queue <- req:
 		atomic.AddInt64(&r.stats.Calls, 1)
+		if wake {
+			r.running = true
+			atomic.AddInt64(&r.stats.Wakeups, 1)
+			go r.worker()
+		} else if r.cfg.Batch && len(r.queue) > 1 {
+			// At least one earlier request is still staged: this admission
+			// joined an existing batch and amortises its wakeup/drain pass.
+			atomic.AddInt64(&r.stats.BatchedWakeups, 1)
+		}
 		r.mu.Unlock()
 	default:
-		// Ring full: classic OCall.
+		// Ring full: classic OCall. (With a parked worker the ring is
+		// empty — the worker only parks on an empty ring — so the batch
+		// path cannot land here; the guard keeps the invariant local.)
 		atomic.AddInt64(&r.stats.Fallbacks, 1)
 		r.mu.Unlock()
 		req.fn = nil
@@ -235,6 +270,12 @@ func (r *SwitchlessRing) call(name string, payload int, fn func() error) error {
 		return e.OCall(name, fn)
 	}
 
+	if wake {
+		e.cfg.Prof.Incr("sgx.switchless.wakeup")
+		if r.cfg.WakeupCost > 0 {
+			burn(r.cfg.WakeupCost)
+		}
+	}
 	e.cfg.Prof.Incr("sgx.switchless")
 	sp := e.cfg.Prof.Start("sgx.switchless")
 	if r.cfg.EnqueueCost > 0 {

@@ -231,6 +231,15 @@ func sortedKeys(m map[string]string) []string {
 // Exited reports whether proc_exit ran, and with which code.
 func (s *System) Exited() (bool, uint32) { return s.exited, s.exitCode }
 
+// FdFingerprint summarises the descriptor-table shape: the number of open
+// descriptors and the next descriptor to be issued. The table starts at a
+// fixed fingerprint (3 stdio fds + the preopens, nextFD past them) and
+// nextFD is monotonic, so any open or close a guest performed — even a
+// balanced open-then-close pair — moves the fingerprint. The serving
+// pool's warm-reset path (PR 8) uses it as the cheap dirty check deciding
+// whether per-request isolation requires a fresh WASI clone.
+func (s *System) FdFingerprint() (open int, next int32) { return len(s.fds), s.nextFD }
+
 // forInstance resolves the System serving a call from in: the instance's
 // own System when one was bound through the wasm HostCtx, the registering
 // System otherwise. This is what lets a single registered ImportObject

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math"
 	"math/bits"
+	"sync/atomic"
 )
 
 // invokeFunc runs function-index-space entry fi. Arguments are the top
@@ -618,7 +619,10 @@ func memIndex(mem *Memory, base, offset, n uint64) uint64 {
 	if mem.touch != nil {
 		p := addr >> tlbPageBits
 		e := &mem.tlb[p&tlbMask]
-		if mem.gen == nil || e.tag != p+1 || e.gen != *mem.gen ||
+		// The generation load is atomic (a plain MOV on amd64 — the fast
+		// path stays two compares) because evictions on another
+		// instance's TCS bump it concurrently.
+		if mem.gen == nil || e.tag != p+1 || e.gen != atomic.LoadUint64(mem.gen) ||
 			(addr+n-1)>>tlbPageBits != p {
 			mem.touchMiss(addr, n)
 		}

@@ -1,0 +1,188 @@
+package wasm
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"twine/wasmgen"
+)
+
+// reset_test.go — the PR 8 warm-path contract: a worker reset in place
+// with ResetFromSnapshot must be bit-identical to a fresh
+// InstantiateFromSnapshot of the same snapshot. The serving pool's free
+// lists lean on this: if reset were even slightly weaker than
+// re-instantiation (a stale TLB entry, a missed global, a shorter
+// memory), warm workers would drift from cold ones and per-request
+// isolation would silently decay.
+
+// servingModule mutates state a serving cycle must erase: two memory
+// cells on different pages, a mutable global, and a table the snapshot
+// must carry. run(x) returns a mix of all three.
+func servingModule() []byte {
+	m := wasmgen.NewModule()
+	m.Memory(2, 2)
+	m.Data(0, []byte{1, 0, 0, 0})
+	g := m.Global(wasmgen.I32, true, 100)
+
+	f := m.Func(wasmgen.Sig(wasmgen.I32).Returns(wasmgen.I32))
+	// mem[0] += x
+	f.I32Const(0).I32Const(0).I32Load(0).LocalGet(0).I32Add().I32Store(0)
+	// mem[4096] += mem[0]  (second page: the touch log spans pages)
+	f.I32Const(4096).I32Const(4096).I32Load(0).I32Const(0).I32Load(0).I32Add().I32Store(0)
+	// g += x
+	f.GlobalGet(g).LocalGet(0).I32Add().GlobalSet(g)
+	// return mem[0] + mem[4096] + g
+	f.I32Const(0).I32Load(0).I32Const(4096).I32Load(0).I32Add().GlobalGet(g).I32Add()
+	f.End()
+	m.Export("run", f)
+	m.ExportMemory("memory")
+	m.Table(4)
+	m.Elem(1, f, f)
+	return m.Bytes()
+}
+
+// touchRecorder captures the exact (off, n) touch-hook sequence.
+type touchRecorder struct {
+	log [][2]int64
+}
+
+func (r *touchRecorder) touch(off, n int64) { r.log = append(r.log, [2]int64{off, n}) }
+
+// diffInstances reports the first bit-level difference between two
+// instances' mutable state, or "" if none.
+func diffInstances(a, b *Instance) string {
+	switch {
+	case !bytes.Equal(a.mem.data, b.mem.data):
+		return "linear memory differs"
+	case len(a.globals) != len(b.globals):
+		return "global count differs"
+	case len(a.table) != len(b.table):
+		return "table size differs"
+	case a.sp != b.sp || a.depth != b.depth:
+		return "value-stack state differs"
+	}
+	for i := range a.globals {
+		if a.globals[i] != b.globals[i] {
+			return fmt.Sprintf("global %d differs", i)
+		}
+	}
+	for i := range a.globTs {
+		if a.globTs[i] != b.globTs[i] {
+			return fmt.Sprintf("global type %d differs", i)
+		}
+	}
+	for i := range a.table {
+		if a.table[i] != b.table[i] {
+			return fmt.Sprintf("table slot %d differs", i)
+		}
+	}
+	return ""
+}
+
+// TestResetBitIdenticalToFresh (satellite 4): across 100 serve/reset
+// cycles on every engine, a warm-reset instance matches a fresh
+// snapshot instantiation bit for bit — memory, globals, global types,
+// table, value-stack cursors — and the next invocation performs the
+// exact same EPC touch-call sequence and computes the same result.
+func TestResetBitIdenticalToFresh(t *testing.T) {
+	engines := []Engine{EngineAOT, EngineInterp, EngineRegister, EngineSuperblock}
+	for _, e := range engines {
+		t.Run(e.String(), func(t *testing.T) {
+			mod, err := Decode(servingModule())
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			c, err := Compile(mod)
+			if err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+
+			template, err := Instantiate(c, nil, Config{Engine: e})
+			if err != nil {
+				t.Fatalf("Instantiate: %v", err)
+			}
+			// Golden state mid-life, as a pool would snapshot after Init.
+			if _, err := template.Invoke("run", 3); err != nil {
+				t.Fatalf("init invoke: %v", err)
+			}
+			snap := template.Snapshot()
+
+			warmRec := &touchRecorder{}
+			warm, err := InstantiateFromSnapshot(c, nil, snap, Config{Engine: e, Touch: warmRec.touch})
+			if err != nil {
+				t.Fatalf("warm instantiate: %v", err)
+			}
+			for cycle := 0; cycle < 100; cycle++ {
+				freshRec := &touchRecorder{}
+				fresh, err := InstantiateFromSnapshot(c, nil, snap, Config{Engine: e, Touch: freshRec.touch})
+				if err != nil {
+					t.Fatalf("cycle %d: fresh instantiate: %v", cycle, err)
+				}
+				if d := diffInstances(warm, fresh); d != "" {
+					t.Fatalf("cycle %d: pre-invoke state: %s", cycle, d)
+				}
+
+				arg := uint64(cycle % 7)
+				warmRec.log, freshRec.log = nil, nil
+				wOut, wErr := warm.Invoke("run", arg)
+				fOut, fErr := fresh.Invoke("run", arg)
+				if wErr != nil || fErr != nil {
+					t.Fatalf("cycle %d: invoke errors warm=%v fresh=%v", cycle, wErr, fErr)
+				}
+				if wOut[0] != fOut[0] {
+					t.Fatalf("cycle %d: results diverged: warm %d, fresh %d", cycle, wOut[0], fOut[0])
+				}
+				if len(warmRec.log) != len(freshRec.log) {
+					t.Fatalf("cycle %d: touch sequence length: warm %d, fresh %d",
+						cycle, len(warmRec.log), len(freshRec.log))
+				}
+				for i := range warmRec.log {
+					if warmRec.log[i] != freshRec.log[i] {
+						t.Fatalf("cycle %d: touch[%d]: warm %v, fresh %v",
+							cycle, i, warmRec.log[i], freshRec.log[i])
+					}
+				}
+				if d := diffInstances(warm, fresh); d != "" {
+					t.Fatalf("cycle %d: post-invoke state: %s", cycle, d)
+				}
+
+				if err := warm.ResetFromSnapshot(snap); err != nil {
+					t.Fatalf("cycle %d: reset: %v", cycle, err)
+				}
+			}
+		})
+	}
+}
+
+// TestResetFromSnapshotAllocationFree: on the hot path — an instance
+// whose buffers were shaped by a prior instantiation of the same
+// snapshot — reset performs zero allocations, which is what lets the
+// pool run it inside the serve ECALL of every request.
+func TestResetFromSnapshotAllocationFree(t *testing.T) {
+	mod, err := Decode(servingModule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := Instantiate(c, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := in.Snapshot()
+	// Dirty the instance once so the measured resets are undoing real
+	// mutations; restore does the same full copy either way.
+	if _, err := in.Invoke("run", 5); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := in.ResetFromSnapshot(snap); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 0 {
+		t.Errorf("reset allocated %.1f times per run, want 0", allocs)
+	}
+}

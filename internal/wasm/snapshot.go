@@ -41,14 +41,22 @@ func (in *Instance) Snapshot() *Snapshot {
 
 // ResetFromSnapshot restores the instance's mutable state — linear
 // memory, globals and the indirect-call table — to snap, in place. It is
-// the repair half of worker quarantine (PR 6): a worker whose request
-// trapped or aborted mid-execution may hold arbitrarily corrupted guest
-// state, and resetting it to the snapshot is exactly as strong as
-// stamping out a new worker (the snapshot is the same bytes) without
-// re-allocating the enclave arena or re-linking. The memory buffer is
+// the repair half of worker quarantine (PR 6) and, since PR 8, the warm
+// path of the serving pool's free lists: a completed worker is stamped
+// back to the golden snapshot instead of being re-instantiated, so it
+// must be cheap. Resetting is exactly as strong as stamping out a new
+// worker (the snapshot is the same bytes) without re-allocating the
+// enclave arena, the value stack or the links. The memory buffer is
 // reused when capacity allows and the software EPC-TLB is dropped, so
-// stale hot-page entries cannot survive the reset. The instance must be
-// quiescent (no invocation in flight).
+// stale hot-page entries cannot survive the reset; a reset instance is
+// bit-identical to a fresh InstantiateFromSnapshot of the same snapshot,
+// including the sequence of EPC touch calls its next invocation performs
+// (the property the serve/reset cycle tests pin). On the hot path —
+// an instance whose buffers were sized by a prior instantiation of the
+// same snapshot — the reset performs no allocation: memory, globals and
+// table reuse their capacity, and the immutable per-module global types
+// are not copied at all. The instance must be quiescent (no invocation
+// in flight).
 func (in *Instance) ResetFromSnapshot(snap *Snapshot) error {
 	if snap == nil {
 		return fmt.Errorf("%w: reset from nil snapshot", ErrValidation)
@@ -64,7 +72,9 @@ func (in *Instance) ResetFromSnapshot(snap *Snapshot) error {
 		return fmt.Errorf("%w: snapshot has memory but module defines none", ErrValidation)
 	}
 	in.globals = append(in.globals[:0], snap.globals...)
-	in.globTs = append(in.globTs[:0], snap.globTs...)
+	// globTs holds the module's global *types*, which never change after
+	// instantiation; the module-identity check above guarantees they
+	// already match, so the hot path skips the copy.
 	in.table = append(in.table[:0], snap.table...)
 	in.sp = 0
 	in.depth = 0

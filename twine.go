@@ -38,6 +38,22 @@
 // (Config.HostRetryMax) and never quarantine. The seeded fault-injection
 // harness behind the fault tests is exported as FaultPlan/FaultInjector.
 //
+// Multi-tenant serving (PR 8) goes through a Registry: tenants register
+// named (module, config) pairs, compiled code is shared content-addressed
+// across tenants, and every mutable thing — workers, golden snapshot,
+// admission queue, latency accounting — stays per-tenant:
+//
+//	reg := rt.NewRegistry()
+//	a, err := reg.Register("tenant-a", wasmBytes, twine.TenantConfig{})
+//	out, err := reg.Submit("tenant-a", args...)  // or a.Submit(args...)
+//
+// Tenants serve FreshState by default: each request sees the golden
+// snapshot, restored by an in-place warm reset of the completed worker
+// (no re-instantiation on the hot path). Per-tenant queue shares
+// (TenantConfig.MaxQueue) make overload a private failure — a saturated
+// tenant's submits fail with ErrOverloaded while its neighbours keep
+// serving — and per-tenant latency quantiles land in RegistryStats.
+//
 // For the paper's flagship use case — a trusted full SQL database — see the
 // tsql subpackage.
 package twine
@@ -83,10 +99,30 @@ type (
 	// MaxQueue caps waiting submits, SubmitTimeout bounds the wait for a
 	// free worker (PR 6).
 	PoolConfig = core.PoolConfig
-	// PoolStats counts completed requests, pool-level waits, and the
-	// fault-containment activity: rejected/timed-out admissions and
-	// quarantined/repaired workers.
+	// PoolStats counts completed requests, pool-level waits, the
+	// fault-containment activity (rejected/timed-out admissions,
+	// quarantined/repaired workers) and the serving mode attribution
+	// (warm in-place resets vs cold per-request instantiations, PR 8).
 	PoolStats = core.PoolStats
+	// Registry is the multi-tenant serving front door (PR 8): a
+	// content-addressed compiled-module cache plus a named tenant table.
+	// See Runtime.NewRegistry.
+	Registry = core.Registry
+	// Tenant is one registered (module, config) pair and its serving
+	// pool.
+	Tenant = core.Tenant
+	// TenantConfig shapes one tenant's pool; the zero value is a
+	// one-worker FreshState tenant (per-request isolation by warm reset).
+	TenantConfig = core.TenantConfig
+	// TenantStats is one tenant's accounting: pool counters plus latency
+	// quantiles.
+	TenantStats = core.TenantStats
+	// RegistryStats summarises a registry: tenant and distinct-binary
+	// counts, compile-cache hits, and per-tenant accounting.
+	RegistryStats = core.RegistryStats
+	// LatencySummary reports a pool's request-latency quantiles (p50,
+	// p95, p99) from its fixed-bucket histogram.
+	LatencySummary = core.LatencySummary
 	// FaultPlan describes a deterministic, seeded fault-injection plan
 	// (PR 6): which operations of a stream fail, with what error, after
 	// what stall. The zero plan injects nothing.
@@ -163,6 +199,10 @@ var (
 	// ErrPoolClosed reports a submit against a closed pool, including
 	// submits that were queued when Close began.
 	ErrPoolClosed = core.ErrPoolClosed
+	// ErrUnknownTenant reports a Registry.Submit against a name no
+	// Register call created — an admission failure, never a panic, so
+	// the front door can face untrusted tenant names (PR 8).
+	ErrUnknownTenant = core.ErrUnknownTenant
 )
 
 // NewFaultInjector compiles a FaultPlan into a FaultInjector for use in
