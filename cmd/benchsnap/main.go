@@ -36,12 +36,21 @@
 //     ready-to-serve instance by full Instantiate, by
 //     InstantiateFromSnapshot, and by in-place ResetFromSnapshot (the
 //     warm free-list hot path);
+//   - the PR 9 fig-suspend triple: requests/sec with 10× more stateful
+//     tenants than the EPC holds resident, served by the instance swap
+//     tier ("swap"), by the page-level clock sweep alone ("resident")
+//     and by per-request instantiation ("cold"); a swap run that never
+//     suspends, breaks counter conservation, reads stale state, drops
+//     under half the resident throughput, or fails to beat the cold
+//     floor is rejected;
+//   - the PR 9 micro/sealsnap series: seal + unseal ns against snapshot
+//     size (64 KiB – 16 MiB), the swap tier's per-suspend price;
 //
 // each with warmup and a minimum measurement window, then writes a JSON
 // document. The committed BENCH_<n>.json snapshots at the repository root
 // were generated with the defaults:
 //
-//	go run ./cmd/benchsnap -o BENCH_7.json
+//	go run ./cmd/benchsnap -o BENCH_8.json
 //
 // See BENCHMARKS.md for the snapshot workflow and the figure mapping.
 package main
@@ -158,6 +167,9 @@ func main() {
 	faultRate := flag.Float64("fault-rate", 0.01, "fig-faults injected transport-fault probability (0 disables the series)")
 	tenRequests := flag.Int("ten-requests", 64, "fig-tenants requests per tenant per point (0 disables the series)")
 	warmColdPages := flag.Int("warmcold-pages", 16, "micro/warmcold guest memory pages (0 disables the series)")
+	suspRequests := flag.Int("susp-requests", 2000, "fig-suspend total requests per run (0 disables the series)")
+	suspMaxRes := flag.Int("susp-maxres", 4, "fig-suspend resident-instance bound (tenants = 10x this)")
+	sealSnapMax := flag.Int64("sealsnap-max", 16<<20, "micro/sealsnap largest snapshot size in bytes (0 disables the series)")
 	flag.Parse()
 
 	snap := Snapshot{
@@ -179,6 +191,9 @@ func main() {
 			"fault_rate":      *faultRate,
 			"ten_requests":    *tenRequests,
 			"warmcold_pages":  *warmColdPages,
+			"susp_requests":   *suspRequests,
+			"susp_maxres":     *suspMaxRes,
+			"sealsnap_max":    *sealSnapMax,
 		},
 		Notes: map[string]string{
 			"fig3":           "PolyBench kernels, ns/op per full kernel run (incl. checksum)",
@@ -188,6 +203,8 @@ func main() {
 			"fig-faults":     "PR 6 fault containment: ns/request (median) of the 4-TCS/4-worker serving pool with seeded transport faults injected at 0% vs the configured rate; each faulted request costs its failure plus a worker quarantine + snapshot repair. The pair bounds the containment overhead.",
 			"fig-tenants":    "PR 8 multi-tenant front door: ns/request (median) for t tenants of one shared module at 4 TCS, each tenant a one-worker pool driven by its own client. 'warm' = free-list reset + switchless batch admission; 'cold' = per-request instantiation, batching off. req/s = 1e9/ns_per_op.",
 			"micro-warmcold": "PR 8 instance provisioning (wasm layer, mean ns): full Instantiate vs InstantiateFromSnapshot vs in-place ResetFromSnapshot over a 16-page module.",
+			"fig-suspend":    "PR 9 EPC-pressure lifecycle: ns/request (median) with 10x more stateful tenants than the EPC holds, under an 80/20 schedule. 'swap' = instance swap tier (MaxResident bound, sealed suspend/resume); 'resident' = all tenants warm, pressure served by the page-level clock sweep; 'cold' = per-request instantiation floor. req/s = 1e9/ns_per_op.",
+			"micro-sealsnap": "PR 9 suspend price (sgx layer, mean ns): seal + unseal round trip vs snapshot size — AES-GCM over the sealed delta, linear in the payload.",
 		},
 	}
 
@@ -563,6 +580,84 @@ func main() {
 		snap.Notes["micro-warmcold-ratio"] = fmt.Sprintf("%.1fx cheaper to reset in place than to instantiate from snapshot", wc.ColdWarmRatio())
 		fmt.Fprintf(os.Stderr, "%-28s full %8.0f ns  snapshot %8.0f ns  reset %8.0f ns  (reset %.1fx cheaper)\n",
 			"micro/warmcold", wc.FullNs, wc.SnapshotNs, wc.ResetNs, wc.ColdWarmRatio())
+	}
+
+	// fig-suspend (PR 9): ten times more stateful tenants than the swap
+	// tier keeps resident, on a deliberately tiny EPC, under the 80/20
+	// schedule. The swap series prices the instance-granularity tier; the
+	// resident ablation serves the same pressure one page at a time
+	// through the clock sweep; the cold series is the no-state floor.
+	// RunSuspend itself rejects vacuous runs (zero suspends in swap mode,
+	// broken Suspends == Resumes + Suspended conservation, any stale-state
+	// read); the guards here enforce the acceptance economics — the swap
+	// tier must hold at least half the all-resident throughput and beat
+	// the cold-start floor outright.
+	if *suspRequests > 0 {
+		nsMode := map[string]float64{}
+		for _, mode := range []string{"swap", "resident", "cold"} {
+			cfg := bench.SuspendConfig{
+				Mode:        mode,
+				MaxResident: *suspMaxRes,
+				Tenants:     10 * *suspMaxRes,
+				Requests:    *suspRequests,
+			}
+			var last bench.SuspendResult
+			nsOp, ops, err := measureDur(func() (time.Duration, error) {
+				res, rerr := bench.RunSuspend(cfg)
+				if rerr != nil {
+					return 0, rerr
+				}
+				last = res
+				return res.Elapsed / time.Duration(res.Requests), nil
+			}, 1, 3, *window/2)
+			name := fmt.Sprintf("fig-suspend/t%d/max%d/%s", cfg.Tenants, *suspMaxRes, mode)
+			die(name, err)
+			if mode != "swap" && last.Suspends != 0 {
+				die(name, fmt.Errorf("%s ablation suspended %d instances", mode, last.Suspends))
+			}
+			snap.Results = append(snap.Results, Result{name, nsOp, ops})
+			nsMode[mode] = nsOp
+			fmt.Fprintf(os.Stderr, "%-28s %10.0f ns/req  %8.0f req/s  (%d suspends, %d resumes, %d sealed KiB, resume p50 %v)\n",
+				name, nsOp, 1e9/nsOp, last.Suspends, last.Resumes, last.SealBytes>>10, last.ResumeP50)
+			if mode == "swap" {
+				snap.Notes["fig-suspend-resume-p50"] = last.ResumeP50.String()
+				snap.Notes["fig-suspend-resume-p99"] = last.ResumeP99.String()
+				snap.Notes["fig-suspend-seal-kib"] = fmt.Sprintf("%d", last.SealBytes>>10)
+			}
+		}
+		// ns/op ratios invert to req/s ratios.
+		ratioRes := nsMode["resident"] / nsMode["swap"]
+		ratioCold := nsMode["cold"] / nsMode["swap"]
+		if ratioRes < 0.5 {
+			die("fig-suspend", fmt.Errorf("swap tier sustained only %.2fx of the all-resident req/s (acceptance floor 0.5x)", ratioRes))
+		}
+		if ratioCold <= 1 {
+			die("fig-suspend", fmt.Errorf("swap tier (%.0f ns/req) not above the cold-start floor (%.0f ns/req)", nsMode["swap"], nsMode["cold"]))
+		}
+		snap.Notes["fig-suspend-vs-resident"] = fmt.Sprintf("%.2fx of the all-resident req/s at 10x over-commit", ratioRes)
+		snap.Notes["fig-suspend-vs-cold"] = fmt.Sprintf("%.2fx the cold-start req/s", ratioCold)
+		fmt.Fprintf(os.Stderr, "%-28s swap holds %.2fx of resident req/s, %.2fx the cold floor\n", "fig-suspend", ratioRes, ratioCold)
+	}
+
+	// micro/sealsnap (PR 9): the per-suspend seal price as the sealed
+	// snapshot grows — linear AES-GCM, so the series doubles roughly with
+	// the size while MB/s stays flat.
+	if *sealSnapMax > 0 {
+		var sizes []int64
+		for _, s := range []int64{64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20} {
+			if s <= *sealSnapMax {
+				sizes = append(sizes, s)
+			}
+		}
+		pts, err := bench.RunSealSnap(sizes)
+		die("micro/sealsnap", err)
+		for _, p := range pts {
+			snap.Results = append(snap.Results,
+				Result{fmt.Sprintf("micro/sealsnap/%dKiB/seal", p.Size>>10), p.SealNs, 1},
+				Result{fmt.Sprintf("micro/sealsnap/%dKiB/unseal", p.Size>>10), p.UnsealNs, 1})
+			fmt.Fprintf(os.Stderr, "%-28s seal %10.0f ns  unseal %10.0f ns  (%.0f MB/s)\n",
+				fmt.Sprintf("micro/sealsnap/%dKiB", p.Size>>10), p.SealNs, p.UnsealNs, p.MBPerSec)
+		}
 	}
 
 	enc, err := json.MarshalIndent(snap, "", "  ")

@@ -5,12 +5,15 @@
 // provisioning microbenchmark: the cost of readying one instance by full
 // Instantiate, by InstantiateFromSnapshot, and by in-place
 // ResetFromSnapshot (the serving pool's warm free-list hot path), plus
-// the snapshot:reset ratio quoted in BENCHMARKS.md.
+// the snapshot:reset ratio quoted in BENCHMARKS.md. With -sealsnap it
+// prints the PR 9 seal+unseal round-trip cost against snapshot size —
+// the swap tier's per-suspend price as the sealed delta grows.
 //
 // Usage:
 //
 //	microbench [-max records] [-step n] [-reads n] [-epc MiB] [-table2]
 //	microbench -warmcold [-warmcold-pages n] [-warmcold-iters n]
+//	microbench -sealsnap
 package main
 
 import (
@@ -31,7 +34,23 @@ func main() {
 	warmCold := flag.Bool("warmcold", false, "print the PR 8 warm-vs-cold instance-provisioning micro instead")
 	wcPages := flag.Int("warmcold-pages", 16, "warm-vs-cold guest memory pages")
 	wcIters := flag.Int("warmcold-iters", 100, "warm-vs-cold iterations per strategy")
+	sealSnap := flag.Bool("sealsnap", false, "print the PR 9 seal+unseal round-trip cost vs snapshot size instead")
 	flag.Parse()
+
+	if *sealSnap {
+		pts, err := bench.RunSealSnap(nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "microbench: sealsnap: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("Seal/unseal round trip vs snapshot size (mean ns/op)")
+		fmt.Printf("%-12s %14s %14s %12s\n", "size", "seal-ns", "unseal-ns", "seal-MB/s")
+		for _, p := range pts {
+			fmt.Printf("%-12s %14.0f %14.0f %12.1f\n",
+				fmt.Sprintf("%dKiB", p.Size>>10), p.SealNs, p.UnsealNs, p.MBPerSec)
+		}
+		return
+	}
 
 	if *warmCold {
 		wc, err := bench.RunWarmCold(*wcPages, *wcIters)

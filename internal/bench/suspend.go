@@ -1,0 +1,330 @@
+package bench
+
+import (
+	"crypto/rand"
+	"fmt"
+	"time"
+
+	"twine/internal/core"
+	"twine/internal/prof"
+	"twine/internal/sgx"
+	"twine/wasmgen"
+)
+
+// The fig-suspend workload (PR 9): many stateful tenants on an EPC far
+// too small to keep them all resident, under a skewed (80/20) request
+// mix. Three treatments answer what the instance-granularity swap tier
+// buys:
+//
+//   - swap (PR 9): MaxResident bounds the warm instances; the coldest
+//     are sealed out to untrusted storage and transparently resumed on
+//     their next request. The hot set stays resident (the LRU tiebreak
+//     in victim selection), so 80% of requests never pay a resume.
+//   - resident (ablation): every tenant stays warm. The same EPC
+//     pressure is then served one 4 KiB page at a time by the clock
+//     sweep — every request faults its working set back in through
+//     EWB/ELDU-priced paging.
+//   - cold (floor): per-request instantiation. No state survives, no
+//     EPC is held between requests — the do-nothing baseline any swap
+//     tier must beat.
+//
+// Tenants are *stateful* accumulators, which is the point: resident and
+// swap must produce bit-identical final sums (state survives swapping),
+// and the run fails loudly on any stale-state read.
+
+// SuspendConfig parameterises one fig-suspend point.
+type SuspendConfig struct {
+	// Mode is "swap", "resident" or "cold".
+	Mode string
+	// MaxResident is the swap tier's resident-instance bound (swap mode
+	// only; default 4).
+	MaxResident int
+	// Tenants is the tenant count (default 10 × MaxResident — the
+	// acceptance geometry: ten times more tenants than the EPC holds).
+	Tenants int
+	// Requests is the total request count (default 50 per tenant).
+	Requests int
+	// SGX overrides the enclave geometry (zero = a deliberately small
+	// EPC, ~2 MiB usable, so residency is genuinely scarce).
+	SGX sgx.Config
+	// Prof receives counters.
+	Prof *prof.Registry
+}
+
+// SuspendResult is one measured fig-suspend point.
+type SuspendResult struct {
+	Mode        string
+	Tenants     int
+	MaxResident int
+	Requests    int
+	Elapsed     time.Duration
+	ReqPerSec   float64
+	// Swap-tier counters; the conservation law Suspends == Resumes +
+	// Suspended holds at rest. All zero outside swap mode.
+	Suspends  int64
+	Resumes   int64
+	Suspended int64
+	SealBytes int64
+	// ResumeCount/ResumeP50/ResumeP99 summarise the resume latency
+	// histogram across all tenants (worst tenant's quantiles).
+	ResumeCount int64
+	ResumeP50   time.Duration
+	ResumeP99   time.Duration
+	// PageFaults/Evictions attribute where the paging work went: the
+	// resident ablation pays sweeps, the swap tier mostly does not.
+	PageFaults int64
+	Evictions  int64
+}
+
+// suspendGuest builds the stateful accumulator with a read-mostly
+// working set — the shape the delta encoding exploits. run(x) adds x
+// into 4 cells on distinct 4 KiB chunks (the mutable state: 16 KiB
+// dirty vs golden) and reads one cell from each of the other 28 chunks
+// (read-only: touched, EPC-resident, but never encoded in a suspend
+// delta), returning the sum of all 32 cells = 4·(acc so far). The
+// instance's EPC working set is thus ~128 KiB while its sealed delta is
+// ~16 KiB. run(0) is a pure read: the stale-state probe.
+func suspendGuest() []byte {
+	m := wasmgen.NewModule()
+	m.Memory(2, 2)
+	f := m.Func(wasmgen.Sig(wasmgen.I32).Returns(wasmgen.I32))
+	s, i := f.AddLocal(wasmgen.I32), f.AddLocal(wasmgen.I32)
+	for c := 0; c < 32; c++ {
+		off := int32(c*4096 + 8)
+		if c < 4 {
+			f.I32Const(off).I32Const(off).I32Load(0).LocalGet(0).I32Add().I32Store(0)
+		}
+		f.LocalGet(s).I32Const(off).I32Load(0).I32Add().LocalSet(s)
+	}
+	// The request's compute: a checksum stride over the whole 128 KiB
+	// working set (offsets ≡ 0 mod 128, which never hits the accumulator
+	// cells at ≡ 8, so the folded values are all zero and the return
+	// value stays 4·acc). This is what makes a request cost something —
+	// serving kernels read their state, they don't just bump a counter.
+	f.I32Const(0).LocalSet(i)
+	f.Block(wasmgen.BlockVoid)
+	f.Loop(wasmgen.BlockVoid)
+	f.LocalGet(i).I32Const(128 << 10).I32GeS().BrIf(1)
+	f.LocalGet(s).LocalGet(i).I32Load(0).I32Add().LocalSet(s)
+	f.LocalGet(i).I32Const(128).I32Add().LocalSet(i)
+	f.Br(0)
+	f.End()
+	f.End()
+	f.LocalGet(s)
+	f.End()
+	m.Export("run", f)
+	m.ExportMemory("memory")
+	return m.Bytes()
+}
+
+// RunSuspend serves one fig-suspend point under the skewed schedule:
+// request i goes to hot tenant i mod N four times out of five, and to
+// the cold tail round-robin on the fifth — the mix where working-set
+// victim selection either keeps the hot set resident or doesn't.
+func RunSuspend(cfg SuspendConfig) (SuspendResult, error) {
+	switch cfg.Mode {
+	case "swap", "resident", "cold":
+	default:
+		return SuspendResult{}, fmt.Errorf("bench: unknown suspend mode %q", cfg.Mode)
+	}
+	if cfg.MaxResident <= 0 {
+		cfg.MaxResident = 4
+	}
+	if cfg.Tenants <= 0 {
+		cfg.Tenants = 10 * cfg.MaxResident
+	}
+	if cfg.Tenants <= cfg.MaxResident {
+		return SuspendResult{}, fmt.Errorf("bench: %d tenants under a bound of %d is not a pressure workload", cfg.Tenants, cfg.MaxResident)
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 50 * cfg.Tenants
+	}
+	if cfg.SGX.EPCSize == 0 {
+		cfg.SGX = sgx.DefaultConfig()
+		// Scarce EPC: ~2 MiB usable holds the swap bound's arenas
+		// (MaxResident × 132 KiB) comfortably, the full tenant set not
+		// remotely. The heap itself must be large enough that every
+		// arena fits in the resident ablation.
+		cfg.SGX.EPCSize = 4 << 20
+		cfg.SGX.EPCUsable = 2 << 20
+		cfg.SGX.HeapSize = 32 << 20
+	}
+	cfg.SGX.Prof = cfg.Prof
+
+	rt, err := core.NewRuntime(core.Config{
+		PlatformSeed: "bench-suspend",
+		SGX:          cfg.SGX,
+		Switchless:   core.SwitchlessOff,
+		Prof:         cfg.Prof,
+	})
+	if err != nil {
+		return SuspendResult{}, err
+	}
+	defer rt.Enclave.Destroy()
+
+	var rcfg core.RegistryConfig
+	if cfg.Mode == "swap" {
+		rcfg.MaxResident = cfg.MaxResident
+	}
+	reg := rt.NewRegistry(rcfg)
+	defer reg.Close()
+
+	bin := suspendGuest()
+	names := make([]string, cfg.Tenants)
+	for i := range names {
+		names[i] = fmt.Sprintf("t%d", i)
+		tcfg := core.TenantConfig{Workers: 1, Stateful: cfg.Mode != "cold", ColdStart: cfg.Mode == "cold"}
+		if _, err := reg.Register(names[i], bin, tcfg); err != nil {
+			return SuspendResult{}, err
+		}
+	}
+
+	// The 80/20 schedule over a deterministic value stream: 80% of
+	// requests go to a hot set one smaller than the resident bound —
+	// leaving the swap tier one slot for the transient tail visitor, so
+	// keeping the hot set resident is possible but only if victim
+	// selection actually prefers the cold tail. expected[t] tracks each
+	// tenant's accumulator for the stale-state sweep.
+	hot := cfg.MaxResident - 1
+	if hot < 1 {
+		hot = 1
+	}
+	tail := cfg.Tenants - hot
+	expected := make([]int64, cfg.Tenants)
+	start := time.Now()
+	for i := 0; i < cfg.Requests; i++ {
+		t := i % hot
+		if i%5 == 4 {
+			t = hot + (i/5)%tail
+		}
+		x := int64(i%7 + 1)
+		out, err := reg.Submit(names[t], uint64(x))
+		if err != nil {
+			return SuspendResult{}, fmt.Errorf("bench: request %d (tenant %s): %w", i, names[t], err)
+		}
+		if cfg.Mode == "cold" {
+			expected[t] = 0 // cold serving starts fresh every request
+		}
+		expected[t] += x
+		if got, want := int64(out[0]), 4*expected[t]; got != want {
+			return SuspendResult{}, fmt.Errorf("bench: stale state at request %d: tenant %s returned %d, want %d", i, names[t], got, want)
+		}
+	}
+	elapsed := time.Since(start)
+
+	// Stale-state sweep: run(0) reads every tenant's accumulator without
+	// mutating it. Order-independent — any lost or misapplied suspend
+	// delta shows here even if the tenant's last serving request passed.
+	for t, name := range names {
+		want := int64(0)
+		if cfg.Mode != "cold" {
+			want = 4 * expected[t]
+		}
+		out, err := reg.Submit(name, 0)
+		if err != nil {
+			return SuspendResult{}, fmt.Errorf("bench: final read of %s: %w", name, err)
+		}
+		if int64(out[0]) != want {
+			return SuspendResult{}, fmt.Errorf("bench: stale state in final read: tenant %s returned %d, want %d", name, out[0], want)
+		}
+	}
+
+	rs := reg.Stats()
+	es := rt.Enclave.Stats()
+	res := SuspendResult{
+		Mode:        cfg.Mode,
+		Tenants:     cfg.Tenants,
+		MaxResident: cfg.MaxResident,
+		Requests:    cfg.Requests,
+		Elapsed:     elapsed,
+		ReqPerSec:   float64(cfg.Requests) / elapsed.Seconds(),
+		Suspends:    rs.Suspends,
+		Resumes:     rs.Resumes,
+		Suspended:   rs.Suspended,
+		SealBytes:   rs.SealBytes,
+		PageFaults:  es.PageFaults,
+		Evictions:   es.Evictions,
+	}
+	for _, ts := range rs.PerTenant {
+		res.ResumeCount += ts.ResumeLatency.Count
+		if ts.ResumeLatency.P50 > res.ResumeP50 {
+			res.ResumeP50 = ts.ResumeLatency.P50
+		}
+		if ts.ResumeLatency.P99 > res.ResumeP99 {
+			res.ResumeP99 = ts.ResumeLatency.P99
+		}
+	}
+	if cfg.Mode == "swap" {
+		if res.Suspends == 0 || res.Resumes == 0 {
+			return res, fmt.Errorf("bench: swap mode never suspended (%d suspends / %d resumes); geometry is not a pressure workload", res.Suspends, res.Resumes)
+		}
+		if res.Suspends != res.Resumes+res.Suspended {
+			return res, fmt.Errorf("bench: swap counters not conserved: %d suspends != %d resumes + %d suspended", res.Suspends, res.Resumes, res.Suspended)
+		}
+	}
+	return res, nil
+}
+
+// SealSnapPoint is one seal+unseal round trip at a given snapshot size.
+type SealSnapPoint struct {
+	Size     int64
+	SealNs   float64
+	UnsealNs float64
+	// MBPerSec is the one-way seal throughput.
+	MBPerSec float64
+}
+
+// RunSealSnap measures what sealing a suspended instance's snapshot
+// costs as the snapshot grows — the swap tier's per-suspend price is
+// this plus the delta encoding, and it scales linearly (AES-GCM over
+// the payload), while the win (EPC pages released) scales with the
+// same size. Sizes default to 64 KiB through 16 MiB.
+func RunSealSnap(sizes []int64) ([]SealSnapPoint, error) {
+	if len(sizes) == 0 {
+		sizes = []int64{64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20}
+	}
+	cfg := sgx.DefaultConfig()
+	e, err := sgx.NewPlatform("bench-sealsnap").NewEnclave(cfg, []byte("sealsnap"))
+	if err != nil {
+		return nil, err
+	}
+	defer e.Destroy()
+
+	out := make([]SealSnapPoint, 0, len(sizes))
+	for _, size := range sizes {
+		payload := make([]byte, size)
+		if _, err := rand.Read(payload); err != nil {
+			return nil, err
+		}
+		iters := int(64 << 20 / size)
+		if iters < 3 {
+			iters = 3
+		}
+		if iters > 64 {
+			iters = 64
+		}
+		var blob []byte
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if blob, err = e.Seal("sealsnap", payload); err != nil {
+				return nil, err
+			}
+		}
+		sealNs := float64(time.Since(start).Nanoseconds()) / float64(iters)
+
+		start = time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := e.Unseal("sealsnap", blob); err != nil {
+				return nil, err
+			}
+		}
+		unsealNs := float64(time.Since(start).Nanoseconds()) / float64(iters)
+		out = append(out, SealSnapPoint{
+			Size:     size,
+			SealNs:   sealNs,
+			UnsealNs: unsealNs,
+			MBPerSec: float64(size) / (sealNs / 1e9) / (1 << 20),
+		})
+	}
+	return out, nil
+}

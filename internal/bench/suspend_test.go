@@ -1,0 +1,77 @@
+package bench
+
+import "testing"
+
+// TestSuspendSwapAttribution: a swap-mode fig-suspend run at a small
+// pressure geometry must actually exercise the tier — suspends and
+// resumes both nonzero, counters conserved — and RunSuspend's built-in
+// stale-state validation must pass (it returns an error otherwise).
+func TestSuspendSwapAttribution(t *testing.T) {
+	res, err := RunSuspend(SuspendConfig{Mode: "swap", MaxResident: 2, Tenants: 6, Requests: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Suspends == 0 || res.Resumes == 0 {
+		t.Fatalf("swap tier idle: %+v", res)
+	}
+	if res.Suspends != res.Resumes+res.Suspended {
+		t.Fatalf("conservation broken: %+v", res)
+	}
+	if res.ResumeCount == 0 || res.ResumeP99 <= 0 {
+		t.Fatalf("resume latency not measured: %+v", res)
+	}
+	if res.SealBytes == 0 {
+		t.Fatalf("no bytes sealed: %+v", res)
+	}
+	if res.ReqPerSec <= 0 {
+		t.Fatalf("no throughput measured: %+v", res)
+	}
+}
+
+// TestSuspendAblationsClean: the resident ablation and the cold floor
+// must not touch the swap tier at all — any nonzero suspend counter
+// there means the attribution in BENCH_8.json is lying.
+func TestSuspendAblationsClean(t *testing.T) {
+	for _, mode := range []string{"resident", "cold"} {
+		res, err := RunSuspend(SuspendConfig{Mode: mode, MaxResident: 2, Tenants: 6, Requests: 30})
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if res.Suspends != 0 || res.Resumes != 0 || res.Suspended != 0 || res.SealBytes != 0 {
+			t.Fatalf("%s mode leaked into the swap tier: %+v", mode, res)
+		}
+	}
+}
+
+// TestSuspendRejectsVacuousGeometry: a tenant count at or under the
+// resident bound cannot create pressure; RunSuspend must refuse it
+// rather than report a meaningless zero-suspend "swap" point.
+func TestSuspendRejectsVacuousGeometry(t *testing.T) {
+	if _, err := RunSuspend(SuspendConfig{Mode: "swap", MaxResident: 4, Tenants: 4, Requests: 10}); err == nil {
+		t.Fatal("tenants <= MaxResident accepted")
+	}
+	if _, err := RunSuspend(SuspendConfig{Mode: "warm"}); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+// TestSealSnapScaling: seal cost must be measured and monotone-ish —
+// the 16× larger payload cannot be cheaper to seal than the smallest
+// (AES-GCM is linear in the payload).
+func TestSealSnapScaling(t *testing.T) {
+	pts, err := RunSealSnap([]int64{64 << 10, 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+	for _, p := range pts {
+		if p.SealNs <= 0 || p.UnsealNs <= 0 || p.MBPerSec <= 0 {
+			t.Fatalf("vacuous measurement: %+v", p)
+		}
+	}
+	if pts[1].SealNs <= pts[0].SealNs {
+		t.Fatalf("sealing 1 MiB (%.0fns) not dearer than 64 KiB (%.0fns)", pts[1].SealNs, pts[0].SealNs)
+	}
+}

@@ -140,7 +140,7 @@ func RunTenants(cfg TenantsConfig) (TenantsResult, error) {
 	}
 	defer rt.Enclave.Destroy()
 
-	reg := rt.NewRegistry()
+	reg := rt.NewRegistry(core.RegistryConfig{})
 	defer reg.Close()
 	bin := tenantGuest()
 	tenants := make([]*core.Tenant, cfg.Tenants)

@@ -113,4 +113,47 @@
 // warm-reset worker is bit-identical to a fresh snapshot instantiation
 // (wasm/reset_test.go) — warm serving is an optimisation, never an
 // observable state change.
+//
+// # EPC-pressure lifecycle (PR 9)
+//
+// When resident instances outnumber what the EPC holds, the page-level
+// clock sweep thrashes: every request faults its working set back one
+// 4 KiB EWB/ELDU-priced page at a time. The swap tier
+// (RegistryConfig.MaxResident / IdleSuspendAge, swap.go) reclaims at
+// instance granularity instead. Each warm worker is in one of two
+// states:
+//
+//	warm      — holds an enclave arena; acquirable by Submit.
+//	suspended — Instance released; state lives as a sealed delta
+//	            (globals + table + dirty-vs-golden 4 KiB chunks,
+//	            wasm.SnapshotDelta) in untrusted storage.
+//
+// warm → suspended happens only while the worker is idle (never under a
+// request), via three triggers: the admission bound (resident workers
+// would exceed MaxResident), enclave-heap pressure (a resume or cold
+// instantiation out of arena memory suspends one victim and retries),
+// and the background reaper (workers idle past IdleSuspendAge).
+// suspended → warm happens transparently inside Submit: unseal, apply
+// the delta to the golden snapshot, re-instantiate, pre-touch the
+// restored extent (the ELDU analogue). Victim selection is working-set-
+// weighted, coldest-largest first: fewest clock-referenced pages, then
+// most resident pages, then longest idle; TenantConfig.Pinned exempts a
+// tenant (it still counts against the bound).
+//
+// Lifecycle invariants (swap_test.go, release_test.go):
+//
+//   - suspension is complete: after suspendWorker the arena's resident
+//     page count is exactly zero and the allocator gets every arena
+//     byte back (Release is EREMOVE — never billed as evictions);
+//   - counters are conserved at rest: Suspends == Resumes + Suspended,
+//     per pool and registry-wide;
+//   - fidelity: a suspended-then-resumed worker is bit-identical to one
+//     that never left the EPC — same results, same trap kinds, same
+//     ECALL/OCALL/fault/eviction counters modulo the suspend and resume
+//     ECALLs themselves (TestSuspendResumeFidelity);
+//   - WASI state does not survive suspension: the resume builds a fresh
+//     System from the tenant template, exactly like quarantine repair;
+//   - when no victim is idle the group over-commits rather than blocks
+//     — pressure falls through to the page-level clock sweep and the
+//     next release/idle cycle re-balances.
 package core

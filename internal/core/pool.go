@@ -101,6 +101,17 @@ type PoolConfig struct {
 	// a shared writer would interleave concurrent workers' output).
 	Stdout io.Writer
 	Stderr io.Writer
+
+	// swap, when set, enrolls the pool's warm workers in a registry-wide
+	// swap tier (PR 9): idle workers may be suspended — state sealed to
+	// untrusted storage, EPC arena released — and are transparently
+	// resumed when acquired. swapLabel prefixes the per-worker sealing
+	// labels; pinned exempts this pool's workers from victim selection.
+	// Set by Registry.Register; unexported because the swap group's
+	// lifecycle (and its reaper) belongs to the registry.
+	swap      *swapGroup
+	swapLabel string
+	pinned    bool
 }
 
 // PoolStats counts serving activity. Stats() captures the admission-side
@@ -135,6 +146,16 @@ type PoolStats struct {
 	// requests served by a per-request instantiation (ColdStart serving).
 	WarmResets int64
 	ColdStarts int64
+	// Suspends counts workers swapped out of the EPC (state sealed to
+	// untrusted storage, arena discarded); Resumes counts workers swapped
+	// back in on acquisition. Suspended is the current gauge; the
+	// conservation law Suspends == Resumes + Suspended always holds.
+	// SealBytes totals the sealed blob bytes written by suspends — the
+	// swap tier's untrusted-storage traffic (PR 9).
+	Suspends  int64
+	Resumes   int64
+	Suspended int64
+	SealBytes int64
 }
 
 // poolWaiter is one queued Submit. A freed worker is handed directly to
@@ -144,17 +165,31 @@ type PoolStats struct {
 // lock, or — having lost that race to a concurrent handoff — receives the
 // worker and puts it back.
 type poolWaiter struct {
-	ch chan *Instance
+	ch chan *worker
 }
 
-// workerMeta is a worker's bind-time identity: its stable index (for the
-// repaired WASI clone's argv) and the baseline WASI descriptor-table
-// fingerprint FreshState serving compares after each request. Mutated
-// only by the goroutine currently holding the worker.
-type workerMeta struct {
+// worker is one pool slot: a stable identity plus whatever currently
+// backs it. A warm worker embeds a live *Instance; a suspended worker
+// (PR 9) has Instance == nil and carries its sealed state instead; a
+// ColdStart pool's slots are pure concurrency tokens (Instance and
+// sealed both nil, distinguished by Pool.cold). The identity fields —
+// id, the WASI fingerprint baseline — survive suspension; descriptor
+// state does not (resume re-clones the WASI system, exactly like
+// repair). Mutated only by the goroutine currently holding the worker,
+// except idleSince (pool lock) and the suspend path (which first steals
+// the worker off the free list, making itself the holder).
+type worker struct {
+	*Instance
 	id     int
 	fdOpen int
 	fdNext int32
+	// sealed is the worker's suspended state: an AES-GCM blob sealed
+	// under the pool's per-worker label, holding the snapshot delta
+	// against the golden snapshot. Non-nil exactly while suspended.
+	sealed []byte
+	// idleSince is when the worker last entered the free list; victim
+	// selection prefers the longest-idle among equally cold workers.
+	idleSince time.Time
 }
 
 // Pool serves concurrent requests over N instances of one module.
@@ -170,34 +205,43 @@ type Pool struct {
 	submitTimeout time.Duration
 	fresh         bool
 	cold          bool
+	pinned        bool
+	swapLabel     string
+
+	// swap is the registry-wide swap group this pool's warm workers are
+	// enrolled in (nil: no swap tier, workers stay resident until Close).
+	swap *swapGroup
 
 	// snap is the post-init state every worker was stamped from; warm
-	// reset and repair restore it. ids gives each worker its metadata;
-	// the map is read-only after NewPool (values are mutated only by the
-	// worker's current holder). newSys builds a worker's WASI clone.
+	// reset, repair and swap resume restore it. newSys builds a worker's
+	// WASI clone.
 	snap   *wasm.Snapshot
-	ids    map[*Instance]*workerMeta
 	newSys func(i int) (*wasi.System, error)
 
 	// mu guards the free list, the FIFO waiter queue, the closed flag and
 	// the admission counters, so admission decisions and Stats snapshots
 	// are mutually consistent.
 	mu         sync.Mutex
-	free       []*Instance
+	free       []*worker
 	waiters    []*poolWaiter
 	waits      int64
 	rejected   int64
 	timedOut   int64
 	closedFlag bool
 
-	requests    int64 // atomic
-	quarantined int64 // atomic
-	repaired    int64 // atomic
-	warmResets  int64 // atomic
-	coldStarts  int64 // atomic
-	coldSeq     int64 // atomic: cold instances' WASI identity sequence
+	requests     int64 // atomic
+	quarantined  int64 // atomic
+	repaired     int64 // atomic
+	warmResets   int64 // atomic
+	coldStarts   int64 // atomic
+	coldSeq      int64 // atomic: cold instances' WASI identity sequence
+	suspends     int64 // atomic
+	resumes      int64 // atomic
+	suspendedNow int64 // atomic gauge
+	sealBytes    int64 // atomic
 
-	hist latencyHist
+	hist       latencyHist
+	resumeHist latencyHist
 
 	closeOnce sync.Once
 	closed    chan struct{}
@@ -246,9 +290,18 @@ func (rt *Runtime) NewPool(mod *Module, cfg PoolConfig) (*Pool, error) {
 		submitTimeout: cfg.SubmitTimeout,
 		fresh:         cfg.FreshState,
 		cold:          cfg.ColdStart,
-		ids:           make(map[*Instance]*workerMeta, cfg.Workers),
-		free:          make([]*Instance, 0, cfg.Workers),
+		pinned:        cfg.pinned,
+		swapLabel:     cfg.swapLabel,
+		free:          make([]*worker, 0, cfg.Workers),
 		closed:        make(chan struct{}),
+	}
+	if !p.cold {
+		// Cold pools never enroll: their slots hold no EPC between
+		// requests, so there is nothing to swap out.
+		p.swap = cfg.swap
+	}
+	if p.swapLabel == "" {
+		p.swapLabel = "swap:pool"
 	}
 	p.newSys = func(i int) (*wasi.System, error) {
 		return rt.Sys.Clone(wasi.CloneOptions{
@@ -282,13 +335,12 @@ func (rt *Runtime) NewPool(mod *Module, cfg PoolConfig) (*Pool, error) {
 			return nil, err
 		}
 		for i := 0; i < cfg.Workers; i++ {
-			p.free = append(p.free, nil)
+			p.free = append(p.free, &worker{id: i, idleSince: time.Now()})
 		}
 		return p, nil
 	}
 
-	p.bind(first, 0)
-	p.free = append(p.free, first)
+	p.free = append(p.free, p.bind(first, 0))
 
 	// Workers 1..N-1: copy-from-snapshot.
 	for i := 1; i < cfg.Workers; i++ {
@@ -300,16 +352,29 @@ func (rt *Runtime) NewPool(mod *Module, cfg PoolConfig) (*Pool, error) {
 		if err != nil {
 			return nil, err
 		}
-		p.bind(w, i)
-		p.free = append(p.free, w)
+		p.free = append(p.free, p.bind(w, i))
+	}
+	if p.swap != nil {
+		// Enroll under the registry-wide resident bound: the group may
+		// immediately suspend this pool's (or another pool's) coldest idle
+		// workers to get back under MaxResident.
+		p.swap.enroll(p, len(p.free))
 	}
 	return p, nil
 }
 
-// bind records a worker's identity and its clean WASI fingerprint.
-func (p *Pool) bind(w *Instance, id int) {
-	open, next := w.Sys.FdFingerprint()
-	p.ids[w] = &workerMeta{id: id, fdOpen: open, fdNext: next}
+// bind wraps an instance as a pool worker, recording its identity and
+// clean WASI fingerprint.
+func (p *Pool) bind(inst *Instance, id int) *worker {
+	open, next := inst.Sys.FdFingerprint()
+	return &worker{Instance: inst, id: id, fdOpen: open, fdNext: next, idleSince: time.Now()}
+}
+
+// sealLabel is the worker's sealing label: stable across its
+// suspend/resume cycles, distinct across workers and tenants, so a blob
+// sealed for one worker can never rehydrate another.
+func (p *Pool) sealLabel(id int) string {
+	return fmt.Sprintf("%s:%d", p.swapLabel, id)
 }
 
 // Size returns the number of worker instances.
@@ -333,6 +398,10 @@ func (p *Pool) Stats() PoolStats {
 	s.Repaired = atomic.LoadInt64(&p.repaired)
 	s.WarmResets = atomic.LoadInt64(&p.warmResets)
 	s.ColdStarts = atomic.LoadInt64(&p.coldStarts)
+	s.Suspends = atomic.LoadInt64(&p.suspends)
+	s.Resumes = atomic.LoadInt64(&p.resumes)
+	s.Suspended = atomic.LoadInt64(&p.suspendedNow)
+	s.SealBytes = atomic.LoadInt64(&p.sealBytes)
 	return s
 }
 
@@ -340,6 +409,12 @@ func (p *Pool) Stats() PoolStats {
 // (fixed-bucket histogram quantiles; wall time from admission to
 // completion, queueing included).
 func (p *Pool) Latency() LatencySummary { return p.hist.summary() }
+
+// ResumeLatency returns the swap tier's resume-cost summary: wall time
+// from acquiring a suspended worker to it being serve-ready (unseal,
+// delta apply, re-instantiation, EPC page-in — and any victim suspension
+// the resume had to perform to find headroom).
+func (p *Pool) ResumeLatency() LatencySummary { return p.resumeHist.summary() }
 
 // Submit serves one request with no deadline beyond the pool's own
 // SubmitTimeout: it binds a free worker (queueing while all are busy,
@@ -384,7 +459,7 @@ func (p *Pool) SubmitCtx(ctx context.Context, args ...uint64) ([]uint64, error) 
 // after a successful invoke — the warm free-list hot path — and its WASI
 // state is re-cloned only when the request changed the descriptor-table
 // shape. Failures quarantine and repair exactly as in stateful mode.
-func (p *Pool) serveWarm(w *Instance, args []uint64) ([]uint64, error) {
+func (p *Pool) serveWarm(w *worker, args []uint64) ([]uint64, error) {
 	var out []uint64
 	serr := p.rt.guestECallSys("twine_serve", w.Sys, func() error {
 		if p.hostIO != nil {
@@ -415,17 +490,16 @@ func (p *Pool) serveWarm(w *Instance, args []uint64) ([]uint64, error) {
 		return nil, serr
 	}
 	if p.fresh {
-		meta := p.ids[w]
-		if open, next := w.Sys.FdFingerprint(); open != meta.fdOpen || next != meta.fdNext {
+		if open, next := w.Sys.FdFingerprint(); open != w.fdOpen || next != w.fdNext {
 			// The request dirtied the descriptor table: per-request
 			// isolation requires a fresh WASI clone (cheap — a new fd map
 			// over the shared storage; no enclave crossing). On clone
 			// failure the worker keeps serving with the dirty table and
 			// the next failure path re-clones via repair.
-			if sys, err := p.newSys(meta.id); err == nil {
+			if sys, err := p.newSys(w.id); err == nil {
 				w.Sys = sys
 				w.In.SetHostCtx(sys)
-				meta.fdOpen, meta.fdNext = sys.FdFingerprint()
+				w.fdOpen, w.fdNext = sys.FdFingerprint()
 			}
 		}
 	}
@@ -471,7 +545,7 @@ func (p *Pool) serveCold(args []uint64) ([]uint64, error) {
 // the queue behind them even if a worker happens to be free (release
 // prefers waiters, so a free worker coexisting with waiters is a
 // transient), and a freed worker is handed directly to the head waiter.
-func (p *Pool) acquire(ctx context.Context) (*Instance, error) {
+func (p *Pool) acquire(ctx context.Context) (*worker, error) {
 	p.mu.Lock()
 	if p.closedFlag {
 		p.mu.Unlock()
@@ -493,7 +567,7 @@ func (p *Pool) acquire(ctx context.Context) (*Instance, error) {
 		p.mu.Unlock()
 		return nil, fmt.Errorf("%w: queue full (%d waiting)", ErrOverloaded, p.maxQueue)
 	}
-	wtr := &poolWaiter{ch: make(chan *Instance, 1)}
+	wtr := &poolWaiter{ch: make(chan *worker, 1)}
 	p.waiters = append(p.waiters, wtr)
 	p.mu.Unlock()
 
@@ -527,16 +601,27 @@ func (p *Pool) acquire(ctx context.Context) (*Instance, error) {
 	}
 }
 
-// postAcquire is the close re-check every successful bind passes through:
-// a worker handed to a Submit that lost the race with Close goes straight
-// back, so every queued Submit observes ErrPoolClosed deterministically
-// and no worker is leaked out of the free list.
-func (p *Pool) postAcquire(w *Instance) (*Instance, error) {
+// postAcquire is the gate every successful bind passes through. First
+// the close re-check: a worker handed to a Submit that lost the race
+// with Close goes straight back, so every queued Submit observes
+// ErrPoolClosed deterministically and no worker is leaked out of the
+// free list. Then transparent resume (PR 9): a suspended worker is
+// rehydrated — unsealed, delta-applied, re-instantiated — before the
+// caller sees it, so suspension is invisible to Submit beyond latency.
+func (p *Pool) postAcquire(w *worker) (*worker, error) {
 	select {
 	case <-p.closed:
 		p.release(w)
 		return nil, ErrPoolClosed
 	default:
+	}
+	if !p.cold && w.Instance == nil {
+		if err := p.resumeWorker(w); err != nil {
+			// The worker keeps its sealed state; the next acquisition
+			// retries the resume.
+			p.release(w)
+			return nil, fmt.Errorf("twine: resume worker %d: %w", w.id, err)
+		}
 	}
 	return w, nil
 }
@@ -560,7 +645,7 @@ func (p *Pool) abandon(wtr *poolWaiter) {
 // release returns a worker to the pool: a direct handoff to the head
 // waiter when one is queued (FIFO — the handoff, not a broadcast, is
 // what makes wakeup order arrival order), the free list otherwise.
-func (p *Pool) release(w *Instance) {
+func (p *Pool) release(w *worker) {
 	p.mu.Lock()
 	if len(p.waiters) > 0 {
 		wtr := p.waiters[0]
@@ -569,6 +654,7 @@ func (p *Pool) release(w *Instance) {
 		wtr.ch <- w // buffered: a waiter is popped at most once
 		return
 	}
+	w.idleSince = time.Now()
 	p.free = append(p.free, w)
 	p.mu.Unlock()
 }
@@ -593,9 +679,8 @@ func quarantinable(err error) bool {
 // failed request may have dirtied. On failure the worker is returned to
 // service unrepaired — never leaking free-list capacity — and the next
 // failure retries.
-func (p *Pool) repair(w *Instance) {
-	meta := p.ids[w]
-	sys, err := p.newSys(meta.id)
+func (p *Pool) repair(w *worker) {
+	sys, err := p.newSys(w.id)
 	if err != nil {
 		return
 	}
@@ -606,8 +691,152 @@ func (p *Pool) repair(w *Instance) {
 	}
 	w.Sys = sys
 	w.In.SetHostCtx(sys)
-	meta.fdOpen, meta.fdNext = sys.FdFingerprint()
+	w.fdOpen, w.fdNext = sys.FdFingerprint()
 	atomic.AddInt64(&p.repaired, 1)
+}
+
+// suspendWorker swaps a warm worker out of the EPC (PR 9): its state is
+// encoded as a delta against the golden snapshot, sealed under the
+// worker's label inside one twine_suspend ECALL, and its arena is
+// released — EPC residency for the worker drops to exactly zero. The
+// caller must hold the worker exclusively (stolen from the free list or
+// never published). WASI descriptor state does not survive: suspension
+// has repair semantics, the resumed worker gets a fresh clone — the same
+// contract FreshState serving already imposes per request, and the
+// reason victim selection only considers idle workers.
+func (p *Pool) suspendWorker(w *worker) error {
+	label := p.sealLabel(w.id)
+	var blob []byte
+	err := p.rt.Enclave.ECall("twine_suspend", func() error {
+		delta, derr := w.In.SnapshotDelta(p.snap)
+		if derr != nil {
+			return derr
+		}
+		var serr error
+		blob, serr = p.rt.Enclave.Seal(label, delta)
+		return serr
+	})
+	if err != nil {
+		return err
+	}
+	if err := w.Instance.Release(); err != nil {
+		return err
+	}
+	w.Instance = nil
+	w.sealed = blob
+	atomic.AddInt64(&p.suspends, 1)
+	atomic.AddInt64(&p.suspendedNow, 1)
+	atomic.AddInt64(&p.sealBytes, int64(len(blob)))
+	return nil
+}
+
+// resumeWorker swaps a suspended worker back in: unseal, apply the delta
+// to the golden snapshot, re-instantiate, and page the restored memory
+// into the EPC — all inside one twine_resume ECALL, so a resumed
+// worker's next invocation faults exactly like one that never left
+// (ELDU semantics: swap-in writes the pages, so they are resident and
+// referenced). Before allocating, the swap group is asked for headroom,
+// which may synchronously suspend victims elsewhere; if the arena still
+// does not fit (EPC headroom is policy, enclave heap is physics), one
+// more victim is evicted per retry until the group runs out of victims.
+func (p *Pool) resumeWorker(w *worker) (err error) {
+	start := time.Now()
+	if p.swap != nil {
+		// Reserve the residency slot up front (suspending victims as
+		// needed); a failed resume hands it back.
+		p.swap.reserve()
+		defer func() {
+			if err != nil {
+				p.swap.unreserve()
+			}
+		}()
+	}
+	sys, err := p.newSys(w.id)
+	if err != nil {
+		return err
+	}
+	label := p.sealLabel(w.id)
+	var inst *Instance
+	for {
+		err = p.rt.Enclave.ECall("twine_resume", func() error {
+			delta, derr := p.rt.Enclave.Unseal(label, w.sealed)
+			if derr != nil {
+				return derr
+			}
+			snap, aerr := wasm.ApplySnapshotDelta(p.snap, delta)
+			if aerr != nil {
+				return aerr
+			}
+			var ierr error
+			inst, ierr = p.rt.instantiate(p.mod, sys, snap)
+			if ierr != nil {
+				return ierr
+			}
+			if n := int64(snap.MemBytes()); n > 0 {
+				_ = inst.mem.Touch(inst.arena, n)
+			}
+			return nil
+		})
+		if err == nil {
+			break
+		}
+		if p.swap == nil || !errors.Is(err, sgx.ErrOutOfMemory) {
+			return err
+		}
+		if !p.swap.evictOne() {
+			return err
+		}
+	}
+	w.Instance = inst
+	w.sealed = nil
+	w.fdOpen, w.fdNext = sys.FdFingerprint()
+	atomic.AddInt64(&p.resumes, 1)
+	atomic.AddInt64(&p.suspendedNow, -1)
+	p.resumeHist.observe(time.Since(start))
+	return nil
+}
+
+// victimCandidates snapshots this pool's idle, resident, stealable
+// workers for the swap group's victim selection, with their working-set
+// stats. Pinned and cold pools, closed pools, suspended workers and
+// workers idle for less than minIdle are excluded.
+func (p *Pool) victimCandidates(minIdle time.Duration, now time.Time) []swapVictim {
+	if p.pinned || p.cold {
+		return nil
+	}
+	p.mu.Lock()
+	if p.closedFlag {
+		p.mu.Unlock()
+		return nil
+	}
+	var out []swapVictim
+	for _, w := range p.free {
+		if w.Instance == nil {
+			continue
+		}
+		if now.Sub(w.idleSince) < minIdle {
+			continue
+		}
+		res, ref := w.ResidencyStats()
+		out = append(out, swapVictim{p: p, w: w, resident: res, referenced: ref, idleSince: w.idleSince})
+	}
+	p.mu.Unlock()
+	return out
+}
+
+// stealWorker removes w from the free list if it is still there,
+// making the caller its exclusive holder. It fails when a concurrent
+// acquire got there first — victim selection then moves on.
+func (p *Pool) stealWorker(w *worker) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, q := range p.free {
+		if q == w {
+			p.free = append(p.free[:i], p.free[i+1:]...)
+			return true
+		}
+	}
+	return false
 }
 
 // Serve runs n requests across the pool's workers and blocks until all

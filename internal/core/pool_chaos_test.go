@@ -40,7 +40,7 @@ func trapModule() []byte {
 // Submits deterministically queue; the returned function puts them back.
 func occupy(t *testing.T, pool *Pool) func() {
 	t.Helper()
-	var held []*Instance
+	var held []*worker
 	for i := 0; i < pool.Size(); i++ {
 		held = append(held, pool.takeWorker(t))
 	}

@@ -56,7 +56,7 @@ func counterModule() []byte {
 // White-box free-list access for tests that hold workers out of service
 // or inspect them directly. Workers taken this way go back through
 // p.release, the same path a completing Submit uses.
-func (p *Pool) takeWorker(t *testing.T) *Instance {
+func (p *Pool) takeWorker(t *testing.T) *worker {
 	t.Helper()
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -161,7 +161,7 @@ func TestPoolWorkersIsolated(t *testing.T) {
 	}
 	defer pool.Close()
 
-	var workers []*Instance
+	var workers []*worker
 	for i := 0; i < pool.Size(); i++ {
 		workers = append(workers, pool.takeWorker(t))
 	}

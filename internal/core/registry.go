@@ -66,6 +66,11 @@ type TenantConfig struct {
 	// ablation; see PoolConfig.ColdStart). Mutually exclusive with
 	// Stateful.
 	ColdStart bool
+	// Pinned exempts this tenant's workers from swap-tier victim
+	// selection (PR 9): they stay EPC-resident whatever the pressure —
+	// for latency-critical tenants that cannot afford a resume on their
+	// path. Pinned workers still count against RegistryConfig.MaxResident.
+	Pinned bool
 	// Stdout/Stderr receive the tenant's guest output (default discard).
 	Stdout io.Writer
 	Stderr io.Writer
@@ -97,20 +102,26 @@ func (t *Tenant) SubmitCtx(ctx context.Context, args ...uint64) ([]uint64, error
 	return t.pool.SubmitCtx(ctx, args...)
 }
 
-// Stats returns the tenant's serving counters and latency summary.
+// Stats returns the tenant's serving counters and latency summaries.
 func (t *Tenant) Stats() TenantStats {
-	return TenantStats{Pool: t.pool.Stats(), Latency: t.pool.Latency()}
+	return TenantStats{
+		Pool:          t.pool.Stats(),
+		Latency:       t.pool.Latency(),
+		ResumeLatency: t.pool.ResumeLatency(),
+	}
 }
 
 // TenantStats is one tenant's accounting: pool counters plus the
-// fixed-bucket latency quantiles.
+// fixed-bucket latency quantiles for requests and for swap resumes.
 type TenantStats struct {
-	Pool    PoolStats
-	Latency LatencySummary
+	Pool          PoolStats
+	Latency       LatencySummary
+	ResumeLatency LatencySummary
 }
 
 // RegistryStats summarises the registry: how much compiled code is
-// shared and each tenant's serving accounting.
+// shared, the swap tier's aggregate activity, and each tenant's serving
+// accounting.
 type RegistryStats struct {
 	// Tenants is the number of registered tenants; CompiledModules the
 	// number of distinct binaries actually compiled. Their difference is
@@ -120,30 +131,107 @@ type RegistryStats struct {
 	// CompileHits counts Register calls served from the compiled-code
 	// cache instead of a twine_load_module ECALL.
 	CompileHits int64
+	// Swap-tier aggregates over every tenant (PR 9); the conservation law
+	// Suspends == Resumes + Suspended holds across the registry.
+	Suspends  int64
+	Resumes   int64
+	Suspended int64
+	SealBytes int64
 	// PerTenant maps tenant name to its accounting.
 	PerTenant map[string]TenantStats
+}
+
+// RegistryConfig shapes the registry's swap tier (PR 9). The zero value
+// disables it: workers stay EPC-resident until Close, exactly the PR 8
+// behaviour.
+type RegistryConfig struct {
+	// MaxResident bounds how many warm workers may hold EPC arenas at
+	// once across every tenant (0 = unbounded). Registering or resuming
+	// past the bound synchronously suspends the coldest-largest idle
+	// workers — state sealed to untrusted storage, arenas released — and
+	// the next Submit for a suspended tenant transparently resumes one.
+	MaxResident int
+	// IdleSuspendAge, when positive, starts a background reaper that
+	// suspends any non-pinned worker idle for at least this long, even
+	// under the bound — returning EPC headroom to whatever else the
+	// enclave runs.
+	IdleSuspendAge time.Duration
+	// ReaperInterval is how often the reaper sweeps (default:
+	// IdleSuspendAge/2, floor 10ms). Ignored when IdleSuspendAge is 0.
+	ReaperInterval time.Duration
 }
 
 // Registry is the multi-tenant serving front door: a content-addressed
 // compiled-module cache plus a named tenant table. Safe for concurrent
 // use; Register and Submit may race freely.
 type Registry struct {
-	rt *Runtime
+	rt   *Runtime
+	swap *swapGroup // nil when the swap tier is disabled
 
 	mu      sync.Mutex
 	mods    map[[sha256.Size]byte]*Module
 	tenants map[string]*Tenant
 	hits    int64
 	closed  bool
+
+	reaperStop chan struct{}
+	reaperDone chan struct{}
 }
 
-// NewRegistry creates an empty registry over the runtime's enclave.
-func (rt *Runtime) NewRegistry() *Registry {
-	return &Registry{
+// NewRegistry creates an empty registry over the runtime's enclave. The
+// zero RegistryConfig gives the PR 8 registry; MaxResident and/or
+// IdleSuspendAge turn on the swap tier (PR 9).
+func (rt *Runtime) NewRegistry(cfg RegistryConfig) *Registry {
+	r := &Registry{
 		rt:      rt,
 		mods:    make(map[[sha256.Size]byte]*Module),
 		tenants: make(map[string]*Tenant),
 	}
+	if cfg.MaxResident > 0 || cfg.IdleSuspendAge > 0 {
+		r.swap = &swapGroup{max: cfg.MaxResident}
+	}
+	if cfg.IdleSuspendAge > 0 {
+		interval := cfg.ReaperInterval
+		if interval <= 0 {
+			interval = cfg.IdleSuspendAge / 2
+		}
+		if interval < 10*time.Millisecond {
+			interval = 10 * time.Millisecond
+		}
+		r.reaperStop = make(chan struct{})
+		r.reaperDone = make(chan struct{})
+		go r.reap(interval, cfg.IdleSuspendAge)
+	}
+	return r
+}
+
+// reap is the background reaper: every interval it suspends workers idle
+// for at least age. Suspension failures are skipped inside suspendIdle;
+// the reaper itself never errors.
+func (r *Registry) reap(interval, age time.Duration) {
+	defer close(r.reaperDone)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.reaperStop:
+			return
+		case <-tick.C:
+			r.swap.suspendIdle(age)
+		}
+	}
+}
+
+// SuspendIdle synchronously suspends every eligible worker idle for at
+// least olderThan (0 drains all idle workers) and returns how many were
+// suspended. A no-op 0 when the swap tier is disabled. Useful to shed
+// EPC ahead of known pressure — and for tests that need deterministic
+// suspension without waiting on the reaper.
+func (r *Registry) SuspendIdle(olderThan time.Duration) int {
+	if r.swap == nil {
+		return 0
+	}
+	return r.swap.suspendIdle(olderThan)
 }
 
 // Register creates tenant name serving wasmBytes under cfg. The bytes
@@ -200,7 +288,7 @@ func (r *Registry) Register(name string, wasmBytes []byte, cfg TenantConfig) (*T
 	if workers <= 0 {
 		workers = 1
 	}
-	pool, err := r.rt.NewPool(mod, PoolConfig{
+	pcfg := PoolConfig{
 		Workers:       workers,
 		Entry:         cfg.Entry,
 		Init:          cfg.Init,
@@ -211,7 +299,15 @@ func (r *Registry) Register(name string, wasmBytes []byte, cfg TenantConfig) (*T
 		ColdStart:     cfg.ColdStart,
 		Stdout:        cfg.Stdout,
 		Stderr:        cfg.Stderr,
-	})
+	}
+	// Cold-start pools hold no warm workers — nothing for the swap tier
+	// to account for or suspend.
+	if r.swap != nil && !cfg.ColdStart {
+		pcfg.swap = r.swap
+		pcfg.swapLabel = "swap:" + name
+		pcfg.pinned = cfg.Pinned
+	}
+	pool, err := r.rt.NewPool(mod, pcfg)
 	if err != nil {
 		return nil, fmt.Errorf("twine: register %q: %w", name, err)
 	}
@@ -274,13 +370,19 @@ func (r *Registry) Stats() RegistryStats {
 	// Per-tenant stats are taken outside the registry lock: each is a
 	// pool-lock snapshot of its own.
 	for _, t := range tens {
-		s.PerTenant[t.name] = t.Stats()
+		ts := t.Stats()
+		s.PerTenant[t.name] = ts
+		s.Suspends += ts.Pool.Suspends
+		s.Resumes += ts.Pool.Resumes
+		s.Suspended += ts.Pool.Suspended
+		s.SealBytes += ts.Pool.SealBytes
 	}
 	return s
 }
 
-// Close closes every tenant pool. The runtime and its enclave stay
-// alive; compiled modules remain usable by pools created directly.
+// Close stops the reaper and closes every tenant pool. The runtime and
+// its enclave stay alive; compiled modules remain usable by pools
+// created directly.
 func (r *Registry) Close() error {
 	r.mu.Lock()
 	r.closed = true
@@ -289,6 +391,10 @@ func (r *Registry) Close() error {
 		tens = append(tens, t)
 	}
 	r.mu.Unlock()
+	if r.reaperStop != nil {
+		close(r.reaperStop)
+		<-r.reaperDone
+	}
 	for _, t := range tens {
 		t.pool.Close()
 	}

@@ -70,7 +70,7 @@ func TestTenantFidelity(t *testing.T) {
 	// The front door: a one-tenant registry in its default serving mode
 	// (one worker, FreshState). Register performs the same single load.
 	tenant := func(rt *Runtime, module []byte) (uint64, error) {
-		reg := rt.NewRegistry()
+		reg := rt.NewRegistry(RegistryConfig{})
 		defer reg.Close()
 		ten, err := reg.Register("solo", module, TenantConfig{})
 		if err != nil {
@@ -131,7 +131,7 @@ func TestTenantFidelity(t *testing.T) {
 		return 0, serr
 	})
 	tenTrap := trapDrive(func(rt *Runtime, module []byte) (uint64, error) {
-		reg := rt.NewRegistry()
+		reg := rt.NewRegistry(RegistryConfig{})
 		defer reg.Close()
 		if _, err := reg.Register("solo", module, TenantConfig{}); err != nil {
 			t.Fatalf("Register: %v", err)
@@ -151,7 +151,7 @@ func TestTenantFidelity(t *testing.T) {
 func TestRegistrySharedCompiledCode(t *testing.T) {
 	rt := poolRuntime(t, 4)
 	defer rt.Enclave.Destroy()
-	reg := rt.NewRegistry()
+	reg := rt.NewRegistry(RegistryConfig{})
 	defer reg.Close()
 
 	before := rt.Enclave.Stats().ECalls
@@ -203,7 +203,7 @@ func TestRegistrySharedCompiledCode(t *testing.T) {
 func TestRegistryTenantIsolation(t *testing.T) {
 	rt := poolRuntime(t, 2)
 	defer rt.Enclave.Destroy()
-	reg := rt.NewRegistry()
+	reg := rt.NewRegistry(RegistryConfig{})
 	defer reg.Close()
 
 	a, err := reg.Register("a", counterModule(), TenantConfig{Stateful: true})
@@ -249,7 +249,7 @@ func TestRegistryTenantIsolation(t *testing.T) {
 func TestRegistryPerTenantBackpressure(t *testing.T) {
 	rt := poolRuntime(t, 2)
 	defer rt.Enclave.Destroy()
-	reg := rt.NewRegistry()
+	reg := rt.NewRegistry(RegistryConfig{})
 	defer reg.Close()
 
 	a, err := reg.Register("hog", pureModule(), TenantConfig{Workers: 1, MaxQueue: 1})
@@ -292,7 +292,7 @@ func TestRegistryPerTenantBackpressure(t *testing.T) {
 func TestRegistryAdmissionErrors(t *testing.T) {
 	rt := poolRuntime(t, 1)
 	defer rt.Enclave.Destroy()
-	reg := rt.NewRegistry()
+	reg := rt.NewRegistry(RegistryConfig{})
 
 	if _, err := reg.Submit("nobody"); !errors.Is(err, ErrUnknownTenant) {
 		t.Errorf("unknown tenant = %v, want ErrUnknownTenant", err)

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+)
+
+// The PR 9 swap tier is only a win if suspending an instance actually
+// returns its EPC: every arena page must drop to pageAbsent and the
+// enclave heap must get the arena back. These tests pin that accounting
+// exactly — a single leaked page per suspend would silently re-create
+// the pressure the tier exists to relieve.
+
+// TestReleaseReturnsAllArenaPages: after Instance.Release, the arena's
+// resident-page count is exactly zero and the allocator's in-use bytes
+// are back at their pre-instantiation baseline.
+func TestReleaseReturnsAllArenaPages(t *testing.T) {
+	rt, err := NewRuntime(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Enclave.Destroy()
+	mod, err := rt.LoadModule(counterModule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, baseline := rt.Enclave.Allocator().Stats()
+
+	inst, err := rt.NewInstance(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run the guest so the arena is genuinely populated, not just mapped.
+	if _, err := inst.Invoke("run"); err != nil {
+		t.Fatal(err)
+	}
+	if res, _ := inst.ResidencyStats(); res == 0 {
+		t.Fatal("no arena pages resident after an invocation; test is vacuous")
+	}
+	if _, _, inUse := rt.Enclave.Allocator().Stats(); inUse <= baseline {
+		t.Fatalf("allocator in-use %d not above baseline %d with a live instance", inUse, baseline)
+	}
+
+	evBefore := rt.Enclave.Stats().Evictions
+	if err := inst.Release(); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+
+	if res, ref := inst.ResidencyStats(); res != 0 || ref != 0 {
+		t.Errorf("post-Release residency = %d resident / %d referenced, want 0/0", res, ref)
+	}
+	if _, _, inUse := rt.Enclave.Allocator().Stats(); inUse != baseline {
+		t.Errorf("allocator in-use = %d after Release, want baseline %d (arena leaked)", inUse, baseline)
+	}
+	// Release is EREMOVE, not EWB: dropping the pages must not be billed
+	// as (or counted as) evictions.
+	if evAfter := rt.Enclave.Stats().Evictions; evAfter != evBefore {
+		t.Errorf("Release charged %d evictions; EREMOVE must be free", evAfter-evBefore)
+	}
+	// Idempotent: a second Release is a no-op, not a double free.
+	if err := inst.Release(); err != nil {
+		t.Errorf("second Release: %v", err)
+	}
+}
+
+// TestReleaseManyInstancesZeroResidue: repeated instantiate/run/release
+// cycles return to the same floor every time — no cumulative EPC or heap
+// residue across N lifecycles (the suspend path runs this loop forever).
+func TestReleaseManyInstancesZeroResidue(t *testing.T) {
+	rt, err := NewRuntime(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Enclave.Destroy()
+	mod, err := rt.LoadModule(pureModule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, baseline := rt.Enclave.Allocator().Stats()
+	residentFloor := rt.Enclave.Memory().Resident()
+
+	for i := 0; i < 8; i++ {
+		inst, err := rt.NewInstance(mod)
+		if err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+		if _, err := inst.Invoke("run", uint64(i)); err != nil {
+			t.Fatalf("cycle %d run: %v", i, err)
+		}
+		if err := inst.Release(); err != nil {
+			t.Fatalf("cycle %d Release: %v", i, err)
+		}
+		if _, _, inUse := rt.Enclave.Allocator().Stats(); inUse != baseline {
+			t.Fatalf("cycle %d: allocator in-use %d, want %d", i, inUse, baseline)
+		}
+		// The floor may have been measured with the EPC at capacity, in
+		// which case a mid-cycle sweep can leave residency slightly under
+		// it; the leak symptom is monotonic growth above the floor.
+		if got := rt.Enclave.Memory().Resident(); got > residentFloor {
+			t.Fatalf("cycle %d: %d EPC pages resident, above floor %d (residue)", i, got, residentFloor)
+		}
+	}
+}

@@ -333,24 +333,47 @@ type Instance struct {
 	// arena is the enclave region backing the guest linear memory. It is
 	// aligned to the enclave page size so guest 4 KiB pages and enclave
 	// EPC pages coincide — the alignment the EPC-TLB contract requires.
-	arena int64
+	// arenaLen is its length in bytes (the guest's maximum linear memory).
+	arena    int64
+	arenaLen int64
 	// allocOff is the raw allocator offset backing arena (arena rounds it
 	// up to a page boundary); Release frees it. -1 once released.
 	allocOff int64
 }
 
-// Release returns the instance's guest arena to the enclave allocator.
-// After Release the instance must not execute again; its pages are
-// reusable by future instantiations. Release is what makes per-request
-// cold instantiation (the warm-reset ablation baseline) sustainable —
-// without it every request would leak a full guest arena. Idempotent.
+// Release returns the instance's guest arena to the enclave allocator
+// and discards its EPC pages (no eviction cost — the contents are dead,
+// there is nothing to write back). After Release the instance must not
+// execute again; its pages are reusable by future instantiations and its
+// EPC residency is exactly zero — the invariant the swap tier depends on
+// (a suspended instance must free real EPC headroom, and a leak here
+// silently shrinks effective EPC; release_test.go pins it). Release is
+// also what makes per-request cold instantiation (the warm-reset ablation
+// baseline) sustainable — without it every request would leak a full
+// guest arena. Idempotent.
 func (inst *Instance) Release() error {
 	if inst.allocOff < 0 {
 		return nil
 	}
 	off := inst.allocOff
 	inst.allocOff = -1
-	return inst.rt.Enclave.Allocator().Free(off)
+	err := inst.rt.Enclave.Allocator().Free(off)
+	// Discard after Free: Free touches its block header, which lives on
+	// the page below the page-aligned arena, so the discard covers exactly
+	// the arena pages and nothing the allocator still uses.
+	inst.mem.Discard(inst.arena, inst.arenaLen)
+	return err
+}
+
+// ResidencyStats reports how many of the instance's arena pages are
+// currently EPC-resident and how many of those are referenced (hold a
+// clock second chance) — the per-instance working-set probe the swap
+// tier's victim selection keys on. A released instance reports zero.
+func (inst *Instance) ResidencyStats() (resident, referenced int) {
+	if inst.allocOff < 0 {
+		return 0, 0
+	}
+	return inst.mem.RangeResidency(inst.arena, inst.arenaLen)
 }
 
 // NewInstance instantiates mod inside the enclave with its own WASI
@@ -365,10 +388,28 @@ func (rt *Runtime) NewInstance(mod *Module) (*Instance, error) {
 }
 
 // newInstance carves a guest arena out of the enclave and instantiates
-// mod over sys. With a snapshot, the instance's memory, globals and table
-// are copied from it (no data-segment replay, no start function) — the
-// cheap path the serving pool stamps workers out with.
+// mod over sys, inside one twine_instantiate ECALL. With a snapshot, the
+// instance's memory, globals and table are copied from it (no
+// data-segment replay, no start function) — the cheap path the serving
+// pool stamps workers out with.
 func (rt *Runtime) newInstance(mod *Module, sys *wasi.System, snap *wasm.Snapshot) (*Instance, error) {
+	var inst *Instance
+	err := rt.Enclave.ECall("twine_instantiate", func() error {
+		var ierr error
+		inst, ierr = rt.instantiate(mod, sys, snap)
+		return ierr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return inst, nil
+}
+
+// instantiate is newInstance without the ECALL wrapper: the caller is
+// already inside the enclave. The swap tier's resume path needs this —
+// rehydrating a suspended worker happens inside its own twine_resume
+// ECALL, and same-goroutine ECALL re-entry is rejected by design.
+func (rt *Runtime) instantiate(mod *Module, sys *wasi.System, snap *wasm.Snapshot) (*Instance, error) {
 	inst := &Instance{rt: rt, Sys: sys, mem: rt.Enclave.Memory()}
 
 	// Reserve enclave memory for the guest's maximum linear memory so
@@ -390,6 +431,7 @@ func (rt *Runtime) newInstance(mod *Module, sys *wasi.System, snap *wasm.Snapsho
 	}
 	inst.allocOff = off
 	inst.arena = (off + sgx.PageSize - 1) &^ (sgx.PageSize - 1)
+	inst.arenaLen = int64(maxPages) * wasm.PageSize
 
 	// The arena base is pre-translated into the view once; the per-access
 	// hook is then a single add instead of a capture-and-check closure.
@@ -407,16 +449,14 @@ func (rt *Runtime) newInstance(mod *Module, sys *wasi.System, snap *wasm.Snapsho
 		HostCtx:        sys,
 	}
 	var in *wasm.Instance
-	err = rt.Enclave.ECall("twine_instantiate", func() error {
-		var ierr error
-		if snap != nil {
-			in, ierr = wasm.InstantiateFromSnapshot(mod.Compiled, rt.Imports, snap, cfg)
-		} else {
-			in, ierr = wasm.Instantiate(mod.Compiled, rt.Imports, cfg)
-		}
-		return ierr
-	})
+	if snap != nil {
+		in, err = wasm.InstantiateFromSnapshot(mod.Compiled, rt.Imports, snap, cfg)
+	} else {
+		in, err = wasm.Instantiate(mod.Compiled, rt.Imports, cfg)
+	}
 	if err != nil {
+		inst.allocOff = -1
+		_ = rt.Enclave.Allocator().Free(off)
 		return nil, err
 	}
 	inst.In = in

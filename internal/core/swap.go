@@ -1,0 +1,152 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// The instance-granularity swap tier (PR 9). The page-level clock sweep
+// (internal/sgx) reclaims EPC one 4 KiB page at a time and pays eviction
+// cost for pages that will be faulted straight back; when the resident
+// *instances* outnumber what the EPC can hold, the right unit of
+// reclamation is a whole idle instance. A swapGroup is the registry-wide
+// controller: it counts resident warm workers across every enrolled
+// pool, and when the count exceeds MaxResident — or the reaper finds
+// workers idle past the age threshold — it suspends victims: seal the
+// worker's state to untrusted storage, release its arena. Suspension is
+// invisible to Submit: acquiring a suspended worker transparently
+// resumes it (Pool.resumeWorker).
+//
+// Victim selection is working-set-weighted, coldest-largest first: fewest
+// referenced pages (the clock has swept them — the instance is not in the
+// current working set), then most resident pages (reclaims the most EPC),
+// then longest idle (LRU tiebreak, which is what keeps a hot set resident
+// under a skewed tenant mix). Only idle workers are eligible — a worker
+// serving a request is never quiesced under it — and pinned pools are
+// exempt.
+type swapGroup struct {
+	// max is the resident warm-worker bound (0 = unbounded: only the
+	// reaper suspends).
+	max int
+
+	mu       sync.Mutex
+	resident int // warm workers currently holding an arena (+ reservations)
+	pools    []*Pool
+}
+
+// swapVictim is one idle worker as seen by victim selection.
+type swapVictim struct {
+	p          *Pool
+	w          *worker
+	resident   int
+	referenced int
+	idleSince  time.Time
+}
+
+// enroll adds a pool's warm workers to the group's residency accounting
+// and immediately enforces the bound — registering tenant N+1 under
+// pressure suspends the coldest idle workers, wherever they live.
+func (sg *swapGroup) enroll(p *Pool, workers int) {
+	sg.mu.Lock()
+	sg.pools = append(sg.pools, p)
+	sg.resident += workers
+	sg.shrinkLocked(sg.max)
+	sg.mu.Unlock()
+}
+
+// reserve claims one residency slot for a resume, suspending victims
+// until the incoming worker fits under the bound. When no victim is idle
+// the group over-commits — admission pressure then falls through to the
+// page-level clock sweep, and the next release/idle cycle re-balances.
+func (sg *swapGroup) reserve() {
+	sg.mu.Lock()
+	sg.shrinkLocked(sg.max - 1)
+	sg.resident++
+	sg.mu.Unlock()
+}
+
+// unreserve hands a reservation back (the resume failed).
+func (sg *swapGroup) unreserve() {
+	sg.mu.Lock()
+	sg.resident--
+	sg.mu.Unlock()
+}
+
+// shrinkLocked suspends coldest-largest idle victims until at most
+// target workers are resident or no victim remains. Called with sg.mu
+// held; pool locks and the suspend ECALLs nest inside, serialising
+// reclamation — the same discipline a kernel reclaim path has, and what
+// keeps two concurrent resumes from suspending twice as much as needed.
+func (sg *swapGroup) shrinkLocked(target int) {
+	if sg.max <= 0 {
+		return
+	}
+	for sg.resident > target {
+		if !sg.suspendOneLocked(0) {
+			return
+		}
+	}
+}
+
+// evictOne suspends a single victim regardless of the bound — the
+// allocation-pressure path: a resume (or cold instantiation) that cannot
+// find enclave heap for an arena frees one instance's worth and retries.
+func (sg *swapGroup) evictOne() bool {
+	sg.mu.Lock()
+	defer sg.mu.Unlock()
+	return sg.suspendOneLocked(0)
+}
+
+// suspendIdle suspends every eligible worker idle for at least age,
+// coldest first (the background reaper's harvest; age 0 drains all idle
+// workers). Returns how many were suspended.
+func (sg *swapGroup) suspendIdle(age time.Duration) int {
+	sg.mu.Lock()
+	defer sg.mu.Unlock()
+	n := 0
+	for sg.suspendOneLocked(age) {
+		n++
+	}
+	return n
+}
+
+// victimLess orders candidates best-victim-first: fewest referenced
+// pages (out of the clock's working set), then most resident pages
+// (largest EPC reclaim), then longest idle (LRU — the tiebreak that
+// keeps a hot tenant set resident under a skewed mix).
+func victimLess(a, b swapVictim) bool {
+	if a.referenced != b.referenced {
+		return a.referenced < b.referenced
+	}
+	if a.resident != b.resident {
+		return a.resident > b.resident
+	}
+	return a.idleSince.Before(b.idleSince)
+}
+
+// suspendOneLocked picks and suspends the single best victim: fewest
+// referenced pages, then most resident pages, then longest idle. A
+// candidate stolen from under us (a concurrent acquire won) or failing
+// to suspend is skipped; false means no victim could be suspended.
+func (sg *swapGroup) suspendOneLocked(minIdle time.Duration) bool {
+	now := time.Now()
+	var cands []swapVictim
+	for _, p := range sg.pools {
+		cands = append(cands, p.victimCandidates(minIdle, now)...)
+	}
+	sort.Slice(cands, func(i, j int) bool { return victimLess(cands[i], cands[j]) })
+	for _, v := range cands {
+		if !v.p.stealWorker(v.w) {
+			continue
+		}
+		if err := v.p.suspendWorker(v.w); err != nil {
+			v.p.release(v.w)
+			continue
+		}
+		v.p.release(v.w)
+		sg.resident--
+		return true
+	}
+	return false
+}

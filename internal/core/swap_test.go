@@ -1,0 +1,381 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"twine/internal/wasm"
+	"twine/wasmgen"
+)
+
+// PR 9 swap-tier coverage: suspend/resume fidelity against a
+// never-suspended control, the MaxResident bound and its conservation
+// law, pinned-tenant exemption, victim ordering, the reaper, and the
+// heap-pressure eviction retry.
+
+// accumModule builds the swap tests' stateful guest: run(x) accumulates
+// x into two cells on different 4 KiB chunks (so a suspend delta spans
+// chunks) and returns their sum; run(13) traps after no mutation. State
+// surviving a suspend/resume cycle is visible in the running sum.
+func accumModule() []byte {
+	m := wasmgen.NewModule()
+	m.Memory(2, 2)
+	f := m.Func(wasmgen.Sig(wasmgen.I32).Returns(wasmgen.I32))
+	f.Block(wasmgen.BlockVoid)
+	f.LocalGet(0).I32Const(13).I32Ne().BrIf(0)
+	f.Unreachable()
+	f.End()
+	// mem[8] += x on the first wasm page, mem[70000] += x on the second.
+	f.I32Const(8).I32Const(8).I32Load(0).LocalGet(0).I32Add().I32Store(0)
+	f.I32Const(70000).I32Const(70000).I32Load(0).LocalGet(0).I32Add().I32Store(0)
+	f.I32Const(8).I32Load(0).I32Const(70000).I32Load(0).I32Add()
+	f.End()
+	m.Export("run", f)
+	m.ExportMemory("memory")
+	return m.Bytes()
+}
+
+type fidelityRun struct {
+	outs     []uint64
+	last     [4]int64 // ECalls/OCalls/faults/evictions around the final submit
+	total    [4]int64 // same, around the whole run
+	trap     *wasm.Trap
+	suspends int64
+	resumes  int64
+}
+
+// driveFidelity runs the same stateful schedule with or without a
+// suspend/resume cycle in the middle, on a fresh single-TCS runtime with
+// switchless off so enclave transitions count exactly.
+func driveFidelity(t *testing.T, withSwap bool) fidelityRun {
+	t.Helper()
+	cfg := testConfig(func(c *Config) {
+		c.SGX.TCSNum = 1
+		c.Switchless = SwitchlessOff
+		// Roomy EPC: fidelity compares eviction counters, so the workload
+		// itself must not sweep — any divergence is then the swap tier's.
+		// The heap must fit under usable EPC with headroom (heap pages are
+		// resident from enclave init).
+		c.SGX.HeapSize = 16 << 20
+		c.SGX.EPCSize = 64 << 20
+		c.SGX.EPCUsable = 48 << 20
+	})
+	rt, err := NewRuntime(cfg)
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	defer rt.Enclave.Destroy()
+	var rcfg RegistryConfig
+	if withSwap {
+		rcfg.MaxResident = 1
+	}
+	reg := rt.NewRegistry(rcfg)
+	defer reg.Close()
+	ten, err := reg.Register("acc", accumModule(), TenantConfig{Stateful: true})
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+
+	grab := func() [4]int64 {
+		s := rt.Enclave.Stats()
+		return [4]int64{s.ECalls, s.OCalls, s.PageFaults, s.Evictions}
+	}
+	delta := func(a, b [4]int64) (d [4]int64) {
+		for i := range d {
+			d[i] = b[i] - a[i]
+		}
+		return
+	}
+	var r fidelityRun
+	submit := func(x uint64) {
+		out, serr := ten.Submit(x)
+		if serr != nil {
+			t.Fatalf("Submit(%d): %v", x, serr)
+		}
+		r.outs = append(r.outs, out[0])
+	}
+
+	base := grab()
+	submit(1)
+	submit(2)
+	submit(3)
+	if withSwap {
+		if n := reg.SuspendIdle(0); n != 1 {
+			t.Fatalf("SuspendIdle = %d, want 1", n)
+		}
+	}
+	submit(4) // on the swap run this request transparently resumes
+	pre := grab()
+	submit(5) // post-resume steady state: must cost exactly what control costs
+	r.last = delta(pre, grab())
+
+	if _, terr := ten.Submit(13); !errors.As(terr, &r.trap) {
+		t.Fatalf("Submit(13) = %v, want *wasm.Trap", terr)
+	}
+	r.total = delta(base, grab())
+	s := ten.Stats()
+	r.suspends, r.resumes = s.Pool.Suspends, s.Pool.Resumes
+	return r
+}
+
+// TestSuspendResumeFidelity is the PR 9 acceptance guard: a worker that
+// was suspended to sealed storage and resumed must be bit-identical to
+// one that never left the EPC — same results, same trap kind, and, once
+// resumed, the same enclave transition counters per request. Over the
+// whole run the swap side may differ by exactly its own ECALLs (one
+// twine_suspend, one twine_resume) and the faults of paging the restored
+// state back in — nothing else.
+func TestSuspendResumeFidelity(t *testing.T) {
+	ctrl := driveFidelity(t, false)
+	swap := driveFidelity(t, true)
+
+	if len(ctrl.outs) != len(swap.outs) {
+		t.Fatalf("schedule lengths diverged: %d vs %d", len(ctrl.outs), len(swap.outs))
+	}
+	for i := range ctrl.outs {
+		if ctrl.outs[i] != swap.outs[i] {
+			t.Errorf("request %d: control %d, suspended/resumed %d", i, ctrl.outs[i], swap.outs[i])
+		}
+	}
+	if swap.suspends != 1 || swap.resumes != 1 {
+		t.Fatalf("swap run did %d suspends / %d resumes, want 1/1", swap.suspends, swap.resumes)
+	}
+	if ctrl.suspends != 0 || ctrl.resumes != 0 {
+		t.Fatalf("control run touched the swap tier: %d/%d", ctrl.suspends, ctrl.resumes)
+	}
+	// Steady state after the resume: identical ECALL/OCALL/fault/eviction
+	// cost per request.
+	if ctrl.last != swap.last {
+		t.Errorf("post-resume request cost diverged: control %v, swap %v (ECalls, OCalls, faults, evictions)", ctrl.last, swap.last)
+	}
+	// Whole run: the swap side's ECALLs are control plus exactly its own.
+	if want := ctrl.total[0] + swap.suspends + swap.resumes; swap.total[0] != want {
+		t.Errorf("swap run ECalls = %d, want %d (control %d + suspend/resume)", swap.total[0], want, ctrl.total[0])
+	}
+	if swap.total[1] != ctrl.total[1] {
+		t.Errorf("OCalls diverged: control %d, swap %d", ctrl.total[1], swap.total[1])
+	}
+	if swap.total[3] != ctrl.total[3] {
+		t.Errorf("evictions diverged: control %d, swap %d", ctrl.total[3], swap.total[3])
+	}
+	if ctrl.trap.Kind != swap.trap.Kind {
+		t.Errorf("trap kind diverged: control %v, swap %v", ctrl.trap.Kind, swap.trap.Kind)
+	}
+}
+
+// TestSwapBoundConservation: with four one-worker tenants under
+// MaxResident 2, two are always suspended at rest, submits to suspended
+// tenants transparently resume (displacing others), every tenant's
+// accumulator survives arbitrarily many swap cycles, and the counters
+// obey Suspends == Resumes + Suspended.
+func TestSwapBoundConservation(t *testing.T) {
+	rt := poolRuntime(t, 2)
+	defer rt.Enclave.Destroy()
+	reg := rt.NewRegistry(RegistryConfig{MaxResident: 2})
+	defer reg.Close()
+
+	const tenants = 4
+	for i := 0; i < tenants; i++ {
+		if _, err := reg.Register(fmt.Sprintf("t%d", i), accumModule(), TenantConfig{Stateful: true}); err != nil {
+			t.Fatalf("register t%d: %v", i, err)
+		}
+	}
+	if s := reg.Stats(); s.Suspended != tenants-2 {
+		t.Fatalf("after registering %d tenants under bound 2: %d suspended, want %d", tenants, s.Suspended, tenants-2)
+	}
+
+	for round := 1; round <= 3; round++ {
+		for i := 0; i < tenants; i++ {
+			out, err := reg.Submit(fmt.Sprintf("t%d", i), 1)
+			if err != nil {
+				t.Fatalf("round %d t%d: %v", round, i, err)
+			}
+			// Two cells accumulate 1 per round; state must have survived
+			// this tenant's suspensions.
+			if out[0] != uint64(2*round) {
+				t.Errorf("round %d t%d = %d, want %d (state lost across swap)", round, i, out[0], 2*round)
+			}
+		}
+	}
+
+	s := reg.Stats()
+	if s.Suspends == 0 || s.Resumes == 0 || s.SealBytes == 0 {
+		t.Fatalf("round-robin under pressure did not exercise the swap tier: %+v", s)
+	}
+	if s.Suspends != s.Resumes+s.Suspended {
+		t.Errorf("conservation broken: Suspends %d != Resumes %d + Suspended %d", s.Suspends, s.Resumes, s.Suspended)
+	}
+	if s.Suspended != tenants-2 {
+		t.Errorf("at rest %d suspended, want %d (bound not enforced)", s.Suspended, tenants-2)
+	}
+}
+
+// TestSwapPinnedExempt: a pinned tenant's workers are never chosen as
+// victims — pressure lands entirely on the unpinned tenant.
+func TestSwapPinnedExempt(t *testing.T) {
+	rt := poolRuntime(t, 2)
+	defer rt.Enclave.Destroy()
+	reg := rt.NewRegistry(RegistryConfig{MaxResident: 1})
+	defer reg.Close()
+
+	pinned, err := reg.Register("pinned", accumModule(), TenantConfig{Stateful: true, Pinned: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := reg.Register("plain", accumModule(), TenantConfig{Stateful: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Registering "plain" pushed residency to 2 over a bound of 1; the
+	// only eligible victim is plain's own worker.
+	if s := reg.Stats(); s.Suspended != 1 || pinned.Stats().Pool.Suspends != 0 {
+		t.Fatalf("registration pressure chose the wrong victim: %+v", s)
+	}
+
+	// Serving the suspended tenant over-commits (the pinned worker cannot
+	// be displaced) and an explicit drain re-suspends only the unpinned one.
+	if out, err := plain.Submit(2); err != nil || out[0] != 4 {
+		t.Fatalf("plain submit = %v, %v", out, err)
+	}
+	if n := reg.SuspendIdle(0); n != 1 {
+		t.Fatalf("SuspendIdle = %d, want 1 (only the unpinned worker)", n)
+	}
+	if got := pinned.Stats().Pool.Suspends; got != 0 {
+		t.Errorf("pinned tenant suspended %d times, want 0", got)
+	}
+	if got := plain.Stats().Pool.Suspends; got != 2 {
+		t.Errorf("plain tenant suspended %d times, want 2", got)
+	}
+	// The pinned tenant stayed warm and correct throughout.
+	if out, err := pinned.Submit(3); err != nil || out[0] != 6 {
+		t.Fatalf("pinned submit = %v, %v", out, err)
+	}
+}
+
+// TestVictimOrdering pins the working-set weighting: fewest referenced
+// pages first (out of the clock's working set), then most resident pages
+// (biggest reclaim), then longest idle (LRU tiebreak).
+func TestVictimOrdering(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	cold := swapVictim{referenced: 0, resident: 8, idleSince: t0}
+	coldSmall := swapVictim{referenced: 0, resident: 2, idleSince: t0}
+	warm := swapVictim{referenced: 4, resident: 8, idleSince: t0.Add(-time.Hour)}
+	older := swapVictim{referenced: 0, resident: 8, idleSince: t0.Add(-time.Minute)}
+
+	if !victimLess(cold, warm) || victimLess(warm, cold) {
+		t.Error("swept (unreferenced) worker must be a better victim than a working-set one, whatever the idle age")
+	}
+	if !victimLess(cold, coldSmall) || victimLess(coldSmall, cold) {
+		t.Error("among equally cold workers the larger resident footprint must go first")
+	}
+	if !victimLess(older, cold) || victimLess(cold, older) {
+		t.Error("with equal working sets the longer-idle worker must go first")
+	}
+}
+
+// TestSwapResumeEvictsUnderHeapPressure: when a resume cannot allocate
+// its arena (enclave heap exhausted — physics, not the MaxResident
+// policy), resumeWorker evicts one victim per retry until the arena
+// fits, instead of failing the request.
+func TestSwapResumeEvictsUnderHeapPressure(t *testing.T) {
+	cfg := testConfig(func(c *Config) {
+		c.SGX.HeapSize = 2 << 20
+	})
+	rt, err := NewRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Enclave.Destroy()
+	// A high bound: the only pressure in this test is the heap itself.
+	reg := rt.NewRegistry(RegistryConfig{MaxResident: 100})
+	defer reg.Close()
+	a, err := reg.Register("a", accumModule(), TenantConfig{Stateful: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := reg.Register("b", accumModule(), TenantConfig{Stateful: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Exhaust the heap tail while both arenas are live (the allocator is
+	// exact-fit with no coalescing, so later frees make same-sized holes).
+	alloc := rt.Enclave.Allocator()
+	for _, chunk := range []int64{1 << 20, 64 << 10, 4 << 10, 8} {
+		for {
+			if _, err := alloc.Alloc(chunk); err != nil {
+				break
+			}
+		}
+	}
+	// Suspend both workers: the only free heap is now their two arena
+	// holes. Consume one, leaving room for exactly one resumed arena.
+	if n := reg.SuspendIdle(0); n != 2 {
+		t.Fatalf("SuspendIdle = %d, want 2", n)
+	}
+	if _, err := alloc.Alloc(64); err != nil {
+		t.Fatalf("consuming an arena hole: %v", err)
+	}
+
+	// Tenant a resumes into the last hole; tenant b's resume then finds
+	// no heap and must displace a to proceed.
+	if out, err := a.Submit(1); err != nil || out[0] != 2 {
+		t.Fatalf("a.Submit = %v, %v", out, err)
+	}
+	out, err := b.Submit(1)
+	if err != nil {
+		t.Fatalf("resume under heap exhaustion: %v", err)
+	}
+	if out[0] != 2 {
+		t.Errorf("b.Submit = %d, want 2 (state lost)", out[0])
+	}
+	if s := a.Stats().Pool; s.Suspends != 2 || s.Suspended != 1 {
+		t.Errorf("heap pressure did not displace the idle worker: %+v", s)
+	}
+	if s := reg.Stats(); s.Suspends != s.Resumes+s.Suspended {
+		t.Errorf("conservation broken: %+v", s)
+	}
+}
+
+// TestSwapReaper: with IdleSuspendAge set, an idle worker is suspended in
+// the background without any admission pressure, and the next Submit
+// transparently resumes it with its state intact.
+func TestSwapReaper(t *testing.T) {
+	rt := poolRuntime(t, 2)
+	defer rt.Enclave.Destroy()
+	reg := rt.NewRegistry(RegistryConfig{IdleSuspendAge: 20 * time.Millisecond, ReaperInterval: 10 * time.Millisecond})
+	defer reg.Close()
+
+	ten, err := reg.Register("idle", accumModule(), TenantConfig{Stateful: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, err := ten.Submit(5); err != nil || out[0] != 10 {
+		t.Fatalf("first submit = %v, %v", out, err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for ten.Stats().Pool.Suspended == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("reaper never suspended the idle worker")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	out, err := ten.Submit(7)
+	if err != nil {
+		t.Fatalf("post-reap submit: %v", err)
+	}
+	if out[0] != 24 {
+		t.Errorf("post-reap submit = %d, want 24 (state lost)", out[0])
+	}
+	s := ten.Stats()
+	if s.Pool.Resumes == 0 || s.Pool.Suspends != s.Pool.Resumes+s.Pool.Suspended {
+		t.Errorf("reaper counters inconsistent: %+v", s.Pool)
+	}
+	if s.ResumeLatency.Count != s.Pool.Resumes {
+		t.Errorf("resume histogram saw %d resumes, counters saw %d", s.ResumeLatency.Count, s.Pool.Resumes)
+	}
+}

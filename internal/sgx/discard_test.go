@@ -1,0 +1,107 @@
+package sgx
+
+import "testing"
+
+// TestDiscardReleasesResidency: discarded pages leave the EPC without
+// counting as evictions (EREMOVE, not EWB), residency accounting drops to
+// zero for the range, and the paging generation is bumped so EPC-TLB
+// entries for the discarded pages die.
+func TestDiscardReleasesResidency(t *testing.T) {
+	e := newTestEnclave(t, func(c *Config) {
+		c.EPCUsable = 64 << 10 // plenty for the touched range
+		c.HeapSize = 256 << 10
+	})
+	defer e.Destroy()
+	m := e.Memory()
+
+	base := e.cfg.ReservedSize
+	n := int64(8 * PageSize)
+	if err := m.Touch(base, n); err != nil {
+		t.Fatal(err)
+	}
+	res, ref := m.RangeResidency(base, n)
+	if res != 8 || ref != 8 {
+		t.Fatalf("after touch: resident=%d referenced=%d, want 8/8", res, ref)
+	}
+	gen := m.Gen()
+	evBefore := m.Evictions()
+	fBefore := m.Faults()
+
+	m.Discard(base, n)
+	if res, ref = m.RangeResidency(base, n); res != 0 || ref != 0 {
+		t.Errorf("after discard: resident=%d referenced=%d, want 0/0", res, ref)
+	}
+	if m.Gen() == gen {
+		t.Error("discard of resident pages did not bump the paging generation")
+	}
+	if m.Evictions() != evBefore || m.Faults() != fBefore {
+		t.Errorf("discard paid paging counters: faults %d→%d evictions %d→%d",
+			fBefore, m.Faults(), evBefore, m.Evictions())
+	}
+
+	// Discarding an already-absent range is free: no generation bump.
+	gen = m.Gen()
+	m.Discard(base, n)
+	if m.Gen() != gen {
+		t.Error("no-op discard bumped the paging generation")
+	}
+}
+
+// TestDiscardPartialPages: only pages fully contained in the range are
+// discarded — a page shared with a neighbouring allocation must survive.
+func TestDiscardPartialPages(t *testing.T) {
+	e := newTestEnclave(t, func(c *Config) {
+		c.EPCUsable = 64 << 10
+		c.HeapSize = 256 << 10
+	})
+	defer e.Destroy()
+	m := e.Memory()
+
+	base := e.cfg.ReservedSize
+	if err := m.Touch(base, 4*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	// Range starts halfway into page 0 and ends halfway into page 3: only
+	// pages 1 and 2 are fully contained.
+	m.Discard(base+PageSize/2, 3*PageSize)
+	res, _ := m.RangeResidency(base, 4*PageSize)
+	if res != 2 {
+		t.Errorf("partial discard left %d resident pages, want 2 (the boundary pages)", res)
+	}
+	if r, _ := m.RangeResidency(base+PageSize, 2*PageSize); r != 0 {
+		t.Errorf("fully-contained pages survived the discard (%d resident)", r)
+	}
+}
+
+// TestRangeResidencyDistinguishesReferenced: a clock sweep downgrades
+// referenced pages to resident; RangeResidency must report the
+// difference, since victim selection keys on it.
+func TestRangeResidencyDistinguishesReferenced(t *testing.T) {
+	e := newTestEnclave(t, func(c *Config) {
+		c.EPCUsable = 4 * PageSize // tiny EPC: the 5th page forces a sweep
+		c.HeapSize = 256 << 10
+	})
+	defer e.Destroy()
+	m := e.Memory()
+
+	base := e.cfg.ReservedSize
+	if err := m.Touch(base, 4*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	// Faulting one more page sweeps the clock: every referenced page loses
+	// its second chance (and one is evicted).
+	if err := m.Touch(base+4*PageSize, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	res, ref := m.RangeResidency(base, 4*PageSize)
+	if res == 0 {
+		t.Fatal("no pages of the first arena survived; cannot check referenced counts")
+	}
+	if ref != 0 {
+		t.Errorf("swept pages still referenced: resident=%d referenced=%d", res, ref)
+	}
+	// The just-faulted page holds its second chance.
+	if _, ref := m.RangeResidency(base+4*PageSize, PageSize); ref != 1 {
+		t.Errorf("just-faulted page not referenced (ref=%d)", ref)
+	}
+}

@@ -93,4 +93,22 @@
 // drain executing a host call it was handed must not corrupt its
 // result) — the harness behind the Destroy-during-stalled-drain and
 // result-preservation tests in switchless_chaos_test.go.
+//
+// # Instance-granularity reclamation hooks (PR 9)
+//
+// The core-layer swap tier suspends whole idle instances instead of
+// letting the clock sweep reclaim their pages one at a time. The
+// primitives it builds on live here:
+//
+//   - Memory.Discard is EREMOVE, not EWB: it drops a range to
+//     pageAbsent without touching the fault/eviction counters or paying
+//     page-crypto work — releasing a suspended instance's arena is
+//     free, only bringing it back (ELDU, via Touch) is priced;
+//   - Memory.RangeResidency reports per-arena resident and referenced
+//     page counts — the working-set signal victim selection sorts by
+//     (a page still marked referenced survived the last clock sweep);
+//   - Enclave.Seal/Unseal protect the suspended state in untrusted
+//     storage (AES-256-GCM, label as AAD); SealKey memoises the derived
+//     per-label key, so steady-state suspends pay AES over the delta,
+//     not key derivation (sealkey_bench_test.go shows the win).
 package sgx

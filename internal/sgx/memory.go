@@ -233,6 +233,83 @@ func (m *Memory) pageWork(p int) {
 	}
 }
 
+// Discard removes the pages covering [off, off+n) from the EPC without
+// paying eviction cost — EREMOVE semantics, not EWB: the owner declares
+// the contents dead (a released guest arena, a suspended instance whose
+// state now lives in a sealed blob), so there is nothing to encrypt and
+// write back, and no fault or eviction is counted. Page state can regress
+// (referenced → absent), so the paging generation is bumped — once, if
+// anything changed — before the state changes, keeping the EPC-TLB
+// contract: a TLB entry proven at the old generation never survives a
+// discard. Only pages fully contained in the range are discarded; the
+// contents of the backing bytes are untouched (Allocator.Free owns reuse,
+// scrub owns wiping).
+func (m *Memory) Discard(off, n int64) {
+	if n <= 0 {
+		return
+	}
+	if off < 0 {
+		off = 0
+	}
+	end := off + n
+	if end > int64(len(m.data)) {
+		end = int64(len(m.data))
+	}
+	first := (off + PageSize - 1) / PageSize
+	last := end/PageSize - 1
+	if first > last {
+		return
+	}
+	m.mu.Lock()
+	bumped := false
+	for p := first; p <= last; p++ {
+		if m.pageState[p] == pageAbsent {
+			continue
+		}
+		if !bumped {
+			atomic.AddUint64(&m.gen, 1)
+			bumped = true
+		}
+		m.pageState[p] = pageAbsent
+		m.resident--
+	}
+	m.mu.Unlock()
+}
+
+// RangeResidency counts the EPC pages of [off, off+n) that are currently
+// resident, and how many of those hold a second chance (referenced — the
+// clock has not swept them since their last access). It is the
+// per-instance working-set probe behind swap-tier victim selection: an
+// instance whose arena has few referenced pages is cold, one with many
+// resident pages is expensive to keep. Pages partially covered by the
+// range are counted.
+func (m *Memory) RangeResidency(off, n int64) (resident, referenced int) {
+	if n <= 0 {
+		return 0, 0
+	}
+	if off < 0 {
+		off = 0
+	}
+	end := off + n
+	if end > int64(len(m.data)) {
+		end = int64(len(m.data))
+	}
+	first := off / PageSize
+	last := (end - 1) / PageSize
+	m.mu.Lock()
+	for p := first; p <= last; p++ {
+		switch m.pageState[p] {
+		case pageReferenced:
+			resident++
+			referenced++
+		case pageResident:
+			resident++
+		}
+	}
+	m.mu.Unlock()
+	return resident, referenced
+}
+
 // Read copies len(p) bytes from enclave memory at off into p.
 func (m *Memory) Read(off int64, p []byte) error {
 	if err := m.Touch(off, int64(len(p))); err != nil {

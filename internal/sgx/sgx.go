@@ -202,6 +202,14 @@ type Enclave struct {
 	measurement [32]byte
 	sealRoot    [32]byte
 
+	// sealKeys caches per-label derived sealing keys. Key derivation is
+	// pure (platform, measurement, label) — the cache can never go stale —
+	// and the swap tier seals/unseals under a small set of per-worker
+	// labels on its hot path, so the HKDF runs once per label instead of
+	// once per Seal/Unseal.
+	sealMu   sync.RWMutex
+	sealKeys map[string][32]byte
+
 	tcs  *tcsPool
 	gate goroutineGate // rejects same-goroutine ECALL re-entry
 
@@ -227,7 +235,7 @@ func (p *Platform) NewEnclave(cfg Config, code []byte) (*Enclave, error) {
 	if cfg.HeapSize <= 0 {
 		return nil, errors.New("sgx: heap size must be positive")
 	}
-	e := &Enclave{cfg: cfg, platform: p, destroyCh: make(chan struct{})}
+	e := &Enclave{cfg: cfg, platform: p, destroyCh: make(chan struct{}), sealKeys: make(map[string][32]byte)}
 	e.tcs = newTCSPool(cfg.TCSNum)
 	e.measurement = measure(cfg, code)
 	e.sealRoot = p.deriveSealRoot(e.measurement)

@@ -1,0 +1,205 @@
+package wasm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Snapshot deltas (PR 9). The swap tier suspends idle instances by
+// sealing their state to untrusted storage. Sealing the full linear
+// memory would make every suspend cost O(memory); but a serving worker is
+// stamped from its pool's golden snapshot and most of its pages never
+// diverge from it, so a suspended instance is encoded as a *delta against
+// the golden snapshot*: globals, table, and only the 4 KiB chunks of
+// linear memory whose bytes differ. The golden snapshot is immutable and
+// stays host-resident for the pool's lifetime (it is what warm reset and
+// repair already restore from), so golden + delta reconstructs the full
+// state bit-exactly. Confidentiality and integrity of the delta are the
+// sealer's job (sgx.Enclave.Seal wraps the encoding in AES-GCM).
+
+// swapChunk is the delta granularity. It matches the enclave page size
+// (4 KiB), so "dirty chunks" coincide with the EPC pages the instance
+// actually wrote.
+const swapChunk = 4096
+
+// swapMagic/swapVersion head every encoded delta.
+const (
+	swapMagic   uint32 = 0x54575344 // "TWSD"
+	swapVersion uint32 = 1
+)
+
+// SnapshotDelta encodes the instance's mutable state as a delta against
+// golden: header, globals, table, then each 4 KiB memory chunk whose
+// bytes differ from the golden snapshot (chunks beyond the golden
+// memory's length — the instance grew — are compared against zeros, which
+// is what grown wasm memory starts as). The instance must be quiescent.
+func (in *Instance) SnapshotDelta(golden *Snapshot) ([]byte, error) {
+	if golden == nil {
+		return nil, fmt.Errorf("%w: delta against nil snapshot", ErrValidation)
+	}
+	if golden.module != in.m {
+		return nil, fmt.Errorf("%w: snapshot belongs to a different module", ErrLink)
+	}
+	var mem []byte
+	if in.mem != nil {
+		mem = in.mem.data
+	}
+	if len(mem)%swapChunk != 0 {
+		return nil, fmt.Errorf("%w: memory length %d not a multiple of the swap chunk", ErrValidation, len(mem))
+	}
+	if len(golden.globals) != len(in.globals) || len(golden.table) != len(in.table) {
+		return nil, fmt.Errorf("%w: snapshot shape diverged from instance", ErrLink)
+	}
+
+	// Pass 1: find dirty chunks.
+	nChunks := len(mem) / swapChunk
+	var dirty []int
+	for c := 0; c < nChunks; c++ {
+		if !chunkEqual(mem[c*swapChunk:(c+1)*swapChunk], golden.mem, c) {
+			dirty = append(dirty, c)
+		}
+	}
+
+	// Pass 2: encode. Fixed header + globals + table + dirty chunks.
+	size := 4 + 4 + 8 + 4 + 8*len(in.globals) + 4 + 4*len(in.table) + 4 + len(dirty)*(4+swapChunk)
+	buf := make([]byte, 0, size)
+	buf = binary.LittleEndian.AppendUint32(buf, swapMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, swapVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(mem)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(in.globals)))
+	for _, g := range in.globals {
+		buf = binary.LittleEndian.AppendUint64(buf, g)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(in.table)))
+	for _, tv := range in.table {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(tv))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(dirty)))
+	for _, c := range dirty {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(c))
+		buf = append(buf, mem[c*swapChunk:(c+1)*swapChunk]...)
+	}
+	return buf, nil
+}
+
+// chunkEqual reports whether cur equals golden's chunk c, treating chunks
+// beyond golden's length as zeros (grown memory starts zeroed).
+func chunkEqual(cur, golden []byte, c int) bool {
+	off := c * swapChunk
+	if off+swapChunk <= len(golden) {
+		return bytes.Equal(cur, golden[off:off+swapChunk])
+	}
+	// Past the golden snapshot: dirty iff any byte is nonzero. (golden.mem
+	// is always chunk-aligned, so a chunk is either fully inside or fully
+	// past it.)
+	return bytes.Equal(cur, zeroChunk[:len(cur)])
+}
+
+// zeroChunk lets the grown-memory comparison use the same SIMD equality
+// path as the in-golden case.
+var zeroChunk [swapChunk]byte
+
+// ApplySnapshotDelta reconstructs a full Snapshot from the golden
+// snapshot and a delta produced by SnapshotDelta. The decoder is strict —
+// magic, version, shape against golden, chunk indices strictly increasing
+// and in range — so a corrupt or mismatched delta fails loudly instead of
+// resuming a worker into silently wrong state. (Authenticity is the
+// sealer's job; this guards decoding.)
+func ApplySnapshotDelta(golden *Snapshot, delta []byte) (*Snapshot, error) {
+	if golden == nil {
+		return nil, fmt.Errorf("%w: apply delta to nil snapshot", ErrValidation)
+	}
+	d := deltaReader{buf: delta}
+	if d.u32() != swapMagic {
+		return nil, fmt.Errorf("%w: snapshot delta: bad magic", ErrValidation)
+	}
+	if v := d.u32(); v != swapVersion {
+		return nil, fmt.Errorf("%w: snapshot delta: unsupported version %d", ErrValidation, v)
+	}
+	memLen := d.u64()
+	if memLen%swapChunk != 0 || memLen > 1<<40 {
+		return nil, fmt.Errorf("%w: snapshot delta: bad memory length %d", ErrValidation, memLen)
+	}
+	nGlob := int(d.u32())
+	if nGlob != len(golden.globals) {
+		return nil, fmt.Errorf("%w: snapshot delta: %d globals, golden has %d", ErrValidation, nGlob, len(golden.globals))
+	}
+	globals := make([]uint64, nGlob)
+	for i := range globals {
+		globals[i] = d.u64()
+	}
+	nTable := int(d.u32())
+	if nTable != len(golden.table) {
+		return nil, fmt.Errorf("%w: snapshot delta: %d table entries, golden has %d", ErrValidation, nTable, len(golden.table))
+	}
+	table := make([]int32, nTable)
+	for i := range table {
+		table[i] = int32(d.u32())
+	}
+
+	mem := make([]byte, memLen)
+	copy(mem, golden.mem) // chunks past golden stay zero
+	nDirty := int(d.u32())
+	prev := -1
+	for i := 0; i < nDirty; i++ {
+		c := int(d.u32())
+		if c <= prev || uint64(c+1)*swapChunk > memLen {
+			return nil, fmt.Errorf("%w: snapshot delta: bad chunk index %d", ErrValidation, c)
+		}
+		prev = c
+		chunk := d.bytes(swapChunk)
+		if chunk == nil {
+			break // d.err is set
+		}
+		copy(mem[c*swapChunk:], chunk)
+	}
+	if d.err {
+		return nil, fmt.Errorf("%w: snapshot delta: truncated", ErrValidation)
+	}
+	if d.off != len(d.buf) {
+		return nil, fmt.Errorf("%w: snapshot delta: %d trailing bytes", ErrValidation, len(d.buf)-d.off)
+	}
+
+	return &Snapshot{
+		module:  golden.module,
+		mem:     mem,
+		globals: globals,
+		globTs:  golden.globTs, // immutable per-module types, shared
+		table:   table,
+	}, nil
+}
+
+// deltaReader is a bounds-checked little-endian cursor; the first
+// out-of-bounds read sets err and every further read returns zero values.
+type deltaReader struct {
+	buf []byte
+	off int
+	err bool
+}
+
+func (d *deltaReader) bytes(n int) []byte {
+	if d.err || d.off+n > len(d.buf) {
+		d.err = true
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *deltaReader) u32() uint32 {
+	b := d.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *deltaReader) u64() uint64 {
+	b := d.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}

@@ -1,0 +1,217 @@
+package wasm_test
+
+import (
+	"testing"
+
+	"twine/internal/wasm"
+	"twine/wasmgen"
+)
+
+// wasmPage is the wasm linear-memory page size.
+const wasmPage = 64 << 10
+
+// wideModule builds a module with 4 pages (256 KiB) of memory whose
+// run(x) writes x into one cell — so an advanced instance differs from
+// its golden snapshot in exactly one 4 KiB chunk, the property the delta
+// encoding exploits.
+func wideModule() *wasmgen.Module {
+	m := wasmgen.NewModule()
+	m.Memory(4, 8)
+	m.Data(0, []byte{1, 2, 3, 4})
+	f := m.Func(wasmgen.Sig(wasmgen.I32).Returns(wasmgen.I32))
+	// mem[64] += x; return mem[64]
+	f.I32Const(64).I32Const(64).I32Load(0).LocalGet(0).I32Add().I32Store(0)
+	f.I32Const(64).I32Load(0)
+	f.End()
+	m.Export("run", f)
+	m.ExportMemory("memory")
+	return m
+}
+
+// growModule is wideModule plus grow(n): grows memory by n pages and
+// writes a marker into the grown region.
+func growModule() *wasmgen.Module {
+	m := wasmgen.NewModule()
+	m.Memory(1, 4)
+	f := m.Func(wasmgen.Sig(wasmgen.I32).Returns(wasmgen.I32))
+	f.I32Const(64).I32Const(64).I32Load(0).LocalGet(0).I32Add().I32Store(0)
+	f.I32Const(64).I32Load(0)
+	f.End()
+	m.Export("run", f)
+
+	g := m.Func(wasmgen.Sig(wasmgen.I32).Returns(wasmgen.I32))
+	g.LocalGet(0).MemoryGrow().Drop()
+	// mem[1 page + 16] = 0xAB
+	g.I32Const(wasmPage + 16).I32Const(0xAB).I32Store(0)
+	g.MemorySize()
+	g.End()
+	m.Export("grow", g)
+	m.ExportMemory("memory")
+	return m
+}
+
+// TestSnapshotDeltaRoundTrip: golden + delta reconstructs a suspended
+// instance bit-exactly — a worker resumed from the delta computes what
+// the original would have computed.
+func TestSnapshotDeltaRoundTrip(t *testing.T) {
+	eachEngine(t, func(t *testing.T, e wasm.Engine) {
+		c := compile(t, wideModule())
+		in, err := wasm.Instantiate(c, nil, wasm.Config{Engine: e})
+		if err != nil {
+			t.Fatal(err)
+		}
+		golden := in.Snapshot()
+
+		// Advance the instance past the golden state.
+		for i := 1; i <= 3; i++ {
+			if _, err := in.Invoke("run", uint64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		delta, err := in.SnapshotDelta(golden)
+		if err != nil {
+			t.Fatalf("SnapshotDelta: %v", err)
+		}
+		// One dirty chunk out of 64: the delta must be roughly one chunk,
+		// not the 256 KiB memory.
+		if len(delta) > 3*4096 {
+			t.Errorf("delta is %d bytes for a single dirty chunk of a 256 KiB memory", len(delta))
+		}
+
+		snap, err := wasm.ApplySnapshotDelta(golden, delta)
+		if err != nil {
+			t.Fatalf("ApplySnapshotDelta: %v", err)
+		}
+		resumed, err := wasm.InstantiateFromSnapshot(c, nil, snap, wasm.Config{Engine: e})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := in.Invoke("run", 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := resumed.Invoke("run", 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a[0] != b[0] {
+			t.Fatalf("resumed instance diverged: original %d, resumed %d", a[0], b[0])
+		}
+	})
+}
+
+// TestSnapshotDeltaClean: an instance still at its golden state encodes
+// to a header-only delta, and applying it reproduces the golden state.
+func TestSnapshotDeltaClean(t *testing.T) {
+	c := compile(t, wideModule())
+	in, err := wasm.Instantiate(c, nil, wasm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := in.Snapshot()
+	delta, err := in.SnapshotDelta(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delta) > 256 {
+		t.Errorf("clean delta is %d bytes; want header-only", len(delta))
+	}
+	snap, err := wasm.ApplySnapshotDelta(golden, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := wasm.InstantiateFromSnapshot(c, nil, snap, wasm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := wasm.InstantiateFromSnapshot(c, nil, golden, wasm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := resumed.Invoke("run", 5)
+	b, _ := fresh.Invoke("run", 5)
+	if a[0] != b[0] {
+		t.Fatalf("clean delta did not reproduce golden state: %d vs %d", a[0], b[0])
+	}
+}
+
+// TestSnapshotDeltaGrownMemory: an instance that grew past the golden
+// snapshot round-trips — the grown-but-zero chunks are not encoded, the
+// written marker chunk is, and the reconstructed memory has the grown
+// length.
+func TestSnapshotDeltaGrownMemory(t *testing.T) {
+	c := compile(t, growModule())
+	in, err := wasm.Instantiate(c, nil, wasm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := in.Snapshot()
+	if _, err := in.Invoke("grow", 2); err != nil {
+		t.Fatalf("grow: %v", err)
+	}
+	delta, err := in.SnapshotDelta(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 grown pages = 32 new chunks, but only the marker chunk is dirty.
+	if len(delta) > 3*4096 {
+		t.Errorf("delta is %d bytes; grown zero chunks must not be encoded", len(delta))
+	}
+	snap, err := wasm.ApplySnapshotDelta(golden, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.MemBytes() != 3*wasmPage {
+		t.Fatalf("reconstructed memory is %d bytes, want %d", snap.MemBytes(), 3*wasmPage)
+	}
+	resumed, err := wasm.InstantiateFromSnapshot(c, nil, snap, wasm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := in.Invoke("run", 1)
+	b, _ := resumed.Invoke("run", 1)
+	if a[0] != b[0] {
+		t.Fatalf("grown-memory resume diverged: %d vs %d", a[0], b[0])
+	}
+}
+
+// TestApplySnapshotDeltaStrict: the decoder rejects corrupt deltas loudly
+// — bad magic, truncation, out-of-order or out-of-range chunk indices,
+// trailing garbage — rather than resuming a worker into wrong state.
+func TestApplySnapshotDeltaStrict(t *testing.T) {
+	c := compile(t, wideModule())
+	in, err := wasm.Instantiate(c, nil, wasm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := in.Snapshot()
+	if _, err := in.Invoke("run", 9); err != nil {
+		t.Fatal(err)
+	}
+	delta, err := in.SnapshotDelta(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := func(name string, mutate func([]byte) []byte) {
+		bad := mutate(append([]byte(nil), delta...))
+		if _, err := wasm.ApplySnapshotDelta(golden, bad); err == nil {
+			t.Errorf("%s: corrupt delta accepted", name)
+		}
+	}
+	corrupt("bad magic", func(b []byte) []byte { b[0] ^= 0xFF; return b })
+	corrupt("bad version", func(b []byte) []byte { b[4] = 99; return b })
+	corrupt("truncated", func(b []byte) []byte { return b[:len(b)-7] })
+	corrupt("trailing bytes", func(b []byte) []byte { return append(b, 0) })
+	corrupt("empty", func(b []byte) []byte { return nil })
+
+	// A delta never applies across modules.
+	other := compile(t, wideModule())
+	oin, err := wasm.Instantiate(other, nil, wasm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.SnapshotDelta(oin.Snapshot()); err == nil {
+		t.Error("cross-module SnapshotDelta accepted")
+	}
+}

@@ -43,7 +43,7 @@
 // across tenants, and every mutable thing — workers, golden snapshot,
 // admission queue, latency accounting — stays per-tenant:
 //
-//	reg := rt.NewRegistry()
+//	reg := rt.NewRegistry(twine.RegistryConfig{})
 //	a, err := reg.Register("tenant-a", wasmBytes, twine.TenantConfig{})
 //	out, err := reg.Submit("tenant-a", args...)  // or a.Submit(args...)
 //
@@ -53,6 +53,16 @@
 // (TenantConfig.MaxQueue) make overload a private failure — a saturated
 // tenant's submits fail with ErrOverloaded while its neighbours keep
 // serving — and per-tenant latency quantiles land in RegistryStats.
+//
+// Under EPC pressure the registry swaps at instance granularity (PR 9):
+// RegistryConfig.MaxResident bounds how many warm workers hold enclave
+// arenas at once, and RegistryConfig.IdleSuspendAge starts a background
+// reaper. Beyond the bound, the coldest idle instances (working-set-
+// weighted victim selection) are suspended — their state sealed to
+// untrusted storage as a delta against the golden snapshot, their EPC
+// released — and a Submit against a suspended tenant transparently
+// resumes it. A resumed worker is bit-identical to one that never left
+// the EPC; the zero RegistryConfig disables the tier entirely.
 //
 // For the paper's flagship use case — a trusted full SQL database — see the
 // tsql subpackage.
@@ -108,6 +118,11 @@ type (
 	// content-addressed compiled-module cache plus a named tenant table.
 	// See Runtime.NewRegistry.
 	Registry = core.Registry
+	// RegistryConfig shapes a Registry's EPC-pressure lifecycle (PR 9):
+	// MaxResident bounds warm workers holding enclave arenas,
+	// IdleSuspendAge/ReaperInterval drive the background reaper. The
+	// zero value disables the swap tier (PR 8 behaviour).
+	RegistryConfig = core.RegistryConfig
 	// Tenant is one registered (module, config) pair and its serving
 	// pool.
 	Tenant = core.Tenant
