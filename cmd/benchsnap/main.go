@@ -45,6 +45,14 @@
 //     floor is rejected;
 //   - the PR 9 micro/sealsnap series: seal + unseal ns against snapshot
 //     size (64 KiB – 16 MiB), the swap tier's per-suspend price;
+//   - the PR 10 fig-shards grid: requests/sec of the sharded sealed-SQL
+//     serving tier at 4 TCS for 1/2/4/8 hash partitions, under routed
+//     point reads ("point"), cross-shard merged aggregates ("scan") and
+//     alternating group-committed inserts with read-your-writes point
+//     reads on two replicas per shard ("mixed"); the point-read speedup
+//     at 4 shards lands in the fig-shards-speedup-s4 note, and a
+//     multi-shard point series whose reads all landed on one partition
+//     is rejected;
 //
 // each with warmup and a minimum measurement window, then writes a JSON
 // document. The committed BENCH_<n>.json snapshots at the repository root
@@ -170,6 +178,9 @@ func main() {
 	suspRequests := flag.Int("susp-requests", 2000, "fig-suspend total requests per run (0 disables the series)")
 	suspMaxRes := flag.Int("susp-maxres", 4, "fig-suspend resident-instance bound (tenants = 10x this)")
 	sealSnapMax := flag.Int64("sealsnap-max", 16<<20, "micro/sealsnap largest snapshot size in bytes (0 disables the series)")
+	shardRequests := flag.Int("shard-requests", 256, "fig-shards requests per point (0 disables the series)")
+	shardRows := flag.Int("shard-rows", 256, "fig-shards pre-ingested table rows")
+	shardIO := flag.Duration("shard-io", 300*time.Microsecond, "fig-shards untrusted transport wait per shard sub-request")
 	flag.Parse()
 
 	snap := Snapshot{
@@ -194,6 +205,9 @@ func main() {
 			"susp_requests":   *suspRequests,
 			"susp_maxres":     *suspMaxRes,
 			"sealsnap_max":    *sealSnapMax,
+			"shard_requests":  *shardRequests,
+			"shard_rows":      *shardRows,
+			"shard_io_us":     shardIO.Microseconds(),
 		},
 		Notes: map[string]string{
 			"fig3":           "PolyBench kernels, ns/op per full kernel run (incl. checksum)",
@@ -205,6 +219,7 @@ func main() {
 			"micro-warmcold": "PR 8 instance provisioning (wasm layer, mean ns): full Instantiate vs InstantiateFromSnapshot vs in-place ResetFromSnapshot over a 16-page module.",
 			"fig-suspend":    "PR 9 EPC-pressure lifecycle: ns/request (median) with 10x more stateful tenants than the EPC holds, under an 80/20 schedule. 'swap' = instance swap tier (MaxResident bound, sealed suspend/resume); 'resident' = all tenants warm, pressure served by the page-level clock sweep; 'cold' = per-request instantiation floor. req/s = 1e9/ns_per_op.",
 			"micro-sealsnap": "PR 9 suspend price (sgx layer, mean ns): seal + unseal round trip vs snapshot size — AES-GCM over the sealed delta, linear in the payload.",
+			"fig-shards":     "PR 10 sharded sealed-SQL tier: ns/request (median) for s hash partitions at 4 TCS, 8 clients. 'point' = routed single-shard reads; 'scan' = cross-shard merged COUNT+SUM; 'mixed' = alternating group-committed inserts and point reads on 2 replicas/shard. Each shard sub-request pays the configured transport wait while its serving handle is held; waits on different shards overlap. req/s = 1e9/ns_per_op.",
 		},
 	}
 
@@ -658,6 +673,70 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%-28s seal %10.0f ns  unseal %10.0f ns  (%.0f MB/s)\n",
 				fmt.Sprintf("micro/sealsnap/%dKiB", p.Size>>10), p.SealNs, p.UnsealNs, p.MBPerSec)
 		}
+	}
+
+	// fig-shards (PR 10): the sharded sealed-SQL serving tier at a fixed
+	// 4 TCS and 8 clients, shards doubling 1 → 8. Every response is
+	// verified inside RunShards against the deterministic payload, so a
+	// fast-but-wrong partitioning cannot post a number. Guards reject
+	// degenerate routing (a multi-shard point series whose reads all
+	// landed on one partition), an idle write tier in the mixed series,
+	// and a point series that stopped scaling (under 2x req/s from 1 to
+	// 4 shards; the committed snapshots show ~3.5x).
+	if *shardRequests > 0 {
+		nsPoint := map[int]float64{}
+		for _, shards := range []int{1, 2, 4, 8} {
+			for _, wl := range []string{"point", "scan", "mixed"} {
+				cfg := bench.ShardsConfig{
+					Shards:      shards,
+					Clients:     8,
+					Requests:    *shardRequests,
+					Rows:        *shardRows,
+					TCS:         4,
+					Workload:    wl,
+					HostIODelay: *shardIO,
+				}
+				if wl == "mixed" {
+					cfg.Replicas = 2
+				}
+				var last bench.ShardsResult
+				nsOp, ops, err := measureDur(func() (time.Duration, error) {
+					res, rerr := bench.RunShards(cfg)
+					if rerr != nil {
+						return 0, rerr
+					}
+					last = res
+					return res.Elapsed / time.Duration(res.Requests), nil
+				}, 1, 3, *window/2)
+				name := fmt.Sprintf("fig-shards/%s/s%d", wl, shards)
+				die(name, err)
+				if wl != "scan" && shards > 1 && last.MaxShardShare >= 1 {
+					die(name, fmt.Errorf("every routed read landed on one of %d shards (share %.2f)",
+						shards, last.MaxShardShare))
+				}
+				if wl == "scan" && shards > 1 && last.FanOuts != int64(last.Requests) {
+					die(name, fmt.Errorf("scan series fanned out %d of %d requests", last.FanOuts, last.Requests))
+				}
+				if wl == "mixed" && (last.GroupCommits == 0 || last.GroupedStmts < last.GroupCommits) {
+					die(name, fmt.Errorf("write tier idle or miscounted: %d commits, %d grouped statements",
+						last.GroupCommits, last.GroupedStmts))
+				}
+				snap.Results = append(snap.Results, Result{name, nsOp, ops})
+				if wl == "point" {
+					nsPoint[shards] = nsOp
+				}
+				fmt.Fprintf(os.Stderr, "%-28s %10.0f ns/req  %8.0f req/s  (share %.2f, %d commits, %d refreshes in last op)\n",
+					name, nsOp, 1e9/nsOp, last.MaxShardShare, last.GroupCommits, last.ReplicaRefreshes)
+			}
+		}
+		sp := nsPoint[1] / nsPoint[4]
+		if sp < 2 {
+			die("fig-shards", fmt.Errorf("point reads scaled only %.2fx from 1 to 4 shards (floor 2x)", sp))
+		}
+		snap.Notes["fig-shards-speedup-s4"] = fmt.Sprintf("%.2fx point-read req/s at 4 shards vs 1", sp)
+		snap.Notes["fig-shards-speedup-s8"] = fmt.Sprintf("%.2fx point-read req/s at 8 shards vs 1", nsPoint[1]/nsPoint[8])
+		fmt.Fprintf(os.Stderr, "%-28s point-read speedup %.2fx at 4 shards, %.2fx at 8\n",
+			"fig-shards", sp, nsPoint[1]/nsPoint[8])
 	}
 
 	enc, err := json.MarshalIndent(snap, "", "  ")

@@ -1,0 +1,265 @@
+// Command tsqlsh is an interactive shell over the sharded sealed-SQL
+// serving tier: every statement is routed through a tsql.Service, so a
+// session exercises the same front door the benchmarks measure — hash
+// partitioning, snapshot-replica reads and group-committed writes.
+//
+//	tsqlsh -shards 4 -route orders.cust
+//	tsql> CREATE TABLE orders (id INTEGER PRIMARY KEY, cust INTEGER, amt REAL)
+//	ok (1 shard write)
+//	tsql> .ingest orders.csv orders
+//	ingested 1200 rows into orders
+//	tsql> SELECT cust, COUNT(*) FROM orders GROUP BY cust ORDER BY cust
+//
+// Meta commands: .ingest <file.csv> <table> loads a CSV (header row names
+// the columns; column types are sniffed), .stats prints the routing
+// counters, .quit exits. Without -dir the database lives in memory for
+// the session; with it, the sealed shard files persist on disk.
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"twine"
+	"twine/internal/hostfs"
+	"twine/tsql"
+)
+
+func die(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tsqlsh: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		dbPath   = flag.String("db", "trusted.db", "database file name (shard i stores <db>.s<i>)")
+		dir      = flag.String("dir", "", "host directory for the sealed files (default: in-memory)")
+		shards   = flag.Int("shards", 1, "number of hash partitions")
+		replicas = flag.Int("replicas", 1, "serving handles per shard")
+		route    = flag.String("route", "", "routing column as table.column (required for -shards > 1)")
+		seed     = flag.String("seed", "", "platform seed (sealing identity)")
+		eval     = flag.String("e", "", "run these semicolon-separated statements and exit")
+	)
+	flag.Parse()
+
+	cfg := tsql.ShardConfig{
+		Base:     tsql.Config{Path: *dbPath, PlatformSeed: *seed},
+		Shards:   *shards,
+		Replicas: *replicas,
+	}
+	if *route != "" {
+		tbl, col, ok := strings.Cut(*route, ".")
+		if !ok {
+			die("-route wants table.column, got %q", *route)
+		}
+		cfg.RouteTable, cfg.RouteColumn = tbl, col
+	}
+	if *dir != "" {
+		fs, err := twine.NewDirHostFS(*dir)
+		if err != nil {
+			die("%v", err)
+		}
+		cfg.Base.HostFS = fs
+	} else {
+		cfg.Base.HostFS = hostfs.NewMemFS()
+	}
+	svc, err := tsql.OpenService(cfg)
+	if err != nil {
+		die("%v", err)
+	}
+	defer svc.Close()
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+
+	if *eval != "" {
+		if err := dispatch(out, svc, *eval); err != nil {
+			out.Flush()
+			die("%v", err)
+		}
+		return
+	}
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Fprint(out, "tsql> ")
+		out.Flush()
+		if !in.Scan() {
+			fmt.Fprintln(out)
+			return
+		}
+		line := strings.TrimSpace(in.Text())
+		switch {
+		case line == "":
+		case line == ".quit" || line == ".exit":
+			return
+		case line == ".stats":
+			fmt.Fprintf(out, "%+v\n", svc.Stats())
+		case line == ".help":
+			fmt.Fprintln(out, "meta: .ingest <file.csv> <table>  .stats  .quit")
+		case strings.HasPrefix(line, ".ingest"):
+			fs := strings.Fields(line)
+			if len(fs) != 3 {
+				fmt.Fprintln(out, "usage: .ingest <file.csv> <table>")
+				continue
+			}
+			n, err := ingestCSV(svc, fs[1], fs[2])
+			if err != nil {
+				fmt.Fprintf(out, "error: %v\n", err)
+				continue
+			}
+			fmt.Fprintf(out, "ingested %d rows into %s\n", n, fs[2])
+		case strings.HasPrefix(line, "."):
+			fmt.Fprintf(out, "unknown meta command %q (.help)\n", line)
+		default:
+			if err := dispatch(out, svc, line); err != nil {
+				fmt.Fprintf(out, "error: %v\n", err)
+			}
+		}
+	}
+}
+
+// dispatch runs SQL: SELECT/PRAGMA through the read tier with a printed
+// table, everything else through the write tier.
+func dispatch(out io.Writer, svc *tsql.Service, sql string) error {
+	head := strings.ToUpper(strings.Fields(sql)[0])
+	if head == "SELECT" || head == "PRAGMA" {
+		rows, err := svc.Query(sql)
+		if err != nil {
+			return err
+		}
+		printRows(out, rows)
+		return nil
+	}
+	n, err := svc.Exec(sql)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "ok, %d rows\n", n)
+	return nil
+}
+
+func printRows(out io.Writer, rows *tsql.Rows) {
+	fmt.Fprintln(out, strings.Join(rows.Cols, " | "))
+	n := 0
+	for rows.Next() {
+		cells := make([]string, len(rows.Row()))
+		for i, v := range rows.Row() {
+			cells[i] = v.Text()
+		}
+		fmt.Fprintln(out, strings.Join(cells, " | "))
+		n++
+	}
+	fmt.Fprintf(out, "(%d rows)\n", n)
+}
+
+// ingestCSV loads a CSV whose header names the columns: types are
+// sniffed from the data, the table is created if missing, and rows go in
+// as batched multi-row INSERTs so the router splits each batch across
+// the shards in one group commit per partition.
+func ingestCSV(svc *tsql.Service, path, table string) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	recs, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return 0, err
+	}
+	if len(recs) < 2 {
+		return 0, fmt.Errorf("%s: need a header row and at least one data row", path)
+	}
+	header, data := recs[0], recs[1:]
+
+	types := sniffTypes(header, data)
+	var defs []string
+	for i, col := range header {
+		defs = append(defs, fmt.Sprintf("%s %s", col, types[i]))
+	}
+	ddl := fmt.Sprintf("CREATE TABLE IF NOT EXISTS %s (%s)", table, strings.Join(defs, ", "))
+	if _, err := svc.Exec(ddl); err != nil {
+		return 0, err
+	}
+
+	const batch = 64
+	var total int64
+	for at := 0; at < len(data); at += batch {
+		end := at + batch
+		if end > len(data) {
+			end = len(data)
+		}
+		var (
+			tuples []string
+			args   []tsql.Value
+		)
+		for _, rec := range data[at:end] {
+			if len(rec) != len(header) {
+				return total, fmt.Errorf("%s: row has %d fields, header has %d", path, len(rec), len(header))
+			}
+			marks := make([]string, len(rec))
+			for i, cell := range rec {
+				marks[i] = "?"
+				args = append(args, cellValue(cell, types[i]))
+			}
+			tuples = append(tuples, "("+strings.Join(marks, ", ")+")")
+		}
+		ins := fmt.Sprintf("INSERT INTO %s (%s) VALUES %s",
+			table, strings.Join(header, ", "), strings.Join(tuples, ", "))
+		n, err := svc.Exec(ins, args...)
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// sniffTypes picks INTEGER/REAL/TEXT per column from the data rows.
+func sniffTypes(header []string, data [][]string) []string {
+	types := make([]string, len(header))
+	for i := range header {
+		isInt, isReal := true, true
+		for _, rec := range data {
+			if i >= len(rec) || rec[i] == "" {
+				continue
+			}
+			if _, err := strconv.ParseInt(rec[i], 10, 64); err != nil {
+				isInt = false
+			}
+			if _, err := strconv.ParseFloat(rec[i], 64); err != nil {
+				isReal = false
+			}
+		}
+		switch {
+		case isInt:
+			types[i] = "INTEGER"
+		case isReal:
+			types[i] = "REAL"
+		default:
+			types[i] = "TEXT"
+		}
+	}
+	return types
+}
+
+func cellValue(cell, typ string) tsql.Value {
+	switch typ {
+	case "INTEGER":
+		if n, err := strconv.ParseInt(cell, 10, 64); err == nil {
+			return tsql.Int(n)
+		}
+	case "REAL":
+		if f, err := strconv.ParseFloat(cell, 64); err == nil {
+			return tsql.Real(f)
+		}
+	}
+	return tsql.Text(cell)
+}

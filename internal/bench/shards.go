@@ -1,0 +1,259 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"twine/internal/hostfs"
+	"twine/tsql"
+)
+
+// The fig-shards workload (PR 10): the sharded sealed-SQL serving tier
+// under client load. Each request is one front-door operation — a routed
+// point read, a cross-shard scan, or a write — and each shard sub-request
+// pays an untrusted transport wait while its serving handle is held (the
+// fig-throughput idiom). With one shard every request serialises on one
+// sealed database; with N shards the transport waits of requests routed
+// to different partitions overlap, so point-read throughput scales with
+// the shard count until the in-enclave query CPU saturates.
+
+// ShardsConfig parameterises one fig-shards point.
+type ShardsConfig struct {
+	// Shards is the number of hash partitions (default 1).
+	Shards int
+	// Replicas is the serving-handle count per shard (default 1).
+	Replicas int
+	// Clients is the number of concurrent client goroutines (default 8);
+	// it is held constant across shard counts so the series isolates
+	// partitioning, not offered load.
+	Clients int
+	// Requests is the number of requests served (default 256).
+	Requests int
+	// Rows is the pre-ingested table size (default 256).
+	Rows int
+	// TCS is the per-shard enclave thread-slot count (default 4).
+	TCS int
+	// Workload is "point" (routed single-shard reads), "scan"
+	// (cross-shard merged aggregates) or "mixed" (alternating routed
+	// inserts and point reads; inserts ride the group-commit queue).
+	Workload string
+	// HostIODelay is the untrusted transport wait per shard sub-request
+	// (default 300µs).
+	HostIODelay time.Duration
+}
+
+// ShardsResult is one measured fig-shards point.
+type ShardsResult struct {
+	Shards    int
+	Replicas  int
+	Clients   int
+	Requests  int
+	Workload  string
+	Elapsed   time.Duration
+	ReqPerSec float64
+	// PointReads is the per-shard routed-read census; MaxShardShare is
+	// the busiest shard's fraction of them (1/Shards is perfect spread,
+	// 1.0 means the partitioner degenerated).
+	PointReads    []int64
+	MaxShardShare float64
+	// Routing and write-tier activity for the run.
+	FanOuts          int64
+	Writes           int64
+	GroupCommits     int64
+	GroupedStmts     int64
+	ReplicaRefreshes int64
+}
+
+// shardsValue is the deterministic payload checked on every read.
+func shardsValue(k int) string { return fmt.Sprintf("val-%06d", k*2654435761%1000003) }
+
+// RunShards opens a sharded service on a fresh in-memory host, ingests
+// the table, serves the workload from concurrent clients and verifies
+// every response against the deterministic payload.
+func RunShards(cfg ShardsConfig) (ShardsResult, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 1
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 8
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 256
+	}
+	if cfg.Rows <= 0 {
+		cfg.Rows = 256
+	}
+	if cfg.TCS <= 0 {
+		cfg.TCS = 4
+	}
+	if cfg.Workload == "" {
+		cfg.Workload = "point"
+	}
+	if cfg.HostIODelay == 0 {
+		cfg.HostIODelay = 300 * time.Microsecond
+	}
+
+	base := tsql.Config{
+		Path:         "bench.db",
+		HostFS:       hostfs.NewMemFS(),
+		PlatformSeed: "bench-shards",
+		CacheKiB:     256,
+	}
+	base.SGX.EPCSize = 16 << 20
+	base.SGX.EPCUsable = 12 << 20
+	base.SGX.HeapSize = 96 << 20
+	base.SGX.ReservedSize = 4 << 20
+	base.SGX.TCSNum = cfg.TCS
+
+	delay := cfg.HostIODelay
+	svc, err := tsql.OpenService(tsql.ShardConfig{
+		Base:        base,
+		Shards:      cfg.Shards,
+		Replicas:    cfg.Replicas,
+		RouteTable:  "kv",
+		RouteColumn: "k",
+		HostIO:      func(int) error { time.Sleep(delay); return nil },
+	})
+	if err != nil {
+		return ShardsResult{}, err
+	}
+	defer svc.Close()
+
+	if _, err := svc.Exec(`CREATE TABLE kv (k INTEGER PRIMARY KEY, v TEXT)`); err != nil {
+		return ShardsResult{}, err
+	}
+	const batch = 32
+	for at := 0; at < cfg.Rows; at += batch {
+		end := at + batch
+		if end > cfg.Rows {
+			end = cfg.Rows
+		}
+		var rows []string
+		for k := at; k < end; k++ {
+			rows = append(rows, fmt.Sprintf("(%d, '%s')", k, shardsValue(k)))
+		}
+		if _, err := svc.Exec(`INSERT INTO kv (k, v) VALUES ` + strings.Join(rows, ", ")); err != nil {
+			return ShardsResult{}, err
+		}
+	}
+
+	// expectSum/expectCount are the scan workload's reference answers.
+	var expectSum int64
+	for k := 0; k < cfg.Rows; k++ {
+		expectSum += int64(k)
+	}
+
+	pointRead := func(k int) error {
+		row, err := svc.QueryRow(`SELECT v FROM kv WHERE k = ?`, tsql.Int(int64(k)))
+		if err != nil {
+			return err
+		}
+		if row == nil || row[0].Text() != shardsValue(k) {
+			return fmt.Errorf("bench: k=%d read %v, want %q", k, row, shardsValue(k))
+		}
+		return nil
+	}
+
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		firstMu sync.Mutex
+		first   error
+	)
+	fail := func(err error) {
+		firstMu.Lock()
+		if first == nil {
+			first = err
+		}
+		firstMu.Unlock()
+	}
+
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cfg.Requests {
+					return
+				}
+				switch cfg.Workload {
+				case "point":
+					if err := pointRead(int(uint32(i*2654435761)) % cfg.Rows); err != nil {
+						fail(err)
+						return
+					}
+				case "scan":
+					row, err := svc.QueryRow(`SELECT COUNT(*), SUM(k) FROM kv WHERE k < ?`, tsql.Int(int64(cfg.Rows)))
+					if err != nil {
+						fail(err)
+						return
+					}
+					if row[0].Int() < int64(cfg.Rows) || row[1].Int() < expectSum {
+						fail(fmt.Errorf("bench: scan saw %v, want >= [%d %d]", row, cfg.Rows, expectSum))
+						return
+					}
+				case "mixed":
+					if i%2 == 0 {
+						k := cfg.Rows + i
+						if _, err := svc.Exec(`INSERT INTO kv (k, v) VALUES (?, ?)`,
+							tsql.Int(int64(k)), tsql.Text(shardsValue(k))); err != nil {
+							fail(err)
+							return
+						}
+						if err := pointRead(k); err != nil { // read-your-writes
+							fail(err)
+							return
+						}
+					} else if err := pointRead(int(uint32(i*2654435761)) % cfg.Rows); err != nil {
+						fail(err)
+						return
+					}
+				default:
+					fail(fmt.Errorf("bench: unknown workload %q", cfg.Workload))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if first != nil {
+		return ShardsResult{}, first
+	}
+
+	st := svc.Stats()
+	res := ShardsResult{
+		Shards:           cfg.Shards,
+		Replicas:         cfg.Replicas,
+		Clients:          cfg.Clients,
+		Requests:         cfg.Requests,
+		Workload:         cfg.Workload,
+		Elapsed:          elapsed,
+		ReqPerSec:        float64(cfg.Requests) / elapsed.Seconds(),
+		PointReads:       st.PointReads,
+		FanOuts:          st.FanOuts,
+		Writes:           st.Writes,
+		GroupCommits:     st.GroupCommits,
+		GroupedStmts:     st.GroupedStmts,
+		ReplicaRefreshes: st.ReplicaRefreshes,
+	}
+	var sum, max int64
+	for _, p := range st.PointReads {
+		sum += p
+		if p > max {
+			max = p
+		}
+	}
+	if sum > 0 {
+		res.MaxShardShare = float64(max) / float64(sum)
+	}
+	return res, nil
+}

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunShardsSmoke runs a scaled-down point/scan/mixed triple on 2
+// shards and checks the routing census: reads spread across partitions,
+// writes batch into group commits, every response verified in RunShards.
+func TestRunShardsSmoke(t *testing.T) {
+	point, err := RunShards(ShardsConfig{
+		Shards: 2, Clients: 4, Requests: 32, Rows: 64,
+		Workload: "point", HostIODelay: 100 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatalf("point: %v", err)
+	}
+	if point.ReqPerSec <= 0 {
+		t.Fatalf("point: no throughput: %+v", point)
+	}
+	if point.MaxShardShare >= 1 {
+		t.Fatalf("point: every read landed on one shard: %+v", point)
+	}
+
+	scan, err := RunShards(ShardsConfig{
+		Shards: 2, Clients: 4, Requests: 16, Rows: 64,
+		Workload: "scan", HostIODelay: 100 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if scan.FanOuts != int64(scan.Requests) {
+		t.Fatalf("scan: %d fan-outs for %d requests", scan.FanOuts, scan.Requests)
+	}
+
+	mixed, err := RunShards(ShardsConfig{
+		Shards: 2, Replicas: 2, Clients: 4, Requests: 32, Rows: 64,
+		Workload: "mixed", HostIODelay: 100 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatalf("mixed: %v", err)
+	}
+	if mixed.GroupCommits == 0 || mixed.Writes == 0 {
+		t.Fatalf("mixed: write tier idle: %+v", mixed)
+	}
+}

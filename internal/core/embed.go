@@ -21,6 +21,7 @@ type EmbeddedDB struct {
 	In   *wasm.Instance
 	DB   *litedb.DB
 	mod  *Module
+	cfg  DBConfig
 }
 
 // guestECall enters the enclave for database work and flushes the shim
@@ -78,6 +79,13 @@ func (rt *Runtime) OpenDB(cfg DBConfig) (*EmbeddedDB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("twine: shim module: %w", err)
 	}
+	return rt.openEmbedded(mod, cfg)
+}
+
+// openEmbedded instantiates the (already loaded) shim module and opens
+// the database over it. Split from OpenDB so Reopen can rebuild a handle
+// without loading another module copy into the enclave's reserved region.
+func (rt *Runtime) openEmbedded(mod *Module, cfg DBConfig) (*EmbeddedDB, error) {
 	inst, err := rt.NewInstance(mod)
 	if err != nil {
 		return nil, err
@@ -119,7 +127,7 @@ func (rt *Runtime) OpenDB(cfg DBConfig) (*EmbeddedDB, error) {
 		vfs = wvfs
 	}
 
-	edb := &EmbeddedDB{rt: rt, inst: inst, In: inst.In, mod: mod}
+	edb := &EmbeddedDB{rt: rt, inst: inst, In: inst.In, mod: mod, cfg: cfg}
 	var db *litedb.DB
 	err = edb.guestECall("twine_db_open", func() error {
 		var oerr error
@@ -137,6 +145,25 @@ func (rt *Runtime) OpenDB(cfg DBConfig) (*EmbeddedDB, error) {
 	}
 	edb.DB = db
 	return edb, nil
+}
+
+// Reopen closes the handle and rebuilds it from the sealed file, reusing
+// the cached shim module: a fresh instance arena, page store and VFS, but
+// no new reserved-region load. Snapshot-cloned read replicas refresh this
+// way after each group commit advances the shard epoch.
+func (e *EmbeddedDB) Reopen() error {
+	if err := e.guestECall("twine_db_close", func() error { return e.DB.Close() }); err != nil {
+		return err
+	}
+	if err := e.inst.Release(); err != nil {
+		return err
+	}
+	ne, err := e.rt.openEmbedded(e.mod, e.cfg)
+	if err != nil {
+		return err
+	}
+	*e = *ne
+	return nil
 }
 
 // Exec runs SQL inside the enclave.
@@ -161,7 +188,140 @@ func (e *EmbeddedDB) Query(sql string, args ...litedb.Value) (*litedb.Rows, erro
 	return rows, err
 }
 
+// ExecStmt runs one pre-parsed statement inside the enclave.
+func (e *EmbeddedDB) ExecStmt(st litedb.Stmt, args ...litedb.Value) (int64, error) {
+	var n int64
+	err := e.guestECall("twine_db_exec", func() error {
+		var xerr error
+		n, xerr = e.DB.ExecStmt(st, args...)
+		return xerr
+	})
+	return n, err
+}
+
+// QueryStmt runs one pre-parsed SELECT (or PRAGMA) inside the enclave.
+func (e *EmbeddedDB) QueryStmt(st litedb.Stmt, args ...litedb.Value) (*litedb.Rows, error) {
+	var rows *litedb.Rows
+	err := e.guestECall("twine_db_query", func() error {
+		var qerr error
+		rows, qerr = e.DB.QueryStmt(st, args...)
+		return qerr
+	})
+	return rows, err
+}
+
+// Batch runs fn against the database inside ONE enclave crossing, so a
+// group-committed transaction — BEGIN, every batched statement, COMMIT —
+// pays a single ECall and a single protected-FS flush on exit. This is
+// the shard service's write path.
+func (e *EmbeddedDB) Batch(fn func(db *litedb.DB) error) error {
+	return e.guestECall("twine_db_batch", func() error { return fn(e.DB) })
+}
+
 // Close closes the database inside the enclave.
 func (e *EmbeddedDB) Close() error {
 	return e.guestECall("twine_db_close", func() error { return e.DB.Close() })
+}
+
+// Release closes the database and frees the shim instance's arena.
+func (e *EmbeddedDB) Release() error {
+	err := e.Close()
+	if rerr := e.inst.Release(); err == nil {
+		err = rerr
+	}
+	return err
+}
+
+// --- streaming queries ---
+
+// streamBatch is how many rows one fetch ECall pulls from the in-enclave
+// cursor: large enough to amortise the crossing, small enough to keep the
+// host-side buffer bounded.
+const streamBatch = 128
+
+// DBStream is a streaming cursor over an embedded database query. Rows
+// are produced by a litedb.RowIter inside the enclave and pulled across
+// the boundary in batches of streamBatch rows, so the host never holds a
+// full result set. The handle must not run other statements until the
+// stream is closed.
+type DBStream struct {
+	e    *EmbeddedDB
+	it   *litedb.RowIter
+	buf  [][]litedb.Value
+	pos  int
+	cur  []litedb.Value
+	err  error
+	done bool
+}
+
+// QueryStream starts a streaming query inside the enclave.
+func (e *EmbeddedDB) QueryStream(sql string, args ...litedb.Value) (*DBStream, error) {
+	var it *litedb.RowIter
+	err := e.guestECall("twine_db_query", func() error {
+		var qerr error
+		it, qerr = e.DB.QueryIter(sql, args...)
+		return qerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DBStream{e: e, it: it}, nil
+}
+
+// Cols returns the result column names.
+func (s *DBStream) Cols() []string { return s.it.Cols() }
+
+// Next advances to the next row, refilling from the enclave cursor when
+// the host-side batch is exhausted.
+func (s *DBStream) Next() bool {
+	if s.pos < len(s.buf) {
+		s.cur = s.buf[s.pos]
+		s.pos++
+		return true
+	}
+	if s.done || s.err != nil {
+		return false
+	}
+	s.buf = s.buf[:0]
+	s.pos = 0
+	err := s.e.guestECall("twine_db_fetch", func() error {
+		for len(s.buf) < streamBatch {
+			if !s.it.Next() {
+				s.done = true
+				return s.it.Err()
+			}
+			s.buf = append(s.buf, s.it.Row())
+		}
+		return nil
+	})
+	if err != nil {
+		s.err = err
+		return false
+	}
+	if len(s.buf) == 0 {
+		return false
+	}
+	s.cur = s.buf[0]
+	s.pos = 1
+	return true
+}
+
+// Row returns the current row after Next reported true.
+func (s *DBStream) Row() []litedb.Value { return s.cur }
+
+// Err returns the error that terminated the stream, if any.
+func (s *DBStream) Err() error { return s.err }
+
+// MaxBuffered reports the bounded-memory high-water mark: in-enclave
+// channel occupancy plus the host-side refill batch.
+func (s *DBStream) MaxBuffered() int64 { return s.it.MaxBuffered() + streamBatch }
+
+// Close stops the in-enclave producer and frees the handle for the next
+// statement.
+func (s *DBStream) Close() error {
+	err := s.e.guestECall("twine_db_fetch", func() error { return s.it.Close() })
+	if s.err == nil && err != nil {
+		s.err = err
+	}
+	return s.err
 }

@@ -399,7 +399,10 @@ func (db *DB) scanSource(ts *TableSchema, level int, conds []Expr, ctx *evalCtx,
 		return try(v.Int(), payload)
 
 	case pathRowidRange:
-		start := int64(1)
+		// Explicit INTEGER PRIMARY KEY values may be zero or negative, so
+		// an open lower bound starts at the smallest representable rowid,
+		// not at the first automatic one.
+		start := int64(-1 << 63)
 		if path.lo != nil {
 			v, err := eval(path.lo, ctx)
 			if err != nil {

@@ -1,0 +1,451 @@
+package tsql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"twine/internal/litedb"
+)
+
+// Cross-shard SELECT: scatter to every shard, merge at the coordinator.
+// Plain selects concatenate and re-sort; aggregate selects merge partial
+// aggregates, with AVG rewritten per shard into TOTAL + COUNT so the
+// coordinator can recombine exactly.
+
+type fanKind int
+
+const (
+	fanKey fanKind = iota
+	fanCount
+	fanSum
+	fanTotal
+	fanMin
+	fanMax
+	fanConcat
+	fanAvg
+)
+
+// fanPlan is the coordinator's merge plan for one cross-shard SELECT.
+type fanPlan struct {
+	agg      bool
+	cols     []fanKind // per result column (agg mode only)
+	names    []string
+	nOrig    int // merged row width (before AVG's appended counts)
+	nAvg     int
+	orderIdx []int
+	orderDsc []bool
+	limit    int // -1 = none
+	offset   int
+	distinct bool
+}
+
+// exprHasAggregate walks an expression for aggregate calls.
+func exprHasAggregate(e litedb.Expr) bool {
+	switch x := e.(type) {
+	case nil, *litedb.Literal, *litedb.Param, *litedb.ColRef:
+		return false
+	case *litedb.Unary:
+		return exprHasAggregate(x.X)
+	case *litedb.Binary:
+		return exprHasAggregate(x.L) || exprHasAggregate(x.R)
+	case *litedb.Like:
+		return exprHasAggregate(x.X) || exprHasAggregate(x.Pattern)
+	case *litedb.InList:
+		if exprHasAggregate(x.X) {
+			return true
+		}
+		for _, it := range x.List {
+			if exprHasAggregate(it) {
+				return true
+			}
+		}
+		return false
+	case *litedb.Between:
+		return exprHasAggregate(x.X) || exprHasAggregate(x.Lo) || exprHasAggregate(x.Hi)
+	case *litedb.IsNull:
+		return exprHasAggregate(x.X)
+	case *litedb.Call:
+		if x.IsAggregate() {
+			return true
+		}
+		for _, a := range x.Args {
+			if exprHasAggregate(a) {
+				return true
+			}
+		}
+		return false
+	case *litedb.CaseExpr:
+		if exprHasAggregate(x.Operand) || exprHasAggregate(x.Else) {
+			return true
+		}
+		for _, w := range x.Whens {
+			if exprHasAggregate(w.Cond) || exprHasAggregate(w.Res) {
+				return true
+			}
+		}
+		return false
+	case *litedb.Cast:
+		return exprHasAggregate(x.X)
+	default:
+		return true // unknown node: be conservative, force the agg checks
+	}
+}
+
+// tableColumns reads a table's declared columns off shard 0 (DDL is
+// broadcast, so every shard agrees).
+func (s *Service) tableColumns(name string) ([]string, bool) {
+	sh := s.shards[0]
+	sh.storageMu.RLock()
+	defer sh.storageMu.RUnlock()
+	return sh.writer.edb.DB.TableColumns(name)
+}
+
+// planFan builds the merge plan for one cross-shard SELECT.
+func (s *Service) planFan(st *litedb.SelectStmt, args []Value) (*fanPlan, error) {
+	pl := &fanPlan{limit: -1}
+
+	// Result names (star expansion needs the schema) and column kinds.
+	anyAgg := false
+	for _, rc := range st.Cols {
+		if rc.Star {
+			for _, ref := range st.From {
+				name := ref.Alias
+				if name == "" {
+					name = ref.Name
+				}
+				if rc.StarTable != "" && !strings.EqualFold(rc.StarTable, name) {
+					continue
+				}
+				cols, ok := s.tableColumns(ref.Name)
+				if !ok {
+					return nil, fmt.Errorf("tsql: no such table: %s", ref.Name)
+				}
+				for _, c := range cols {
+					pl.names = append(pl.names, c)
+					pl.cols = append(pl.cols, fanKey)
+				}
+			}
+			continue
+		}
+		name := rc.Alias
+		if name == "" {
+			if cr, ok := rc.Expr.(*litedb.ColRef); ok {
+				name = cr.Col
+			} else {
+				name = fmt.Sprintf("col%d", len(pl.names)+1)
+			}
+		}
+		pl.names = append(pl.names, name)
+		if call, ok := rc.Expr.(*litedb.Call); ok && call.IsAggregate() {
+			anyAgg = true
+			switch call.Name {
+			case "count":
+				pl.cols = append(pl.cols, fanCount)
+			case "sum":
+				pl.cols = append(pl.cols, fanSum)
+			case "total":
+				pl.cols = append(pl.cols, fanTotal)
+			case "min":
+				pl.cols = append(pl.cols, fanMin)
+			case "max":
+				pl.cols = append(pl.cols, fanMax)
+			case "group_concat":
+				pl.cols = append(pl.cols, fanConcat)
+			case "avg":
+				pl.cols = append(pl.cols, fanAvg)
+				pl.nAvg++
+			}
+			continue
+		}
+		if exprHasAggregate(rc.Expr) {
+			return nil, fmt.Errorf("tsql: cross-shard aggregates must be bare result columns (got an expression over one)")
+		}
+		pl.cols = append(pl.cols, fanKey)
+	}
+	pl.nOrig = len(pl.names)
+	pl.agg = anyAgg || len(st.GroupBy) > 0
+	pl.distinct = st.Distinct
+
+	if pl.agg {
+		if st.Having != nil {
+			return nil, fmt.Errorf("tsql: cross-shard HAVING is not supported; filter the merged result at the client")
+		}
+		if st.Distinct {
+			return nil, fmt.Errorf("tsql: cross-shard SELECT DISTINCT with aggregates is not supported")
+		}
+		for _, rc := range st.Cols {
+			if rc.Star {
+				return nil, fmt.Errorf("tsql: cross-shard aggregate SELECT cannot use *")
+			}
+		}
+		nKeys := 0
+		for _, k := range pl.cols {
+			if k == fanKey {
+				nKeys++
+			}
+		}
+		if nKeys != len(st.GroupBy) {
+			return nil, fmt.Errorf("tsql: cross-shard GROUP BY must project exactly its grouping keys (%d keys projected, %d GROUP BY terms)", nKeys, len(st.GroupBy))
+		}
+	}
+
+	// ORDER BY must name result columns: ordinal, alias or column name.
+	for _, term := range st.OrderBy {
+		idx := -1
+		if lit, ok := term.Expr.(*litedb.Literal); ok && lit.Val.Type() == litedb.Integer {
+			ord := int(lit.Val.Int())
+			if ord < 1 || ord > pl.nOrig {
+				return nil, fmt.Errorf("tsql: ORDER BY ordinal %d out of range", ord)
+			}
+			idx = ord - 1
+		} else if cr, ok := term.Expr.(*litedb.ColRef); ok {
+			for i, n := range pl.names {
+				if strings.EqualFold(n, cr.Col) {
+					idx = i
+					break
+				}
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("tsql: cross-shard ORDER BY must name a result column (alias or ordinal)")
+		}
+		pl.orderIdx = append(pl.orderIdx, idx)
+		pl.orderDsc = append(pl.orderDsc, term.Desc)
+	}
+
+	// LIMIT/OFFSET are applied at the coordinator after the merge.
+	if st.Limit != nil {
+		lv, err := litedb.EvalConst(st.Limit, args)
+		if err != nil {
+			return nil, fmt.Errorf("tsql: cross-shard LIMIT must be constant: %w", err)
+		}
+		pl.limit = int(lv.Int())
+	}
+	if st.Offset != nil {
+		ov, err := litedb.EvalConst(st.Offset, args)
+		if err != nil {
+			return nil, fmt.Errorf("tsql: cross-shard OFFSET must be constant: %w", err)
+		}
+		if pl.offset = int(ov.Int()); pl.offset < 0 {
+			pl.offset = 0
+		}
+	}
+	return pl, nil
+}
+
+// shardStmt re-parses the query for one shard (ASTs are never shared —
+// binding mutates them) and rewrites it for partial execution: AVG
+// becomes TOTAL plus an appended COUNT, coordinator-side ordering and
+// windowing are stripped or widened.
+func shardStmt(sql string, pl *fanPlan) (*litedb.SelectStmt, error) {
+	stmts, err := litedb.ParseAll(sql)
+	if err != nil {
+		return nil, err
+	}
+	st := stmts[0].(*litedb.SelectStmt)
+	if pl.agg {
+		for i, k := range pl.cols {
+			if k != fanAvg {
+				continue
+			}
+			call := st.Cols[i].Expr.(*litedb.Call)
+			st.Cols[i].Expr = &litedb.Call{Name: "total", Args: call.Args}
+			st.Cols = append(st.Cols, litedb.ResultCol{Expr: &litedb.Call{Name: "count", Args: call.Args}})
+		}
+		st.OrderBy, st.Limit, st.Offset = nil, nil, nil
+		return st, nil
+	}
+	if pl.limit >= 0 {
+		// Each shard needs the top limit+offset rows for a correct
+		// global window.
+		st.Limit = &litedb.Literal{Val: Int(int64(pl.limit + pl.offset))}
+		st.Offset = nil
+	}
+	return st, nil
+}
+
+// fanout scatters a SELECT to every shard and merges the partial results.
+func (s *Service) fanout(sql string, st *litedb.SelectStmt, args []Value) (*Rows, error) {
+	pl, err := s.planFan(st, args)
+	if err != nil {
+		return nil, err
+	}
+	legs := make([]*Rows, len(s.shards))
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i := range s.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			legs[i], errs[i] = s.readOn(i, func(db *DB) (*Rows, error) {
+				sub, err := shardStmt(sql, pl)
+				if err != nil {
+					return nil, err
+				}
+				return db.edb.QueryStmt(sub, args...)
+			})
+		}(i)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	if pl.agg {
+		return s.mergeAgg(legs, pl)
+	}
+	return s.mergePlain(legs, pl)
+}
+
+// mergePlain concatenates shard rows, dedups DISTINCT, re-sorts and
+// re-applies the global window.
+func (s *Service) mergePlain(legs []*Rows, pl *fanPlan) (*Rows, error) {
+	var all [][]Value
+	for _, leg := range legs {
+		all = append(all, leg.All()...)
+	}
+	if pl.distinct {
+		seen := make(map[string]bool, len(all))
+		dedup := all[:0]
+		for _, row := range all {
+			k := string(litedb.EncodeRecord(nil, row))
+			if !seen[k] {
+				seen[k] = true
+				dedup = append(dedup, row)
+			}
+		}
+		all = dedup
+	}
+	all = orderAndWindow(all, pl)
+	return litedb.NewRows(pl.names, all), nil
+}
+
+// mergeSum combines partial SUMs under SQLite's int/real promotion.
+func mergeSum(a, b Value) Value {
+	if b.IsNull() {
+		return a
+	}
+	if a.IsNull() {
+		return b
+	}
+	if a.Type() == litedb.Real || b.Type() == litedb.Real {
+		return Real(a.Real() + b.Real())
+	}
+	return Int(a.Int() + b.Int())
+}
+
+// mergeAgg recombines per-shard partial aggregates, grouping by the
+// projected key tuple.
+func (s *Service) mergeAgg(legs []*Rows, pl *fanPlan) (*Rows, error) {
+	// kinds over the widened per-shard row: original columns plus one
+	// appended COUNT per AVG.
+	kinds := append([]fanKind{}, pl.cols...)
+	for i := 0; i < pl.nAvg; i++ {
+		kinds = append(kinds, fanCount)
+	}
+
+	groups := make(map[string][]Value)
+	var order []string
+	var keyBuf []Value
+	for _, leg := range legs {
+		for _, row := range leg.All() {
+			if len(row) != len(kinds) {
+				return nil, fmt.Errorf("tsql: shard returned %d columns, expected %d", len(row), len(kinds))
+			}
+			keyBuf = keyBuf[:0]
+			for i, k := range kinds[:pl.nOrig] {
+				if k == fanKey {
+					keyBuf = append(keyBuf, row[i])
+				}
+			}
+			key := string(litedb.EncodeRecord(nil, keyBuf))
+			g, ok := groups[key]
+			if !ok {
+				groups[key] = append([]Value{}, row...)
+				order = append(order, key)
+				continue
+			}
+			for i, k := range kinds {
+				a, b := g[i], row[i]
+				switch k {
+				case fanKey:
+					// equal by construction
+				case fanCount:
+					g[i] = Int(a.Int() + b.Int())
+				case fanSum:
+					g[i] = mergeSum(a, b)
+				case fanTotal, fanAvg: // AVG slots hold TOTAL partials
+					g[i] = Real(a.Real() + b.Real())
+				case fanMin:
+					if !b.IsNull() && (a.IsNull() || litedb.Compare(b, a) < 0) {
+						g[i] = b
+					}
+				case fanMax:
+					if !b.IsNull() && (a.IsNull() || litedb.Compare(b, a) > 0) {
+						g[i] = b
+					}
+				case fanConcat:
+					switch {
+					case b.IsNull():
+					case a.IsNull():
+						g[i] = b
+					default:
+						g[i] = Text(a.Text() + "," + b.Text())
+					}
+				}
+			}
+		}
+	}
+
+	out := make([][]Value, 0, len(order))
+	for _, key := range order {
+		g := groups[key]
+		avgSeen := 0
+		for i, k := range pl.cols {
+			if k != fanAvg {
+				continue
+			}
+			cnt := g[pl.nOrig+avgSeen].Int()
+			avgSeen++
+			if cnt == 0 {
+				g[i] = Null()
+			} else {
+				g[i] = Real(g[i].Real() / float64(cnt))
+			}
+		}
+		out = append(out, g[:pl.nOrig])
+	}
+	out = orderAndWindow(out, pl)
+	return litedb.NewRows(pl.names, out), nil
+}
+
+// orderAndWindow applies the coordinator-side ORDER BY and LIMIT/OFFSET.
+func orderAndWindow(rows [][]Value, pl *fanPlan) [][]Value {
+	if len(pl.orderIdx) > 0 {
+		key := func(row []Value) []Value {
+			ks := make([]Value, len(pl.orderIdx))
+			for i, idx := range pl.orderIdx {
+				ks[i] = row[idx]
+			}
+			return ks
+		}
+		sort.SliceStable(rows, func(i, j int) bool {
+			return litedb.CompareRows(key(rows[i]), key(rows[j]), pl.orderDsc) < 0
+		})
+	}
+	if pl.offset > 0 || pl.limit >= 0 {
+		off := pl.offset
+		if off > len(rows) {
+			off = len(rows)
+		}
+		end := len(rows)
+		if pl.limit >= 0 && off+pl.limit < end {
+			end = off + pl.limit
+		}
+		rows = rows[off:end]
+	}
+	return rows
+}

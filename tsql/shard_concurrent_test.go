@@ -1,0 +1,102 @@
+package tsql
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"twine/internal/hostfs"
+)
+
+// TestServiceConcurrentShards is the PR 10 concurrency satellite: N client
+// goroutines drive a 2-shard, 2-replica service with group commit ON,
+// mixing writes with immediate point reads. Every write must be visible
+// to the very next read from the same client (read-your-writes across
+// the commit window), and the run must be clean under -race.
+func TestServiceConcurrentShards(t *testing.T) {
+	const (
+		clients = 6
+		opsEach = 20
+	)
+	svc, err := OpenService(ShardConfig{
+		Base:        svcCfg(hostfs.NewMemFS(), "conc-platform"),
+		Shards:      2,
+		Replicas:    2,
+		RouteTable:  "kv",
+		RouteColumn: "k",
+	})
+	if err != nil {
+		t.Fatalf("OpenService: %v", err)
+	}
+	defer svc.Close()
+	if _, err := svc.Exec(`CREATE TABLE kv (k INTEGER PRIMARY KEY, c INTEGER, v TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < opsEach; i++ {
+				key := int64(c*1000 + i) // disjoint key ranges per client
+				v := fmt.Sprintf("c%d-%d", c, i)
+				if _, err := svc.Exec(`INSERT INTO kv (k, c, v) VALUES (?, ?, ?)`,
+					Int(key), Int(int64(c)), Text(v)); err != nil {
+					errs <- fmt.Errorf("client %d insert %d: %w", c, key, err)
+					return
+				}
+				// Read-your-writes: the insert group-committed before Exec
+				// returned, so any replica must already serve it.
+				row, err := svc.QueryRow(`SELECT v FROM kv WHERE k = ?`, Int(key))
+				if err != nil {
+					errs <- fmt.Errorf("client %d read %d: %w", c, key, err)
+					return
+				}
+				if row == nil || row[0].Text() != v {
+					errs <- fmt.Errorf("client %d: wrote k=%d v=%q, read back %v", c, key, v, row)
+					return
+				}
+				if i%5 == 4 {
+					// Periodic cross-shard aggregate: this client's rows so
+					// far must all be counted.
+					row, err := svc.QueryRow(`SELECT COUNT(*) FROM kv WHERE c = ?`, Int(int64(c)))
+					if err != nil {
+						errs <- fmt.Errorf("client %d count: %w", c, err)
+						return
+					}
+					if got := row[0].Int(); got < int64(i+1) {
+						errs <- fmt.Errorf("client %d: %d rows written, fan-out count saw %d", c, i+1, got)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	row, err := svc.QueryRow(`SELECT COUNT(*) FROM kv`)
+	if err != nil {
+		t.Fatalf("final count: %v", err)
+	}
+	if got := row[0].Int(); got != clients*opsEach {
+		t.Fatalf("final count %d, want %d", got, clients*opsEach)
+	}
+
+	st := svc.Stats()
+	if st.GroupCommits == 0 || st.GroupedStmts < st.GroupCommits {
+		t.Fatalf("group commit accounting is wrong: %+v", st)
+	}
+	if st.Writes != clients*opsEach+1 { // +1 for the CREATE TABLE
+		t.Fatalf("write count %d, want %d: %+v", st.Writes, clients*opsEach+1, st)
+	}
+	if st.ReplicaRefreshes == 0 {
+		t.Fatalf("replicas never refreshed from the sealed files: %+v", st)
+	}
+	t.Logf("stats: %+v", st)
+}

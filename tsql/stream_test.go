@@ -1,0 +1,108 @@
+package tsql
+
+import (
+	"reflect"
+	"testing"
+
+	"twine/internal/hostfs"
+)
+
+// TestQueryStreamMatchesQuery proves the streaming cursor returns exactly
+// what the materialised path returns, while holding only a bounded number
+// of rows outside the in-enclave cursor at any instant.
+func TestQueryStreamMatchesQuery(t *testing.T) {
+	db, err := Open(svcCfg(hostfs.NewMemFS(), "stream-platform"))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(`CREATE TABLE ev (id INTEGER PRIMARY KEY, kind TEXT, w REAL)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`BEGIN`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1500; i++ {
+		if _, err := db.Exec(`INSERT INTO ev (kind, w) VALUES (?, ?)`,
+			Text(string(rune('a'+i%7))), Real(float64(i)*0.5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.Exec(`COMMIT`); err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []string{
+		`SELECT id, kind, w FROM ev`,
+		`SELECT id FROM ev WHERE w > 300`,
+		`SELECT kind, COUNT(*) FROM ev GROUP BY kind`, // materialising fallback shape
+	}
+	for _, q := range queries {
+		rows, err := db.Query(q)
+		if err != nil {
+			t.Fatalf("Query(%s): %v", q, err)
+		}
+		st, err := db.QueryStream(q)
+		if err != nil {
+			t.Fatalf("QueryStream(%s): %v", q, err)
+		}
+		if !reflect.DeepEqual(st.Cols(), rows.Cols) {
+			t.Fatalf("%s: cols %v != %v", q, st.Cols(), rows.Cols)
+		}
+		var got [][]Value
+		for st.Next() {
+			got = append(got, st.Row())
+		}
+		if err := st.Close(); err != nil {
+			t.Fatalf("stream close (%s): %v", q, err)
+		}
+		want := rows.All()
+		if len(got) != len(want) {
+			t.Fatalf("%s: streamed %d rows, materialised %d", q, len(got), len(want))
+		}
+		for i := range want {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("%s row %d: %v != %v", q, i, got[i], want[i])
+			}
+		}
+	}
+
+	// Bounded memory on a scan 1500 rows long: at most the in-enclave
+	// channel (64) + slack (2) + one host-side fetch batch (128) rows are
+	// ever buffered — far below the full result.
+	st, err := db.QueryStream(`SELECT id, kind, w FROM ev`)
+	if err != nil {
+		t.Fatalf("QueryStream: %v", err)
+	}
+	n := 0
+	for st.Next() {
+		n++
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if n != 1500 {
+		t.Fatalf("streamed %d rows, want 1500", n)
+	}
+	if max := st.MaxBuffered(); max > 194 {
+		t.Fatalf("stream buffered up to %d rows; bound is 194", max)
+	}
+
+	// Early close frees the handle for the next statement.
+	st, err = db.QueryStream(`SELECT id FROM ev`)
+	if err != nil {
+		t.Fatalf("QueryStream: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if !st.Next() {
+			t.Fatalf("Next false at %d", i)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("early close: %v", err)
+	}
+	row, err := db.QueryRow(`SELECT COUNT(*) FROM ev`)
+	if err != nil || row[0].Int() != 1500 {
+		t.Fatalf("post-close query: %v %v", row, err)
+	}
+}

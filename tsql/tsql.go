@@ -11,6 +11,10 @@
 //	db.Exec(`CREATE TABLE accounts (id INTEGER PRIMARY KEY, balance INTEGER)`)
 //	db.Exec(`INSERT INTO accounts (balance) VALUES (?)`, tsql.Int(100))
 //	rows, err := db.Query(`SELECT SUM(balance) FROM accounts`)
+//
+// For serving at scale, OpenService shards one logical database across
+// enclave workers with snapshot-cloned read replicas and group-committed
+// writes; see Service for the routing and visibility semantics.
 package tsql
 
 import (
@@ -54,8 +58,8 @@ type Config struct {
 	// PlatformSeed selects the simulated CPU identity; databases sealed
 	// by one platform cannot be opened on another.
 	PlatformSeed string
-	// OptimizedIPFS applies the paper's §V-F protected-FS optimisation
-	// (default true; set false to run Intel's standard behaviour).
+	// StandardIPFS runs Intel's stock protected-FS behaviour instead of
+	// the paper's §V-F optimisation (default false: optimised).
 	StandardIPFS bool
 	// SGX overrides the enclave geometry (zero = paper defaults).
 	SGX sgx.Config
@@ -65,6 +69,12 @@ type Config struct {
 	Engine wasm.Engine
 	// Prof receives counters and timers.
 	Prof *prof.Registry
+
+	// sync overrides the pager's sync mode (zero: SyncOff, the paper's
+	// benchmark setting). The shard service raises it on writers whose
+	// sealed files are re-opened by live replicas: a snapshot clone can
+	// only refresh from commits that were made durable on the host.
+	sync litedb.SyncMode
 }
 
 // DB is a trusted database handle. Not safe for concurrent use.
@@ -101,6 +111,7 @@ func Open(cfg Config) (*DB, error) {
 		Name:       cfg.Path,
 		CachePages: cfg.CacheKiB * 1024 / litedb.PageSize,
 		MemVFS:     cfg.Path == litedb.MemoryDBName,
+		Sync:       cfg.sync,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("tsql: %w", err)
@@ -117,6 +128,18 @@ func (db *DB) Exec(sql string, args ...Value) (int64, error) {
 // Query runs a SELECT (or PRAGMA) inside the enclave.
 func (db *DB) Query(sql string, args ...Value) (*Rows, error) {
 	return db.edb.Query(sql, args...)
+}
+
+// RowStream is a streaming cursor over an in-enclave query: rows cross
+// the boundary in batches instead of as one materialised set.
+type RowStream = core.DBStream
+
+// QueryStream runs a SELECT inside the enclave and streams its rows with
+// bounded buffering — plain scans of any size never materialise; see
+// litedb.RowIter for the statements that fall back. The handle must not
+// run another statement until the stream is closed.
+func (db *DB) QueryStream(sql string, args ...Value) (*RowStream, error) {
+	return db.edb.QueryStream(sql, args...)
 }
 
 // QueryRow runs a query expected to produce one row (nil if none).
